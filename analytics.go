@@ -1,0 +1,112 @@
+package graph500
+
+import (
+	"repro/internal/framework"
+	"repro/internal/sssp"
+)
+
+// The Graph 500 benchmark's second kernel (SSSP) and the general-purpose
+// analytics the paper's Discussion section positions as the natural
+// extension of its techniques ("the push-pull selection behind it works on
+// many graph algorithms, including SSSP, PageRank and more") run over the
+// same 1.5D partitioning through the types below.
+
+// SSSPResult re-exports the SSSP run result (distances, parents, rounds).
+type SSSPResult = sssp.Result
+
+// SSSPRunner holds a weighted partitioned graph.
+type SSSPRunner struct {
+	runner *sssp.Runner
+	graph  Graph
+	seed   uint64
+}
+
+// NewSSSP partitions the graph for single-source shortest paths with the
+// Graph 500 weight convention: deterministic uniform [0,1) per edge, keyed
+// by weightSeed.
+func NewSSSP(g Graph, cfg Config, weightSeed uint64) (*SSSPRunner, error) {
+	r, err := sssp.New(g.NumVertices, g.Edges, sssp.Options{
+		Mesh:       cfg.Mesh,
+		Ranks:      cfg.Ranks,
+		Thresholds: cfg.Thresholds,
+		WeightSeed: weightSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPRunner{runner: r, graph: g, seed: weightSeed}, nil
+}
+
+// Run computes shortest paths from root.
+func (s *SSSPRunner) Run(root int64) (*SSSPResult, error) { return s.runner.Run(root) }
+
+// RunValidated computes shortest paths and checks the optimality conditions
+// (parent edges exist, distances are consistent, no edge can relax further).
+func (s *SSSPRunner) RunValidated(root int64) (*SSSPResult, error) {
+	res, err := s.runner.Run(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := sssp.ValidateResult(s.graph.NumVertices, s.graph.Edges, s.seed, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// EdgeWeight returns the deterministic weight of edge {u,v} under this
+// runner's seed.
+func (s *SSSPRunner) EdgeWeight(u, v int64) float64 { return sssp.WeightOf(u, v, s.seed) }
+
+// Analytics runs dense vertex programs (PageRank, connected components) over
+// the 1.5D partitioning.
+type Analytics struct {
+	engine *framework.Engine
+}
+
+// PageRankResult re-exports the framework's PageRank output.
+type PageRankResult = framework.PageRankResult
+
+// WCCResult re-exports the framework's connected-components output.
+type WCCResult = framework.WCCResult
+
+// NewAnalytics partitions the graph for vertex programs.
+func NewAnalytics(g Graph, cfg Config) (*Analytics, error) {
+	eng, err := framework.New(g.NumVertices, g.Edges, framework.Options{
+		Mesh:       cfg.Mesh,
+		Ranks:      cfg.Ranks,
+		Thresholds: cfg.Thresholds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Analytics{engine: eng}, nil
+}
+
+// PageRank runs damped power iteration to the given tolerance.
+func (a *Analytics) PageRank(damping, tol float64, maxIter int) (*PageRankResult, error) {
+	return a.engine.PageRank(damping, tol, maxIter)
+}
+
+// ConnectedComponents labels every vertex with its component's minimum ID.
+func (a *Analytics) ConnectedComponents() (*WCCResult, error) {
+	return a.engine.ConnectedComponents()
+}
+
+// Reachability runs bit-parallel multi-source BFS: result.Values[v] has bit
+// s set iff sources[s] reaches v. Up to 64 sources traverse simultaneously.
+func (a *Analytics) Reachability(sources []int64) ([]uint64, error) {
+	res, err := a.engine.Reachability(sources)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// KCoreResult re-exports the framework's k-core output.
+type KCoreResult = framework.KCoreResult
+
+// KCore returns membership of the k-core (maximal subgraph of minimum
+// degree k), computed by distributed peeling with delegated hub degrees.
+func (a *Analytics) KCore(k int64) (*KCoreResult, error) {
+	return a.engine.KCore(k)
+}

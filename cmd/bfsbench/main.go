@@ -1,0 +1,170 @@
+// Command bfsbench is the Graph 500 style end-to-end runner: generate (or
+// load) an R-MAT graph, partition it with 3-level degree-aware 1.5D
+// partitioning over the requested rank mesh, run the selected kernel (BFS or
+// SSSP) from sampled roots, validate every result, and report harmonic-mean
+// GTEPS plus the time breakdowns of the paper's evaluation.
+//
+// Usage:
+//
+//	bfsbench -scale 18 -ranks 16 -roots 16
+//	bfsbench -scale 20 -ranks 64 -ethreshold 4096 -hthreshold 256 -segmented
+//	bfsbench -input edges.bin -informat bin -ranks 16
+//	bfsbench -scale 16 -kernel sssp -roots 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/edgeio"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		scale     = flag.Int("scale", 16, "graph SCALE: 2^scale vertices, 16*2^scale edges")
+		input     = flag.String("input", "", "load edge list from file instead of generating")
+		informat  = flag.String("informat", "bin", "input format: text or bin")
+		ranks     = flag.Int("ranks", 16, "simulated node count (R x C mesh derived)")
+		rows      = flag.Int("rows", 0, "mesh rows (0 = squarest)")
+		cols      = flag.Int("cols", 0, "mesh cols (0 = squarest)")
+		roots     = flag.Int("roots", 16, "number of sampled roots (Graph 500 uses 64)")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		kernel    = flag.String("kernel", "bfs", "kernel: bfs or sssp")
+		eThresh   = flag.Int64("ethreshold", 0, "E degree threshold (0 = scale default)")
+		hThresh   = flag.Int64("hthreshold", 0, "H degree threshold (0 = scale default)")
+		segmented = flag.Bool("segmented", false, "enable CG-aware core subgraph segmenting")
+		hier      = flag.Bool("hierarchical", false, "forward L2L messages via mesh intersections")
+		workers   = flag.Int("rankworkers", 1, "intra-rank kernel workers (edge-aware vertex cut)")
+		breakdown = flag.Bool("breakdown", true, "print per-subgraph time breakdown (bfs only)")
+		official  = flag.Bool("official", false, "print the Graph 500 official statistics block (bfs only)")
+	)
+	flag.Parse()
+
+	var g graph500.Graph
+	t0 := time.Now()
+	if *input != "" {
+		format, err := edgeio.ParseFormat(*informat)
+		if err != nil {
+			fatal(err)
+		}
+		n, edges, err := edgeio.ReadFile(*input, format)
+		if err != nil {
+			fatal(err)
+		}
+		g = graph500.FromEdges(n, edges)
+		fmt.Printf("loaded %s: %d vertices, %d edges in %v\n",
+			*input, g.NumVertices, len(g.Edges), time.Since(t0).Round(time.Millisecond))
+	} else {
+		fmt.Printf("generating SCALE %d graph (%d vertices, %d edges)...\n",
+			*scale, int64(1)<<uint(*scale), int64(16)<<uint(*scale))
+		g = graph500.Generate(graph500.GenConfig{Scale: *scale, Seed: *seed})
+		fmt.Printf("  generated in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	cfg := graph500.Config{
+		Ranks:        *ranks,
+		Segmented:    *segmented,
+		Hierarchical: *hier,
+		RankWorkers:  *workers,
+	}
+	if *rows > 0 && *cols > 0 {
+		cfg.Mesh = graph500.Mesh{Rows: *rows, Cols: *cols}
+	}
+	if *eThresh > 0 && *hThresh > 0 {
+		cfg.Thresholds = graph500.Thresholds{E: *eThresh, H: *hThresh}
+	}
+
+	switch *kernel {
+	case "bfs":
+		runBFS(g, cfg, *roots, *seed, *breakdown, *official, time.Since(t0))
+	case "sssp":
+		runSSSP(g, cfg, *roots, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kernel %q (want bfs or sssp)\n", *kernel)
+		os.Exit(2)
+	}
+}
+
+func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, breakdown, official bool, genTime time.Duration) {
+	t0 := time.Now()
+	r, err := graph500.New(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	buildTime := time.Since(t0)
+	fmt.Printf("partitioned in %v: %d E hubs, %d H hubs over %d ranks\n",
+		buildTime.Round(time.Millisecond),
+		r.Engine.Part.Hubs.NumE, r.Engine.Part.Hubs.NumH, r.Engine.Opt.Ranks)
+
+	if official {
+		st, err := r.OfficialRun(roots, seed+1, genTime+buildTime)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st)
+		return
+	}
+
+	sum, err := r.Benchmark(roots, seed+1)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d validated BFS runs:\n", len(sum.Roots))
+	fmt.Printf("  harmonic mean: %10.4f GTEPS   (the Graph 500 statistic)\n", sum.GTEPS())
+	fmt.Printf("  mean:          %10.4f GTEPS\n", sum.MeanTEPS/1e9)
+	fmt.Printf("  min/max:       %10.4f / %.4f GTEPS\n", sum.MinTEPS/1e9, sum.MaxTEPS/1e9)
+	fmt.Printf("  mean time:     %10.2f ms per traversal\n", sum.MeanSeconds*1e3)
+
+	if breakdown {
+		res, err := r.Run(sum.Roots[0])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntime breakdown (root %d, %d iterations):\n", sum.Roots[0], res.Iterations)
+		share := res.Recorder.PhaseShare()
+		for p := stats.Phase(0); p < stats.NumPhases; p++ {
+			fmt.Printf("  %-7s %6.2f%%  (%d edge touches)\n", p, 100*share[p], res.Recorder.EdgesTouched[p])
+		}
+	}
+}
+
+func runSSSP(g graph500.Graph, cfg graph500.Config, roots int, seed uint64) {
+	t0 := time.Now()
+	ss, err := graph500.NewSSSP(g, cfg, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("partitioned for SSSP in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	// Sample roots using a throwaway BFS runner's degree table.
+	br, err := graph500.New(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sampled, err := br.SampleRoots(roots, seed+1)
+	if err != nil {
+		fatal(err)
+	}
+	var totalTime time.Duration
+	var totalRelax int64
+	for _, root := range sampled {
+		res, err := ss.RunValidated(root)
+		if err != nil {
+			fatal(fmt.Errorf("root %d: %w", root, err))
+		}
+		totalTime += res.Time
+		totalRelax += res.Relaxations
+	}
+	fmt.Printf("\n%d validated SSSP runs:\n", len(sampled))
+	fmt.Printf("  mean time:        %8.2f ms\n", totalTime.Seconds()*1e3/float64(len(sampled)))
+	fmt.Printf("  mean relaxations: %8d\n", totalRelax/int64(len(sampled)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command gen500 emits a Graph 500 specification R-MAT edge list, either as
+// text ("u v" per line) or as the packed little-endian int64 pair binary
+// format the reference implementation uses.
+//
+// Usage:
+//
+//	gen500 -scale 16 -seed 42 > edges.txt
+//	gen500 -scale 20 -format bin -o edges.bin
+//	gen500 -scale 16 -histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/edgeio"
+	"repro/internal/rmat"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 16, "2^scale vertices")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex")
+		seed       = flag.Uint64("seed", 42, "stream seed")
+		format     = flag.String("format", "text", "output format: text or bin")
+		out        = flag.String("o", "", "output file (default stdout)")
+		histogram  = flag.Bool("histogram", false, "print the degree histogram instead of edges")
+	)
+	flag.Parse()
+
+	cfg := rmat.Config{Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed}
+	edges := rmat.Generate(cfg)
+
+	if *histogram {
+		hist := rmat.DegreeHistogram(rmat.Degrees(cfg.NumVertices(), edges))
+		fmt.Printf("# degree histogram, scale %d (%d vertices, %d edges)\n",
+			*scale, cfg.NumVertices(), len(edges))
+		for b, c := range hist {
+			if c == 0 {
+				continue
+			}
+			if b == 0 {
+				fmt.Printf("0\t%d\n", c)
+			} else {
+				fmt.Printf("[%d,%d)\t%d\n", 1<<uint(b-1), 1<<uint(b), c)
+			}
+		}
+		return
+	}
+
+	f, err := edgeio.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := edgeio.WriteFile(*out, f, edges); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	var w io.Writer = os.Stdout
+	switch f {
+	case edgeio.FormatText:
+		err = edgeio.WriteText(w, edges)
+	case edgeio.FormatBin:
+		err = edgeio.WriteBin(w, edges)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

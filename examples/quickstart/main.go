@@ -1,0 +1,47 @@
+// Quickstart: generate a Graph 500 graph, traverse it with the 1.5D engine,
+// validate the result, and print the headline statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 2^16 vertices, about one million edges: a laptop-sized Graph 500 run.
+	g := graph500.Generate(graph500.GenConfig{Scale: 16, Seed: 42})
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices, len(g.Edges))
+
+	// Partition over 16 simulated nodes (a 4x4 mesh) with scale-appropriate
+	// E/H degree thresholds.
+	runner, err := graph500.New(g, graph500.Config{Ranks: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hubs := runner.Engine.Part.Hubs
+	fmt.Printf("classified: %d extremely-heavy (E), %d heavy (H) vertices of %d\n",
+		hubs.NumE, hubs.NumH, g.NumVertices)
+
+	// Run the Graph 500 benchmark protocol: sampled roots, validated runs,
+	// harmonic-mean TEPS.
+	sum, err := runner.Benchmark(8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8 validated traversals: %.4f GTEPS (harmonic mean), %.2f ms mean\n",
+		sum.GTEPS(), sum.MeanSeconds*1e3)
+
+	// Inspect one run in detail.
+	res, err := runner.RunValidated(sum.Roots[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("root %d: %d iterations, %d edges in component\n",
+		res.Root, res.Iterations, res.TraversedEdges)
+	for i, it := range res.Trace {
+		fmt.Printf("  iteration %d: %5d E, %6d H, %8d L active; directions %v\n",
+			i+1, it.ActiveE, it.ActiveH, it.ActiveL, it.Directions)
+	}
+}

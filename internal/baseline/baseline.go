@@ -1,0 +1,230 @@
+// Package baseline implements vanilla 1D-partitioned BFS with no delegation
+// at all — the strawman every method in the paper's Table 1 lineage improves
+// on. Vertices are block-distributed; every remote edge costs a message in
+// top-down, and bottom-up requires replicating the whole frontier bitmap.
+// Its communication profile is exactly the scalability wall of Section 2.3,
+// which makes it the reference point for the comparison experiment and an
+// independent correctness oracle for the 1.5D engine.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+)
+
+// Options configures the baseline.
+type Options struct {
+	Ranks int
+	// PullThreshold is the frontier-density switch to bottom-up (Beamer's
+	// direction optimization); 0 means 0.05. Negative disables pull.
+	PullThreshold float64
+	MaxIterations int
+}
+
+// Engine is the vanilla 1D BFS.
+type Engine struct {
+	layout partition.Layout
+	world  *comm.World
+	opt    Options
+	ranks  []*rankGraph
+	deg    []int64
+}
+
+// rankGraph is one rank's owned adjacency: local vertex -> original IDs.
+type rankGraph struct {
+	localN int
+	ptr    []int64
+	adj    []int64
+}
+
+// New block-distributes the graph over ranks.
+func New(n int64, edges []rmat.Edge, opt Options) (*Engine, error) {
+	if opt.Ranks <= 0 {
+		return nil, fmt.Errorf("baseline: need Ranks > 0")
+	}
+	if opt.PullThreshold == 0 {
+		opt.PullThreshold = 0.05
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 128
+	}
+	mesh := topology.Mesh{Rows: 1, Cols: opt.Ranks}
+	layout := partition.NewLayout(n, mesh)
+	world, err := comm.NewWorld(opt.Ranks, mesh, topology.NewSunway(opt.Ranks))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{layout: layout, world: world, opt: opt, deg: make([]int64, n)}
+	// Count per-owner degrees.
+	counts := make([][]int64, opt.Ranks)
+	for r := 0; r < opt.Ranks; r++ {
+		counts[r] = make([]int64, layout.LocalCount(r))
+	}
+	for _, ed := range edges {
+		if ed.U == ed.V {
+			continue
+		}
+		counts[layout.Owner(ed.U)][layout.LocalIdx(ed.U)]++
+		counts[layout.Owner(ed.V)][layout.LocalIdx(ed.V)]++
+		e.deg[ed.U]++
+		e.deg[ed.V]++
+	}
+	e.ranks = make([]*rankGraph, opt.Ranks)
+	cursors := make([][]int64, opt.Ranks)
+	for r := 0; r < opt.Ranks; r++ {
+		localN := layout.LocalCount(r)
+		ptr := make([]int64, localN+1)
+		var sum int64
+		for i := 0; i < localN; i++ {
+			ptr[i] = sum
+			sum += counts[r][i]
+		}
+		ptr[localN] = sum
+		e.ranks[r] = &rankGraph{localN: localN, ptr: ptr, adj: make([]int64, sum)}
+		cur := make([]int64, localN)
+		copy(cur, ptr[:localN])
+		cursors[r] = cur
+	}
+	place := func(u, v int64) {
+		r := e.layout.Owner(u)
+		li := e.layout.LocalIdx(u)
+		e.ranks[r].adj[cursors[r][li]] = v
+		cursors[r][li]++
+	}
+	for _, ed := range edges {
+		if ed.U == ed.V {
+			continue
+		}
+		place(ed.U, ed.V)
+		place(ed.V, ed.U)
+	}
+	return e, nil
+}
+
+// Result is one run's output.
+type Result struct {
+	Root       int64
+	Parent     []int64
+	Iterations int
+	Time       time.Duration
+	// EdgesTouched counts adjacency scans; MessagesSent counts remote
+	// activation messages (the quantity delegation exists to reduce).
+	EdgesTouched int64
+	MessagesSent int64
+}
+
+type msg struct {
+	LIdx   int32
+	Parent int64
+}
+
+// Run traverses from root.
+func (e *Engine) Run(root int64) (*Result, error) {
+	n := e.layout.N
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("baseline: root %d out of range", root)
+	}
+	res := &Result{Root: root, Parent: make([]int64, n)}
+	for i := range res.Parent {
+		res.Parent[i] = -1
+	}
+	per := int(e.layout.PerRank)
+	edgesTouched := make([]int64, e.opt.Ranks)
+	msgsSent := make([]int64, e.opt.Ranks)
+	iters := make([]int, e.opt.Ranks)
+	start := time.Now()
+	e.world.Run(func(r *comm.Rank) {
+		rg := e.ranks[r.ID]
+		frontier := bitmap.New(per)
+		visited := bitmap.New(per)
+		next := bitmap.New(per)
+		parent := make([]int64, per)
+		for i := range parent {
+			parent[i] = -1
+		}
+		worldFrontier := bitmap.New(per * e.opt.Ranks)
+		if e.layout.Owner(root) == r.ID {
+			li := e.layout.LocalIdx(root)
+			frontier.Set(int(li))
+			visited.Set(int(li))
+			parent[li] = root
+		}
+		activeTotal := comm.AllreduceSumInt64(r.World, int64(frontier.Count()))
+		it := 0
+		for ; it < e.opt.MaxIterations && activeTotal > 0; it++ {
+			pull := e.opt.PullThreshold > 0 && float64(activeTotal)/float64(n) > e.opt.PullThreshold
+			if pull {
+				// Bottom-up: replicate the whole frontier (the 2^44-bit
+				// vector Section 2.3 rules out at scale), then scan
+				// unvisited owned vertices with early exit.
+				parts := comm.Allgatherv(r.World, frontier.Words())
+				wf := worldFrontier.Words()
+				wordsPer := per / 64
+				for m, p := range parts {
+					copy(wf[m*wordsPer:(m+1)*wordsPer], p)
+				}
+				for li := 0; li < rg.localN; li++ {
+					if visited.Test(li) || rg.ptr[li] == rg.ptr[li+1] {
+						continue
+					}
+					for _, nb := range rg.adj[rg.ptr[li]:rg.ptr[li+1]] {
+						edgesTouched[r.ID]++
+						if worldFrontier.Test(int(nb)) {
+							visited.Set(li)
+							next.Set(li)
+							parent[li] = nb
+							break
+						}
+					}
+				}
+			} else {
+				// Top-down: every edge from an active vertex is a message to
+				// the neighbor's owner — no delegation, no filtering.
+				send := make([][]msg, e.opt.Ranks)
+				frontier.ForEach(func(li int) {
+					u := e.layout.GlobalOf(r.ID, int32(li))
+					for _, nb := range rg.adj[rg.ptr[li]:rg.ptr[li+1]] {
+						edgesTouched[r.ID]++
+						msgsSent[r.ID]++
+						owner := e.layout.Owner(nb)
+						send[owner] = append(send[owner], msg{LIdx: e.layout.LocalIdx(nb), Parent: u})
+					}
+				})
+				for _, part := range comm.Alltoallv(r.World, send) {
+					for _, m := range part {
+						if !visited.Test(int(m.LIdx)) {
+							visited.Set(int(m.LIdx))
+							next.Set(int(m.LIdx))
+							parent[m.LIdx] = m.Parent
+						}
+					}
+				}
+			}
+			frontier.CopyFrom(next)
+			next.Reset()
+			activeTotal = comm.AllreduceSumInt64(r.World, int64(frontier.Count()))
+		}
+		iters[r.ID] = it
+		for li := 0; li < rg.localN; li++ {
+			if parent[li] >= 0 {
+				res.Parent[e.layout.GlobalOf(r.ID, int32(li))] = parent[li]
+			}
+		}
+	})
+	res.Time = time.Since(start)
+	res.Iterations = iters[0]
+	for r := 0; r < e.opt.Ranks; r++ {
+		res.EdgesTouched += edgesTouched[r]
+		res.MessagesSent += msgsSent[r]
+	}
+	return res, nil
+}
+
+// Degrees returns per-vertex degrees (self loops excluded).
+func (e *Engine) Degrees() []int64 { return e.deg }

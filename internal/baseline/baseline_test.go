@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rmat"
+	"repro/internal/validate"
+)
+
+func TestBaselineMatchesReference(t *testing.T) {
+	cfg := rmat.Config{Scale: 10, Seed: 41}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	g := graph.FromEdges(n, edges, graph.BuildOptions{Symmetrize: true, DropSelfLoops: true})
+	for _, ranks := range []int{1, 3, 8} {
+		e, err := New(n, edges, Options{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, root := range []int64{0, 17, 999} {
+			res, err := e.Run(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := validate.BFS(n, edges, root, res.Parent); err != nil {
+				t.Fatalf("ranks=%d root=%d: %v", ranks, root, err)
+			}
+			refLvl, _ := graph.Levels(g.SequentialBFS(root), root)
+			gotLvl, err := graph.Levels(res.Parent, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := int64(0); v < n; v++ {
+				if refLvl[v] != gotLvl[v] {
+					t.Fatalf("ranks=%d root=%d: level[%d] = %d, want %d", ranks, root, v, gotLvl[v], refLvl[v])
+				}
+			}
+		}
+	}
+}
+
+func TestBaselinePushOnly(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 42}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	e, err := New(n, edges, Options{Ranks: 4, PullThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := validate.BFS(n, edges, 1, res.Parent); err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent == 0 {
+		t.Fatal("push-only run sent no messages")
+	}
+}
+
+func TestBaselineMessageCountIsEdgesTouched(t *testing.T) {
+	// Push-only vanilla 1D: every touched edge is a message — the cost the
+	// paper's delegation removes.
+	cfg := rmat.Config{Scale: 9, Seed: 43}
+	edges := rmat.Generate(cfg)
+	e, err := New(cfg.NumVertices(), edges, Options{Ranks: 4, PullThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent != res.EdgesTouched {
+		t.Fatalf("messages %d != edges %d in push-only vanilla 1D", res.MessagesSent, res.EdgesTouched)
+	}
+}
+
+func TestBaselineDirectionOptimizationSavesMessages(t *testing.T) {
+	cfg := rmat.Config{Scale: 12, Seed: 44}
+	edges := rmat.Generate(cfg)
+	pushOnly, err := New(cfg.NumVertices(), edges, Options{Ranks: 4, PullThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(cfg.NumVertices(), edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := pushOnly.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := opt.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.MessagesSent >= rp.MessagesSent {
+		t.Fatalf("direction optimization sent %d messages vs %d push-only", ro.MessagesSent, rp.MessagesSent)
+	}
+	if ro.EdgesTouched >= rp.EdgesTouched {
+		t.Fatalf("direction optimization touched %d edges vs %d push-only", ro.EdgesTouched, rp.EdgesTouched)
+	}
+}
+
+func TestBaselineRejectsBadInput(t *testing.T) {
+	if _, err := New(8, nil, Options{}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	e, err := New(8, []rmat.Edge{{U: 0, V: 1}}, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(100); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func BenchmarkBaselineScale14(b *testing.B) {
+	cfg := rmat.Config{Scale: 14, Seed: 45}
+	e, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

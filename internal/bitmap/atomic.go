@@ -1,0 +1,97 @@
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Atomic is a bit vector whose Set operations are safe for concurrent use.
+// The paper's target chip has no efficient atomics (Section 3.3); the engine
+// therefore prefers OCS-RMA style exclusive ownership, but an atomic bitmap
+// remains useful for the commodity-CPU kernels and for reference
+// implementations the atomics-free kernels are checked against.
+type Atomic struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewAtomic returns a cleared atomic bitmap of n bits.
+func NewAtomic(n int) *Atomic {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative length %d", n))
+	}
+	return &Atomic{words: make([]atomic.Uint64, (n+wordMask)>>wordShift), n: n}
+}
+
+// Len returns the number of bits.
+func (a *Atomic) Len() int { return a.n }
+
+// Set atomically sets bit i.
+func (a *Atomic) Set(i int) {
+	w := &a.words[i>>wordShift]
+	m := uint64(1) << (uint(i) & wordMask)
+	for {
+		old := w.Load()
+		if old&m != 0 || w.CompareAndSwap(old, old|m) {
+			return
+		}
+	}
+}
+
+// TestAndSet atomically sets bit i, reporting whether this call changed it.
+func (a *Atomic) TestAndSet(i int) bool {
+	w := &a.words[i>>wordShift]
+	m := uint64(1) << (uint(i) & wordMask)
+	for {
+		old := w.Load()
+		if old&m != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|m) {
+			return true
+		}
+	}
+}
+
+// Test reports whether bit i is set.
+func (a *Atomic) Test(i int) bool {
+	return a.words[i>>wordShift].Load()&(1<<(uint(i)&wordMask)) != 0
+}
+
+// Reset clears every bit. Not safe to run concurrently with setters.
+func (a *Atomic) Reset() {
+	for i := range a.words {
+		a.words[i].Store(0)
+	}
+}
+
+// Count returns the number of set bits. Only exact when no setters run
+// concurrently.
+func (a *Atomic) Count() int {
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i].Load())
+	}
+	return c
+}
+
+// Snapshot copies the current contents into a plain Bitmap.
+func (a *Atomic) Snapshot() *Bitmap {
+	b := New(a.n)
+	for i := range a.words {
+		b.words[i] = a.words[i].Load()
+	}
+	return b
+}
+
+// OrInto ORs the atomic bitmap's words into dst, which must have the same
+// length.
+func (a *Atomic) OrInto(dst *Bitmap) {
+	if dst.n != a.n {
+		panic(fmt.Sprintf("bitmap: OrInto length mismatch %d vs %d", dst.n, a.n))
+	}
+	for i := range a.words {
+		dst.words[i] |= a.words[i].Load()
+	}
+}

@@ -1,0 +1,120 @@
+package bitmap
+
+import "fmt"
+
+// Segmented is a bitmap partitioned into fixed-size lines that are
+// round-robin distributed across a set of owners, mirroring the LDM layout of
+// CG-aware core subgraph segmenting (paper Fig. 7): bit offset within a
+// segment decomposes into (line number, owner CPE, offset in line).
+//
+// On the simulator this indexing is exercised by the sunway package; here it
+// is also useful as a locality-friendly layout for pull kernels because each
+// owner touches only its resident lines.
+type Segmented struct {
+	lineBits int // bits per line; must be a multiple of 64
+	owners   int
+	n        int
+	// lane[o] holds the lines owned by owner o, concatenated.
+	lanes [][]uint64
+}
+
+// NewSegmented builds a segmented bitmap of n bits with the given number of
+// owners and lineBytes bytes per line (the paper uses 1024-byte lines over
+// 64 CPEs).
+func NewSegmented(n, owners, lineBytes int) *Segmented {
+	if owners <= 0 {
+		panic("bitmap: segmented needs at least one owner")
+	}
+	if lineBytes <= 0 || lineBytes%8 != 0 {
+		panic(fmt.Sprintf("bitmap: line size %dB must be a positive multiple of 8", lineBytes))
+	}
+	s := &Segmented{lineBits: lineBytes * 8, owners: owners, n: n}
+	lines := (n + s.lineBits - 1) / s.lineBits
+	wordsPerLine := s.lineBits / wordBits
+	perOwner := make([]int, owners)
+	for l := 0; l < lines; l++ {
+		perOwner[l%owners]++
+	}
+	s.lanes = make([][]uint64, owners)
+	for o := range s.lanes {
+		s.lanes[o] = make([]uint64, perOwner[o]*wordsPerLine)
+	}
+	return s
+}
+
+// Len returns the number of bits.
+func (s *Segmented) Len() int { return s.n }
+
+// Owners returns the number of owners lines are distributed over.
+func (s *Segmented) Owners() int { return s.owners }
+
+// locate maps a global bit index to (owner, word index in lane, bit mask).
+func (s *Segmented) locate(i int) (owner, word int, mask uint64) {
+	line := i / s.lineBits
+	off := i % s.lineBits
+	owner = line % s.owners
+	localLine := line / s.owners
+	word = localLine*(s.lineBits/wordBits) + off/wordBits
+	mask = 1 << (uint(off) & wordMask)
+	return owner, word, mask
+}
+
+// Owner returns which owner holds bit i. This is the CPE-number field of the
+// paper's offset mapping.
+func (s *Segmented) Owner(i int) int {
+	return (i / s.lineBits) % s.owners
+}
+
+// Set sets bit i.
+func (s *Segmented) Set(i int) {
+	o, w, m := s.locate(i)
+	s.lanes[o][w] |= m
+}
+
+// Test reports whether bit i is set.
+func (s *Segmented) Test(i int) bool {
+	o, w, m := s.locate(i)
+	return s.lanes[o][w]&m != 0
+}
+
+// Lane exposes owner o's words; the sunway simulator treats a lane as the
+// portion of the activeness vector resident in that CPE's LDM.
+func (s *Segmented) Lane(o int) []uint64 { return s.lanes[o] }
+
+// LoadFrom fills the segmented bitmap from a flat bitmap of equal length.
+func (s *Segmented) LoadFrom(b *Bitmap) {
+	if b.Len() != s.n {
+		panic(fmt.Sprintf("bitmap: LoadFrom length mismatch %d vs %d", b.Len(), s.n))
+	}
+	wordsPerLine := s.lineBits / wordBits
+	words := b.Words()
+	for wi, w := range words {
+		line := wi / wordsPerLine
+		o := line % s.owners
+		localLine := line / s.owners
+		s.lanes[o][localLine*wordsPerLine+wi%wordsPerLine] = w
+	}
+}
+
+// StoreTo writes the segmented contents into a flat bitmap of equal length.
+func (s *Segmented) StoreTo(b *Bitmap) {
+	if b.Len() != s.n {
+		panic(fmt.Sprintf("bitmap: StoreTo length mismatch %d vs %d", b.Len(), s.n))
+	}
+	wordsPerLine := s.lineBits / wordBits
+	words := b.Words()
+	for wi := range words {
+		line := wi / wordsPerLine
+		o := line % s.owners
+		localLine := line / s.owners
+		words[wi] = s.lanes[o][localLine*wordsPerLine+wi%wordsPerLine]
+	}
+	b.trim()
+}
+
+// Count returns the number of set bits.
+func (s *Segmented) Count() int {
+	flat := New(s.n)
+	s.StoreTo(flat)
+	return flat.Count()
+}

@@ -1,0 +1,283 @@
+package comm
+
+import "unsafe"
+
+// elemSize returns the in-memory size of T for traffic accounting.
+func elemSize[T any]() int64 {
+	var z T
+	return int64(unsafe.Sizeof(z))
+}
+
+// Alltoallv exchanges per-destination buffers: send[j] goes to member j.
+// It returns recv where recv[j] is the buffer member j sent to the caller.
+// As in MPI, the returned data is the caller's copy: it stays valid even if
+// senders immediately reuse or mutate their buffers. The copy happens before
+// the closing barrier, so no sender can race ahead and mutate a buffer a
+// receiver is still reading.
+func Alltoallv[T any](c *Comm, send [][]T) [][]T {
+	k := c.Size()
+	if len(send) != k {
+		panic("comm: Alltoallv needs one buffer per member")
+	}
+	es := elemSize[T]()
+	c.rank.Stats.Calls[KindAlltoallv]++
+	for j, buf := range send {
+		if j != c.me {
+			c.account(KindAlltoallv, j, int64(len(buf))*es)
+		}
+	}
+	c.sh.slots[c.me] = send
+	c.sh.bar.wait()
+	recv := make([][]T, k)
+	for j := 0; j < k; j++ {
+		posted := c.sh.slots[j].([][]T)
+		if len(posted[c.me]) > 0 {
+			recv[j] = append([]T(nil), posted[c.me]...)
+		}
+	}
+	c.sh.bar.wait()
+	return recv
+}
+
+// AlltoallvFlat is Alltoallv with the received buffers concatenated.
+func AlltoallvFlat[T any](c *Comm, send [][]T) []T {
+	parts := Alltoallv(c, send)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Allgatherv gathers each member's buffer on every member; result[i] is a
+// copy of member i's buffer. The copies happen before the closing barrier so
+// a sender mutating its buffer right after the call cannot corrupt any
+// receiver's view (MPI value semantics).
+func Allgatherv[T any](c *Comm, send []T) [][]T {
+	k := c.Size()
+	es := elemSize[T]()
+	c.rank.Stats.Calls[KindAllgather]++
+	for j := 0; j < k; j++ {
+		if j != c.me {
+			c.account(KindAllgather, j, int64(len(send))*es)
+		}
+	}
+	c.sh.slots[c.me] = send
+	c.sh.bar.wait()
+	out := make([][]T, k)
+	for j := 0; j < k; j++ {
+		posted := c.sh.slots[j].([]T)
+		if len(posted) > 0 {
+			out[j] = append([]T(nil), posted...)
+		}
+	}
+	c.sh.bar.wait()
+	return out
+}
+
+// ReduceScatterOr ORs all members' full-length word vectors and returns the
+// caller's segment of the result. Segments are the standard block
+// decomposition: member i owns words [i*len/k, (i+1)*len/k). All members must
+// pass equal-length slices. Traffic accounting follows the pairwise-exchange
+// algorithm: each member sends every other member that member's segment.
+func ReduceScatterOr(c *Comm, words []uint64) []uint64 {
+	k := c.Size()
+	c.rank.Stats.Calls[KindReduceScatter]++
+	n := len(words)
+	lo, hi := segBounds(n, k, c.me)
+	for j := 0; j < k; j++ {
+		if j != c.me {
+			jlo, jhi := segBounds(n, k, j)
+			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
+		}
+	}
+	c.sh.slots[c.me] = words
+	c.sh.bar.wait()
+	seg := make([]uint64, hi-lo)
+	for j := 0; j < k; j++ {
+		other := c.sh.slots[j].([]uint64)
+		for i := range seg {
+			seg[i] |= other[lo+i]
+		}
+	}
+	c.sh.bar.wait()
+	return seg
+}
+
+// segBounds returns member i's block of an n-element vector split k ways.
+func segBounds(n, k, i int) (int, int) {
+	base := n / k
+	rem := n % k
+	lo := i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// AllgathervSegments reassembles a vector whose segment i lives on member i
+// (the inverse layout of ReduceScatterOr) into the full-length dst on every
+// member.
+func AllgathervSegments(c *Comm, seg []uint64, dst []uint64) {
+	parts := Allgatherv(c, seg)
+	k := c.Size()
+	for j := 0; j < k; j++ {
+		lo, hi := segBounds(len(dst), k, j)
+		if hi-lo != len(parts[j]) {
+			panic("comm: segment length mismatch in AllgathervSegments")
+		}
+		copy(dst[lo:hi], parts[j])
+	}
+}
+
+// AllreduceOr ORs the members' word vectors in place on every member. It is
+// implemented as reduce-scatter followed by allgather, which is both the
+// standard large-vector algorithm and the decomposition the paper's Figure 11
+// accounts separately.
+func AllreduceOr(c *Comm, words []uint64) {
+	seg := ReduceScatterOr(c, words)
+	AllgathervSegments(c, seg, words)
+}
+
+// AllreduceMaxInt64 computes the element-wise maximum across members in
+// place. Used by the delayed reduction of the delegated parent array, where
+// valid parents (≥ 0) win over the -1 sentinel.
+func AllreduceMaxInt64(c *Comm, vals []int64) {
+	k := c.Size()
+	c.rank.Stats.Calls[KindReduceScatter]++
+	n := len(vals)
+	for j := 0; j < k; j++ {
+		if j != c.me {
+			jlo, jhi := segBounds(n, k, j)
+			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
+		}
+	}
+	c.sh.slots[c.me] = vals
+	c.sh.bar.wait()
+	lo, hi := segBounds(n, k, c.me)
+	seg := make([]int64, hi-lo)
+	copy(seg, vals[lo:hi])
+	for j := 0; j < k; j++ {
+		if j == c.me {
+			continue
+		}
+		other := c.sh.slots[j].([]int64)
+		for i := range seg {
+			if other[lo+i] > seg[i] {
+				seg[i] = other[lo+i]
+			}
+		}
+	}
+	c.sh.bar.wait()
+	parts := Allgatherv(c, seg)
+	for j := 0; j < k; j++ {
+		jlo, jhi := segBounds(n, k, j)
+		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
+	}
+}
+
+// AllreduceSumInt64 sums scalar contributions across members and returns the
+// total on every member.
+func AllreduceSumInt64(c *Comm, v int64) int64 {
+	vals := []int64{v}
+	c.rank.Stats.Calls[KindReduceScatter]++
+	for j := 0; j < c.Size(); j++ {
+		if j != c.me {
+			c.account(KindReduceScatter, j, 8)
+		}
+	}
+	c.sh.slots[c.me] = vals
+	c.sh.bar.wait()
+	var sum int64
+	for j := 0; j < c.Size(); j++ {
+		sum += c.sh.slots[j].([]int64)[0]
+	}
+	c.sh.bar.wait()
+	return sum
+}
+
+// Bcast distributes root's value to every member.
+func Bcast[T any](c *Comm, v T, root int) T {
+	c.rank.Stats.Calls[KindAllgather]++
+	if c.me == root {
+		for j := 0; j < c.Size(); j++ {
+			if j != root {
+				c.account(KindAllgather, j, elemSize[T]())
+			}
+		}
+		c.sh.slots[root] = v
+	}
+	c.sh.bar.wait()
+	out := c.sh.slots[root].(T)
+	c.sh.bar.wait()
+	return out
+}
+
+// AllreduceSumFloat64 sums the members' float64 vectors element-wise in
+// place on every member. Summation order is member order, so every member
+// computes bit-identical results — the property the framework package relies
+// on to keep replicated hub values consistent without re-broadcasting.
+func AllreduceSumFloat64(c *Comm, vals []float64) {
+	k := c.Size()
+	c.rank.Stats.Calls[KindReduceScatter]++
+	n := len(vals)
+	for j := 0; j < k; j++ {
+		if j != c.me {
+			jlo, jhi := segBounds(n, k, j)
+			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
+		}
+	}
+	c.sh.slots[c.me] = vals
+	c.sh.bar.wait()
+	lo, hi := segBounds(n, k, c.me)
+	seg := make([]float64, hi-lo)
+	for j := 0; j < k; j++ {
+		other := c.sh.slots[j].([]float64)
+		for i := range seg {
+			seg[i] += other[lo+i]
+		}
+	}
+	c.sh.bar.wait()
+	parts := Allgatherv(c, seg)
+	for j := 0; j < k; j++ {
+		jlo, jhi := segBounds(n, k, j)
+		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
+	}
+}
+
+// AllreduceSumInt64Vec sums the members' int64 vectors element-wise in place
+// on every member (reduce-scatter + allgather, like the other vector
+// reductions). Used by distributed preprocessing to combine per-rank degree
+// histograms.
+func AllreduceSumInt64Vec(c *Comm, vals []int64) {
+	k := c.Size()
+	c.rank.Stats.Calls[KindReduceScatter]++
+	n := len(vals)
+	for j := 0; j < k; j++ {
+		if j != c.me {
+			jlo, jhi := segBounds(n, k, j)
+			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
+		}
+	}
+	c.sh.slots[c.me] = vals
+	c.sh.bar.wait()
+	lo, hi := segBounds(n, k, c.me)
+	seg := make([]int64, hi-lo)
+	for j := 0; j < k; j++ {
+		other := c.sh.slots[j].([]int64)
+		for i := range seg {
+			seg[i] += other[lo+i]
+		}
+	}
+	c.sh.bar.wait()
+	parts := Allgatherv(c, seg)
+	for j := 0; j < k; j++ {
+		jlo, jhi := segBounds(n, k, j)
+		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
+	}
+}

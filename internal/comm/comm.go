@@ -1,0 +1,256 @@
+// Package comm is the in-process message-passing runtime standing in for MPI
+// (the substitution DESIGN.md documents: Go has no MPI ecosystem). Ranks run
+// as goroutines in a World; collectives — Alltoallv, Allgatherv,
+// ReduceScatterOr, Allreduce — operate over communicators, with row and
+// column sub-communicators over the R×C mesh exactly like the paper's 1.5D
+// layout. Every collective records the bytes each rank sends, split into
+// intra- and inter-supernode traffic using the topology model, so the
+// perfmodel package can price runs on the paper's machine constants.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Kind labels a collective for traffic accounting, matching the categories of
+// the paper's Figure 11.
+type Kind int
+
+// Collective kinds.
+const (
+	KindAlltoallv Kind = iota
+	KindAllgather
+	KindReduceScatter
+	KindBarrier
+	numKinds
+)
+
+// String returns the figure-11 style label.
+func (k Kind) String() string {
+	switch k {
+	case KindAlltoallv:
+		return "alltoallv"
+	case KindAllgather:
+		return "allgather"
+	case KindReduceScatter:
+		return "reduce_scatter"
+	case KindBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// VolumeStats accumulates one rank's communication volumes. Rank-local and
+// unsynchronized: each rank only writes its own.
+type VolumeStats struct {
+	IntraBytes [numKinds]int64
+	InterBytes [numKinds]int64
+	Calls      [numKinds]int64
+}
+
+// Add accumulates other into s.
+func (s *VolumeStats) Add(other *VolumeStats) {
+	for k := 0; k < int(numKinds); k++ {
+		s.IntraBytes[k] += other.IntraBytes[k]
+		s.InterBytes[k] += other.InterBytes[k]
+		s.Calls[k] += other.Calls[k]
+	}
+}
+
+// Delta returns s - base.
+func (s *VolumeStats) Delta(base *VolumeStats) VolumeStats {
+	var d VolumeStats
+	for k := 0; k < int(numKinds); k++ {
+		d.IntraBytes[k] = s.IntraBytes[k] - base.IntraBytes[k]
+		d.InterBytes[k] = s.InterBytes[k] - base.InterBytes[k]
+		d.Calls[k] = s.Calls[k] - base.Calls[k]
+	}
+	return d
+}
+
+// TotalBytes returns all bytes across kinds.
+func (s *VolumeStats) TotalBytes() int64 {
+	var t int64
+	for k := 0; k < int(numKinds); k++ {
+		t += s.IntraBytes[k] + s.InterBytes[k]
+	}
+	return t
+}
+
+// barrier is a reusable cyclic barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// shared is the state one communicator's members rendezvous through.
+type shared struct {
+	members []int // world ranks, in member order
+	slots   []any // one posting slot per member
+	bar     *barrier
+}
+
+// World owns the ranks and their communicators.
+type World struct {
+	size    int
+	mesh    topology.Mesh
+	machine topology.Machine
+
+	world *shared
+	rows  []*shared // one per mesh row
+	cols  []*shared // one per mesh column
+}
+
+// NewWorld builds a world of n ranks arranged in the mesh on the machine.
+// Rank i is modeled as node i of the machine.
+func NewWorld(n int, mesh topology.Mesh, machine topology.Machine) (*World, error) {
+	if err := mesh.Validate(n); err != nil {
+		return nil, err
+	}
+	if machine.Nodes < n {
+		return nil, fmt.Errorf("comm: machine has %d nodes for %d ranks", machine.Nodes, n)
+	}
+	w := &World{size: n, mesh: mesh, machine: machine}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	w.world = &shared{members: all, slots: make([]any, n), bar: newBarrier(n)}
+	w.rows = make([]*shared, mesh.Rows)
+	for r := 0; r < mesh.Rows; r++ {
+		m := make([]int, mesh.Cols)
+		for c := 0; c < mesh.Cols; c++ {
+			m[c] = mesh.RankAt(r, c)
+		}
+		w.rows[r] = &shared{members: m, slots: make([]any, len(m)), bar: newBarrier(len(m))}
+	}
+	w.cols = make([]*shared, mesh.Cols)
+	for c := 0; c < mesh.Cols; c++ {
+		m := make([]int, mesh.Rows)
+		for r := 0; r < mesh.Rows; r++ {
+			m[r] = mesh.RankAt(r, c)
+		}
+		w.cols[c] = &shared{members: m, slots: make([]any, len(m)), bar: newBarrier(len(m))}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Mesh returns the process mesh.
+func (w *World) Mesh() topology.Mesh { return w.mesh }
+
+// Machine returns the modeled machine.
+func (w *World) Machine() topology.Machine { return w.machine }
+
+// Run executes fn once per rank, each on its own goroutine, and returns when
+// all complete. Panics in any rank are re-raised after all goroutines stop.
+func (w *World) Run(fn func(*Rank)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[i] = p
+				}
+			}()
+			fn(w.newRank(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", i, p))
+		}
+	}
+}
+
+// Rank is one process's handle: its identity plus world/row/column
+// communicators and its private traffic stats.
+type Rank struct {
+	ID    int
+	Row   int // mesh row
+	Col   int // mesh column
+	World *Comm
+	RowC  *Comm // communicator over my mesh row
+	ColC  *Comm // communicator over my mesh column
+	Stats VolumeStats
+
+	w *World
+}
+
+func (w *World) newRank(id int) *Rank {
+	r := &Rank{ID: id, Row: w.mesh.RowOf(id), Col: w.mesh.ColOf(id), w: w}
+	r.World = &Comm{sh: w.world, me: id, rank: r}
+	r.RowC = &Comm{sh: w.rows[r.Row], me: r.Col, rank: r}
+	r.ColC = &Comm{sh: w.cols[r.Col], me: r.Row, rank: r}
+	return r
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	sh   *shared
+	me   int // my member index
+	rank *Rank
+}
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.sh.members) }
+
+// Rank returns the caller's member index within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// WorldRank returns the world rank of member i.
+func (c *Comm) WorldRank(i int) int { return c.sh.members[i] }
+
+// Barrier synchronizes all members.
+func (c *Comm) Barrier() {
+	c.rank.Stats.Calls[KindBarrier]++
+	c.sh.bar.wait()
+}
+
+// account records sending n bytes from the caller to member dst under kind.
+func (c *Comm) account(kind Kind, dst int, n int64) {
+	if n == 0 {
+		return
+	}
+	src := c.sh.members[c.me]
+	d := c.sh.members[dst]
+	if c.rank.w.machine.SameSupernode(src, d) {
+		c.rank.Stats.IntraBytes[kind] += n
+	} else {
+		c.rank.Stats.InterBytes[kind] += n
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// chooseDirections implements sub-iteration direction optimization
+// (Section 4.2). Every input is globally consistent across ranks — hub
+// bitmaps are replicated and L counts are allreduced — so all ranks compute
+// identical choices and stay in collective lockstep.
+//
+// Node-local components (EH2EH, E2L, L2E) switch on the source active ratio
+// alone: their pull cost is hard to predict from unvisited counts because of
+// early exit, exactly as the paper argues. Remote components (H2L, L2H, L2L)
+// compare active-source against unvisited-destination ratios, the message-
+// count proxies.
+func (st *rankState) chooseDirections(it IterTrace) [partition.NumComponents]stats.Direction {
+	var dirs [partition.NumComponents]stats.Direction
+	switch st.e.Opt.Direction {
+	case ModePushOnly:
+		for c := range dirs {
+			dirs[c] = stats.DirPush
+		}
+		return dirs
+	case ModePullOnly:
+		for c := range dirs {
+			dirs[c] = stats.DirPull
+		}
+		return dirs
+	}
+
+	numH := int64(st.e.Part.Hubs.NumH)
+	visitedE := int64(st.hubVisited.CountRange(0, int(st.numE)))
+	visitedH := int64(st.hubVisited.CountRange(int(st.numE), st.k))
+	unvisE := st.numE - visitedE
+	unvisH := numH - visitedH
+	unvisL := st.numL - st.visitL
+
+	frac := func(num, den int64) float64 {
+		if den <= 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	activeHubFrac := frac(it.ActiveE+it.ActiveH, int64(st.k))
+	activeEFrac := frac(it.ActiveE, st.numE)
+	activeHFrac := frac(it.ActiveH, numH)
+	activeLFrac := frac(it.ActiveL, st.numL)
+	unvisHFrac := frac(unvisH, numH)
+	unvisLFrac := frac(unvisL, st.numL)
+
+	if st.e.Opt.Direction == ModeWholeIteration {
+		// Vanilla direction optimization: one decision from overall frontier
+		// density (the Figure 15 baseline).
+		totalActive := it.ActiveE + it.ActiveH + it.ActiveL
+		d := stats.DirPush
+		if frac(totalActive, st.e.Part.Layout.N) > st.e.Opt.PullThreshold {
+			d = stats.DirPull
+		}
+		for c := range dirs {
+			dirs[c] = d
+		}
+		return dirs
+	}
+
+	alpha := st.e.Opt.PullThreshold
+	beta := st.e.Opt.PullRatio
+	pick := func(skip bool, pull bool) stats.Direction {
+		if skip {
+			// Degree-aware skipping: a sub-iteration with no active sources
+			// or no unvisited destinations in its classes does nothing —
+			// eliding it is exactly the late-iteration saving the paper
+			// claims for sub-iteration direction optimization. The decision
+			// uses only globally consistent counts, so every rank skips the
+			// same collectives.
+			return stats.DirSkip
+		}
+		if pull {
+			return stats.DirPull
+		}
+		return stats.DirPush
+	}
+	activeHubs := it.ActiveE + it.ActiveH
+	// Node-local components: source active ratio only (paper Section 4.2).
+	dirs[partition.CompEH2EH] = pick(activeHubs == 0 || unvisE+unvisH == 0, activeHubFrac > alpha)
+	dirs[partition.CompE2L] = pick(it.ActiveE == 0 || unvisL == 0, activeEFrac > alpha)
+	dirs[partition.CompL2E] = pick(it.ActiveL == 0 || unvisE == 0, activeLFrac > alpha)
+	// Remote components: compare message proxies.
+	dirs[partition.CompH2L] = pick(it.ActiveH == 0 || unvisL == 0, unvisLFrac < activeHFrac*beta)
+	dirs[partition.CompL2H] = pick(it.ActiveL == 0 || unvisH == 0, unvisHFrac < activeLFrac*beta)
+	dirs[partition.CompL2L] = pick(it.ActiveL == 0 || unvisL == 0, unvisLFrac < activeLFrac*beta)
+	return dirs
+}

@@ -1,0 +1,257 @@
+// Package core implements the paper's distributed BFS engine on top of the
+// 1.5D partitioning: per-component push/pull kernels, sub-iteration direction
+// optimization (Section 4.2), CG-aware segmenting of the EH2EH pull (Section
+// 4.3), edge-aware vertex-cut load balancing of the EH2EH push (Section 5),
+// and delayed reduction of the delegated parent array (Section 5). Ranks are
+// comm.World goroutines; hub (E and H) state is delegated — replicated and
+// synchronized with column+row collectives — while L state lives only at its
+// owner.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// DirectionMode selects how traversal directions are chosen.
+type DirectionMode int
+
+// Direction modes.
+const (
+	// ModeSubIteration picks a direction per component per iteration — the
+	// paper's contribution.
+	ModeSubIteration DirectionMode = iota
+	// ModeWholeIteration picks one direction for the whole iteration —
+	// vanilla direction optimization, the Figure 15 baseline.
+	ModeWholeIteration
+	// ModePushOnly forces top-down everywhere (classic BFS).
+	ModePushOnly
+	// ModePullOnly forces bottom-up everywhere (debug/verification aid).
+	ModePullOnly
+)
+
+// Options configures an Engine.
+type Options struct {
+	Mesh    topology.Mesh    // process mesh; zero value = squarest mesh for P
+	Ranks   int              // number of ranks; required if Mesh is zero
+	Machine topology.Machine // traffic model; zero value = NewSunway(P)
+
+	Thresholds partition.Thresholds // degree thresholds; zero = DefaultThresholds
+
+	Direction DirectionMode
+	// Segmented enables CG-aware segmenting of the EH2EH pull kernel.
+	Segmented bool
+	// Segments is the segment count (the chip has 6 CGs). 0 means 6.
+	Segments int
+	// RankWorkers is intra-rank kernel parallelism; the EH2EH push uses
+	// edge-aware vertex-cut chunking across these workers. 0 means 1.
+	RankWorkers int
+	// Hierarchical routes L2L messages through the intersection rank of the
+	// source column and destination row (two alltoallvs on sub-communicators)
+	// instead of one world alltoallv, as the paper's forwarding does.
+	Hierarchical bool
+	// PullThreshold is the active-source fraction above which node-local
+	// components (EH2EH, E2L, L2E) switch to pull. 0 means 0.05.
+	PullThreshold float64
+	// PullRatio scales the push/pull comparison for remote components (H2L,
+	// L2H, L2L): pull wins when unvisitedDstFrac < activeSrcFrac*PullRatio.
+	// 0 means 16, tuned like Beamer's bottom-up switch factor: scanning an
+	// unvisited destination is far cheaper than a per-edge message, and
+	// early exit truncates most scans.
+	PullRatio float64
+	// ImmediateParentReduction reduces the delegated parent array after
+	// every iteration instead of once after the run — the traditional scheme
+	// the paper's delayed reduction (Section 5) replaces. Exists for the
+	// ablation benchmark; the measured reduce-scatter volume difference is
+	// the technique's claimed saving.
+	ImmediateParentReduction bool
+	// BuildWorkers caps partitioning parallelism. 0 means GOMAXPROCS.
+	BuildWorkers int
+	// MaxIterations aborts runs that fail to converge. 0 means 2*64
+	// (a small-world graph's diameter is far below this).
+	MaxIterations int
+}
+
+// DefaultThresholds scales the paper's SCALE-35 tuning (E=2048, H=128 per
+// Figure 12's best cell) down with graph size: thresholds sit between the
+// comb peaks of the R-MAT degree distribution, which shift with scale.
+func DefaultThresholds(scale int) partition.Thresholds {
+	e := int64(1) << uint(scale/2+2)
+	h := e / 16
+	if h < 2 {
+		h = 2
+	}
+	if e <= h {
+		e = h + 1
+	}
+	return partition.Thresholds{E: e, H: h}
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Mesh.Rows == 0 && o.Mesh.Cols == 0 {
+		if o.Ranks <= 0 {
+			return o, fmt.Errorf("core: Options needs Mesh or Ranks")
+		}
+		o.Mesh = topology.SquarestMesh(o.Ranks)
+	}
+	o.Ranks = o.Mesh.Size()
+	if o.Machine.Nodes == 0 {
+		o.Machine = topology.NewSunway(o.Ranks)
+	}
+	if o.Segments <= 0 {
+		o.Segments = 6
+	}
+	if o.RankWorkers <= 0 {
+		o.RankWorkers = 1
+	}
+	if o.PullThreshold == 0 {
+		o.PullThreshold = 0.05
+	}
+	if o.PullRatio == 0 {
+		o.PullRatio = 16.0
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 128
+	}
+	return o, nil
+}
+
+// Engine runs BFS over a partitioned graph.
+type Engine struct {
+	Part  *partition.Partitioned
+	World *comm.World
+	Opt   Options
+
+	segPull [][]partition.SparseCSR // [rank][segment], built when Segmented
+}
+
+// NewEngine partitions the graph (n vertices, undirected edge list) and sets
+// up the rank world.
+func NewEngine(n int64, edges []Edge, opt Options) (*Engine, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	th := opt.Thresholds
+	if th == (partition.Thresholds{}) {
+		s := 0
+		for int64(1)<<uint(s) < n {
+			s++
+		}
+		th = DefaultThresholds(s)
+		opt.Thresholds = th
+	}
+	part, err := partition.Build(n, edges, opt.Mesh, th, opt.BuildWorkers)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineFromPartition(part, opt)
+}
+
+// Edge aliases the generator's edge type so callers of the core package do
+// not need to import rmat directly.
+type Edge = partition.Edge
+
+// NewEngineFromPartition wraps an existing partitioning.
+func NewEngineFromPartition(part *partition.Partitioned, opt Options) (*Engine, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if part.Layout.Mesh != opt.Mesh {
+		return nil, fmt.Errorf("core: partition mesh %v differs from options mesh %v", part.Layout.Mesh, opt.Mesh)
+	}
+	world, err := comm.NewWorld(opt.Ranks, opt.Mesh, opt.Machine)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{Part: part, World: world, Opt: opt}
+	if opt.Segmented {
+		e.segPull = make([][]partition.SparseCSR, opt.Ranks)
+		for r, rg := range part.Ranks {
+			e.segPull[r] = rg.SegmentedPull(opt.Segments, part.Hubs.K())
+		}
+	}
+	return e, nil
+}
+
+// Result is one BFS run's output.
+type Result struct {
+	Root       int64
+	Parent     []int64 // parent per original vertex; -1 unreachable
+	Iterations int
+	Time       time.Duration
+	// TraversedEdges counts input undirected edges with both endpoints in
+	// the traversed component — the Graph 500 TEPS numerator.
+	TraversedEdges int64
+	// Recorder aggregates all ranks' breakdowns.
+	Recorder *stats.Recorder
+	// PerRank holds each rank's own breakdown.
+	PerRank []*stats.Recorder
+	// Trace records per-iteration frontier composition and chosen
+	// directions (Figure 5 and the direction-optimization diagnostics).
+	Trace []IterTrace
+}
+
+// IterTrace is one iteration's frontier composition and direction choices.
+type IterTrace struct {
+	ActiveE, ActiveH, ActiveL int64
+	Directions                [partition.NumComponents]stats.Direction
+}
+
+// GTEPS returns giga-traversed-edges-per-second for the run.
+func (r *Result) GTEPS() float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(r.TraversedEdges) / r.Time.Seconds() / 1e9
+}
+
+// Run executes one BFS from root and assembles the global result.
+func (e *Engine) Run(root int64) (*Result, error) {
+	n := e.Part.Layout.N
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("core: root %d out of [0,%d)", root, n)
+	}
+	res := &Result{Root: root, Parent: make([]int64, n)}
+	for i := range res.Parent {
+		res.Parent[i] = -1
+	}
+	states := make([]*rankState, e.Opt.Ranks)
+	traces := make([][]IterTrace, e.Opt.Ranks)
+	start := time.Now()
+	e.World.Run(func(r *comm.Rank) {
+		st := newRankState(e, r)
+		states[r.ID] = st
+		traces[r.ID] = st.bfs(root)
+		st.writeParents(res.Parent)
+	})
+	res.Time = time.Since(start)
+	res.Trace = traces[0]
+	res.Iterations = len(res.Trace)
+	res.Recorder = &stats.Recorder{}
+	for _, st := range states {
+		res.PerRank = append(res.PerRank, st.rec)
+		res.Recorder.Merge(st.rec)
+	}
+	res.TraversedEdges = e.countTraversedEdges(res.Parent)
+	return res, nil
+}
+
+// countTraversedEdges sums degrees of reachable vertices / 2 (each undirected
+// non-loop edge inside the component contributes its two endpoints' degree
+// increments; edges cannot leave the component in a completed BFS).
+func (e *Engine) countTraversedEdges(parent []int64) int64 {
+	var sum int64
+	for v, p := range parent {
+		if p >= 0 {
+			sum += e.Part.Degrees[v]
+		}
+	}
+	return sum / 2
+}

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+	"repro/internal/comm"
+)
+
+// Message types. All parents travel as original vertex IDs.
+
+// lMsg targets an L vertex at a known rank by local index.
+type lMsg struct {
+	LIdx   int32
+	Parent int64
+}
+
+// hubMsg targets a hub delegate.
+type hubMsg struct {
+	Hub    int32
+	Parent int64
+}
+
+// l2lMsg targets an L vertex by original ID (owner derived from layout).
+type l2lMsg struct {
+	Dst    int64
+	Parent int64
+}
+
+// --- EH2EH -----------------------------------------------------------------
+
+// ehPush is the top-down kernel over the 2D-partitioned core subgraph:
+// scan active source hubs in this rank's column block, activate destination
+// hubs in its row block. With RankWorkers > 1 the active sources are split by
+// the edge-aware vertex-cut (Section 5): chunk boundaries follow the prefix
+// sum of active-source degrees, not source counts, so one heavy hub cannot
+// serialize the kernel.
+func (st *rankState) ehPush() int64 {
+	push := &st.rg.EHPush
+	orig := st.e.Part.Hubs.Orig
+	// Collect active source positions.
+	var active []int32
+	for i, src := range push.IDs {
+		if st.hubFrontier.Test(int(src)) {
+			active = append(active, int32(i))
+		}
+	}
+	if len(active) == 0 {
+		return 0
+	}
+	workers := st.e.Opt.RankWorkers
+	if workers == 1 || len(active) < 2*workers {
+		var edges int64
+		for _, i := range active {
+			parent := orig[push.IDs[i]]
+			for _, dst := range push.Adj[push.Ptr[i]:push.Ptr[i+1]] {
+				edges++
+				if !st.hubVisited.Test(int(dst)) && !st.hubNew.Test(int(dst)) {
+					st.hubNew.Set(int(dst))
+					st.parentHub[dst] = parent
+				}
+			}
+		}
+		return edges
+	}
+	// Edge-aware vertex cut: prefix-sum active degrees, then split evenly by
+	// accumulated degree.
+	prefix := make([]int64, len(active)+1)
+	for j, i := range active {
+		prefix[j+1] = prefix[j] + (push.Ptr[i+1] - push.Ptr[i])
+	}
+	chunks := edgeCutChunks(prefix, workers)
+	// Workers emit candidates into private buffers; the apply step is
+	// serial, mirroring the atomics-free discipline of the chip kernels.
+	bufs := make([][]hubMsg, len(chunks))
+	edgesPer := make([]int64, len(chunks))
+	var wg sync.WaitGroup
+	for w, ch := range chunks {
+		wg.Add(1)
+		go func(w int, lo, hi int) {
+			defer wg.Done()
+			var buf []hubMsg
+			var edges int64
+			for _, i := range active[lo:hi] {
+				parent := orig[push.IDs[i]]
+				for _, dst := range push.Adj[push.Ptr[i]:push.Ptr[i+1]] {
+					edges++
+					if !st.hubVisited.Test(int(dst)) {
+						buf = append(buf, hubMsg{Hub: dst, Parent: parent})
+					}
+				}
+			}
+			bufs[w] = buf
+			edgesPer[w] = edges
+		}(w, ch[0], ch[1])
+	}
+	wg.Wait()
+	var edges int64
+	for w := range bufs {
+		edges += edgesPer[w]
+		for _, m := range bufs[w] {
+			if !st.hubVisited.Test(int(m.Hub)) && !st.hubNew.Test(int(m.Hub)) {
+				st.hubNew.Set(int(m.Hub))
+				st.parentHub[m.Hub] = m.Parent
+			}
+		}
+	}
+	return edges
+}
+
+// edgeCutChunks splits [0, len(prefix)-1) into up to `workers` ranges of
+// near-equal accumulated weight. prefix is the weight prefix sum.
+func edgeCutChunks(prefix []int64, workers int) [][2]int {
+	n := len(prefix) - 1
+	total := prefix[n]
+	var chunks [][2]int
+	lo := 0
+	for w := 1; w <= workers && lo < n; w++ {
+		target := total * int64(w) / int64(workers)
+		hi := sort.Search(n+1, func(i int) bool { return prefix[i] >= target })
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n || w == workers {
+			hi = n
+		}
+		if w == workers {
+			hi = n
+		}
+		chunks = append(chunks, [2]int{lo, hi})
+		lo = hi
+	}
+	return chunks
+}
+
+// ehPull is the bottom-up core-subgraph kernel: scan unvisited destination
+// hubs in the row block, probing source hubs in the column block against the
+// replicated frontier, with early exit on the first active parent.
+func (st *rankState) ehPull() int64 {
+	pull := &st.rg.EHPull
+	orig := st.e.Part.Hubs.Orig
+	var edges int64
+	for i, dst := range pull.IDs {
+		if st.hubVisited.Test(int(dst)) || st.hubNew.Test(int(dst)) {
+			continue
+		}
+		for _, src := range pull.Adj[pull.Ptr[i]:pull.Ptr[i+1]] {
+			edges++
+			if st.hubFrontier.Test(int(src)) {
+				st.hubNew.Set(int(dst))
+				st.parentHub[dst] = orig[src]
+				break
+			}
+		}
+	}
+	return edges
+}
+
+// ehPullSegmented is the CG-aware variant (Section 4.3): the source bitmap is
+// cut into Segments slices with pre-grouped adjacency; `Segments` worker
+// goroutines (the simulated core groups) each own one slice, and destination
+// intervals rotate round-robin across steps so no two workers ever write the
+// same destination range concurrently. The hot source-bitmap slice stays
+// cache-resident per worker — the commodity-CPU analogue of LDM residency.
+func (st *rankState) ehPullSegmented() int64 {
+	segs := st.e.segPull[st.r.ID]
+	s := len(segs)
+	orig := st.e.Part.Hubs.Orig
+	// Destination intervals over hub-ID space, word-aligned so concurrent
+	// bitmap writes never share a word.
+	words := (st.k + 63) / 64
+	ivBound := make([]int, s+1)
+	for i := 0; i <= s; i++ {
+		ivBound[i] = (i * words / s) * 64
+	}
+	ivBound[s] = words * 64
+	edgesPer := make([]int64, s)
+	for step := 0; step < s; step++ {
+		var wg sync.WaitGroup
+		for cg := 0; cg < s; cg++ {
+			iv := (cg + step) % s
+			wg.Add(1)
+			go func(cg, iv int) {
+				defer wg.Done()
+				csr := &segs[cg]
+				loID, hiID := int32(ivBound[iv]), int32(ivBound[iv+1])
+				// Locate the dst-ID range of this interval in the sorted IDs.
+				lo := sort.Search(len(csr.IDs), func(i int) bool { return csr.IDs[i] >= loID })
+				hi := sort.Search(len(csr.IDs), func(i int) bool { return csr.IDs[i] >= hiID })
+				var edges int64
+				for i := lo; i < hi; i++ {
+					dst := csr.IDs[i]
+					if st.hubVisited.Test(int(dst)) || st.hubNew.Test(int(dst)) {
+						continue
+					}
+					for _, src := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
+						edges++
+						if st.hubFrontier.Test(int(src)) {
+							st.hubNew.Set(int(dst))
+							st.parentHub[dst] = orig[src]
+							break
+						}
+					}
+				}
+				edgesPer[cg] += edges
+			}(cg, iv)
+		}
+		wg.Wait()
+	}
+	var edges int64
+	for _, e := range edgesPer {
+		edges += e
+	}
+	return edges
+}
+
+// --- E2L / H2L (hub -> L) ---------------------------------------------------
+
+// e2lPush: active E hubs activate owned L vertices; purely local because E is
+// delegated on every rank.
+func (st *rankState) e2lPush() int64 {
+	csr := &st.rg.EToL
+	orig := st.e.Part.Hubs.Orig
+	var edges int64
+	for i, hub := range csr.IDs {
+		if !st.hubFrontier.Test(int(hub)) {
+			continue
+		}
+		parent := orig[hub]
+		for _, li := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
+			edges++
+			if !st.lVisited.Test(int(li)) && !st.lNew.Test(int(li)) {
+				st.lNew.Set(int(li))
+				st.parentL[li] = parent
+			}
+		}
+	}
+	return edges
+}
+
+// e2lPull: unvisited owned L vertices probe their E neighbors against the
+// replicated frontier; local, with early exit.
+func (st *rankState) e2lPull() int64 {
+	csr := &st.rg.LToE
+	orig := st.e.Part.Hubs.Orig
+	var edges int64
+	for li := 0; li < st.rg.LocalN; li++ {
+		if csr.Ptr[li] == csr.Ptr[li+1] || st.lVisited.Test(li) || st.lNew.Test(li) {
+			continue
+		}
+		for _, hub := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			if st.hubFrontier.Test(int(hub)) {
+				st.lNew.Set(li)
+				st.parentL[li] = orig[hub]
+				break
+			}
+		}
+	}
+	return edges
+}
+
+// h2lPush: active H hubs in this rank's column block message their L
+// neighbors' owners along the row (the H2L component is stored at the
+// intersection of H's column and the owner's row).
+func (st *rankState) h2lPush() int64 {
+	csr := &st.rg.HToL
+	orig := st.e.Part.Hubs.Orig
+	cols := st.e.Opt.Mesh.Cols
+	send := make([][]lMsg, cols)
+	var edges int64
+	for i, hub := range csr.IDs {
+		if !st.hubFrontier.Test(int(hub)) {
+			continue
+		}
+		parent := orig[hub]
+		for _, rem := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
+			edges++
+			send[rem.Col] = append(send[rem.Col], lMsg{LIdx: rem.LIdx, Parent: parent})
+		}
+	}
+	recv := comm.Alltoallv(st.r.RowC, send)
+	st.applyLMsgs(recv)
+	return edges
+}
+
+// h2lPull: unvisited owned L vertices probe their H neighbors against the
+// replicated hub frontier; local thanks to delegation.
+func (st *rankState) h2lPull() int64 {
+	csr := &st.rg.LToH
+	orig := st.e.Part.Hubs.Orig
+	var edges int64
+	for li := 0; li < st.rg.LocalN; li++ {
+		if csr.Ptr[li] == csr.Ptr[li+1] || st.lVisited.Test(li) || st.lNew.Test(li) {
+			continue
+		}
+		for _, hub := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			if st.hubFrontier.Test(int(hub)) {
+				st.lNew.Set(li)
+				st.parentL[li] = orig[hub]
+				break
+			}
+		}
+	}
+	return edges
+}
+
+// applyLMsgs applies received L activation messages owner-locally. With
+// RankWorkers > 1 and enough messages it uses the two-stage destination
+// update (paper Section 4.4, third OCS-RMA use case): messages are coarse-
+// sorted into word-aligned index ranges, and each range is applied by
+// exactly one worker — no atomics, no racing bitmap words.
+func (st *rankState) applyLMsgs(recv [][]lMsg) {
+	total := 0
+	for _, part := range recv {
+		total += len(part)
+	}
+	workers := st.e.Opt.RankWorkers
+	if workers > 1 && total >= 4*workers {
+		st.applyLMsgsTwoStage(recv, total, workers)
+		return
+	}
+	for _, part := range recv {
+		for _, m := range part {
+			st.applyOneL(m)
+		}
+	}
+}
+
+func (st *rankState) applyOneL(m lMsg) {
+	if !st.lVisited.Test(int(m.LIdx)) && !st.lNew.Test(int(m.LIdx)) {
+		st.lNew.Set(int(m.LIdx))
+		st.parentL[m.LIdx] = m.Parent
+	}
+}
+
+// applyLMsgsTwoStage: stage one buckets messages by 64-bit-aligned index
+// range (so two ranges never share a bitmap word); stage two applies each
+// range on its own worker with exclusive ownership.
+func (st *rankState) applyLMsgsTwoStage(recv [][]lMsg, total, workers int) {
+	words := (st.rg.LocalN + 63) / 64
+	if words == 0 {
+		return
+	}
+	ranges := workers * 4
+	if ranges > words {
+		ranges = words
+	}
+	wordsPer := (words + ranges - 1) / ranges
+	buckets := make([][]lMsg, ranges)
+	per := total/ranges + 1
+	for i := range buckets {
+		buckets[i] = make([]lMsg, 0, per)
+	}
+	for _, part := range recv {
+		for _, m := range part {
+			r := int(m.LIdx) / 64 / wordsPer
+			buckets[r] = append(buckets[r], m)
+		}
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= ranges {
+					return
+				}
+				for _, m := range buckets[r] {
+					st.applyOneL(m)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// --- L2E / L2H (L -> hub) ---------------------------------------------------
+
+// l2ePush: active owned L vertices activate E delegates locally (E is
+// delegated everywhere, so no message leaves the rank).
+func (st *rankState) l2ePush() int64 {
+	csr := &st.rg.LToE
+	layout := st.e.Part.Layout
+	var edges int64
+	st.lFrontier.ForEach(func(li int) {
+		for _, hub := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			if !st.hubVisited.Test(int(hub)) && !st.hubNew.Test(int(hub)) {
+				st.hubNew.Set(int(hub))
+				st.parentHub[hub] = layout.GlobalOf(st.r.ID, int32(li))
+			}
+		}
+	})
+	return edges
+}
+
+// l2ePull: unvisited E hubs probe their owned-L neighbors against the local
+// frontier; every rank does its share, with per-rank early exit.
+func (st *rankState) l2ePull() int64 {
+	csr := &st.rg.EToL
+	layout := st.e.Part.Layout
+	var edges int64
+	for i, hub := range csr.IDs {
+		if st.hubVisited.Test(int(hub)) || st.hubNew.Test(int(hub)) {
+			continue
+		}
+		for _, li := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
+			edges++
+			if st.lFrontier.Test(int(li)) {
+				st.hubNew.Set(int(hub))
+				st.parentHub[hub] = layout.GlobalOf(st.r.ID, li)
+				break
+			}
+		}
+	}
+	return edges
+}
+
+// l2hPush: active owned L vertices message the row delegate of each
+// unvisited H neighbor (the rank in this row holding H's column), which
+// records the delegate activation; the next hub sync propagates it.
+func (st *rankState) l2hPush() int64 {
+	csr := &st.rg.LToH
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	mesh := st.e.Opt.Mesh
+	send := make([][]hubMsg, mesh.Cols)
+	var edges int64
+	st.lFrontier.ForEach(func(li int) {
+		parent := layout.GlobalOf(st.r.ID, int32(li))
+		for _, hub := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			if st.hubVisited.Test(int(hub)) {
+				continue // delegation knowledge saves the message
+			}
+			col := hubs.ColBlockOf(hub, mesh)
+			send[col] = append(send[col], hubMsg{Hub: hub, Parent: parent})
+		}
+	})
+	recv := comm.Alltoallv(st.r.RowC, send)
+	for _, part := range recv {
+		for _, m := range part {
+			if !st.hubVisited.Test(int(m.Hub)) && !st.hubNew.Test(int(m.Hub)) {
+				st.hubNew.Set(int(m.Hub))
+				st.parentHub[m.Hub] = m.Parent
+			}
+		}
+	}
+	return edges
+}
+
+// l2hPull: unvisited H hubs in this rank's column block probe their L
+// neighbors across the row against a row-wide L frontier (one row allgather),
+// with early exit.
+func (st *rankState) l2hPull() int64 {
+	per := int(st.e.Part.Layout.PerRank)
+	mesh := st.e.Opt.Mesh
+	if st.rowFrontier == nil {
+		st.rowFrontier = bitmap.New(per * mesh.Cols)
+	}
+	gatherFrontier(st.r.RowC, st.lFrontier, st.rowFrontier)
+	csr := &st.rg.HToL
+	layout := st.e.Part.Layout
+	var edges int64
+	for i, hub := range csr.IDs {
+		if st.hubVisited.Test(int(hub)) || st.hubNew.Test(int(hub)) {
+			continue
+		}
+		for _, rem := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
+			edges++
+			if st.rowFrontier.Test(int(rem.Col)*per + int(rem.LIdx)) {
+				owner := mesh.RankAt(st.r.Row, int(rem.Col))
+				st.hubNew.Set(int(hub))
+				st.parentHub[hub] = layout.GlobalOf(owner, rem.LIdx)
+				break
+			}
+		}
+	}
+	return edges
+}
+
+// gatherFrontier allgathers each member's local frontier words into the
+// member-indexed concatenated bitmap dst.
+func gatherFrontier(c *comm.Comm, local *bitmap.Bitmap, dst *bitmap.Bitmap) {
+	parts := comm.Allgatherv(c, local.Words())
+	wordsPer := len(local.Words())
+	dw := dst.Words()
+	for m, p := range parts {
+		copy(dw[m*wordsPer:(m+1)*wordsPer], p)
+	}
+}
+
+// --- L2L ---------------------------------------------------------------------
+
+// l2lPush: active owned L vertices message their L neighbors' owners. With
+// Hierarchical set, messages hop via the intersection rank of the source
+// column and destination row (column alltoallv then row alltoallv), the
+// paper's forwarding scheme for fewer live global connections; otherwise one
+// world alltoallv.
+func (st *rankState) l2lPush() int64 {
+	csr := &st.rg.L2L
+	layout := st.e.Part.Layout
+	mesh := st.e.Opt.Mesh
+	var edges int64
+	if !st.e.Opt.Hierarchical {
+		send := make([][]l2lMsg, layout.P)
+		st.lFrontier.ForEach(func(li int) {
+			parent := layout.GlobalOf(st.r.ID, int32(li))
+			for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+				edges++
+				send[layout.Owner(dst)] = append(send[layout.Owner(dst)], l2lMsg{Dst: dst, Parent: parent})
+			}
+		})
+		recv := comm.Alltoallv(st.r.World, send)
+		st.applyL2L(recv)
+		return edges
+	}
+	// Stage 1: sort by destination row, send down my column.
+	sendRow := make([][]l2lMsg, mesh.Rows)
+	st.lFrontier.ForEach(func(li int) {
+		parent := layout.GlobalOf(st.r.ID, int32(li))
+		for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			row := mesh.RowOf(layout.Owner(dst))
+			sendRow[row] = append(sendRow[row], l2lMsg{Dst: dst, Parent: parent})
+		}
+	})
+	viaCol := comm.Alltoallv(st.r.ColC, sendRow)
+	// Stage 2: forward within the destination row by owner column.
+	sendCol := make([][]l2lMsg, mesh.Cols)
+	for _, part := range viaCol {
+		for _, m := range part {
+			col := mesh.ColOf(layout.Owner(m.Dst))
+			sendCol[col] = append(sendCol[col], m)
+		}
+	}
+	recv := comm.Alltoallv(st.r.RowC, sendCol)
+	st.applyL2L(recv)
+	return edges
+}
+
+func (st *rankState) applyL2L(recv [][]l2lMsg) {
+	layout := st.e.Part.Layout
+	for _, part := range recv {
+		for _, m := range part {
+			li := layout.LocalIdx(m.Dst)
+			if !st.lVisited.Test(int(li)) && !st.lNew.Test(int(li)) {
+				st.lNew.Set(int(li))
+				st.parentL[li] = m.Parent
+			}
+		}
+	}
+}
+
+// l2lPull: one world allgather replicates the L frontier (indexed by
+// original vertex ID thanks to the padded block layout), then unvisited
+// owned L vertices probe their neighbors with early exit.
+func (st *rankState) l2lPull() int64 {
+	per := int(st.e.Part.Layout.PerRank)
+	if st.worldFrontier == nil {
+		st.worldFrontier = bitmap.New(per * st.e.Part.Layout.P)
+	}
+	gatherFrontier(st.r.World, st.lFrontier, st.worldFrontier)
+	csr := &st.rg.L2L
+	var edges int64
+	for li := 0; li < st.rg.LocalN; li++ {
+		if csr.Ptr[li] == csr.Ptr[li+1] || st.lVisited.Test(li) || st.lNew.Test(li) {
+			continue
+		}
+		for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			if st.worldFrontier.Test(int(dst)) {
+				st.lNew.Set(li)
+				st.parentL[li] = dst
+				break
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ModeledSeconds prices one run's *measured* per-rank work and traffic on
+// the engine's machine model: the bridge between laptop-scale runs and the
+// paper's hardware. Compute time charges each rank's scanned edges at the
+// calibrated per-edge cost (L2L at its slower rate, Section 6.1.2); link
+// time charges the rank's recorded intra-/inter-supernode bytes at
+// NIC/oversubscribed bandwidth; iteration latency adds the barrier floor.
+// The slowest rank bounds the run (BSP semantics).
+func (e *Engine) ModeledSeconds(res *Result, cal perfmodel.Calibration) float64 {
+	mach := e.Opt.Machine
+	worst := 0.0
+	for _, rec := range res.PerRank {
+		compute := 0.0
+		for p := stats.Phase(0); p < stats.NumPhases; p++ {
+			perEdge := cal.SecondsPerEdge
+			if p == stats.PhaseL2L {
+				perEdge = cal.SecondsPerEdgeL2L
+			}
+			compute += float64(rec.EdgesTouched[p]) * perEdge
+		}
+		v := rec.CommBreakdown()
+		var intra, inter int64
+		for k := 0; k < len(v.IntraBytes); k++ {
+			intra += v.IntraBytes[k]
+			inter += v.InterBytes[k]
+		}
+		link := mach.Time(topology.Traffic{
+			IntraBytesPerNode: float64(intra),
+			InterBytesPerNode: float64(inter),
+		})
+		if t := compute + link; t > worst {
+			worst = t
+		}
+	}
+	latency := float64(res.Iterations) * 6 * cal.BarrierSeconds
+	return worst + latency
+}
+
+// ModeledGTEPS converts a run to projected GTEPS on the modeled machine.
+func (e *Engine) ModeledGTEPS(res *Result, cal perfmodel.Calibration) float64 {
+	sec := e.ModeledSeconds(res, cal)
+	if sec <= 0 {
+		return 0
+	}
+	return float64(res.TraversedEdges) / sec / 1e9
+}
+
+// commTotal is a small helper for tests.
+func commTotal(v comm.VolumeStats) int64 {
+	var t int64
+	for k := 0; k < len(v.IntraBytes); k++ {
+		t += v.IntraBytes[k] + v.InterBytes[k]
+	}
+	return t
+}

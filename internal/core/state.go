@@ -1,0 +1,237 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// rankState is the per-rank BFS working set.
+//
+// Hub (E and H) state is delegated: every rank holds full hubFrontier and
+// hubVisited bitmaps over the K hubs, kept coherent by column+row
+// allreduce-OR after each hub-activating sub-iteration. hubNew accumulates
+// this rank's not-yet-synchronized activations; hubIter accumulates all hubs
+// activated in the current iteration (the next hub frontier). L state is
+// owner-local only.
+type rankState struct {
+	e   *Engine
+	r   *comm.Rank
+	rg  *partition.RankGraph
+	rec *stats.Recorder
+
+	k          int // hub count
+	numE, numL int64
+
+	hubFrontier *bitmap.Bitmap // replicated: current sources
+	hubVisited  *bitmap.Bitmap // replicated: visited as of last sync
+	hubNew      *bitmap.Bitmap // local activations since last sync
+	hubIter     *bitmap.Bitmap // all activations this iteration (synced)
+	parentHub   []int64        // local delegate parent array, reduced at the end
+
+	lFrontier *bitmap.Bitmap // owner-local: current L sources
+	lVisited  *bitmap.Bitmap
+	lNew      *bitmap.Bitmap
+	parentL   []int64
+
+	// scratch buffers reused across iterations
+	rowFrontier   *bitmap.Bitmap // row-wide L frontier for L2H pull
+	worldFrontier *bitmap.Bitmap // world-wide L frontier for L2L pull
+
+	// cached active counts, recomputed after each hub sync / L update
+	activeL int64
+	visitL  int64
+}
+
+func newRankState(e *Engine, r *comm.Rank) *rankState {
+	per := int(e.Part.Layout.PerRank)
+	k := e.Part.Hubs.K()
+	st := &rankState{
+		e:           e,
+		r:           r,
+		rg:          e.Part.Ranks[r.ID],
+		rec:         &stats.Recorder{},
+		k:           k,
+		numE:        int64(e.Part.Hubs.NumE),
+		numL:        e.Part.Layout.N - int64(k),
+		hubFrontier: bitmap.New(k),
+		hubVisited:  bitmap.New(k),
+		hubNew:      bitmap.New(k),
+		hubIter:     bitmap.New(k),
+		parentHub:   make([]int64, k),
+		lFrontier:   bitmap.New(per),
+		lVisited:    bitmap.New(per),
+		lNew:        bitmap.New(per),
+		parentL:     make([]int64, per),
+	}
+	for i := range st.parentHub {
+		st.parentHub[i] = -1
+	}
+	for i := range st.parentL {
+		st.parentL[i] = -1
+	}
+	return st
+}
+
+// bfs runs the main loop and returns the iteration trace. All ranks execute
+// it in lockstep; every collective below is reached by every rank in the
+// same order (direction choices derive from globally consistent state).
+func (st *rankState) bfs(root int64) []IterTrace {
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	if h, ok := hubs.HubOf(root); ok {
+		st.hubFrontier.Set(int(h))
+		st.hubVisited.Set(int(h))
+		st.parentHub[h] = root
+	} else if layout.Owner(root) == st.r.ID {
+		li := layout.LocalIdx(root)
+		st.lFrontier.Set(int(li))
+		st.lVisited.Set(int(li))
+		st.parentL[li] = root
+		st.activeL = 1
+		st.visitL = 1
+	}
+	// Global L counts for direction decisions.
+	st.activeL = comm.AllreduceSumInt64(st.r.World, st.activeL)
+	st.visitL = comm.AllreduceSumInt64(st.r.World, st.visitL)
+
+	var trace []IterTrace
+	for iter := 0; iter < st.e.Opt.MaxIterations; iter++ {
+		it := IterTrace{
+			ActiveE: int64(st.hubFrontier.CountRange(0, int(st.numE))),
+			ActiveH: int64(st.hubFrontier.CountRange(int(st.numE), st.k)),
+			ActiveL: st.activeL,
+		}
+		it.Directions = st.chooseDirections(it)
+		st.runIteration(it.Directions)
+		trace = append(trace, it)
+
+		// Advance frontiers. Hub side: hubIter was synced incrementally.
+		st.hubFrontier.CopyFrom(st.hubIter)
+		st.hubIter.Reset()
+		// L side: owner-local swap.
+		st.lFrontier.CopyFrom(st.lNew)
+		st.lVisited.Or(st.lNew)
+		st.lNew.Reset()
+
+		if st.e.Opt.ImmediateParentReduction {
+			// The traditional scheme: reconcile delegate parents every
+			// iteration. Correctness-neutral but pays a world-wide
+			// K-element reduce per iteration — the traffic the paper's
+			// delayed reduction eliminates.
+			st.reduceParents()
+		}
+
+		newHubs := int64(st.hubFrontier.Count())
+		st.activeL = comm.AllreduceSumInt64(st.r.World, int64(st.lFrontier.Count()))
+		st.visitL += st.activeL
+		if newHubs+st.activeL == 0 {
+			break
+		}
+	}
+
+	// Delayed reduction of the delegated parent array (Section 5): one
+	// world-wide max-reduce after the run instead of per-iteration traffic.
+	st.reduceParents()
+	return trace
+}
+
+// reduceParents max-reduces the delegated parent array across all ranks.
+func (st *rankState) reduceParents() {
+	t0 := time.Now()
+	base := st.r.Stats
+	if len(st.parentHub) > 0 {
+		comm.AllreduceMaxInt64(st.r.World, st.parentHub)
+	}
+	st.rec.Observe(stats.PhaseReduce, stats.DirNone, time.Since(t0), st.r.Stats.Delta(&base), 0)
+}
+
+// runIteration executes the six sub-iterations in hub-first order, syncing
+// delegated hub state after each group of hub-activating kernels so later
+// sub-iterations see the latest visited sets (Section 4.2). Skipped
+// sub-iterations are elided entirely — including their collectives, which is
+// safe because the skip decision derives from globally consistent counts.
+func (st *rankState) runIteration(dirs [partition.NumComponents]stats.Direction) {
+	run := func(c partition.Component, push, pull func() int64) {
+		d := dirs[c]
+		if d == stats.DirSkip {
+			st.rec.Observe(stats.PhaseOfComponent(c), d, 0, comm.VolumeStats{}, 0)
+			return
+		}
+		st.observe(c, d, func() int64 {
+			if d == stats.DirPush {
+				return push()
+			}
+			return pull()
+		})
+	}
+	// 1. EH2EH (hub -> hub).
+	ehPull := st.ehPull
+	if st.e.Opt.Segmented {
+		ehPull = st.ehPullSegmented
+	}
+	run(partition.CompEH2EH, st.ehPush, ehPull)
+	st.syncHubs()
+
+	// 2. E2L and H2L (hub -> L).
+	run(partition.CompE2L, st.e2lPush, st.e2lPull)
+	run(partition.CompH2L, st.h2lPush, st.h2lPull)
+
+	// 3. L2E and L2H (L -> hub).
+	run(partition.CompL2E, st.l2ePush, st.l2ePull)
+	run(partition.CompL2H, st.l2hPush, st.l2hPull)
+	st.syncHubs()
+
+	// 4. L2L.
+	run(partition.CompL2L, st.l2lPush, st.l2lPull)
+}
+
+// observe times a kernel and attributes its traffic delta and edge touches.
+func (st *rankState) observe(c partition.Component, d stats.Direction, fn func() int64) {
+	t0 := time.Now()
+	base := st.r.Stats
+	edges := fn()
+	st.rec.Observe(stats.PhaseOfComponent(c), d, time.Since(t0), st.r.Stats.Delta(&base), edges)
+}
+
+// syncHubs merges local hub activations globally: allreduce-OR down the
+// column then across the row reproduces the paper's delegation traffic
+// pattern (E and H state moves only on column and row links), after which
+// hubNew's contents are globally agreed and folded into visited state.
+func (st *rankState) syncHubs() {
+	t0 := time.Now()
+	base := st.r.Stats
+	words := st.hubNew.Words()
+	if len(words) > 0 {
+		comm.AllreduceOr(st.r.ColC, words)
+		comm.AllreduceOr(st.r.RowC, words)
+	}
+	// hubNew now holds the union of all ranks' new activations (it may
+	// include hubs another rank also activated; visited filtering below is
+	// idempotent).
+	st.hubNew.AndNot(st.hubVisited)
+	st.hubIter.Or(st.hubNew)
+	st.hubVisited.Or(st.hubNew)
+	st.hubNew.Reset()
+	st.rec.Observe(stats.PhaseOther, stats.DirNone, time.Since(t0), st.r.Stats.Delta(&base), 0)
+}
+
+// writeParents assembles this rank's share of the global parent array:
+// its owned L vertices plus the hub vertices whose original IDs it owns
+// (hub parents are identical on all ranks after the delayed reduction).
+func (st *rankState) writeParents(parent []int64) {
+	layout := st.e.Part.Layout
+	for i := 0; i < st.rg.LocalN; i++ {
+		if st.parentL[i] >= 0 {
+			parent[layout.GlobalOf(st.r.ID, int32(i))] = st.parentL[i]
+		}
+	}
+	for h, orig := range st.e.Part.Hubs.Orig {
+		if layout.Owner(orig) == st.r.ID && st.parentHub[h] >= 0 {
+			parent[orig] = st.parentHub[h]
+		}
+	}
+}

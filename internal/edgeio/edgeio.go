@@ -1,0 +1,177 @@
+// Package edgeio reads and writes edge lists in the two formats the tools
+// use: whitespace-separated text ("u v" per line, # comments) and the packed
+// binary format of the Graph 500 reference code (little-endian int64 pairs).
+// Readers are streaming and validate eagerly so a truncated or corrupt file
+// fails loudly rather than producing a silently wrong graph.
+package edgeio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/rmat"
+)
+
+// Format identifies an edge list encoding.
+type Format int
+
+// Supported formats.
+const (
+	FormatText Format = iota // "u v" per line
+	FormatBin                // little-endian int64 pairs
+)
+
+// ParseFormat maps a flag string to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "txt":
+		return FormatText, nil
+	case "bin", "binary":
+		return FormatBin, nil
+	}
+	return 0, fmt.Errorf("edgeio: unknown format %q (want text or bin)", s)
+}
+
+// WriteText writes edges as "u v" lines.
+func WriteText(w io.Writer, edges []rmat.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBin writes edges as packed little-endian int64 pairs.
+func WriteBin(w io.Writer, edges []rmat.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var buf [16]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(e.U))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(e.V))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses "u v" lines; blank lines and lines starting with '#' or
+// '%' (Matrix Market style comments) are skipped.
+func ReadText(r io.Reader) ([]rmat.Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []rmat.Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("edgeio: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("edgeio: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("edgeio: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("edgeio: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, rmat.Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+// ReadBin parses packed little-endian int64 pairs, rejecting truncation.
+func ReadBin(r io.Reader) ([]rmat.Edge, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var edges []rmat.Edge
+	var buf [16]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return edges, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("edgeio: truncated binary edge list after %d edges: %v", len(edges), err)
+		}
+		u := int64(binary.LittleEndian.Uint64(buf[0:]))
+		v := int64(binary.LittleEndian.Uint64(buf[8:]))
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("edgeio: negative vertex id at edge %d", len(edges))
+		}
+		edges = append(edges, rmat.Edge{U: u, V: v})
+	}
+}
+
+// ReadFile loads an edge list, inferring the vertex count as the smallest
+// power of two above the maximum endpoint (the Graph 500 convention).
+func ReadFile(path string, format Format) (int64, []rmat.Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	var edges []rmat.Edge
+	switch format {
+	case FormatText:
+		edges, err = ReadText(f)
+	case FormatBin:
+		edges, err = ReadBin(f)
+	default:
+		err = fmt.Errorf("edgeio: bad format %d", format)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	var maxV int64 = -1
+	for _, e := range edges {
+		if e.U > maxV {
+			maxV = e.U
+		}
+		if e.V > maxV {
+			maxV = e.V
+		}
+	}
+	n := int64(1)
+	for n <= maxV {
+		n <<= 1
+	}
+	return n, edges, nil
+}
+
+// WriteFile stores an edge list.
+func WriteFile(path string, format Format, edges []rmat.Edge) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case FormatText:
+		err = WriteText(f, edges)
+	case FormatBin:
+		err = WriteBin(f, edges)
+	default:
+		err = fmt.Errorf("edgeio: bad format %d", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,142 @@
+package edgeio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rmat"
+)
+
+func sample() []rmat.Edge {
+	return []rmat.Edge{{U: 0, V: 1}, {U: 5, V: 3}, {U: 1000000, V: 7}, {U: 2, V: 2}}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("%d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTextSkipsComments(t *testing.T) {
+	in := "# header\n% mm comment\n\n1 2\n  3 4 extra-ignored\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (rmat.Edge{U: 1, V: 2}) || got[1] != (rmat.Edge{U: 3, V: 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"1\n", "a b\n", "-1 2\n", "1 x\n"} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestReadBinRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBin(bytes.NewReader(cut)); err == nil {
+		t.Fatal("accepted truncated stream")
+	}
+}
+
+func TestFileRoundTripAndVertexInference(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []Format{FormatText, FormatBin} {
+		path := filepath.Join(dir, "edges")
+		if err := WriteFile(path, format, sample()); err != nil {
+			t.Fatal(err)
+		}
+		n, edges, err := ReadFile(path, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(edges) != len(sample()) {
+			t.Fatalf("%d edges", len(edges))
+		}
+		// Max endpoint 1,000,000 -> next power of two is 2^20 = 1,048,576.
+		if n != 1<<20 {
+			t.Fatalf("inferred n = %d, want %d", n, 1<<20)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("TEXT"); err != nil || f != FormatText {
+		t.Fatal("TEXT not parsed")
+	}
+	if f, err := ParseFormat("bin"); err != nil || f != FormatBin {
+		t.Fatal("bin not parsed")
+	}
+	if _, err := ParseFormat("csv"); err == nil {
+		t.Fatal("csv accepted")
+	}
+}
+
+func TestGeneratorInterop(t *testing.T) {
+	// A generated graph must survive a binary round trip bit-exactly.
+	cfg := rmat.Config{Scale: 10, Seed: 77}
+	edges := rmat.Generate(cfg)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	if err := WriteFile(path, FormatBin, edges); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != int64(len(edges))*16 {
+		t.Fatalf("file size %d, want %d", info.Size(), len(edges)*16)
+	}
+	_, got, err := ReadFile(path, FormatBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package framework is the general-purpose graph-processing layer the paper
+// sketches as future work (Section 8: "a general-purpose graph processing
+// framework is possible to be built with the proposed techniques ... One of
+// our future work will be designing and implementing the next-generation
+// ShenTu on New Sunway upon the proposed techniques").
+//
+// It runs dense vertex programs — PageRank-style accumulate/apply rounds —
+// over the same six-component 1.5D partitioning the BFS engine uses:
+//
+//   - hub (E and H) values are delegated: replicated per rank and combined
+//     with a column+row sum- or min-reduce each round, exactly the BFS hub
+//     activation traffic pattern;
+//   - L values live only at their owner; hub→L contributions for H vertices
+//     travel intra-row, L→L contributions via alltoallv.
+//
+// Two programs are provided: PageRank and connected components (min-label
+// propagation). Both are validated against sequential references in tests.
+package framework
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+)
+
+// Options configures an Engine.
+type Options struct {
+	Mesh       topology.Mesh
+	Ranks      int
+	Thresholds partition.Thresholds
+}
+
+func (o Options) withDefaults(n int64) (Options, error) {
+	if o.Mesh.Rows == 0 && o.Mesh.Cols == 0 {
+		if o.Ranks <= 0 {
+			return o, fmt.Errorf("framework: Options needs Mesh or Ranks")
+		}
+		o.Mesh = topology.SquarestMesh(o.Ranks)
+	}
+	o.Ranks = o.Mesh.Size()
+	if o.Thresholds == (partition.Thresholds{}) {
+		scale := 0
+		for int64(1)<<uint(scale) < n {
+			scale++
+		}
+		e := int64(1) << uint(scale/2+2)
+		h := e / 16
+		if h < 2 {
+			h = 2
+		}
+		o.Thresholds = partition.Thresholds{E: e, H: h}
+	}
+	return o, nil
+}
+
+// Engine holds a partitioned graph for vertex programs.
+type Engine struct {
+	Part  *partition.Partitioned
+	World *comm.World
+	Opt   Options
+}
+
+// New partitions the graph for the framework.
+func New(n int64, edges []rmat.Edge, opt Options) (*Engine, error) {
+	opt, err := opt.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.Build(n, edges, opt.Mesh, opt.Thresholds, 0)
+	if err != nil {
+		return nil, err
+	}
+	world, err := comm.NewWorld(opt.Ranks, opt.Mesh, topology.NewSunway(opt.Ranks))
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Part: part, World: world, Opt: opt}, nil
+}
+
+// PageRankResult holds ranks plus convergence diagnostics.
+type PageRankResult struct {
+	Rank       []float64
+	Iterations int
+	Delta      float64 // final L1 change
+	Time       time.Duration
+}
+
+// PageRank runs the classic damped power iteration until the L1 change drops
+// below tol or maxIter rounds elapse. Dangling mass (degree-0 vertices) is
+// redistributed uniformly, so ranks sum to 1 throughout.
+func (e *Engine) PageRank(damping float64, tol float64, maxIter int) (*PageRankResult, error) {
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("framework: damping %g out of (0,1)", damping)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	n := e.Part.Layout.N
+	res := &PageRankResult{Rank: make([]float64, n)}
+	start := time.Now()
+	states := make([]*prState, e.Opt.Ranks)
+	var iters int64
+	var delta float64
+	e.World.Run(func(r *comm.Rank) {
+		st := newPRState(e, r)
+		states[r.ID] = st
+		it, d := st.run(damping, tol, maxIter)
+		if r.ID == 0 {
+			iters, delta = int64(it), d
+		}
+		st.writeResult(res.Rank)
+	})
+	res.Time = time.Since(start)
+	res.Iterations = int(iters)
+	res.Delta = delta
+	return res, nil
+}
+
+// prState is the per-rank PageRank working set.
+type prState struct {
+	e  *Engine
+	r  *comm.Rank
+	rg *partition.RankGraph
+
+	k int
+
+	hubVal, hubAcc []float64 // replicated hub values/accumulators
+	lVal, lAcc     []float64 // owner-local L values/accumulators
+	degHub         []float64
+	degL           []float64 // degrees of owned L vertices
+}
+
+func newPRState(e *Engine, r *comm.Rank) *prState {
+	per := int(e.Part.Layout.PerRank)
+	k := e.Part.Hubs.K()
+	st := &prState{
+		e: e, r: r, rg: e.Part.Ranks[r.ID], k: k,
+		hubVal: make([]float64, k), hubAcc: make([]float64, k),
+		lVal: make([]float64, per), lAcc: make([]float64, per),
+		degHub: make([]float64, k), degL: make([]float64, per),
+	}
+	for h := 0; h < k; h++ {
+		st.degHub[h] = float64(e.Part.Hubs.Deg[h])
+	}
+	layout := e.Part.Layout
+	for li := 0; li < st.rg.LocalN; li++ {
+		st.degL[li] = float64(e.Part.Degrees[layout.GlobalOf(r.ID, int32(li))])
+	}
+	return st
+}
+
+// prMsg carries a partial rank contribution to an owned L vertex.
+type prMsg struct {
+	LIdx int32
+	Val  float64
+}
+
+func (st *prState) run(damping, tol float64, maxIter int) (int, float64) {
+	n := float64(st.e.Part.Layout.N)
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	mesh := st.e.Opt.Mesh
+	// Initial uniform distribution.
+	for h := range st.hubVal {
+		st.hubVal[h] = 1 / n
+	}
+	for li := 0; li < st.rg.LocalN; li++ {
+		if _, isHub := hubs.HubOf(layout.GlobalOf(st.r.ID, int32(li))); !isHub {
+			st.lVal[li] = 1 / n
+		}
+	}
+	iter := 0
+	delta := math.Inf(1)
+	for ; iter < maxIter && delta > tol; iter++ {
+		for h := range st.hubAcc {
+			st.hubAcc[h] = 0
+		}
+		for li := range st.lAcc {
+			st.lAcc[li] = 0
+		}
+		// Dangling mass: vertices with no edges contribute uniformly.
+		// Hubs always have edges (degree ≥ H threshold); only owned L
+		// vertices can dangle.
+		var dangling float64
+		for li := 0; li < st.rg.LocalN; li++ {
+			if st.degL[li] == 0 {
+				dangling += st.lVal[li]
+			}
+		}
+		d := []float64{dangling}
+		comm.AllreduceSumFloat64(st.r.World, d)
+		danglingShare := d[0] / n
+
+		// EH2EH: each stored directed edge contributes src/deg(src) to dst.
+		push := &st.rg.EHPush
+		for i, src := range push.IDs {
+			msg := st.hubVal[src] / st.degHub[src]
+			for _, dst := range push.Adj[push.Ptr[i]:push.Ptr[i+1]] {
+				st.hubAcc[dst] += msg
+			}
+		}
+		// E2L: local.
+		etol := &st.rg.EToL
+		for i, hub := range etol.IDs {
+			msg := st.hubVal[hub] / st.degHub[hub]
+			for _, li := range etol.Adj[etol.Ptr[i]:etol.Ptr[i+1]] {
+				st.lAcc[li] += msg
+			}
+		}
+		// H2L: message along the row (the H2L component lives at the
+		// intersection of H's column and the owner's row).
+		htol := &st.rg.HToL
+		send := make([][]prMsg, mesh.Cols)
+		for i, hub := range htol.IDs {
+			msg := st.hubVal[hub] / st.degHub[hub]
+			for _, rem := range htol.Adj[htol.Ptr[i]:htol.Ptr[i+1]] {
+				send[rem.Col] = append(send[rem.Col], prMsg{LIdx: rem.LIdx, Val: msg})
+			}
+		}
+		for _, part := range comm.Alltoallv(st.r.RowC, send) {
+			for _, m := range part {
+				st.lAcc[m.LIdx] += m.Val
+			}
+		}
+		// L2E and L2H: accumulate into the replicated hub accumulator
+		// locally; the hub reduce below sums every rank's partials.
+		ltoe, ltoh := &st.rg.LToE, &st.rg.LToH
+		for li := 0; li < st.rg.LocalN; li++ {
+			if st.degL[li] == 0 {
+				continue
+			}
+			msg := st.lVal[li] / st.degL[li]
+			for _, hub := range ltoe.Adj[ltoe.Ptr[li]:ltoe.Ptr[li+1]] {
+				st.hubAcc[hub] += msg
+			}
+			for _, hub := range ltoh.Adj[ltoh.Ptr[li]:ltoh.Ptr[li+1]] {
+				st.hubAcc[hub] += msg
+			}
+		}
+		// L2L: alltoallv of per-edge contributions.
+		l2l := &st.rg.L2L
+		sendLL := make([][]prMsg, layout.P)
+		for li := 0; li < st.rg.LocalN; li++ {
+			if st.degL[li] == 0 || l2l.Ptr[li] == l2l.Ptr[li+1] {
+				continue
+			}
+			msg := st.lVal[li] / st.degL[li]
+			for _, dst := range l2l.Adj[l2l.Ptr[li]:l2l.Ptr[li+1]] {
+				owner := layout.Owner(dst)
+				sendLL[owner] = append(sendLL[owner], prMsg{LIdx: layout.LocalIdx(dst), Val: msg})
+			}
+		}
+		for _, part := range comm.Alltoallv(st.r.World, sendLL) {
+			for _, m := range part {
+				st.lAcc[m.LIdx] += m.Val
+			}
+		}
+		// Delegated hub accumulator reduction: column then row sum-reduce
+		// (the BFS hub sync pattern with + instead of OR).
+		if st.k > 0 {
+			comm.AllreduceSumFloat64(st.r.ColC, st.hubAcc)
+			comm.AllreduceSumFloat64(st.r.RowC, st.hubAcc)
+		}
+		// Apply. Hub applies are replicated and deterministic (identical
+		// accumulators everywhere); L applies are owner-local.
+		base := (1 - damping) / n
+		var localDelta float64
+		for h := 0; h < st.k; h++ {
+			nv := base + damping*(st.hubAcc[h]+danglingShare)
+			// Attribute each hub's delta once: by its owner.
+			if layout.Owner(hubs.Orig[h]) == st.r.ID {
+				localDelta += math.Abs(nv - st.hubVal[h])
+			}
+			st.hubVal[h] = nv
+		}
+		for li := 0; li < st.rg.LocalN; li++ {
+			if _, isHub := hubs.HubOf(layout.GlobalOf(st.r.ID, int32(li))); isHub {
+				continue
+			}
+			nv := base + damping*(st.lAcc[li]+danglingShare)
+			localDelta += math.Abs(nv - st.lVal[li])
+			st.lVal[li] = nv
+		}
+		dd := []float64{localDelta}
+		comm.AllreduceSumFloat64(st.r.World, dd)
+		delta = dd[0]
+	}
+	return iter, delta
+}
+
+func (st *prState) writeResult(out []float64) {
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	for li := 0; li < st.rg.LocalN; li++ {
+		v := layout.GlobalOf(st.r.ID, int32(li))
+		if _, isHub := hubs.HubOf(v); !isHub {
+			out[v] = st.lVal[li]
+		}
+	}
+	for h, orig := range hubs.Orig {
+		if layout.Owner(orig) == st.r.ID {
+			out[orig] = st.hubVal[h]
+		}
+	}
+}

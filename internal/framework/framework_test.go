@@ -1,0 +1,296 @@
+package framework
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/rmat"
+)
+
+// sequentialPageRank is the dense reference power iteration with dangling
+// redistribution, matching the distributed semantics.
+func sequentialPageRank(n int64, edges []rmat.Edge, damping float64, iters int) []float64 {
+	deg := make([]float64, n)
+	type arc struct{ u, v int64 }
+	var arcs []arc
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U]++
+		deg[e.V]++
+		arcs = append(arcs, arc{e.U, e.V}, arc{e.V, e.U})
+	}
+	val := make([]float64, n)
+	for i := range val {
+		val[i] = 1 / float64(n)
+	}
+	acc := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for v := int64(0); v < n; v++ {
+			acc[v] = 0
+			if deg[v] == 0 {
+				dangling += val[v]
+			}
+		}
+		for _, a := range arcs {
+			acc[a.v] += val[a.u] / deg[a.u]
+		}
+		base := (1 - damping) / float64(n)
+		share := dangling / float64(n)
+		for v := int64(0); v < n; v++ {
+			val[v] = base + damping*(acc[v]+share)
+		}
+	}
+	return val
+}
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 17}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	eng, err := New(n, edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 30
+	res, err := eng.PageRank(0.85, 0, iters) // tol 0 forces exactly iters rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sequentialPageRank(n, edges, 0.85, iters)
+	for v := int64(0); v < n; v++ {
+		if math.Abs(res.Rank[v]-ref[v]) > 1e-12 {
+			t.Fatalf("rank[%d] = %.15g, reference %.15g", v, res.Rank[v], ref[v])
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	cfg := rmat.Config{Scale: 10, Seed: 18}
+	edges := rmat.Generate(cfg)
+	eng, err := New(cfg.NumVertices(), edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.PageRank(0.85, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range res.Rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %.12f", sum)
+	}
+	if res.Delta > 1e-10 {
+		t.Fatalf("did not converge: delta %g after %d iterations", res.Delta, res.Iterations)
+	}
+}
+
+func TestPageRankHubsRankHighest(t *testing.T) {
+	// The highest-rank vertex of an R-MAT graph must be a hub (degree
+	// outlier) — the whole premise of degree-aware partitioning.
+	cfg := rmat.Config{Scale: 11, Seed: 19}
+	edges := rmat.Generate(cfg)
+	eng, err := New(cfg.NumVertices(), edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.PageRank(0.85, 1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := int64(0)
+	for v := range res.Rank {
+		if res.Rank[v] > res.Rank[best] {
+			best = int64(v)
+		}
+	}
+	if _, isHub := eng.Part.Hubs.HubOf(best); !isHub {
+		t.Fatalf("top-ranked vertex %d (degree %d) is not a hub", best, eng.Part.Degrees[best])
+	}
+}
+
+func TestPageRankMeshInvariance(t *testing.T) {
+	cfg := rmat.Config{Scale: 8, Seed: 20}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	var ref []float64
+	for _, ranks := range []int{1, 2, 4, 8} {
+		eng, err := New(n, edges, Options{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.PageRank(0.85, 0, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Rank
+			continue
+		}
+		for v := int64(0); v < n; v++ {
+			if math.Abs(res.Rank[v]-ref[v]) > 1e-12 {
+				t.Fatalf("ranks=%d: rank[%d] differs from 1-rank run: %g vs %g",
+					ranks, v, res.Rank[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestPageRankRejectsBadDamping(t *testing.T) {
+	cfg := rmat.Config{Scale: 6, Seed: 1}
+	eng, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PageRank(0, 1e-6, 10); err == nil {
+		t.Fatal("damping 0 accepted")
+	}
+	if _, err := eng.PageRank(1, 1e-6, 10); err == nil {
+		t.Fatal("damping 1 accepted")
+	}
+}
+
+// unionFind is the WCC reference.
+func unionFind(n int64, edges []rmat.Edge) []int64 {
+	parent := make([]int64, n)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		a, b := find(e.U), find(e.V)
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	label := make([]int64, n)
+	for v := int64(0); v < n; v++ {
+		label[v] = find(v)
+	}
+	return label
+}
+
+func TestWCCMatchesUnionFind(t *testing.T) {
+	cfg := rmat.Config{Scale: 10, Seed: 21}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	eng, err := New(n, edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := unionFind(n, edges)
+	// Min-label propagation converges to the minimum original ID per
+	// component, which is exactly what our unionFind computes (it unions
+	// toward the smaller root).
+	for v := int64(0); v < n; v++ {
+		if res.Label[v] != ref[v] {
+			t.Fatalf("label[%d] = %d, reference %d", v, res.Label[v], ref[v])
+		}
+	}
+}
+
+func TestWCCComponentCount(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	edges := []rmat.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 10, V: 11}, {U: 11, V: 12}, {U: 12, V: 10},
+	}
+	eng, err := New(64, edges, Options{Ranks: 4, Thresholds: partition.Thresholds{E: 16, H: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 2 {
+		t.Fatalf("found %d components, want 2", res.Components)
+	}
+	if res.Label[0] != 0 || res.Label[2] != 0 || res.Label[12] != 10 {
+		t.Fatalf("labels wrong: %v %v %v", res.Label[0], res.Label[2], res.Label[12])
+	}
+}
+
+func TestWCCMeshShapes(t *testing.T) {
+	cfg := rmat.Config{Scale: 8, Seed: 22}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	ref := unionFind(n, edges)
+	for _, ranks := range []int{1, 2, 6, 9} {
+		t.Run(fmt.Sprintf("ranks%d", ranks), func(t *testing.T) {
+			eng, err := New(n, edges, Options{Ranks: ranks})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.ConnectedComponents()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := int64(0); v < n; v++ {
+				if res.Label[v] != ref[v] {
+					t.Fatalf("label[%d] = %d, reference %d", v, res.Label[v], ref[v])
+				}
+			}
+		})
+	}
+}
+
+func TestFrameworkOptionsValidation(t *testing.T) {
+	cfg := rmat.Config{Scale: 6, Seed: 1}
+	if _, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{}); err == nil {
+		t.Fatal("missing mesh/ranks accepted")
+	}
+}
+
+func BenchmarkPageRankScale12(b *testing.B) {
+	cfg := rmat.Config{Scale: 12, Seed: 23}
+	eng, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.PageRank(0.85, 1e-6, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWCCScale12(b *testing.B) {
+	cfg := rmat.Config{Scale: 12, Seed: 24}
+	eng, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ConnectedComponents(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

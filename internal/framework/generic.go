@@ -1,0 +1,311 @@
+package framework
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+)
+
+// Program is a dense synchronous vertex program over the 1.5D partitioning:
+// each round, every changed vertex sends Message(value) along its edges;
+// arriving messages fold with Combine (associative and commutative, starting
+// from Identity); Apply merges the round's accumulator into the value. A
+// vertex whose value did not change sends nothing next round. V must be a
+// comparable value type (it travels through collectives by copy).
+//
+// Hub (E and H) values are delegated exactly as in BFS: replicated per rank
+// and reconciled with a column+row Combine-reduce each round, so programs
+// inherit the paper's communication structure for free.
+type Program[V comparable] interface {
+	// Init produces vertex v's initial value; deg is its undirected degree.
+	Init(v int64, deg int64) V
+	// Identity is Combine's neutral element.
+	Identity() V
+	// Combine folds two accumulator values; must be associative and
+	// commutative so reduction order cannot matter.
+	Combine(a, b V) V
+	// Message is the value sent along each edge from a vertex holding val.
+	Message(val V) V
+	// Apply merges the accumulated messages into the old value; a result
+	// different from old marks the vertex changed (and propagating next
+	// round).
+	Apply(old, acc V) V
+}
+
+// RunResult carries a program's converged values.
+type RunResult[V comparable] struct {
+	Values     []V
+	Iterations int
+	Time       time.Duration
+}
+
+// RunProgram executes prog to convergence (no vertex changed) or maxIter
+// rounds over the engine's partitioned graph.
+func RunProgram[V comparable](e *Engine, prog Program[V], maxIter int) (*RunResult[V], error) {
+	if maxIter <= 0 {
+		maxIter = 1 << 20
+	}
+	n := e.Part.Layout.N
+	res := &RunResult[V]{Values: make([]V, n)}
+	start := time.Now()
+	iters := make([]int, e.Opt.Ranks)
+	e.World.Run(func(r *comm.Rank) {
+		st := newProgState(e, r, prog)
+		iters[r.ID] = st.run(maxIter)
+		st.writeResult(res.Values)
+	})
+	res.Time = time.Since(start)
+	res.Iterations = iters[0]
+	return res, nil
+}
+
+type progState[V comparable] struct {
+	e    *Engine
+	r    *comm.Rank
+	rg   *partition.RankGraph
+	prog Program[V]
+
+	k int
+
+	hubVal   []V
+	hubDirty []bool
+	lVal     []V
+	lDirty   []bool
+}
+
+type progMsg[V comparable] struct {
+	LIdx int32
+	Val  V
+}
+
+func newProgState[V comparable](e *Engine, r *comm.Rank, prog Program[V]) *progState[V] {
+	per := int(e.Part.Layout.PerRank)
+	k := e.Part.Hubs.K()
+	st := &progState[V]{
+		e: e, r: r, rg: e.Part.Ranks[r.ID], prog: prog, k: k,
+		hubVal: make([]V, k), hubDirty: make([]bool, k),
+		lVal: make([]V, per), lDirty: make([]bool, per),
+	}
+	hubs := e.Part.Hubs
+	for h := 0; h < k; h++ {
+		st.hubVal[h] = prog.Init(hubs.Orig[h], hubs.Deg[h])
+		st.hubDirty[h] = true
+	}
+	layout := e.Part.Layout
+	for li := 0; li < st.rg.LocalN; li++ {
+		v := layout.GlobalOf(r.ID, int32(li))
+		if _, isHub := hubs.HubOf(v); !isHub {
+			st.lVal[li] = prog.Init(v, e.Part.Degrees[v])
+			st.lDirty[li] = true
+		}
+	}
+	return st
+}
+
+func (st *progState[V]) run(maxIter int) int {
+	layout := st.e.Part.Layout
+	mesh := st.e.Opt.Mesh
+	prog := st.prog
+	ident := prog.Identity()
+	hubAcc := make([]V, st.k)
+	lAcc := make([]V, len(st.lVal))
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		for h := range hubAcc {
+			hubAcc[h] = ident
+		}
+		for li := range lAcc {
+			lAcc[li] = ident
+		}
+		hubDirty := st.hubDirty
+		st.hubDirty = make([]bool, st.k)
+		lDirty := st.lDirty
+		st.lDirty = make([]bool, len(st.lVal))
+
+		// Hub-sourced propagation.
+		push := &st.rg.EHPush
+		for i, src := range push.IDs {
+			if !hubDirty[src] {
+				continue
+			}
+			m := prog.Message(st.hubVal[src])
+			for _, dst := range push.Adj[push.Ptr[i]:push.Ptr[i+1]] {
+				hubAcc[dst] = prog.Combine(hubAcc[dst], m)
+			}
+		}
+		etol := &st.rg.EToL
+		for i, hub := range etol.IDs {
+			if !hubDirty[hub] {
+				continue
+			}
+			m := prog.Message(st.hubVal[hub])
+			for _, li := range etol.Adj[etol.Ptr[i]:etol.Ptr[i+1]] {
+				lAcc[li] = prog.Combine(lAcc[li], m)
+			}
+		}
+		htol := &st.rg.HToL
+		send := make([][]progMsg[V], mesh.Cols)
+		for i, hub := range htol.IDs {
+			if !hubDirty[hub] {
+				continue
+			}
+			m := prog.Message(st.hubVal[hub])
+			for _, rem := range htol.Adj[htol.Ptr[i]:htol.Ptr[i+1]] {
+				send[rem.Col] = append(send[rem.Col], progMsg[V]{LIdx: rem.LIdx, Val: m})
+			}
+		}
+		for _, part := range comm.Alltoallv(st.r.RowC, send) {
+			for _, m := range part {
+				lAcc[m.LIdx] = prog.Combine(lAcc[m.LIdx], m.Val)
+			}
+		}
+		// L-sourced propagation.
+		ltoe, ltoh, l2l := &st.rg.LToE, &st.rg.LToH, &st.rg.L2L
+		sendLL := make([][]progMsg[V], layout.P)
+		for li := 0; li < st.rg.LocalN; li++ {
+			if !lDirty[li] {
+				continue
+			}
+			m := prog.Message(st.lVal[li])
+			for _, hub := range ltoe.Adj[ltoe.Ptr[li]:ltoe.Ptr[li+1]] {
+				hubAcc[hub] = prog.Combine(hubAcc[hub], m)
+			}
+			for _, hub := range ltoh.Adj[ltoh.Ptr[li]:ltoh.Ptr[li+1]] {
+				hubAcc[hub] = prog.Combine(hubAcc[hub], m)
+			}
+			for _, dst := range l2l.Adj[l2l.Ptr[li]:l2l.Ptr[li+1]] {
+				owner := layout.Owner(dst)
+				sendLL[owner] = append(sendLL[owner], progMsg[V]{LIdx: layout.LocalIdx(dst), Val: m})
+			}
+		}
+		for _, part := range comm.Alltoallv(st.r.World, sendLL) {
+			for _, m := range part {
+				lAcc[m.LIdx] = prog.Combine(lAcc[m.LIdx], m.Val)
+			}
+		}
+		// Delegated hub accumulator reconciliation: gather-and-Combine over
+		// the column then the row, in member order on every rank, so all
+		// replicas compute identical values.
+		if st.k > 0 {
+			combineOver(st.r.ColC, hubAcc, prog)
+			combineOver(st.r.RowC, hubAcc, prog)
+		}
+		// Apply.
+		var changed int64
+		for h := 0; h < st.k; h++ {
+			nv := prog.Apply(st.hubVal[h], hubAcc[h])
+			if nv != st.hubVal[h] {
+				st.hubVal[h] = nv
+				st.hubDirty[h] = true
+				changed++
+			}
+		}
+		hubs := st.e.Part.Hubs
+		for li := 0; li < st.rg.LocalN; li++ {
+			v := layout.GlobalOf(st.r.ID, int32(li))
+			if _, isHub := hubs.HubOf(v); isHub {
+				continue
+			}
+			nv := prog.Apply(st.lVal[li], lAcc[li])
+			if nv != st.lVal[li] {
+				st.lVal[li] = nv
+				st.lDirty[li] = true
+				changed++
+			}
+		}
+		if comm.AllreduceSumInt64(st.r.World, changed) == 0 {
+			iter++
+			break
+		}
+	}
+	return iter
+}
+
+// combineOver gathers each member's accumulator vector and folds them in
+// member order.
+func combineOver[V comparable](c *comm.Comm, acc []V, prog Program[V]) {
+	parts := comm.Allgatherv(c, acc)
+	ident := prog.Identity()
+	for h := range acc {
+		folded := ident
+		for _, p := range parts {
+			folded = prog.Combine(folded, p[h])
+		}
+		acc[h] = folded
+	}
+}
+
+func (st *progState[V]) writeResult(out []V) {
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	for li := 0; li < st.rg.LocalN; li++ {
+		v := layout.GlobalOf(st.r.ID, int32(li))
+		if _, isHub := hubs.HubOf(v); !isHub {
+			out[v] = st.lVal[li]
+		}
+	}
+	for h, orig := range hubs.Orig {
+		if layout.Owner(orig) == st.r.ID {
+			out[orig] = st.hubVal[h]
+		}
+	}
+}
+
+// minLabelProgram is connected components expressed as a Program: the
+// canonical demonstration of the generic API. Engine.ConnectedComponents
+// keeps its hand-optimized implementation; tests assert both agree.
+type minLabelProgram struct{}
+
+func (minLabelProgram) Init(v int64, deg int64) int64 { return v }
+func (minLabelProgram) Identity() int64               { return int64(^uint64(0) >> 1) }
+func (minLabelProgram) Combine(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (minLabelProgram) Message(val int64) int64 { return val }
+func (minLabelProgram) Apply(old, acc int64) int64 {
+	if acc < old {
+		return acc
+	}
+	return old
+}
+
+// ConnectedComponentsGeneric runs WCC through the generic Program API.
+func (e *Engine) ConnectedComponentsGeneric() (*RunResult[int64], error) {
+	return RunProgram[int64](e, minLabelProgram{}, 0)
+}
+
+// reachProgram is 64-way bit-parallel reachability: value bit s means "some
+// vertex seeded with bit s reaches me". One word per vertex traverses from
+// up to 64 sources simultaneously — the multi-source BFS trick.
+type reachProgram struct {
+	seed map[int64]uint64
+}
+
+func (p reachProgram) Init(v int64, deg int64) uint64 { return p.seed[v] }
+func (reachProgram) Identity() uint64                 { return 0 }
+func (reachProgram) Combine(a, b uint64) uint64       { return a | b }
+func (reachProgram) Message(val uint64) uint64        { return val }
+func (reachProgram) Apply(old, acc uint64) uint64     { return old | acc }
+
+// Reachability computes, for up to 64 source vertices, the reachable set of
+// each, bit-parallel in one traversal: result[v] has bit s set iff
+// sources[s] reaches v.
+func (e *Engine) Reachability(sources []int64) (*RunResult[uint64], error) {
+	if len(sources) == 0 || len(sources) > 64 {
+		return nil, fmt.Errorf("framework: Reachability needs 1..64 sources, got %d", len(sources))
+	}
+	seed := make(map[int64]uint64, len(sources))
+	n := e.Part.Layout.N
+	for s, v := range sources {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("framework: source %d out of range", v)
+		}
+		seed[v] |= 1 << uint(s)
+	}
+	return RunProgram[uint64](e, reachProgram{seed: seed}, 0)
+}

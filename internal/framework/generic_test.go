@@ -1,0 +1,175 @@
+package framework
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rmat"
+)
+
+func TestGenericWCCMatchesHandRolled(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 81}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	eng, err := New(n, edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := eng.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := eng.ConnectedComponentsGeneric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < n; v++ {
+		// Generic WCC initializes isolated vertices to their own ID too;
+		// both must agree everywhere.
+		if hand.Label[v] != gen.Values[v] {
+			t.Fatalf("label[%d]: hand %d vs generic %d", v, hand.Label[v], gen.Values[v])
+		}
+	}
+}
+
+func TestGenericWCCAgainstUnionFind(t *testing.T) {
+	cfg := rmat.Config{Scale: 10, Seed: 82}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	eng, err := New(n, edges, Options{Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := eng.ConnectedComponentsGeneric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := unionFind(n, edges)
+	for v := int64(0); v < n; v++ {
+		if gen.Values[v] != ref[v] {
+			t.Fatalf("label[%d] = %d, reference %d", v, gen.Values[v], ref[v])
+		}
+	}
+}
+
+func TestReachabilityMatchesBFS(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 83}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	eng, err := New(n, edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int64{0, 7, 99, 500}
+	res, err := eng.Reachability(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromEdges(n, edges, graph.BuildOptions{Symmetrize: true, DropSelfLoops: true})
+	for s, src := range sources {
+		parent := g.SequentialBFS(src)
+		for v := int64(0); v < n; v++ {
+			want := parent[v] >= 0
+			got := res.Values[v]&(1<<uint(s)) != 0
+			if got != want {
+				t.Fatalf("source %d vertex %d: reachability %v, BFS says %v", src, v, got, want)
+			}
+		}
+	}
+}
+
+func TestReachabilityAllSixtyFourSources(t *testing.T) {
+	cfg := rmat.Config{Scale: 8, Seed: 84}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	eng, err := New(n, edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]int64, 64)
+	for i := range sources {
+		sources[i] = int64(i * 3)
+	}
+	res, err := eng.Reachability(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every source reaches itself.
+	for s, src := range sources {
+		if res.Values[src]&(1<<uint(s)) == 0 {
+			t.Fatalf("source %d does not reach itself", src)
+		}
+	}
+}
+
+func TestReachabilityValidatesInput(t *testing.T) {
+	cfg := rmat.Config{Scale: 6, Seed: 85}
+	eng, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Reachability(nil); err == nil {
+		t.Fatal("empty sources accepted")
+	}
+	if _, err := eng.Reachability(make([]int64, 65)); err == nil {
+		t.Fatal("65 sources accepted")
+	}
+	if _, err := eng.Reachability([]int64{-1}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}
+
+// sumProgram exercises a non-idempotent Combine through the generic API:
+// each vertex converges to... nothing (sums grow), so it bounds iterations.
+// It verifies maxIter is honored and values change deterministically.
+type sumProgram struct{}
+
+func (sumProgram) Init(v int64, deg int64) int64 { return 1 }
+func (sumProgram) Identity() int64               { return 0 }
+func (sumProgram) Combine(a, b int64) int64      { return a + b }
+func (sumProgram) Message(val int64) int64       { return val }
+func (sumProgram) Apply(old, acc int64) int64    { return old + acc }
+
+func TestGenericMaxIterHonored(t *testing.T) {
+	cfg := rmat.Config{Scale: 7, Seed: 86}
+	edges := rmat.Generate(cfg)
+	eng, err := New(cfg.NumVertices(), edges, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProgram[int64](eng, sumProgram{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("ran %d iterations, want 3", res.Iterations)
+	}
+}
+
+func TestGenericRankInvariance(t *testing.T) {
+	// The same program must produce identical values regardless of rank
+	// count (deterministic member-order Combine).
+	cfg := rmat.Config{Scale: 8, Seed: 87}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	var ref []int64
+	for _, ranks := range []int{1, 4, 9} {
+		eng, err := New(n, edges, Options{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunProgram[int64](eng, sumProgram{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Values
+			continue
+		}
+		for v := int64(0); v < n; v++ {
+			if res.Values[v] != ref[v] {
+				t.Fatalf("ranks=%d: value[%d] = %d, 1-rank run %d", ranks, v, res.Values[v], ref[v])
+			}
+		}
+	}
+}

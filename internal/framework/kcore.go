@@ -1,0 +1,225 @@
+package framework
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+)
+
+// KCoreResult reports membership of the k-core: the maximal subgraph in
+// which every vertex has degree at least k.
+type KCoreResult struct {
+	InCore     []bool
+	CoreSize   int64
+	Iterations int
+	Time       time.Duration
+}
+
+// KCore computes the k-core by synchronous peeling: every round removes all
+// vertices whose remaining degree dropped below k and messages a degree
+// decrement along each of their edges. Hub decrements are delegated —
+// accumulated locally per rank and sum-reduced column-then-row — while L
+// decrements travel as the usual owner-directed messages. Duplicate edges
+// count toward degree with multiplicity, consistent with the partitioner's
+// degree table.
+func (e *Engine) KCore(k int64) (*KCoreResult, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("framework: negative k")
+	}
+	n := e.Part.Layout.N
+	res := &KCoreResult{InCore: make([]bool, n)}
+	start := time.Now()
+	iters := make([]int, e.Opt.Ranks)
+	e.World.Run(func(r *comm.Rank) {
+		st := newKCoreState(e, r, k)
+		iters[r.ID] = st.run()
+		st.writeResult(res.InCore)
+	})
+	res.Time = time.Since(start)
+	res.Iterations = iters[0]
+	for _, in := range res.InCore {
+		if in {
+			res.CoreSize++
+		}
+	}
+	return res, nil
+}
+
+type kcoreState struct {
+	e  *Engine
+	r  *comm.Rank
+	rg *partition.RankGraph
+	k  int64
+
+	kk int // hub count
+
+	hubDeg     []int64
+	hubRemoved []bool
+	hubPeeled  []bool // removed this round, decrements not yet sent
+	lDeg       []int64
+	lRemoved   []bool
+	lPeeled    []bool
+}
+
+type decMsg struct {
+	LIdx int32
+	Dec  int32
+}
+
+func newKCoreState(e *Engine, r *comm.Rank, k int64) *kcoreState {
+	per := int(e.Part.Layout.PerRank)
+	kk := e.Part.Hubs.K()
+	st := &kcoreState{
+		e: e, r: r, rg: e.Part.Ranks[r.ID], k: k, kk: kk,
+		hubDeg: make([]int64, kk), hubRemoved: make([]bool, kk), hubPeeled: make([]bool, kk),
+		lDeg: make([]int64, per), lRemoved: make([]bool, per), lPeeled: make([]bool, per),
+	}
+	for h := 0; h < kk; h++ {
+		st.hubDeg[h] = e.Part.Hubs.Deg[h]
+	}
+	layout := e.Part.Layout
+	for li := 0; li < st.rg.LocalN; li++ {
+		st.lDeg[li] = e.Part.Degrees[layout.GlobalOf(r.ID, int32(li))]
+	}
+	return st
+}
+
+// peel marks every live vertex below the threshold as peeled; returns the
+// local count.
+func (st *kcoreState) peel() int64 {
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	var peeled int64
+	// Hub removals are decided identically on every rank (replicated
+	// degrees); only the owner counts them toward the global total.
+	for h := 0; h < st.kk; h++ {
+		if !st.hubRemoved[h] && st.hubDeg[h] < st.k {
+			st.hubRemoved[h] = true
+			st.hubPeeled[h] = true
+			if layout.Owner(hubs.Orig[h]) == st.r.ID {
+				peeled++
+			}
+		}
+	}
+	for li := 0; li < st.rg.LocalN; li++ {
+		v := layout.GlobalOf(st.r.ID, int32(li))
+		if _, isHub := hubs.HubOf(v); isHub {
+			continue
+		}
+		if !st.lRemoved[li] && st.lDeg[li] < st.k {
+			st.lRemoved[li] = true
+			st.lPeeled[li] = true
+			peeled++
+		}
+	}
+	return peeled
+}
+
+func (st *kcoreState) run() int {
+	layout := st.e.Part.Layout
+	mesh := st.e.Opt.Mesh
+	iter := 0
+	for ; iter < 1<<20; iter++ {
+		peeled := st.peel()
+		total := comm.AllreduceSumInt64(st.r.World, peeled)
+		if total == 0 {
+			break
+		}
+		// Send decrements along every edge of the freshly peeled vertices.
+		hubDec := make([]int64, st.kk) // local partial, sum-reduced below
+		lDecLocal := make([]int64, len(st.lDeg))
+		sendRow := make([][]decMsg, mesh.Cols)
+		sendLL := make([][]decMsg, layout.P)
+
+		push := &st.rg.EHPush
+		for i, src := range push.IDs {
+			if !st.hubPeeled[src] {
+				continue
+			}
+			for _, dst := range push.Adj[push.Ptr[i]:push.Ptr[i+1]] {
+				hubDec[dst]++
+			}
+		}
+		etol := &st.rg.EToL
+		for i, hub := range etol.IDs {
+			if !st.hubPeeled[hub] {
+				continue
+			}
+			for _, li := range etol.Adj[etol.Ptr[i]:etol.Ptr[i+1]] {
+				lDecLocal[li]++
+			}
+		}
+		htol := &st.rg.HToL
+		for i, hub := range htol.IDs {
+			if !st.hubPeeled[hub] {
+				continue
+			}
+			for _, rem := range htol.Adj[htol.Ptr[i]:htol.Ptr[i+1]] {
+				sendRow[rem.Col] = append(sendRow[rem.Col], decMsg{LIdx: rem.LIdx, Dec: 1})
+			}
+		}
+		ltoe, ltoh, l2l := &st.rg.LToE, &st.rg.LToH, &st.rg.L2L
+		for li := 0; li < st.rg.LocalN; li++ {
+			if !st.lPeeled[li] {
+				continue
+			}
+			for _, hub := range ltoe.Adj[ltoe.Ptr[li]:ltoe.Ptr[li+1]] {
+				hubDec[hub]++
+			}
+			for _, hub := range ltoh.Adj[ltoh.Ptr[li]:ltoh.Ptr[li+1]] {
+				hubDec[hub]++
+			}
+			for _, dst := range l2l.Adj[l2l.Ptr[li]:l2l.Ptr[li+1]] {
+				owner := layout.Owner(dst)
+				sendLL[owner] = append(sendLL[owner], decMsg{LIdx: layout.LocalIdx(dst), Dec: 1})
+			}
+		}
+		// Clear the peel marks: decrements are on their way.
+		for h := range st.hubPeeled {
+			st.hubPeeled[h] = false
+		}
+		for li := range st.lPeeled {
+			st.lPeeled[li] = false
+		}
+		// Deliver.
+		for _, part := range comm.Alltoallv(st.r.RowC, sendRow) {
+			for _, m := range part {
+				lDecLocal[m.LIdx] += int64(m.Dec)
+			}
+		}
+		for _, part := range comm.Alltoallv(st.r.World, sendLL) {
+			for _, m := range part {
+				lDecLocal[m.LIdx] += int64(m.Dec)
+			}
+		}
+		if st.kk > 0 {
+			comm.AllreduceSumInt64Vec(st.r.ColC, hubDec)
+			comm.AllreduceSumInt64Vec(st.r.RowC, hubDec)
+		}
+		for h := 0; h < st.kk; h++ {
+			st.hubDeg[h] -= hubDec[h]
+		}
+		for li := range lDecLocal {
+			st.lDeg[li] -= lDecLocal[li]
+		}
+	}
+	return iter
+}
+
+func (st *kcoreState) writeResult(out []bool) {
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	for li := 0; li < st.rg.LocalN; li++ {
+		v := layout.GlobalOf(st.r.ID, int32(li))
+		if _, isHub := hubs.HubOf(v); !isHub {
+			out[v] = !st.lRemoved[li]
+		}
+	}
+	for h, orig := range hubs.Orig {
+		if layout.Owner(orig) == st.r.ID {
+			out[orig] = !st.hubRemoved[h]
+		}
+	}
+}

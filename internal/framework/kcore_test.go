@@ -1,0 +1,161 @@
+package framework
+
+import (
+	"testing"
+
+	"repro/internal/rmat"
+)
+
+// sequentialKCore is the reference peeling with multigraph degree semantics
+// (self loops excluded, duplicates counted), matching the partitioner.
+func sequentialKCore(n int64, edges []rmat.Edge, k int64) []bool {
+	deg := make([]int64, n)
+	adj := make([][]int64, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U]++
+		deg[e.V]++
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	removed := make([]bool, n)
+	for {
+		any := false
+		for v := int64(0); v < n; v++ {
+			if !removed[v] && deg[v] < k {
+				removed[v] = true
+				any = true
+				for _, u := range adj[v] {
+					deg[u]--
+				}
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	in := make([]bool, n)
+	for v := range in {
+		in[v] = !removed[v]
+	}
+	return in
+}
+
+func TestKCoreMatchesSequential(t *testing.T) {
+	cfg := rmat.Config{Scale: 10, Seed: 91}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	eng, err := New(n, edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 1, 2, 5, 16, 64} {
+		res, err := eng.KCore(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := sequentialKCore(n, edges, k)
+		for v := int64(0); v < n; v++ {
+			if res.InCore[v] != ref[v] {
+				t.Fatalf("k=%d: InCore[%d] = %v, reference %v", k, v, res.InCore[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestKCoreNesting(t *testing.T) {
+	// The (k+1)-core is contained in the k-core.
+	cfg := rmat.Config{Scale: 11, Seed: 92}
+	edges := rmat.Generate(cfg)
+	eng, err := New(cfg.NumVertices(), edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *KCoreResult
+	for k := int64(1); k <= 32; k *= 2 {
+		res, err := eng.KCore(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if res.CoreSize > prev.CoreSize {
+				t.Fatalf("core grew from k: %d -> %d", prev.CoreSize, res.CoreSize)
+			}
+			for v := range res.InCore {
+				if res.InCore[v] && !prev.InCore[v] {
+					t.Fatalf("vertex %d in higher core but not lower", v)
+				}
+			}
+		}
+		prev = res
+	}
+}
+
+func TestKCoreHubsSurviveLongest(t *testing.T) {
+	// At a moderately high k, only hub-class vertices should remain — the
+	// dense core IS the E/H subgraph, the paper's structural premise.
+	cfg := rmat.Config{Scale: 12, Seed: 93}
+	edges := rmat.Generate(cfg)
+	eng, err := New(cfg.NumVertices(), edges, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.KCore(eng.Opt.Thresholds.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoreSize == 0 {
+		t.Skip("core empty at this threshold")
+	}
+	hubFrac := 0.0
+	for v, in := range res.InCore {
+		if in {
+			if _, isHub := eng.Part.Hubs.HubOf(int64(v)); isHub {
+				hubFrac++
+			}
+		}
+	}
+	hubFrac /= float64(res.CoreSize)
+	if hubFrac < 0.5 {
+		t.Fatalf("only %.0f%% of the %d-core are hubs", 100*hubFrac, eng.Opt.Thresholds.H)
+	}
+}
+
+func TestKCoreMeshInvariance(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 94}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	var ref []bool
+	for _, ranks := range []int{1, 4, 6} {
+		eng, err := New(n, edges, Options{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.KCore(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.InCore
+			continue
+		}
+		for v := range ref {
+			if res.InCore[v] != ref[v] {
+				t.Fatalf("ranks=%d: InCore[%d] differs", ranks, v)
+			}
+		}
+	}
+}
+
+func TestKCoreRejectsNegative(t *testing.T) {
+	cfg := rmat.Config{Scale: 6, Seed: 95}
+	eng, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.KCore(-1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}

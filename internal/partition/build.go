@@ -1,0 +1,419 @@
+package partition
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/rmat"
+	"repro/internal/topology"
+)
+
+// SparseCSR is adjacency keyed by an explicit ID list: neighbors of IDs[i]
+// are Adj[Ptr[i]:Ptr[i+1]]. Used for hub-keyed components, where only a few
+// hubs have edges on a given rank.
+type SparseCSR struct {
+	IDs []int32
+	Ptr []int64
+	Adj []int32
+}
+
+// NumEdges returns the stored directed edge count.
+func (c *SparseCSR) NumEdges() int64 { return int64(len(c.Adj)) }
+
+// DenseCSR32 is adjacency over the rank's local vertex block with int32
+// neighbor payloads (hub IDs).
+type DenseCSR32 struct {
+	Ptr []int64
+	Adj []int32
+}
+
+// NumEdges returns the stored directed edge count.
+func (c *DenseCSR32) NumEdges() int64 { return int64(len(c.Adj)) }
+
+// DenseCSR64 is adjacency over the local block with int64 payloads
+// (original vertex IDs), used by L2L.
+type DenseCSR64 struct {
+	Ptr []int64
+	Adj []int64
+}
+
+// NumEdges returns the stored directed edge count.
+func (c *DenseCSR64) NumEdges() int64 { return int64(len(c.Adj)) }
+
+// RemoteL packs the destination of an H2L edge: the owner's mesh column and
+// the local index at that owner (the owner's row equals this rank's row by
+// construction, so the column suffices to address it).
+type RemoteL struct {
+	Col  int32
+	LIdx int32
+}
+
+// HubToRemoteCSR is adjacency from hub IDs to remote L destinations.
+type HubToRemoteCSR struct {
+	IDs []int32
+	Ptr []int64
+	Adj []RemoteL
+}
+
+// NumEdges returns the stored directed edge count.
+func (c *HubToRemoteCSR) NumEdges() int64 { return int64(len(c.Adj)) }
+
+// RankGraph is one rank's share of the six components.
+type RankGraph struct {
+	Rank   int
+	LocalN int
+
+	EHPush SparseCSR      // EH2EH by source: src hubs in my mesh column's block
+	EHPull SparseCSR      // EH2EH by destination: dst hubs in my row's block
+	EToL   SparseCSR      // E2L: E hub -> local L index (at owner of L)
+	HToL   HubToRemoteCSR // H2L: H hub -> L at a rank in my row
+	LToE   DenseCSR32     // L2E: local L -> E hub (at owner of L)
+	LToH   DenseCSR32     // L2H: local L -> H hub (at owner of L)
+	L2L    DenseCSR64     // L2L: local L -> original remote vertex
+
+	// CompEdges counts stored directed edges per component on this rank,
+	// feeding the Figure 13 balance statistics.
+	CompEdges [NumComponents]int64
+}
+
+// Partitioned is the full partitioning result.
+type Partitioned struct {
+	Layout Layout
+	Hubs   *HubDir
+	Ranks  []*RankGraph
+	// Degrees of every original vertex (kept for root sampling and checks).
+	Degrees []int64
+}
+
+// edge placement record types, accumulated per destination rank during the
+// distribution pass.
+type hubHubRec struct{ src, dst int32 }
+type hubLocRec struct{ hub, lidx int32 }
+type locHubRec struct{ lidx, hub int32 }
+type hubRemRec struct {
+	hub int32
+	dst RemoteL
+}
+type locLocRec struct {
+	lidx int32
+	dst  int64
+}
+
+type rankBuf struct {
+	eh  []hubHubRec
+	e2l []hubLocRec
+	h2l []hubRemRec
+	l2e []locHubRec
+	l2h []locHubRec
+	l2l []locLocRec
+}
+
+// Build partitions the undirected edge list over the mesh with the given
+// thresholds. Self loops are dropped; duplicate edges are kept (the Graph 500
+// generator emits them and the kernels tolerate them).
+func Build(n int64, edges []rmat.Edge, mesh topology.Mesh, th Thresholds, workers int) (*Partitioned, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	layout := NewLayout(n, mesh)
+	degrees := computeDegrees(n, edges, workers)
+	hubs, err := BuildHubDir(degrees, th)
+	if err != nil {
+		return nil, err
+	}
+	p := mesh.Size()
+
+	// Distribution pass: workers scan disjoint edge chunks, appending
+	// placement records into per-worker per-rank buffers.
+	bufs := make([][]rankBuf, workers)
+	var wg sync.WaitGroup
+	chunk := (len(edges) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(edges) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rb := make([]rankBuf, p)
+			for _, e := range edges[lo:hi] {
+				if e.U == e.V {
+					continue
+				}
+				placeDirected(e.U, e.V, layout, hubs, rb)
+				placeDirected(e.V, e.U, layout, hubs, rb)
+			}
+			bufs[w] = rb
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Assembly pass: one goroutine per rank builds its CSRs from all
+	// workers' buffers for that rank.
+	ranks := make([]*RankGraph, p)
+	sem := make(chan struct{}, workers)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var parts []rankBuf
+			for w := range bufs {
+				if bufs[w] != nil {
+					parts = append(parts, bufs[w][r])
+				}
+			}
+			ranks[r] = assembleRank(r, layout, parts)
+		}(r)
+	}
+	wg.Wait()
+	return &Partitioned{Layout: layout, Hubs: hubs, Ranks: ranks, Degrees: degrees}, nil
+}
+
+func computeDegrees(n int64, edges []rmat.Edge, workers int) []int64 {
+	shards := make([][]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(edges) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(edges) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([]int64, n)
+			for _, e := range edges[lo:hi] {
+				if e.U == e.V {
+					continue
+				}
+				local[e.U]++
+				local[e.V]++
+			}
+			shards[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	deg := make([]int64, n)
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for i := range deg {
+			deg[i] += s[i]
+		}
+	}
+	return deg
+}
+
+// placeDirected routes the directed edge src→dst to its component and rank.
+func placeDirected(src, dst int64, layout Layout, hubs *HubDir, rb []rankBuf) {
+	hs, srcHub := hubs.HubOf(src)
+	hd, dstHub := hubs.HubOf(dst)
+	mesh := layout.Mesh
+	switch {
+	case srcHub && dstHub:
+		q := mesh.RankAt(hubs.RowBlockOf(hd, mesh), hubs.ColBlockOf(hs, mesh))
+		rb[q].eh = append(rb[q].eh, hubHubRec{src: hs, dst: hd})
+	case srcHub && !dstHub:
+		owner := layout.Owner(dst)
+		lidx := layout.LocalIdx(dst)
+		if hubs.IsE(hs) {
+			rb[owner].e2l = append(rb[owner].e2l, hubLocRec{hub: hs, lidx: lidx})
+		} else {
+			q := mesh.RankAt(mesh.RowOf(owner), hubs.ColBlockOf(hs, mesh))
+			rb[q].h2l = append(rb[q].h2l, hubRemRec{hub: hs, dst: RemoteL{Col: int32(mesh.ColOf(owner)), LIdx: lidx}})
+		}
+	case !srcHub && dstHub:
+		owner := layout.Owner(src)
+		lidx := layout.LocalIdx(src)
+		if hubs.IsE(hd) {
+			rb[owner].l2e = append(rb[owner].l2e, locHubRec{lidx: lidx, hub: hd})
+		} else {
+			rb[owner].l2h = append(rb[owner].l2h, locHubRec{lidx: lidx, hub: hd})
+		}
+	default:
+		owner := layout.Owner(src)
+		rb[owner].l2l = append(rb[owner].l2l, locLocRec{lidx: layout.LocalIdx(src), dst: dst})
+	}
+}
+
+func assembleRank(r int, layout Layout, parts []rankBuf) *RankGraph {
+	g := &RankGraph{Rank: r, LocalN: layout.LocalCount(r)}
+	// EH2EH: the same record set oriented both ways.
+	var eh []hubHubRec
+	for _, p := range parts {
+		eh = append(eh, p.eh...)
+	}
+	g.EHPush = buildSparse(eh, func(x hubHubRec) (int32, int32) { return x.src, x.dst })
+	g.EHPull = buildSparse(eh, func(x hubHubRec) (int32, int32) { return x.dst, x.src })
+	g.CompEdges[CompEH2EH] = int64(len(eh))
+
+	var e2l []hubLocRec
+	for _, p := range parts {
+		e2l = append(e2l, p.e2l...)
+	}
+	g.EToL = buildSparse(e2l, func(x hubLocRec) (int32, int32) { return x.hub, x.lidx })
+	g.CompEdges[CompE2L] = int64(len(e2l))
+
+	var h2l []hubRemRec
+	for _, p := range parts {
+		h2l = append(h2l, p.h2l...)
+	}
+	g.HToL = buildHubRemote(h2l)
+	g.CompEdges[CompH2L] = int64(len(h2l))
+
+	var l2e, l2h []locHubRec
+	for _, p := range parts {
+		l2e = append(l2e, p.l2e...)
+		l2h = append(l2h, p.l2h...)
+	}
+	g.LToE = buildDense32(g.LocalN, l2e)
+	g.LToH = buildDense32(g.LocalN, l2h)
+	g.CompEdges[CompL2E] = int64(len(l2e))
+	g.CompEdges[CompL2H] = int64(len(l2h))
+
+	var l2l []locLocRec
+	for _, p := range parts {
+		l2l = append(l2l, p.l2l...)
+	}
+	g.L2L = buildDense64(g.LocalN, l2l)
+	g.CompEdges[CompL2L] = int64(len(l2l))
+	return g
+}
+
+// buildSparse groups records by key into a SparseCSR with sorted IDs.
+func buildSparse[T any](recs []T, kv func(T) (key, val int32)) SparseCSR {
+	if len(recs) == 0 {
+		return SparseCSR{Ptr: []int64{0}}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		ki, _ := kv(recs[i])
+		kj, _ := kv(recs[j])
+		return ki < kj
+	})
+	var csr SparseCSR
+	csr.Adj = make([]int32, len(recs))
+	last := int32(-1)
+	for i, rec := range recs {
+		k, v := kv(rec)
+		if k != last {
+			csr.IDs = append(csr.IDs, k)
+			csr.Ptr = append(csr.Ptr, int64(i))
+			last = k
+		}
+		csr.Adj[i] = v
+	}
+	csr.Ptr = append(csr.Ptr, int64(len(recs)))
+	return csr
+}
+
+func buildHubRemote(recs []hubRemRec) HubToRemoteCSR {
+	if len(recs) == 0 {
+		return HubToRemoteCSR{Ptr: []int64{0}}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].hub < recs[j].hub })
+	var csr HubToRemoteCSR
+	csr.Adj = make([]RemoteL, len(recs))
+	last := int32(-1)
+	for i, rec := range recs {
+		if rec.hub != last {
+			csr.IDs = append(csr.IDs, rec.hub)
+			csr.Ptr = append(csr.Ptr, int64(i))
+			last = rec.hub
+		}
+		csr.Adj[i] = rec.dst
+	}
+	csr.Ptr = append(csr.Ptr, int64(len(recs)))
+	return csr
+}
+
+func buildDense32(n int, recs []locHubRec) DenseCSR32 {
+	ptr := make([]int64, n+1)
+	for _, rec := range recs {
+		ptr[rec.lidx+1]++
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	adj := make([]int32, len(recs))
+	cursor := make([]int64, n)
+	copy(cursor, ptr[:n])
+	for _, rec := range recs {
+		adj[cursor[rec.lidx]] = rec.hub
+		cursor[rec.lidx]++
+	}
+	return DenseCSR32{Ptr: ptr, Adj: adj}
+}
+
+func buildDense64(n int, recs []locLocRec) DenseCSR64 {
+	ptr := make([]int64, n+1)
+	for _, rec := range recs {
+		ptr[rec.lidx+1]++
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	adj := make([]int64, len(recs))
+	cursor := make([]int64, n)
+	copy(cursor, ptr[:n])
+	for _, rec := range recs {
+		adj[cursor[rec.lidx]] = rec.dst
+		cursor[rec.lidx]++
+	}
+	return DenseCSR64{Ptr: ptr, Adj: adj}
+}
+
+// TotalEdges sums stored directed edges over all ranks and components.
+func (p *Partitioned) TotalEdges() int64 {
+	var t int64
+	for _, rg := range p.Ranks {
+		for _, c := range rg.CompEdges {
+			t += c
+		}
+	}
+	return t
+}
+
+// BalanceStats summarizes per-rank edge counts for one component:
+// min, max, mean — the Figure 13 distribution.
+type BalanceStats struct {
+	Component Component
+	Min, Max  int64
+	Mean      float64
+	PerRank   []int64
+}
+
+// Balance computes balance statistics for every component.
+func (p *Partitioned) Balance() []BalanceStats {
+	out := make([]BalanceStats, NumComponents)
+	for c := Component(0); c < NumComponents; c++ {
+		st := BalanceStats{Component: c, Min: 1<<63 - 1}
+		var sum int64
+		for _, rg := range p.Ranks {
+			v := rg.CompEdges[c]
+			st.PerRank = append(st.PerRank, v)
+			sum += v
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+		}
+		st.Mean = float64(sum) / float64(len(p.Ranks))
+		out[c] = st
+	}
+	return out
+}

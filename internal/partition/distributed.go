@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/rmat"
+)
+
+// BuildDistributed constructs the same partitioning as Build, but with the
+// paper's distributed preprocessing discipline (Section 5, "in-place global
+// sort"): each rank starts from only its own shard of the edge list, degrees
+// are combined with one vector sum-reduce, placement records route straight
+// to their destination rank with one alltoallv per component, and each rank
+// sorts and assembles only what it will own. No rank ever materializes the
+// whole edge list — the property that lets the real system preprocess a
+// graph occupying nearly all of main memory.
+//
+// All ranks of the world must call it collectively, each with its shard;
+// every rank returns the full Partitioned handle (rank graphs are shared
+// read-only structures, as with Build).
+func BuildDistributed(world *comm.World, n int64, shard func(rank int) []rmat.Edge, th Thresholds) (*Partitioned, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	mesh := world.Mesh()
+	layout := NewLayout(n, mesh)
+	p := mesh.Size()
+	ranks := make([]*RankGraph, p)
+	degreesOut := make([][]int64, p)
+	errs := make([]error, p)
+	world.Run(func(r *comm.Rank) {
+		edges := shard(r.ID)
+		// Phase 1: global degrees via one vector sum-reduce of the local
+		// histograms.
+		degrees := make([]int64, n)
+		for _, e := range edges {
+			if e.U == e.V {
+				continue
+			}
+			degrees[e.U]++
+			degrees[e.V]++
+		}
+		comm.AllreduceSumInt64Vec(r.World, degrees)
+		degreesOut[r.ID] = degrees
+		// Phase 2: every rank computes the identical hub directory from the
+		// identical degree vector.
+		hubs, err := BuildHubDir(degrees, th)
+		if err != nil {
+			errs[r.ID] = err
+			// Still participate in the collectives below with empty data so
+			// the world does not deadlock.
+			hubs = &HubDir{}
+		}
+		// Phase 3: route placement records from the local shard to their
+		// destination ranks.
+		rb := make([]rankBuf, p)
+		if errs[r.ID] == nil {
+			for _, e := range edges {
+				if e.U == e.V {
+					continue
+				}
+				placeDirected(e.U, e.V, layout, hubs, rb)
+				placeDirected(e.V, e.U, layout, hubs, rb)
+			}
+		}
+		mine := exchangeRecords(r, rb, p)
+		// Phase 4: assemble this rank's CSRs from its received records.
+		if errs[r.ID] == nil {
+			ranks[r.ID] = assembleRank(r.ID, layout, []rankBuf{mine})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	part := &Partitioned{Layout: layout, Hubs: nil, Ranks: ranks, Degrees: degreesOut[0]}
+	// Rebuild the (identical) hub directory once for the shared handle.
+	hubs, err := BuildHubDir(part.Degrees, th)
+	if err != nil {
+		return nil, fmt.Errorf("partition: hub directory rebuild: %w", err)
+	}
+	part.Hubs = hubs
+	return part, nil
+}
+
+// exchangeRecords alltoallvs each component's placement records and returns
+// the concatenated records destined for this rank.
+func exchangeRecords(r *comm.Rank, rb []rankBuf, p int) rankBuf {
+	var mine rankBuf
+	{
+		send := make([][]hubHubRec, p)
+		for q := range send {
+			send[q] = rb[q].eh
+		}
+		for _, part := range comm.Alltoallv(r.World, send) {
+			mine.eh = append(mine.eh, part...)
+		}
+	}
+	{
+		send := make([][]hubLocRec, p)
+		for q := range send {
+			send[q] = rb[q].e2l
+		}
+		for _, part := range comm.Alltoallv(r.World, send) {
+			mine.e2l = append(mine.e2l, part...)
+		}
+	}
+	{
+		send := make([][]hubRemRec, p)
+		for q := range send {
+			send[q] = rb[q].h2l
+		}
+		for _, part := range comm.Alltoallv(r.World, send) {
+			mine.h2l = append(mine.h2l, part...)
+		}
+	}
+	{
+		send := make([][]locHubRec, p)
+		for q := range send {
+			send[q] = rb[q].l2e
+		}
+		for _, part := range comm.Alltoallv(r.World, send) {
+			mine.l2e = append(mine.l2e, part...)
+		}
+	}
+	{
+		send := make([][]locHubRec, p)
+		for q := range send {
+			send[q] = rb[q].l2h
+		}
+		for _, part := range comm.Alltoallv(r.World, send) {
+			mine.l2h = append(mine.l2h, part...)
+		}
+	}
+	{
+		send := make([][]locLocRec, p)
+		for q := range send {
+			send[q] = rb[q].l2l
+		}
+		for _, part := range comm.Alltoallv(r.World, send) {
+			mine.l2l = append(mine.l2l, part...)
+		}
+	}
+	return mine
+}

@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+)
+
+func buildBoth(t *testing.T, scale int, mesh topology.Mesh, th Thresholds) (*Partitioned, *Partitioned) {
+	t.Helper()
+	cfg := rmat.Config{Scale: scale, Seed: 61}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	ref, err := Build(n, edges, mesh, th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := comm.NewWorld(mesh.Size(), mesh, topology.NewSunway(mesh.Size()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard the edge list contiguously across ranks.
+	p := mesh.Size()
+	chunk := (len(edges) + p - 1) / p
+	shard := func(rank int) []rmat.Edge {
+		lo := rank * chunk
+		if lo >= len(edges) {
+			return nil
+		}
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		return edges[lo:hi]
+	}
+	dist, err := BuildDistributed(world, n, shard, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, dist
+}
+
+func sortedCopy32(s []int32) []int32 {
+	c := append([]int32(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+func TestBuildDistributedMatchesBuild(t *testing.T) {
+	mesh := topology.Mesh{Rows: 2, Cols: 2}
+	ref, dist := buildBoth(t, 10, mesh, Thresholds{E: 256, H: 32})
+	if ref.Hubs.K() != dist.Hubs.K() || ref.Hubs.NumE != dist.Hubs.NumE {
+		t.Fatalf("hub directories differ: %d/%d vs %d/%d",
+			ref.Hubs.NumE, ref.Hubs.NumH, dist.Hubs.NumE, dist.Hubs.NumH)
+	}
+	for i := range ref.Degrees {
+		if ref.Degrees[i] != dist.Degrees[i] {
+			t.Fatalf("degree[%d] differs", i)
+		}
+	}
+	for r := range ref.Ranks {
+		a, b := ref.Ranks[r], dist.Ranks[r]
+		for c := Component(0); c < NumComponents; c++ {
+			if a.CompEdges[c] != b.CompEdges[c] {
+				t.Fatalf("rank %d %v: %d vs %d edges", r, c, a.CompEdges[c], b.CompEdges[c])
+			}
+		}
+		// Spot-check structural equality of the EH component: same IDs and,
+		// per ID, the same multiset of neighbors.
+		if len(a.EHPush.IDs) != len(b.EHPush.IDs) {
+			t.Fatalf("rank %d: EHPush ID counts differ", r)
+		}
+		for i := range a.EHPush.IDs {
+			if a.EHPush.IDs[i] != b.EHPush.IDs[i] {
+				t.Fatalf("rank %d: EHPush IDs differ at %d", r, i)
+			}
+			x := sortedCopy32(a.EHPush.Adj[a.EHPush.Ptr[i]:a.EHPush.Ptr[i+1]])
+			y := sortedCopy32(b.EHPush.Adj[b.EHPush.Ptr[i]:b.EHPush.Ptr[i+1]])
+			if len(x) != len(y) {
+				t.Fatalf("rank %d hub %d: adjacency sizes differ", r, a.EHPush.IDs[i])
+			}
+			for j := range x {
+				if x[j] != y[j] {
+					t.Fatalf("rank %d hub %d: adjacency differs", r, a.EHPush.IDs[i])
+				}
+			}
+		}
+		// L2L dense CSR: same per-vertex neighbor multisets.
+		for li := 0; li < a.LocalN; li++ {
+			x := append([]int64(nil), a.L2L.Adj[a.L2L.Ptr[li]:a.L2L.Ptr[li+1]]...)
+			y := append([]int64(nil), b.L2L.Adj[b.L2L.Ptr[li]:b.L2L.Ptr[li+1]]...)
+			sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+			sort.Slice(y, func(i, j int) bool { return y[i] < y[j] })
+			if len(x) != len(y) {
+				t.Fatalf("rank %d lidx %d: L2L sizes differ", r, li)
+			}
+			for j := range x {
+				if x[j] != y[j] {
+					t.Fatalf("rank %d lidx %d: L2L differs", r, li)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildDistributedUnevenShards(t *testing.T) {
+	// All edges on one rank's shard: routing must still place everything.
+	cfg := rmat.Config{Scale: 8, Seed: 62}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	mesh := topology.Mesh{Rows: 2, Cols: 2}
+	world, err := comm.NewWorld(4, mesh, topology.NewSunway(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := func(rank int) []rmat.Edge {
+		if rank == 3 {
+			return edges
+		}
+		return nil
+	}
+	dist, err := BuildDistributed(world, n, shard, Thresholds{E: 128, H: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Build(n, edges, mesh, Thresholds{E: 128, H: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.TotalEdges() != ref.TotalEdges() {
+		t.Fatalf("distributed build stored %d edges, reference %d", dist.TotalEdges(), ref.TotalEdges())
+	}
+}
+
+func TestBuildDistributedRejectsBadThresholds(t *testing.T) {
+	mesh := topology.Mesh{Rows: 1, Cols: 2}
+	world, err := comm.NewWorld(2, mesh, topology.NewSunway(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDistributed(world, 16, func(int) []rmat.Edge { return nil }, Thresholds{E: 1, H: 2}); err == nil {
+		t.Fatal("invalid thresholds accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package partition
+
+// SegmentedPull splits the EH2EH pull adjacency into nseg segments by source
+// hub ID range (CG-aware core subgraph segmenting, paper Section 4.3): the
+// randomly-read source activeness bit vector is cut into nseg contiguous
+// slices, and each destination's source list is grouped by slice. One
+// "core group" then processes one segment with its hot bitmap slice resident
+// in fast memory. K is the global hub count the source IDs index into.
+func (g *RankGraph) SegmentedPull(nseg, k int) []SparseCSR {
+	if nseg <= 0 {
+		panic("partition: SegmentedPull needs nseg > 0")
+	}
+	// Precompute segment boundaries so segOf agrees exactly with
+	// SegmentBounds at the edges.
+	bounds := make([]int32, nseg+1)
+	for s := 0; s <= nseg; s++ {
+		bounds[s] = int32(int64(s) * int64(k) / int64(nseg))
+	}
+	bounds[nseg] = int32(k)
+	segOf := func(src int32) int {
+		lo, hi := 0, nseg-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if bounds[mid] <= src {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	pull := &g.EHPull
+	out := make([]SparseCSR, nseg)
+	// Count per (segment, dst) adjacency sizes.
+	counts := make([][]int64, nseg)
+	for s := range counts {
+		counts[s] = make([]int64, len(pull.IDs))
+	}
+	for di := range pull.IDs {
+		for _, src := range pull.Adj[pull.Ptr[di]:pull.Ptr[di+1]] {
+			counts[segOf(src)][di]++
+		}
+	}
+	for s := 0; s < nseg; s++ {
+		var csr SparseCSR
+		var total int64
+		for di := range pull.IDs {
+			if counts[s][di] > 0 {
+				total += counts[s][di]
+			}
+		}
+		csr.Adj = make([]int32, 0, total)
+		for di, id := range pull.IDs {
+			if counts[s][di] == 0 {
+				continue
+			}
+			csr.IDs = append(csr.IDs, id)
+			csr.Ptr = append(csr.Ptr, int64(len(csr.Adj)))
+			for _, src := range pull.Adj[pull.Ptr[di]:pull.Ptr[di+1]] {
+				if segOf(src) == s {
+					csr.Adj = append(csr.Adj, src)
+				}
+			}
+		}
+		csr.Ptr = append(csr.Ptr, int64(len(csr.Adj)))
+		if csr.Ptr == nil {
+			csr.Ptr = []int64{0}
+		}
+		out[s] = csr
+	}
+	return out
+}
+
+// SegmentBounds returns the [lo, hi) hub range of segment s of nseg over k
+// hubs, matching SegmentedPull's slicing.
+func SegmentBounds(s, nseg, k int) (int32, int32) {
+	lo := int64(s) * int64(k) / int64(nseg)
+	hi := int64(s+1) * int64(k) / int64(nseg)
+	if s == nseg-1 {
+		hi = int64(k)
+	}
+	return int32(lo), int32(hi)
+}

@@ -1,0 +1,110 @@
+package perfmodel
+
+import "math"
+
+// Capacity analysis: the paper's second headline is 8x graph capacity — 281T
+// edges where the previous record held 35.2T. Capacity is a memory argument:
+// SCALE 44 must fit the 96 GiB per node of 103,912 nodes, and the
+// partitioning scheme decides whether it does. Section 2.3 computes why the
+// alternatives fail (1D delegation needs 1.76e10 delegated vertices per node;
+// 2D column/row sharing needs 5.56e10); this file reproduces those numbers
+// and the 1.5D scheme's fit.
+
+// CapacityReport itemizes modeled per-node memory for one scheme.
+type CapacityReport struct {
+	Scheme        string
+	EdgeBytes     float64 // stored directed adjacency
+	DelegateBytes float64 // delegated vertex state (bitmaps + parent arrays)
+	FrontierBytes float64 // owner-local traversal state
+	TotalBytes    float64
+	Fits          bool // within MemPerNode
+}
+
+// CapacityWorkload describes the scale point to analyze.
+type CapacityWorkload struct {
+	Scale        int
+	Nodes        int
+	MemPerNode   float64 // bytes
+	BytesPerEdge float64 // stored bytes per directed edge (CSR payload)
+}
+
+// Graph500Capacity returns the paper's headline configuration: SCALE 44 on
+// 103,912 nodes with 96 GiB each. Six bytes per directed edge reflects the
+// compressed local indices real implementations use (our laptop build uses
+// wider types; the machine fit is about the real system's layout).
+func Graph500Capacity() CapacityWorkload {
+	return CapacityWorkload{Scale: 44, Nodes: 103912, MemPerNode: 96 * (1 << 30), BytesPerEdge: 6}
+}
+
+// AnalyzeCapacity models per-node memory for the three partitioning schemes
+// at the workload, reproducing Section 2.3's arithmetic:
+//
+//   - 1D+delegates: ~0.1% of all vertices must be delegated per node
+//     (the paper: 2^44 * 0.1% ≈ 1.76e10 per-node delegates);
+//   - 2D: column+row sharing costs |V_local| * sqrt(P) shared vertices
+//     (the paper: 5.56e10);
+//   - 1.5D: E delegated globally (tiny), H shared only along rows/columns.
+//
+// Delegate state is charged at 9 bytes per delegated vertex (8-byte parent
+// plus activeness/visited bits).
+func AnalyzeCapacity(w CapacityWorkload) []CapacityReport {
+	n := math.Pow(2, float64(w.Scale))
+	directed := 2 * 16 * n
+	perNodeEdges := directed / float64(w.Nodes)
+	edgeBytes := perNodeEdges * w.BytesPerEdge
+	vLocal := n / float64(w.Nodes)
+	const perDelegate = 9.0
+
+	frontier := vLocal * perDelegate // owner-local state, same for all schemes
+
+	reports := make([]CapacityReport, 0, 3)
+
+	// 1D with heavy delegates: 0.1% of all vertices delegated on every node.
+	oneD := CapacityReport{Scheme: "1D + heavy delegates", EdgeBytes: edgeBytes, FrontierBytes: frontier}
+	oneD.DelegateBytes = n * 0.001 * perDelegate
+	oneD.TotalBytes = oneD.EdgeBytes + oneD.DelegateBytes + oneD.FrontierBytes
+	oneD.Fits = oneD.TotalBytes <= w.MemPerNode
+	reports = append(reports, oneD)
+
+	// 2D: every vertex shared along its column and row.
+	twoD := CapacityReport{Scheme: "2D", EdgeBytes: edgeBytes, FrontierBytes: frontier}
+	twoD.DelegateBytes = vLocal * math.Sqrt(float64(w.Nodes)) * perDelegate
+	twoD.TotalBytes = twoD.EdgeBytes + twoD.DelegateBytes + twoD.FrontierBytes
+	twoD.Fits = twoD.TotalBytes <= w.MemPerNode
+	reports = append(reports, twoD)
+
+	// 1.5D: E replicated globally (n/2^17 per DefaultModel), H shared on the
+	// column and row only (K/C + K/R per node).
+	mesh := SquarestMeshSize(w.Nodes)
+	numE := n / (1 << 17)
+	numH := n / (1 << 10)
+	k := numE + numH
+	oneFiveD := CapacityReport{Scheme: "degree-aware 1.5D", EdgeBytes: edgeBytes, FrontierBytes: frontier}
+	oneFiveD.DelegateBytes = (numE + k/float64(mesh[1]) + k/float64(mesh[0])) * perDelegate
+	oneFiveD.TotalBytes = oneFiveD.EdgeBytes + oneFiveD.DelegateBytes + oneFiveD.FrontierBytes
+	oneFiveD.Fits = oneFiveD.TotalBytes <= w.MemPerNode
+	reports = append(reports, oneFiveD)
+	return reports
+}
+
+// SquarestMeshSize returns {rows, cols} of the squarest factorization.
+func SquarestMeshSize(n int) [2]int {
+	best := [2]int{1, n}
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = [2]int{r, n / r}
+		}
+	}
+	return best
+}
+
+// PaperSection23Delegates reproduces the two per-node delegate counts the
+// paper computes in Section 2.3 when arguing prior schemes cannot reach
+// SCALE 44: the 1D figure (≈1.76e10) and the 2D figure (≈5.56e10).
+func PaperSection23Delegates() (oneD, twoD float64) {
+	n := math.Pow(2, 44)
+	nodes := 103912.0
+	oneD = n * 0.001
+	twoD = n / nodes * math.Sqrt(nodes)
+	return oneD, twoD
+}

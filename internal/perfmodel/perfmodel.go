@@ -1,0 +1,274 @@
+// Package perfmodel projects BFS performance to the paper's machine scales.
+//
+// We cannot run 103,912 nodes; what we can do — and what the scaling figures
+// actually measure — is account for where bytes and edge-touches go. The
+// model takes per-subgraph work and traffic measured (or analytically
+// derived) per node, prices them with the published machine constants
+// (topology.NewSunway), and emits the same quantities the paper plots:
+// GTEPS weak-scaling (Figure 9), time share by subgraph (Figure 10), and
+// time share by communication type (Figure 11). DESIGN.md records this
+// substitution; EXPERIMENTS.md records model-vs-paper numbers.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Workload describes one weak-scaling point: a Graph 500 run of the given
+// scale on the given node count.
+type Workload struct {
+	Scale int
+	Nodes int
+	// EThreshold/HThreshold control hub population sizing.
+	EThreshold, HThreshold float64
+}
+
+// Calibration holds per-edge and per-byte costs calibrated once from real
+// measured runs at laptop scale, then held fixed across the sweep.
+type Calibration struct {
+	// SecondsPerEdge is the local scan cost per adjacency touch for kernels
+	// running from memory at the OCS-RMA achievable bandwidth.
+	SecondsPerEdge float64
+	// SecondsPerEdgeL2L inflates L2L's cost: the paper observes L2L is the
+	// least efficient component (tiny frontiers, latency-bound sparse
+	// iterations; Section 6.1.2).
+	SecondsPerEdgeL2L float64
+	// BarrierSeconds is fixed per-iteration latency (collective setup,
+	// barrier, MPE orchestration), multiplied by the iteration count.
+	BarrierSeconds float64
+	// IterLatencyGrowth scales barrier latency with log2(nodes): deeper
+	// reduction trees cost more.
+	IterLatencyGrowth float64
+}
+
+// DefaultCalibration matches our measured per-edge kernel costs scaled to the
+// SW26010-Pro memory system: one adjacency touch moves ~16 bytes through a
+// 249 GB/s memory system at 47% utilization (the paper's measured OCS-RMA
+// efficiency), shared by 6 CGs.
+func DefaultCalibration() Calibration {
+	bytesPerEdge := 16.0
+	effBW := 249e9 * 0.47
+	return Calibration{
+		SecondsPerEdge:    bytesPerEdge / effBW,
+		SecondsPerEdgeL2L: 8 * bytesPerEdge / effBW,
+		BarrierSeconds:    600e-6,
+		IterLatencyGrowth: 80e-6,
+	}
+}
+
+// ComponentLoad is one subgraph's modeled per-node load for a full BFS run.
+type ComponentLoad struct {
+	Name         string
+	EdgesPerNode float64 // adjacency touches per node across the run
+	// Traffic per node, split by collective kind as in Figure 11.
+	AlltoallvBytes     float64
+	AllgatherBytes     float64
+	ReduceScatterBytes float64
+	// CrossSupernodeFrac is the fraction of this component's traffic that
+	// leaves the supernode (pays the oversubscribed links).
+	CrossSupernodeFrac float64
+}
+
+// Projection is the model output for one scaling point.
+type Projection struct {
+	Workload   Workload
+	TotalEdges float64 // graph edges (TEPS numerator)
+	Seconds    float64
+	GTEPS      float64
+	// Shares by subgraph (Figure 10) and by comm type (Figure 11), each
+	// summing to 1.
+	SubgraphShare map[string]float64
+	CommShare     map[string]float64
+}
+
+// Model carries the calibration plus R-MAT structural constants used to
+// size the six components analytically.
+type Model struct {
+	Cal Calibration
+	// EdgeFraction[name] is the fraction of all directed edges landing in
+	// each component. The paper reports the core subgraph (EH2EH) holds over
+	// 60% of edges in Graph 500 graphs (Section 1); the remainder follows
+	// the measured split of our laptop-scale partitionings, which is stable
+	// across scales for fixed relative thresholds.
+	EdgeFraction map[string]float64
+	// TouchedFraction[name] is the fraction of a component's edges actually
+	// touched by the direction-optimized BFS (early exit and sub-iteration
+	// direction optimization cut most of them).
+	TouchedFraction map[string]float64
+	// Iterations of the BFS (R-MAT small-world graphs: ~7-10, nearly flat
+	// in scale).
+	Iterations float64
+}
+
+// ComponentNames in Figure 10 order.
+var ComponentNames = []string{"EH2EH", "E2L", "H2L", "L2E", "L2H", "L2L"}
+
+// DefaultModel returns fractions measured from our SCALE-18..20 runs; they
+// reproduce the paper's ">60% of edges in the core subgraph" property.
+func DefaultModel() Model {
+	return Model{
+		Cal: DefaultCalibration(),
+		EdgeFraction: map[string]float64{
+			"EH2EH": 0.62, "E2L": 0.055, "H2L": 0.105, "L2E": 0.055, "L2H": 0.105, "L2L": 0.06,
+		},
+		TouchedFraction: map[string]float64{
+			"EH2EH": 0.35, "E2L": 0.55, "H2L": 0.55, "L2E": 0.30, "L2H": 0.30, "L2L": 0.95,
+		},
+		Iterations: 9,
+	}
+}
+
+// Project models one weak-scaling point.
+func (m Model) Project(w Workload) Projection {
+	mach := topology.NewSunway(w.Nodes)
+	mesh := topology.SquarestMesh(w.Nodes)
+	n := math.Pow(2, float64(w.Scale))
+	edges := 16 * n       // undirected
+	directed := 2 * edges // stored directed
+	perNode := directed / float64(w.Nodes)
+
+	// Hub population: degree-threshold tails of the R-MAT distribution.
+	// Empirically |E| ~ 2^(scale)/2^17 and |H| ~ 2^(scale)/2^10 at the
+	// paper-like thresholds; only their ratios to n matter below.
+	numE := n / (1 << 17)
+	if numE < 1 {
+		numE = 1
+	}
+	numH := n / (1 << 10)
+	k := numE + numH
+
+	loads := make([]ComponentLoad, 0, len(ComponentNames))
+	nodes := float64(w.Nodes)
+	iters := m.Iterations
+	// Hub delegation synchronization: the point of the 1.5D design is that a
+	// column only shares the hubs in its own column block (K/C of them) and a
+	// row its row block (K/R) — never all K. Two syncs per iteration, each a
+	// reduce-scatter plus allgather of the block bitmap.
+	rows := float64(mesh.Rows)
+	cols := float64(mesh.Cols)
+	colSyncBytes := 2 * iters * (k / cols / 8) * 2
+	rowSyncBytes := 2 * iters * (k / rows / 8) * 2
+	const msgBytes = 8 // per-edge activation message after packing
+	for _, name := range ComponentNames {
+		ld := ComponentLoad{Name: name}
+		ld.EdgesPerNode = perNode * m.EdgeFraction[name] * m.TouchedFraction[name]
+		switch name {
+		case "EH2EH":
+			// 2D component: all its traffic is the hub delegation itself.
+			// Column collectives cross supernodes (rows map to supernodes);
+			// row collectives stay inside.
+			ld.ReduceScatterBytes = (colSyncBytes + rowSyncBytes) / 2
+			ld.AllgatherBytes = (colSyncBytes + rowSyncBytes) / 2
+			ld.CrossSupernodeFrac = colSyncBytes / (colSyncBytes + rowSyncBytes)
+		case "E2L", "L2E":
+			// Local by delegation: no traffic beyond the shared hub sync
+			// (attributed to EH2EH above).
+		case "H2L", "L2H":
+			// Intra-row alltoallv, only for the push-direction share
+			// (roughly half the touched edges in a direction-optimized run).
+			ld.AlltoallvBytes = ld.EdgesPerNode * msgBytes * 0.5
+			ld.CrossSupernodeFrac = 0 // rows map to supernodes
+		case "L2L":
+			// Global messaging, forwarded via intersection nodes: two hops
+			// per message; the first (column) hop crosses supernodes.
+			ld.AlltoallvBytes = ld.EdgesPerNode * msgBytes * 2 * 0.5
+			sn := float64(mach.Supernodes())
+			ld.CrossSupernodeFrac = 0.9 * (1 - 1/sn)
+		}
+		loads = append(loads, ld)
+	}
+
+	// Price each component: compute + its traffic; latency charged globally.
+	proj := Projection{Workload: w, TotalEdges: edges,
+		SubgraphShare: map[string]float64{}, CommShare: map[string]float64{}}
+	var total float64
+	commTime := map[string]float64{"alltoallv": 0, "allgather": 0, "reduce_scatter": 0}
+	var computeTime float64
+	for _, ld := range loads {
+		perEdge := m.Cal.SecondsPerEdge
+		if ld.Name == "L2L" {
+			perEdge = m.Cal.SecondsPerEdgeL2L
+		}
+		compute := ld.EdgesPerNode * perEdge
+		price := func(bytes float64) float64 {
+			return mach.Time(topology.Traffic{
+				IntraBytesPerNode: bytes * (1 - ld.CrossSupernodeFrac),
+				InterBytesPerNode: bytes * ld.CrossSupernodeFrac,
+			})
+		}
+		a2a := price(ld.AlltoallvBytes)
+		ag := price(ld.AllgatherBytes)
+		rs := price(ld.ReduceScatterBytes)
+		t := compute + a2a + ag + rs
+		proj.SubgraphShare[ld.Name] = t
+		commTime["alltoallv"] += a2a
+		commTime["allgather"] += ag
+		commTime["reduce_scatter"] += rs
+		computeTime += compute
+		total += t
+	}
+	// Parent delayed reduction: one K-word max-reduce at the end.
+	reduceT := mach.Time(topology.Traffic{InterBytesPerNode: k * 8 / nodes * math.Log2(nodes)})
+	proj.SubgraphShare["reduce"] = reduceT
+	commTime["reduce_scatter"] += reduceT
+	total += reduceT
+	// Iteration latency floor ("other" / imbalance+latency in Fig 11).
+	other := iters * 6 * (m.Cal.BarrierSeconds + m.Cal.IterLatencyGrowth*math.Log2(nodes))
+	proj.SubgraphShare["other"] = other
+	total += other
+
+	for kname, v := range proj.SubgraphShare {
+		proj.SubgraphShare[kname] = v / total
+	}
+	commTotal := commTime["alltoallv"] + commTime["allgather"] + commTime["reduce_scatter"]
+	proj.CommShare["compute"] = computeTime / total
+	proj.CommShare["imbalance/latency"] = other / total
+	for kname, v := range commTime {
+		proj.CommShare[kname] = v / total
+	}
+	proj.CommShare["other"] = 1 - proj.CommShare["compute"] - proj.CommShare["imbalance/latency"] -
+		commTotal/total
+	if proj.CommShare["other"] < 0 {
+		proj.CommShare["other"] = 0
+	}
+
+	proj.Seconds = total
+	proj.GTEPS = edges / total / 1e9
+	return proj
+}
+
+// PaperPoints are the node counts of the paper's weak-scaling runs (Figure 9)
+// with their maximum-possible SCALE values (35 and 41-44, Section 6.1.1).
+var PaperPoints = []Workload{
+	{Scale: 35, Nodes: 256},
+	{Scale: 41, Nodes: 10750},
+	{Scale: 42, Nodes: 21758},
+	{Scale: 43, Nodes: 60240},
+	{Scale: 44, Nodes: 103912},
+}
+
+// PaperGTEPS are Figure 9's reported values for PaperPoints (the first is
+// 848 GTEPS at one supernode; the last is the headline 180,792).
+var PaperGTEPS = []float64{848, 27300, 50000, 120000, 180792}
+
+// WeakScaling projects every paper point and returns the projections plus
+// the relative parallel efficiency of the last point versus ideal scaling
+// from the first (the paper reports 52%).
+func (m Model) WeakScaling() ([]Projection, float64) {
+	out := make([]Projection, len(PaperPoints))
+	for i, w := range PaperPoints {
+		out[i] = m.Project(w)
+	}
+	first, last := out[0], out[len(out)-1]
+	ideal := first.GTEPS * float64(last.Workload.Nodes) / float64(first.Workload.Nodes)
+	return out, last.GTEPS / ideal
+}
+
+// String renders a projection row.
+func (p Projection) String() string {
+	return fmt.Sprintf("scale=%d nodes=%d time=%.3fs GTEPS=%.0f",
+		p.Workload.Scale, p.Workload.Nodes, p.Seconds, p.GTEPS)
+}

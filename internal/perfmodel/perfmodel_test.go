@@ -1,0 +1,185 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEdgeFractionsSumToOne(t *testing.T) {
+	m := DefaultModel()
+	var sum float64
+	for _, name := range ComponentNames {
+		f, ok := m.EdgeFraction[name]
+		if !ok {
+			t.Fatalf("missing edge fraction for %s", name)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("edge fractions sum to %g", sum)
+	}
+	if m.EdgeFraction["EH2EH"] < 0.6 {
+		t.Fatalf("core subgraph holds %.0f%% of edges; the paper reports over 60%%",
+			100*m.EdgeFraction["EH2EH"])
+	}
+}
+
+func TestProjectionSharesNormalized(t *testing.T) {
+	m := DefaultModel()
+	for _, w := range PaperPoints {
+		p := m.Project(w)
+		var sub float64
+		for _, v := range p.SubgraphShare {
+			if v < 0 {
+				t.Fatalf("negative subgraph share at %+v", w)
+			}
+			sub += v
+		}
+		if math.Abs(sub-1) > 1e-6 {
+			t.Fatalf("subgraph shares sum to %g at %+v", sub, w)
+		}
+		var cs float64
+		for _, v := range p.CommShare {
+			if v < -1e-9 {
+				t.Fatalf("negative comm share at %+v", w)
+			}
+			cs += v
+		}
+		if math.Abs(cs-1) > 1e-6 {
+			t.Fatalf("comm shares sum to %g at %+v", cs, w)
+		}
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	m := DefaultModel()
+	projs, eff := m.WeakScaling()
+	// GTEPS must grow monotonically with node count (Figure 9's shape).
+	for i := 1; i < len(projs); i++ {
+		if projs[i].GTEPS <= projs[i-1].GTEPS {
+			t.Fatalf("GTEPS not increasing: %v -> %v", projs[i-1], projs[i])
+		}
+	}
+	// Relative parallel efficiency at full scale: the paper reports 52%.
+	// The model must land in a sub-linear but useful band.
+	if eff < 0.25 || eff > 0.95 {
+		t.Fatalf("parallel efficiency %.2f outside plausible band around the paper's 0.52", eff)
+	}
+	// Headline GTEPS within a factor ~3 of the paper's 180,792.
+	last := projs[len(projs)-1]
+	if last.GTEPS < 180792/3 || last.GTEPS > 180792*3 {
+		t.Fatalf("projected headline %.0f GTEPS too far from 180,792", last.GTEPS)
+	}
+}
+
+func TestCommGrowsWithScale(t *testing.T) {
+	// Figure 11: communication share increases during scaling.
+	m := DefaultModel()
+	small := m.Project(PaperPoints[0])
+	large := m.Project(PaperPoints[len(PaperPoints)-1])
+	commOf := func(p Projection) float64 {
+		return p.CommShare["alltoallv"] + p.CommShare["allgather"] + p.CommShare["reduce_scatter"]
+	}
+	if commOf(large) <= commOf(small) {
+		t.Fatalf("comm share did not grow: %.3f -> %.3f", commOf(small), commOf(large))
+	}
+	// And compute share shrinks correspondingly.
+	if large.CommShare["compute"] >= small.CommShare["compute"] {
+		t.Fatalf("compute share did not shrink: %.3f -> %.3f",
+			small.CommShare["compute"], large.CommShare["compute"])
+	}
+}
+
+func TestL2LShareNotable(t *testing.T) {
+	// Figure 10: L2L costs notable time while being the smallest subgraph.
+	m := DefaultModel()
+	p := m.Project(PaperPoints[0])
+	if p.SubgraphShare["L2L"] <= p.SubgraphShare["E2L"] {
+		t.Fatalf("L2L share %.3f not above E2L %.3f despite inefficiency",
+			p.SubgraphShare["L2L"], p.SubgraphShare["E2L"])
+	}
+}
+
+func TestEHShrinksAtScale(t *testing.T) {
+	// Figure 10: EH2EH takes a notably shorter share at larger scales.
+	m := DefaultModel()
+	small := m.Project(PaperPoints[0])
+	large := m.Project(PaperPoints[len(PaperPoints)-1])
+	if large.SubgraphShare["EH2EH"] >= small.SubgraphShare["EH2EH"] {
+		t.Fatalf("EH2EH share grew with scale: %.3f -> %.3f",
+			small.SubgraphShare["EH2EH"], large.SubgraphShare["EH2EH"])
+	}
+}
+
+func TestCalibrationSane(t *testing.T) {
+	c := DefaultCalibration()
+	if c.SecondsPerEdge <= 0 || c.SecondsPerEdgeL2L <= c.SecondsPerEdge {
+		t.Fatal("calibration ordering violated")
+	}
+	// Per-edge cost must correspond to >1 GB/s effective bandwidth.
+	if 16/c.SecondsPerEdge < 1e9 {
+		t.Fatal("per-edge cost implausibly slow")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if len(PaperPoints) != len(PaperGTEPS) {
+		t.Fatal("paper point/value mismatch")
+	}
+	if PaperPoints[len(PaperPoints)-1].Nodes != 103912 || PaperGTEPS[len(PaperGTEPS)-1] != 180792 {
+		t.Fatal("headline constants drifted")
+	}
+	if PaperPoints[len(PaperPoints)-1].Scale != 44 {
+		t.Fatal("headline scale must be 44 (281T edges)")
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	m := DefaultModel()
+	for i := 0; i < b.N; i++ {
+		m.Project(PaperPoints[4])
+	}
+}
+
+func TestPaperSection23Delegates(t *testing.T) {
+	oneD, twoD := PaperSection23Delegates()
+	// The paper: 2^44 * 0.1% ≈ 1.76e10 and |V_local|*sqrt(P) ≈ 5.56e10.
+	if math.Abs(oneD-1.76e10)/1.76e10 > 0.01 {
+		t.Fatalf("1D delegate count %.3g, paper says 1.76e10", oneD)
+	}
+	if math.Abs(twoD-5.46e10)/5.46e10 > 0.03 {
+		t.Fatalf("2D shared count %.3g, paper says ≈5.56e10", twoD)
+	}
+}
+
+func TestCapacityAnalysis(t *testing.T) {
+	reports := AnalyzeCapacity(Graph500Capacity())
+	if len(reports) != 3 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	byName := map[string]CapacityReport{}
+	for _, r := range reports {
+		byName[r.Scheme] = r
+		if r.TotalBytes <= 0 {
+			t.Fatalf("%s: nonpositive total", r.Scheme)
+		}
+	}
+	// The paper's core capacity claims: 1D and 2D delegate state alone
+	// exceeds the 96 GiB node; 1.5D fits.
+	if byName["1D + heavy delegates"].Fits {
+		t.Fatal("1D+delegates should NOT fit SCALE 44 in 96 GiB (Section 2.3)")
+	}
+	if byName["2D"].Fits {
+		t.Fatal("2D should NOT fit SCALE 44 in 96 GiB (Section 2.3)")
+	}
+	if !byName["degree-aware 1.5D"].Fits {
+		t.Fatalf("1.5D should fit SCALE 44: modeled %.1f GiB of %.0f GiB",
+			byName["degree-aware 1.5D"].TotalBytes/(1<<30), 96.0)
+	}
+	// And the edge payload dominates 1.5D's budget (memory goes to the
+	// graph, not to delegation overhead).
+	ofd := byName["degree-aware 1.5D"]
+	if ofd.DelegateBytes > 0.2*ofd.EdgeBytes {
+		t.Fatalf("1.5D delegation overhead %.3g vs edges %.3g; should be small", ofd.DelegateBytes, ofd.EdgeBytes)
+	}
+}

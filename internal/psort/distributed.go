@@ -1,0 +1,139 @@
+package psort
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+)
+
+// Distributed in-place global sort (paper Section 5): the preprocessing that
+// builds the 1.5D data structures must reorganize an edge list that nearly
+// fills main memory, so it cannot afford a second copy. The paper abstracts
+// this as a generic in-place global sort built on Parallel Sorting by
+// Regular Sampling with PARADIS-style local kernels. This file provides the
+// distributed PSRS: each rank holds a slice of the data; afterwards the data
+// is globally sorted across ranks in rank order. Memory overhead per rank is
+// bounded by the exchange buffers of one alltoallv — no second global copy.
+
+// DistributedSortUint64 globally sorts each rank's keys by (rank, position):
+// after the call, every key on rank i precedes every key on rank i+1, and
+// each rank's slice is locally sorted. The returned slice is the rank's new
+// partition (sizes change: PSRS balances within an O(n/p) bound).
+//
+// Every rank must call it collectively with its local share.
+func DistributedSortUint64(c *comm.Comm, local []uint64) []uint64 {
+	p := c.Size()
+	// Phase 1: local sort (the node-local PARADIS stand-in).
+	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	if p == 1 {
+		return local
+	}
+	// Phase 2: regular sampling. Each rank contributes p samples; everyone
+	// computes identical pivots from the gathered sample set.
+	samples := make([]uint64, 0, p)
+	for s := 0; s < p; s++ {
+		if len(local) == 0 {
+			// Ranks with no data contribute nothing; the pivot pool still
+			// works from the others' samples.
+			break
+		}
+		samples = append(samples, local[len(local)*s/p])
+	}
+	gathered := comm.Allgatherv(c, samples)
+	var pool []uint64
+	for _, g := range gathered {
+		pool = append(pool, g...)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	pivots := make([]uint64, 0, p-1)
+	if len(pool) > 0 {
+		for i := 1; i < p; i++ {
+			pivots = append(pivots, pool[len(pool)*i/p])
+		}
+	}
+	// Phase 3: partition the locally sorted data by the pivots and exchange
+	// so that rank k receives every key in (pivot[k-1], pivot[k]].
+	send := make([][]uint64, p)
+	lo := 0
+	for k := 0; k < p; k++ {
+		hi := len(local)
+		if k < len(pivots) {
+			hi = sort.Search(len(local), func(i int) bool { return local[i] > pivots[k] })
+		}
+		if hi < lo {
+			hi = lo
+		}
+		send[k] = local[lo:hi]
+		lo = hi
+	}
+	parts := comm.Alltoallv(c, send)
+	// Phase 4: p-way merge of the received sorted runs.
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]uint64, total)
+	multiMerge(out, nonEmpty(parts))
+	return out
+}
+
+func nonEmpty(parts [][]uint64) [][]uint64 {
+	var out [][]uint64
+	for _, p := range parts {
+		if len(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DistributedSortBy sorts records of any type across ranks by a uint64 key,
+// with the same PSRS structure as DistributedSortUint64.
+func DistributedSortBy[T any](c *comm.Comm, local []T, key func(T) uint64) []T {
+	p := c.Size()
+	sort.SliceStable(local, func(i, j int) bool { return key(local[i]) < key(local[j]) })
+	if p == 1 {
+		return local
+	}
+	samples := make([]uint64, 0, p)
+	for s := 0; s < p && len(local) > 0; s++ {
+		samples = append(samples, key(local[len(local)*s/p]))
+	}
+	gathered := comm.Allgatherv(c, samples)
+	var pool []uint64
+	for _, g := range gathered {
+		pool = append(pool, g...)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	pivots := make([]uint64, 0, p-1)
+	if len(pool) > 0 {
+		for i := 1; i < p; i++ {
+			pivots = append(pivots, pool[len(pool)*i/p])
+		}
+	}
+	send := make([][]T, p)
+	lo := 0
+	for k := 0; k < p; k++ {
+		hi := len(local)
+		if k < len(pivots) {
+			piv := pivots[k]
+			hi = sort.Search(len(local), func(i int) bool { return key(local[i]) > piv })
+		}
+		if hi < lo {
+			hi = lo
+		}
+		send[k] = local[lo:hi]
+		lo = hi
+	}
+	parts := comm.Alltoallv(c, send)
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]T, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}

@@ -1,0 +1,173 @@
+package psort
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/topology"
+)
+
+func runDistributed(t *testing.T, ranks int, data [][]uint64) [][]uint64 {
+	t.Helper()
+	mesh := topology.SquarestMesh(ranks)
+	w, err := comm.NewWorld(ranks, mesh, topology.NewSunway(ranks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]uint64, ranks)
+	var mu sync.Mutex
+	w.Run(func(r *comm.Rank) {
+		res := DistributedSortUint64(r.World, data[r.ID])
+		mu.Lock()
+		out[r.ID] = res
+		mu.Unlock()
+	})
+	return out
+}
+
+func TestDistributedSortGlobalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ranks := range []int{1, 2, 4, 8} {
+		data := make([][]uint64, ranks)
+		var all []uint64
+		for r := range data {
+			n := 1000 + rng.Intn(2000)
+			data[r] = make([]uint64, n)
+			for i := range data[r] {
+				data[r][i] = rng.Uint64() % 10000
+				all = append(all, data[r][i])
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		out := runDistributed(t, ranks, data)
+		// Concatenation equals the globally sorted multiset.
+		var got []uint64
+		for _, part := range out {
+			// Each rank's part must itself be sorted.
+			for i := 1; i < len(part); i++ {
+				if part[i-1] > part[i] {
+					t.Fatalf("ranks=%d: local output not sorted", ranks)
+				}
+			}
+			got = append(got, part...)
+		}
+		if len(got) != len(all) {
+			t.Fatalf("ranks=%d: %d keys out, want %d", ranks, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("ranks=%d: position %d = %d, want %d", ranks, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestDistributedSortBalance(t *testing.T) {
+	// PSRS guarantee: no rank ends with more than ~2n/p keys.
+	rng := rand.New(rand.NewSource(2))
+	const ranks = 8
+	data := make([][]uint64, ranks)
+	total := 0
+	for r := range data {
+		data[r] = make([]uint64, 4000)
+		for i := range data[r] {
+			data[r][i] = rng.Uint64()
+		}
+		total += len(data[r])
+	}
+	out := runDistributed(t, ranks, data)
+	for r, part := range out {
+		if len(part) > 2*total/ranks+ranks {
+			t.Fatalf("rank %d holds %d of %d keys (bound %d)", r, len(part), total, 2*total/ranks)
+		}
+	}
+}
+
+func TestDistributedSortEmptyRanks(t *testing.T) {
+	data := [][]uint64{{5, 3, 1}, {}, {9, 2}, {}}
+	out := runDistributed(t, 4, data)
+	var got []uint64
+	for _, part := range out {
+		got = append(got, part...)
+	}
+	want := []uint64{1, 2, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDistributedSortDuplicatesOnly(t *testing.T) {
+	data := [][]uint64{{7, 7, 7}, {7, 7}, {7}, {7, 7, 7, 7}}
+	out := runDistributed(t, 4, data)
+	count := 0
+	for _, part := range out {
+		for _, k := range part {
+			if k != 7 {
+				t.Fatalf("stray key %d", k)
+			}
+			count++
+		}
+	}
+	if count != 10 {
+		t.Fatalf("kept %d keys, want 10", count)
+	}
+}
+
+func TestDistributedSortBy(t *testing.T) {
+	type rec struct {
+		k uint64
+		v int
+	}
+	const ranks = 4
+	mesh := topology.SquarestMesh(ranks)
+	w, err := comm.NewWorld(ranks, mesh, topology.NewSunway(ranks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]rec, ranks)
+	var allKeys []uint64
+	for r := range data {
+		for i := 0; i < 500; i++ {
+			k := rng.Uint64() % 100
+			data[r] = append(data[r], rec{k: k, v: r*1000 + i})
+			allKeys = append(allKeys, k)
+		}
+	}
+	sort.Slice(allKeys, func(i, j int) bool { return allKeys[i] < allKeys[j] })
+	out := make([][]rec, ranks)
+	var mu sync.Mutex
+	w.Run(func(r *comm.Rank) {
+		res := DistributedSortBy(r.World, data[r.ID], func(x rec) uint64 { return x.k })
+		mu.Lock()
+		out[r.ID] = res
+		mu.Unlock()
+	})
+	var gotKeys []uint64
+	for _, part := range out {
+		for i := 1; i < len(part); i++ {
+			if part[i-1].k > part[i].k {
+				t.Fatal("rank output not sorted by key")
+			}
+		}
+		for _, x := range part {
+			gotKeys = append(gotKeys, x.k)
+		}
+	}
+	if len(gotKeys) != len(allKeys) {
+		t.Fatalf("%d records out, want %d", len(gotKeys), len(allKeys))
+	}
+	for i := range allKeys {
+		if gotKeys[i] != allKeys[i] {
+			t.Fatalf("key order broken at %d", i)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package psort
+
+import (
+	"sync"
+)
+
+// ParadisPartition is the parallel in-place bucket permutation of PARADIS
+// (Cho et al., VLDB 2015), the local kernel the paper names for its in-place
+// preprocessing (Section 5). The classic in-place counting-sort permutation
+// chases one cycle at a time and is inherently sequential; PARADIS makes it
+// parallel with speculative permutation plus repair:
+//
+//  1. a parallel counting pass fixes the bucket boundaries;
+//  2. each of W workers owns a disjoint stripe of every bucket's unresolved
+//     region and permutes speculatively within its stripes: a misplaced
+//     record swaps with the first not-yet-correct slot of its target
+//     bucket's stripe. Every swap homes at least one record, and all cursor
+//     state is worker-private, so there are no atomics and no races;
+//  3. records whose target stripe filled up stay misplaced; a parallel
+//     repair pass compacts them to the front of each bucket's region and
+//     shrinks the unresolved ranges;
+//  4. stripe ownership rotates between passes so adversarial layouts cannot
+//     starve, and a sequential cycle-chasing fallback finishes any pass that
+//     made no progress (the PARADIS paper proves geometric convergence in
+//     expectation; the fallback makes termination unconditional).
+//
+// The result equals InPlacePartition's: items permuted so bucket b occupies
+// [offs[b], offs[b+1]), with offs returned.
+func ParadisPartition[T any](items []T, buckets, workers int, bucket func(T) int) []int {
+	if workers <= 1 || len(items) < 4096 {
+		return InPlacePartition(items, buckets, bucket)
+	}
+	counts := parallelCount(items, buckets, workers, bucket)
+	offs := make([]int, buckets+1)
+	for b := 0; b < buckets; b++ {
+		offs[b+1] = offs[b] + counts[b]
+	}
+	head := make([]int, buckets)
+	tail := make([]int, buckets)
+	copy(head, offs[:buckets])
+	copy(tail, offs[1:])
+
+	remaining := func() int {
+		r := 0
+		for b := 0; b < buckets; b++ {
+			r += tail[b] - head[b]
+		}
+		return r
+	}
+
+	for pass := 0; ; pass++ {
+		before := remaining()
+		if before == 0 {
+			return offs
+		}
+		// Stripe each bucket's unresolved region across workers, rotating
+		// ownership with the pass number.
+		type stripe struct{ lo, hi int }
+		stripes := make([][]stripe, workers)
+		for w := 0; w < workers; w++ {
+			stripes[w] = make([]stripe, buckets)
+		}
+		for b := 0; b < buckets; b++ {
+			size := tail[b] - head[b]
+			for w := 0; w < workers; w++ {
+				ww := (w + pass) % workers
+				stripes[ww][b] = stripe{head[b] + size*w/workers, head[b] + size*(w+1)/workers}
+			}
+		}
+		// Speculative permutation.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cur := make([]int, buckets)
+				end := make([]int, buckets)
+				for b := 0; b < buckets; b++ {
+					cur[b] = stripes[w][b].lo
+					end[b] = stripes[w][b].hi
+				}
+				for b := 0; b < buckets; b++ {
+					for cur[b] < end[b] {
+						it := items[cur[b]]
+						tb := bucket(it)
+						if tb == b {
+							cur[b]++
+							continue
+						}
+						// Advance the target cursor past records already
+						// home, so a swap never displaces a correct record.
+						for cur[tb] < end[tb] && bucket(items[cur[tb]]) == tb {
+							cur[tb]++
+						}
+						if cur[tb] < end[tb] {
+							items[cur[b]], items[cur[tb]] = items[cur[tb]], items[cur[b]]
+							cur[tb]++
+						} else {
+							cur[b]++ // stuck until repair
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Repair: compact still-misplaced records to the front of each
+		// bucket's region; the resolved suffix leaves the working set.
+		var rg sync.WaitGroup
+		newTail := make([]int, buckets)
+		for b := 0; b < buckets; b++ {
+			rg.Add(1)
+			go func(b int) {
+				defer rg.Done()
+				w := head[b]
+				for i := head[b]; i < tail[b]; i++ {
+					if bucket(items[i]) != b {
+						items[i], items[w] = items[w], items[i]
+						w++
+					}
+				}
+				newTail[b] = w
+			}(b)
+		}
+		rg.Wait()
+		copy(tail, newTail)
+		if after := remaining(); after >= before {
+			// No pass-level progress (adversarial stripe starvation):
+			// finish sequentially on what's left — strictly bounded work.
+			sequentialChase(items, buckets, head, tail, bucket)
+			return offs
+		}
+	}
+}
+
+// sequentialChase resolves the remaining [head[b], tail[b]) regions with the
+// classic single-threaded cycle-chasing permutation.
+func sequentialChase[T any](items []T, buckets int, head, tail []int, bucket func(T) int) {
+	for b := 0; b < buckets; b++ {
+		for head[b] < tail[b] {
+			it := items[head[b]]
+			tb := bucket(it)
+			if tb == b {
+				head[b]++
+				continue
+			}
+			for head[tb] < tail[tb] && bucket(items[head[tb]]) == tb {
+				head[tb]++
+			}
+			items[head[b]], items[head[tb]] = items[head[tb]], items[head[b]]
+			head[tb]++
+		}
+	}
+}
+
+func parallelCount[T any](items []T, buckets, workers int, bucket func(T) int) []int {
+	shards := make([][]int, workers)
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(items) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([]int, buckets)
+			for _, it := range items[lo:hi] {
+				local[bucket(it)]++
+			}
+			shards[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	counts := make([]int, buckets)
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for b := range counts {
+			counts[b] += s[b]
+		}
+	}
+	return counts
+}

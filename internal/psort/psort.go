@@ -1,0 +1,317 @@
+// Package psort implements the parallel sorting machinery the paper's
+// preprocessing relies on (Section 5, "In-place global sort"): Parallel
+// Sorting by Regular Sampling (Shi & Schaeffer) across workers, with a
+// PARADIS-flavoured in-place parallel radix partition as the local kernel.
+// The partitioner uses these to split the edge list into the six degree-aware
+// components without materializing a second copy of the graph.
+package psort
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Uint64s sorts keys ascending using PSRS across workers (0 = GOMAXPROCS).
+func Uint64s(keys []uint64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(keys) < 4096 || workers == 1 {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return
+	}
+	psrs(keys, workers)
+}
+
+// psrs implements Parallel Sorting by Regular Sampling:
+//  1. split into p chunks, sort each locally;
+//  2. take p regular samples per chunk, sort the p² samples, choose p-1 pivots;
+//  3. partition every chunk by the pivots;
+//  4. worker i merges the i-th partition of every chunk.
+func psrs(keys []uint64, p int) {
+	n := len(keys)
+	chunk := (n + p - 1) / p
+	bounds := make([][2]int, 0, p)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	p = len(bounds)
+
+	// Phase 1: local sorts.
+	var wg sync.WaitGroup
+	for _, b := range bounds {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := keys[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		}(b[0], b[1])
+	}
+	wg.Wait()
+
+	// Phase 2: regular sampling.
+	samples := make([]uint64, 0, p*p)
+	for _, b := range bounds {
+		size := b[1] - b[0]
+		for s := 0; s < p; s++ {
+			samples = append(samples, keys[b[0]+size*s/p])
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pivots := make([]uint64, p-1)
+	for i := 1; i < p; i++ {
+		pivots[i-1] = samples[i*p]
+	}
+
+	// Phase 3: locate pivot boundaries inside each sorted chunk.
+	// parts[c][k] is the start offset of partition k within chunk c.
+	parts := make([][]int, p)
+	for c, b := range bounds {
+		s := keys[b[0]:b[1]]
+		offs := make([]int, p+1)
+		for k, piv := range pivots {
+			offs[k+1] = sort.Search(len(s), func(i int) bool { return s[i] > piv })
+		}
+		offs[p] = len(s)
+		parts[c] = offs
+	}
+
+	// Phase 4: worker k multimerges partition k of every chunk into out.
+	out := make([]uint64, n)
+	// Compute output offsets per partition.
+	partStart := make([]int, p+1)
+	for k := 0; k < p; k++ {
+		total := 0
+		for c := range bounds {
+			total += parts[c][k+1] - parts[c][k]
+		}
+		partStart[k+1] = partStart[k] + total
+	}
+	for k := 0; k < p; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			dst := out[partStart[k]:partStart[k+1]]
+			srcs := make([][]uint64, 0, p)
+			for c, b := range bounds {
+				seg := keys[b[0]+parts[c][k] : b[0]+parts[c][k+1]]
+				if len(seg) > 0 {
+					srcs = append(srcs, seg)
+				}
+			}
+			multiMerge(dst, srcs)
+		}(k)
+	}
+	wg.Wait()
+	copy(keys, out)
+}
+
+// multiMerge merges the pre-sorted sources into dst (len(dst) = total input).
+func multiMerge(dst []uint64, srcs [][]uint64) {
+	switch len(srcs) {
+	case 0:
+		return
+	case 1:
+		copy(dst, srcs[0])
+		return
+	}
+	// Simple loser-free repeated-min merge; p is small (≤ GOMAXPROCS).
+	idx := make([]int, len(srcs))
+	for o := range dst {
+		best := -1
+		var bestVal uint64
+		for s, i := range idx {
+			if i >= len(srcs[s]) {
+				continue
+			}
+			if best == -1 || srcs[s][i] < bestVal {
+				best, bestVal = s, srcs[s][i]
+			}
+		}
+		dst[o] = bestVal
+		idx[best]++
+	}
+}
+
+// Sorter abstracts sorting of arbitrary records by a uint64 key, used for
+// sorting edges by (component, destination) style composite keys.
+type Sorter[T any] struct {
+	Key func(T) uint64
+}
+
+// Sort sorts items ascending by key using PSRS on an index array.
+func (s Sorter[T]) Sort(items []T, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(items) < 4096 || workers == 1 {
+		sort.SliceStable(items, func(i, j int) bool { return s.Key(items[i]) < s.Key(items[j]) })
+		return
+	}
+	// Sort chunks in parallel, then iteratively merge pairs.
+	n := len(items)
+	chunk := (n + workers - 1) / workers
+	type seg struct{ lo, hi int }
+	var segs []seg
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		segs = append(segs, seg{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			part := items[lo:hi]
+			sort.SliceStable(part, func(i, j int) bool { return s.Key(part[i]) < s.Key(part[j]) })
+		}(lo, hi)
+	}
+	wg.Wait()
+	buf := make([]T, n)
+	src := items
+	dst := buf
+	for len(segs) > 1 {
+		var nextSegs []seg
+		var mw sync.WaitGroup
+		for i := 0; i < len(segs); i += 2 {
+			if i+1 == len(segs) {
+				copy(dst[segs[i].lo:segs[i].hi], src[segs[i].lo:segs[i].hi])
+				nextSegs = append(nextSegs, segs[i])
+				continue
+			}
+			a, b := segs[i], segs[i+1]
+			nextSegs = append(nextSegs, seg{a.lo, b.hi})
+			mw.Add(1)
+			go func(a, b seg) {
+				defer mw.Done()
+				mergeInto(dst[a.lo:b.hi], src[a.lo:a.hi], src[b.lo:b.hi], s.Key)
+			}(a, b)
+		}
+		mw.Wait()
+		src, dst = dst, src
+		segs = nextSegs
+	}
+	if &src[0] != &items[0] {
+		copy(items, src)
+	}
+}
+
+func mergeInto[T any](dst, a, b []T, key func(T) uint64) {
+	i, j := 0, 0
+	for o := range dst {
+		if i < len(a) && (j >= len(b) || key(a[i]) <= key(b[j])) {
+			dst[o] = a[i]
+			i++
+		} else {
+			dst[o] = b[j]
+			j++
+		}
+	}
+}
+
+// InPlacePartition performs a PARADIS-style in-place parallel bucket
+// partition: it permutes items so that all records of bucket 0 precede bucket
+// 1, etc., and returns the bucket boundary offsets (len = buckets+1). The
+// bucket function must be stable for a given item. This is the in-place
+// splitting kernel behind the six-component subgraph construction.
+func InPlacePartition[T any](items []T, buckets int, bucket func(T) int) []int {
+	counts := make([]int, buckets)
+	for _, it := range items {
+		counts[bucket(it)]++
+	}
+	offs := make([]int, buckets+1)
+	for b := 0; b < buckets; b++ {
+		offs[b+1] = offs[b] + counts[b]
+	}
+	// Cycle-chasing permutation: head[b] is the next unplaced slot of bucket
+	// b; tail[b] is its end. Classic in-place counting-sort permutation, the
+	// sequential skeleton of PARADIS (its speculative repair loop is not
+	// needed at our sizes; parallel callers shard by range first).
+	head := make([]int, buckets)
+	copy(head, offs[:buckets])
+	tail := offs[1:]
+	for b := 0; b < buckets; b++ {
+		for head[b] < tail[b] {
+			it := items[head[b]]
+			tb := bucket(it)
+			if tb == b {
+				head[b]++
+				continue
+			}
+			// Swap into its target bucket's head slot.
+			items[head[b]], items[head[tb]] = items[head[tb]], items[head[b]]
+			head[tb]++
+		}
+	}
+	return offs
+}
+
+// ParallelPartition shards items across workers, partitions each shard in
+// place, then computes global bucket offsets and gathers buckets with a
+// parallel copy into the output slice (which must have len(items)). It
+// returns bucket offsets into out.
+func ParallelPartition[T any](items, out []T, buckets, workers int, bucket func(T) int) []int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(out) != len(items) {
+		panic("psort: out length mismatch")
+	}
+	n := len(items)
+	chunk := (n + workers - 1) / workers
+	type shard struct {
+		lo   int
+		offs []int
+	}
+	var shards []shard
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			offs := InPlacePartition(items[lo:hi], buckets, bucket)
+			mu.Lock()
+			shards = append(shards, shard{lo, offs})
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].lo < shards[j].lo })
+	// Global offsets.
+	global := make([]int, buckets+1)
+	for _, sh := range shards {
+		for b := 0; b < buckets; b++ {
+			global[b+1] += sh.offs[b+1] - sh.offs[b]
+		}
+	}
+	for b := 0; b < buckets; b++ {
+		global[b+1] += global[b]
+	}
+	// Gather: per (shard, bucket) copy; destinations are disjoint.
+	cursor := make([]int, buckets)
+	copy(cursor, global[:buckets])
+	for _, sh := range shards {
+		for b := 0; b < buckets; b++ {
+			seg := items[sh.lo+sh.offs[b] : sh.lo+sh.offs[b+1]]
+			wg.Add(1)
+			go func(dst int, seg []T) {
+				defer wg.Done()
+				copy(out[dst:], seg)
+			}(cursor[b], seg)
+			cursor[b] += len(seg)
+		}
+	}
+	wg.Wait()
+	return global
+}

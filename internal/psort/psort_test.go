@@ -1,0 +1,365 @@
+package psort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64sSmall(t *testing.T) {
+	keys := []uint64{5, 3, 9, 1, 1, 0}
+	Uint64s(keys, 4)
+	want := []uint64{0, 1, 1, 3, 5, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestUint64sLargeMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 4095, 4096, 100000} {
+		for _, workers := range []int{1, 2, 7, 16} {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = rng.Uint64() % 1000 // many duplicates
+			}
+			ref := append([]uint64(nil), keys...)
+			sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+			Uint64s(keys, workers)
+			for i := range keys {
+				if keys[i] != ref[i] {
+					t.Fatalf("n=%d workers=%d: keys[%d] = %d, want %d", n, workers, i, keys[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestUint64sPropertyPermutationAndSorted(t *testing.T) {
+	f := func(keys []uint64) bool {
+		in := map[uint64]int{}
+		for _, k := range keys {
+			in[k]++
+		}
+		cp := append([]uint64(nil), keys...)
+		Uint64s(cp, 3)
+		for i := 1; i < len(cp); i++ {
+			if cp[i-1] > cp[i] {
+				return false
+			}
+		}
+		out := map[uint64]int{}
+		for _, k := range cp {
+			out[k]++
+		}
+		if len(in) != len(out) {
+			return false
+		}
+		for k, c := range in {
+			if out[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type rec struct {
+	key uint64
+	val int
+}
+
+func TestSorterStability(t *testing.T) {
+	items := []rec{{2, 0}, {1, 1}, {2, 2}, {1, 3}, {2, 4}}
+	Sorter[rec]{Key: func(r rec) uint64 { return r.key }}.Sort(items, 1)
+	want := []rec{{1, 1}, {1, 3}, {2, 0}, {2, 2}, {2, 4}}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("items[%d] = %v, want %v", i, items[i], want[i])
+		}
+	}
+}
+
+func TestSorterLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, workers := range []int{1, 4, 9} {
+		items := make([]rec, 50000)
+		for i := range items {
+			items[i] = rec{key: rng.Uint64() % 500, val: i}
+		}
+		Sorter[rec]{Key: func(r rec) uint64 { return r.key }}.Sort(items, workers)
+		for i := 1; i < len(items); i++ {
+			if items[i-1].key > items[i].key {
+				t.Fatalf("workers=%d: not sorted at %d", workers, i)
+			}
+			if items[i-1].key == items[i].key && items[i-1].val > items[i].val {
+				t.Fatalf("workers=%d: not stable at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestInPlacePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]int, 10000)
+	for i := range items {
+		items[i] = rng.Intn(1000)
+	}
+	counts := map[int]int{}
+	for _, it := range items {
+		counts[it%7]++
+	}
+	offs := InPlacePartition(items, 7, func(x int) int { return x % 7 })
+	if offs[0] != 0 || offs[7] != len(items) {
+		t.Fatalf("bad boundary offsets %v", offs)
+	}
+	for b := 0; b < 7; b++ {
+		if offs[b+1]-offs[b] != counts[b] {
+			t.Fatalf("bucket %d size %d, want %d", b, offs[b+1]-offs[b], counts[b])
+		}
+		for _, it := range items[offs[b]:offs[b+1]] {
+			if it%7 != b {
+				t.Fatalf("item %d in bucket %d", it, b)
+			}
+		}
+	}
+}
+
+func TestInPlacePartitionEmptyBuckets(t *testing.T) {
+	items := []int{4, 4, 4}
+	offs := InPlacePartition(items, 8, func(x int) int { return x })
+	for b := 0; b < 8; b++ {
+		want := 0
+		if b == 4 {
+			want = 3
+		}
+		if offs[b+1]-offs[b] != want {
+			t.Fatalf("bucket %d size %d, want %d", b, offs[b+1]-offs[b], want)
+		}
+	}
+}
+
+func TestParallelPartitionMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := make([]int, 75000)
+	for i := range items {
+		items[i] = rng.Intn(100000)
+	}
+	bucket := func(x int) int { return x % 13 }
+	counts := map[int]int{}
+	for _, it := range items {
+		counts[bucket(it)]++
+	}
+	out := make([]int, len(items))
+	offs := ParallelPartition(items, out, 13, 8, bucket)
+	for b := 0; b < 13; b++ {
+		if offs[b+1]-offs[b] != counts[b] {
+			t.Fatalf("bucket %d size %d, want %d", b, offs[b+1]-offs[b], counts[b])
+		}
+		for _, it := range out[offs[b]:offs[b+1]] {
+			if bucket(it) != b {
+				t.Fatalf("misplaced item %d in bucket %d", it, b)
+			}
+		}
+	}
+	// Multiset preserved.
+	sum1, sum2 := 0, 0
+	for i := range items {
+		sum1 += items[i]
+		sum2 += out[i]
+	}
+	if sum1 != sum2 {
+		t.Fatal("ParallelPartition lost items")
+	}
+}
+
+func TestInPlacePartitionProperty(t *testing.T) {
+	f := func(raw []uint8, bucketsRaw uint8) bool {
+		buckets := int(bucketsRaw%16) + 1
+		items := make([]int, len(raw))
+		for i, r := range raw {
+			items[i] = int(r)
+		}
+		offs := InPlacePartition(items, buckets, func(x int) int { return x % buckets })
+		if offs[buckets] != len(items) {
+			return false
+		}
+		for b := 0; b < buckets; b++ {
+			for _, it := range items[offs[b]:offs[b+1]] {
+				if it%buckets != b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64s1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	base := make([]uint64, 1<<20)
+	for i := range base {
+		base[i] = rng.Uint64()
+	}
+	keys := make([]uint64, len(base))
+	b.SetBytes(int64(len(base)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, base)
+		Uint64s(keys, 0)
+	}
+}
+
+func BenchmarkParallelPartition1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	base := make([]int, 1<<20)
+	for i := range base {
+		base[i] = rng.Int()
+	}
+	items := make([]int, len(base))
+	out := make([]int, len(base))
+	b.SetBytes(int64(len(base)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(items, base)
+		ParallelPartition(items, out, 64, 0, func(x int) int { return x & 63 })
+	}
+}
+
+func TestParadisPartitionMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 100, 4095, 4096, 100000} {
+		for _, workers := range []int{1, 2, 8} {
+			for _, buckets := range []int{1, 2, 7, 64} {
+				items := make([]int, n)
+				for i := range items {
+					items[i] = rng.Intn(1 << 20)
+				}
+				ref := append([]int(nil), items...)
+				wantOffs := InPlacePartition(ref, buckets, func(x int) int { return x % buckets })
+				gotOffs := ParadisPartition(items, buckets, workers, func(x int) int { return x % buckets })
+				for b := 0; b <= buckets; b++ {
+					if wantOffs[b] != gotOffs[b] {
+						t.Fatalf("n=%d w=%d b=%d: offs differ", n, workers, buckets)
+					}
+				}
+				for b := 0; b < buckets; b++ {
+					for _, it := range items[gotOffs[b]:gotOffs[b+1]] {
+						if it%buckets != b {
+							t.Fatalf("n=%d w=%d buckets=%d: misplaced item", n, workers, buckets)
+						}
+					}
+				}
+				// Multiset preserved.
+				sum1, sum2 := 0, 0
+				for i := range items {
+					sum1 += items[i]
+					sum2 += ref[i]
+				}
+				if sum1 != sum2 {
+					t.Fatalf("n=%d: items lost", n)
+				}
+			}
+		}
+	}
+}
+
+func TestParadisAdversarialSwapPattern(t *testing.T) {
+	// Two buckets perfectly crossed: bucket 0's range holds only 1-records
+	// and vice versa — maximal misplacement, exercises repair/rotation.
+	const n = 1 << 16
+	items := make([]int, n)
+	for i := range items {
+		if i < n/2 {
+			items[i] = 1
+		} else {
+			items[i] = 0
+		}
+	}
+	offs := ParadisPartition(items, 2, 8, func(x int) int { return x })
+	if offs[1] != n/2 {
+		t.Fatalf("boundary %d", offs[1])
+	}
+	for i, it := range items {
+		want := 0
+		if i >= n/2 {
+			want = 1
+		}
+		if it != want {
+			t.Fatalf("position %d = %d", i, it)
+		}
+	}
+}
+
+func TestParadisSkewedBuckets(t *testing.T) {
+	// One giant bucket plus many tiny ones (the degree-skew shape).
+	rng := rand.New(rand.NewSource(8))
+	items := make([]int, 200000)
+	for i := range items {
+		if rng.Intn(10) != 0 {
+			items[i] = 0
+		} else {
+			items[i] = 1 + rng.Intn(255)
+		}
+	}
+	offs := ParadisPartition(items, 256, 8, func(x int) int { return x })
+	for b := 0; b < 256; b++ {
+		for _, it := range items[offs[b]:offs[b+1]] {
+			if it != b {
+				t.Fatalf("bucket %d holds %d", b, it)
+			}
+		}
+	}
+}
+
+func TestParadisProperty(t *testing.T) {
+	f := func(raw []uint8, bRaw uint8) bool {
+		buckets := int(bRaw%16) + 1
+		items := make([]int, 0, len(raw)*64)
+		// Inflate so the parallel path (>=4096) is exercised sometimes.
+		for _, r := range raw {
+			for k := 0; k < 64; k++ {
+				items = append(items, int(r)+k)
+			}
+		}
+		offs := ParadisPartition(items, buckets, 4, func(x int) int { return x % buckets })
+		if offs[buckets] != len(items) {
+			return false
+		}
+		for b := 0; b < buckets; b++ {
+			for _, it := range items[offs[b]:offs[b+1]] {
+				if it%buckets != b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParadisPartition1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	base := make([]int, 1<<20)
+	for i := range base {
+		base[i] = rng.Int()
+	}
+	items := make([]int, len(base))
+	b.SetBytes(int64(len(base)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(items, base)
+		ParadisPartition(items, 256, 0, func(x int) int { return x & 255 })
+	}
+}

@@ -1,0 +1,229 @@
+package rmat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := Config{Scale: 10, Seed: 1}
+	edges := Generate(cfg)
+	if got, want := int64(len(edges)), cfg.NumEdges(); got != want {
+		t.Fatalf("edge count %d, want %d", got, want)
+	}
+	n := cfg.NumVertices()
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			t.Fatalf("edge (%d,%d) out of [0,%d)", e.U, e.V, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Scale: 8, Seed: 99, Workers: 1})
+	b := Generate(Config{Scale: 8, Seed: 99, Workers: 4})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs between worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Generate(Config{Scale: 8, Seed: 100})
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff < len(a)/2 {
+		t.Fatalf("different seeds should produce mostly different edges; only %d/%d differ", diff, len(a))
+	}
+}
+
+func TestDegreeSkewness(t *testing.T) {
+	// The defining R-MAT property: extremely skewed degrees. At scale 14 the
+	// max degree must vastly exceed the mean (2*edgefactor = 32).
+	cfg := Config{Scale: 14, Seed: 3}
+	edges := Generate(cfg)
+	deg := Degrees(cfg.NumVertices(), edges)
+	var max int64
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 32*20 {
+		t.Fatalf("max degree %d not skewed (mean 32)", max)
+	}
+	// And many vertices are isolated or low-degree.
+	zero := 0
+	for _, d := range deg {
+		if d == 0 {
+			zero++
+		}
+	}
+	if float64(zero) < 0.1*float64(len(deg)) {
+		t.Fatalf("only %d/%d isolated vertices; R-MAT at scale 14 should have many", zero, len(deg))
+	}
+}
+
+func TestScrambleBijective(t *testing.T) {
+	for _, scale := range []int{1, 4, 10} {
+		n := int64(1) << uint(scale)
+		seen := make([]bool, n)
+		for v := int64(0); v < n; v++ {
+			s := ScrambleVertex(v, scale, 42)
+			if s < 0 || s >= n {
+				t.Fatalf("scale %d: scramble(%d) = %d out of range", scale, v, s)
+			}
+			if seen[s] {
+				t.Fatalf("scale %d: scramble not injective at %d", scale, v)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestScramblePropertyBijection(t *testing.T) {
+	const scale = 16
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		return ScrambleVertex(int64(a), scale, 7) != ScrambleVertex(int64(b), scale, 7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleSeedSensitivity(t *testing.T) {
+	diff := 0
+	for v := int64(0); v < 1024; v++ {
+		if ScrambleVertex(v, 10, 1) != ScrambleVertex(v, 10, 2) {
+			diff++
+		}
+	}
+	if diff < 900 {
+		t.Fatalf("scramble barely depends on seed: %d/1024 differ", diff)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	degs := []int64{0, 0, 1, 1, 2, 3, 4, 7, 8, 1024}
+	hist := DegreeHistogram(degs)
+	// bin0: degree 0 ⇒ 2; bin1: degree 1 ⇒ 2; bin2: degrees 2-3 ⇒ 2;
+	// bin3: 4-7 ⇒ 2; bin4: 8-15 ⇒ 1; bin11: 1024-2047 ⇒ 1.
+	want := map[int]int64{0: 2, 1: 2, 2: 2, 3: 2, 4: 1, 11: 1}
+	var total int64
+	for bin, c := range hist {
+		if c != want[bin] {
+			t.Errorf("bin %d = %d, want %d", bin, c, want[bin])
+		}
+		total += c
+	}
+	if total != int64(len(degs)) {
+		t.Errorf("histogram total %d, want %d", total, len(degs))
+	}
+}
+
+func TestHistogramShapeIsHeavyTailed(t *testing.T) {
+	cfg := Config{Scale: 14, Seed: 5}
+	edges := Generate(cfg)
+	hist := DegreeHistogram(Degrees(cfg.NumVertices(), edges))
+	if len(hist) < 8 {
+		t.Fatalf("histogram spans only %d doubling bins; expect a long tail", len(hist))
+	}
+	// Counts must be roughly decreasing beyond the mode: tail thinner than head.
+	head := hist[1] + hist[2] + hist[3]
+	tail := int64(0)
+	for _, c := range hist[8:] {
+		tail += c
+	}
+	if tail >= head {
+		t.Fatalf("tail (%d) not thinner than head (%d)", tail, head)
+	}
+}
+
+func TestQuadrantBias(t *testing.T) {
+	// Without scrambling, the A=0.57 bias concentrates both endpoints in low
+	// IDs: the mean vertex id must be well below n/2.
+	cfg := Config{Scale: 12, Seed: 2, SkipScramble: true}
+	edges := Generate(cfg)
+	var sum float64
+	for _, e := range edges {
+		sum += float64(e.U) + float64(e.V)
+	}
+	mean := sum / float64(2*len(edges))
+	n := float64(cfg.NumVertices())
+	if mean > 0.4*n {
+		t.Fatalf("mean endpoint %g not biased low (n=%g); R-MAT bias missing", mean, n)
+	}
+}
+
+func TestGenerateIntoPartial(t *testing.T) {
+	cfg := Config{Scale: 10, Seed: 6}
+	dst := make([]Edge, 100)
+	GenerateInto(cfg, dst)
+	n := cfg.NumVertices()
+	for _, e := range dst {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+	}
+}
+
+func TestNoiseSmearsDistribution(t *testing.T) {
+	base := Generate(Config{Scale: 12, Seed: 8})
+	noisy := Generate(Config{Scale: 12, Seed: 8, Noise: 0.1})
+	hb := DegreeHistogram(Degrees(1<<12, base))
+	hn := DegreeHistogram(Degrees(1<<12, noisy))
+	// Both heavy-tailed; just ensure noise changed the detailed histogram.
+	same := true
+	for i := 0; i < len(hb) && i < len(hn); i++ {
+		if hb[i] != hn[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("noise parameter had no effect on degree histogram")
+	}
+}
+
+func TestDegreesCountsSelfLoopsTwice(t *testing.T) {
+	deg := Degrees(4, []Edge{{0, 0}, {1, 2}})
+	want := []int64{2, 1, 1, 0}
+	for i, w := range want {
+		if deg[i] != w {
+			t.Fatalf("deg[%d] = %d, want %d", i, deg[i], w)
+		}
+	}
+}
+
+func TestMeanDegreeMatchesEdgeFactor(t *testing.T) {
+	cfg := Config{Scale: 12, Seed: 13}
+	edges := Generate(cfg)
+	deg := Degrees(cfg.NumVertices(), edges)
+	var sum int64
+	for _, d := range deg {
+		sum += d
+	}
+	mean := float64(sum) / float64(len(deg))
+	if math.Abs(mean-32) > 1e-9 {
+		t.Fatalf("mean degree %g, want exactly 32", mean)
+	}
+}
+
+func BenchmarkGenerateScale16(b *testing.B) {
+	cfg := Config{Scale: 16, Seed: 1}
+	edges := make([]Edge, cfg.NumEdges())
+	b.SetBytes(int64(len(edges)) * 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateInto(cfg, edges)
+	}
+}

@@ -1,0 +1,122 @@
+package sssp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/rmat"
+)
+
+// Dijkstra is the sequential reference the distributed runner is validated
+// against: a binary-heap shortest path over the symmetrized edge list with
+// the same deterministic weights.
+func Dijkstra(n int64, edges []rmat.Edge, root int64, seed uint64) ([]float64, []int64) {
+	// Build adjacency.
+	type arc struct {
+		to int64
+		w  float64
+	}
+	adj := make([][]arc, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		w := WeightOf(e.U, e.V, seed)
+		adj[e.U] = append(adj[e.U], arc{e.V, w})
+		adj[e.V] = append(adj[e.V], arc{e.U, w})
+	}
+	dist := make([]float64, n)
+	parent := make([]int64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[root] = 0
+	parent[root] = root
+	pq := &distHeap{{v: root, d: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.v] {
+			continue
+		}
+		for _, a := range adj[top.v] {
+			if nd := top.d + a.w; nd < dist[a.to] {
+				dist[a.to] = nd
+				parent[a.to] = top.v
+				heap.Push(pq, distEntry{v: a.to, d: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+type distEntry struct {
+	v int64
+	d float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// ValidateResult checks a distributed result against shortest-path
+// optimality conditions without a reference run: dist[root]=0; every
+// reachable non-root v satisfies dist[v] = dist[parent[v]] + w(parent,v) and
+// (parent, v) is a real edge; and no input edge can relax further.
+func ValidateResult(n int64, edges []rmat.Edge, seed uint64, res *Result) error {
+	if res.Dist[res.Root] != 0 || res.Parent[res.Root] != res.Root {
+		return errf("root state wrong: dist=%g parent=%d", res.Dist[res.Root], res.Parent[res.Root])
+	}
+	type pair struct{ a, b int64 }
+	present := make(map[pair]bool, len(edges))
+	for _, e := range edges {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		present[pair{a, b}] = true
+	}
+	const eps = 1e-9
+	for v := int64(0); v < n; v++ {
+		p := res.Parent[v]
+		if p < 0 {
+			if !math.IsInf(res.Dist[v], 1) {
+				return errf("vertex %d has dist %g but no parent", v, res.Dist[v])
+			}
+			continue
+		}
+		if v == res.Root {
+			continue
+		}
+		a, b := p, v
+		if a > b {
+			a, b = b, a
+		}
+		if !present[pair{a, b}] {
+			return errf("parent edge (%d,%d) not in input", p, v)
+		}
+		want := res.Dist[p] + WeightOf(p, v, seed)
+		if math.Abs(res.Dist[v]-want) > eps {
+			return errf("dist[%d]=%g but parent %d gives %g", v, res.Dist[v], p, want)
+		}
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		w := WeightOf(e.U, e.V, seed)
+		if res.Dist[e.U]+w < res.Dist[e.V]-eps || res.Dist[e.V]+w < res.Dist[e.U]-eps {
+			return errf("edge (%d,%d) can still relax: %g, %g, w=%g", e.U, e.V, res.Dist[e.U], res.Dist[e.V], w)
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("sssp: "+format, args...)
+}

@@ -1,0 +1,239 @@
+package sssp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+)
+
+func TestWeightProperties(t *testing.T) {
+	// Symmetric, deterministic, in [0,1), seed-sensitive.
+	for u := int64(0); u < 50; u++ {
+		for v := int64(0); v < 50; v++ {
+			w1 := WeightOf(u, v, 9)
+			if w1 < 0 || w1 >= 1 {
+				t.Fatalf("weight (%d,%d) = %g out of range", u, v, w1)
+			}
+			if w1 != WeightOf(v, u, 9) {
+				t.Fatalf("weight not symmetric at (%d,%d)", u, v)
+			}
+			if w1 != WeightOf(u, v, 9) {
+				t.Fatal("weight not deterministic")
+			}
+		}
+	}
+	diff := 0
+	for u := int64(0); u < 100; u++ {
+		if WeightOf(u, u+1, 1) != WeightOf(u, u+1, 2) {
+			diff++
+		}
+	}
+	if diff < 90 {
+		t.Fatalf("weights barely depend on seed: %d/100 differ", diff)
+	}
+}
+
+func checkAgainstDijkstra(t *testing.T, scale int, seed uint64, opt Options, roots []int64) {
+	t.Helper()
+	cfg := rmat.Config{Scale: scale, Seed: seed}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	r, err := New(n, edges, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range roots {
+		res, err := r.Run(root)
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if err := ValidateResult(n, edges, opt.WeightSeed, res); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		refDist, _ := Dijkstra(n, edges, root, opt.WeightSeed)
+		for v := int64(0); v < n; v++ {
+			if math.IsInf(refDist[v], 1) != math.IsInf(res.Dist[v], 1) {
+				t.Fatalf("root %d: reachability of %d differs", root, v)
+			}
+			if !math.IsInf(refDist[v], 1) && math.Abs(refDist[v]-res.Dist[v]) > 1e-9 {
+				t.Fatalf("root %d: dist[%d] = %g, reference %g", root, v, res.Dist[v], refDist[v])
+			}
+		}
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	checkAgainstDijkstra(t, 9, 31, Options{Ranks: 4, WeightSeed: 5}, []int64{0, 3, 100})
+}
+
+func TestSSSPMeshShapes(t *testing.T) {
+	for _, mesh := range []topology.Mesh{{Rows: 1, Cols: 1}, {Rows: 1, Cols: 4}, {Rows: 2, Cols: 4}} {
+		t.Run(fmt.Sprintf("%dx%d", mesh.Rows, mesh.Cols), func(t *testing.T) {
+			checkAgainstDijkstra(t, 8, 32, Options{Mesh: mesh, WeightSeed: 6}, []int64{1})
+		})
+	}
+}
+
+func TestSSSPThresholdExtremes(t *testing.T) {
+	for i, th := range []partition.Thresholds{
+		{E: 64, H: 64},
+		{E: 1 << 30, H: 1},
+		{E: 1 << 30, H: 1 << 29},
+	} {
+		t.Run(fmt.Sprintf("case%d", i), func(t *testing.T) {
+			checkAgainstDijkstra(t, 8, 33, Options{Ranks: 4, Thresholds: th, WeightSeed: 7}, []int64{2})
+		})
+	}
+}
+
+func TestSSSPDeltaVariants(t *testing.T) {
+	for _, delta := range []float64{1.0 / 4, 1.0 / 64, 2.0} {
+		checkAgainstDijkstra(t, 8, 34, Options{Ranks: 4, WeightSeed: 8, Delta: delta}, []int64{0})
+	}
+}
+
+func TestSSSPIsolatedRoot(t *testing.T) {
+	n := int64(256)
+	edges := []rmat.Edge{{U: 0, V: 1}}
+	r, err := New(n, edges, Options{Ranks: 4, Thresholds: partition.Thresholds{E: 16, H: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[100] != 0 {
+		t.Fatal("root dist wrong")
+	}
+	reached := 0
+	for _, p := range res.Parent {
+		if p >= 0 {
+			reached++
+		}
+	}
+	if reached != 1 {
+		t.Fatalf("reached %d from isolated root", reached)
+	}
+}
+
+func TestSSSPRejectsBadRoot(t *testing.T) {
+	cfg := rmat.Config{Scale: 6, Seed: 1}
+	r, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(-1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+}
+
+func TestValidateResultCatchesCorruption(t *testing.T) {
+	cfg := rmat.Config{Scale: 7, Seed: 2}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	r, err := New(n, edges, Options{Ranks: 4, WeightSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate one reachable distance: the relaxation check must fire.
+	for v := int64(0); v < n; v++ {
+		if v != 1 && res.Parent[v] >= 0 {
+			res.Dist[v] += 0.5
+			break
+		}
+	}
+	if err := ValidateResult(n, edges, 3, res); err == nil {
+		t.Fatal("corrupted distances accepted")
+	}
+}
+
+func TestRelaxationCountPositive(t *testing.T) {
+	cfg := rmat.Config{Scale: 8, Seed: 3}
+	r, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 4, WeightSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relaxations == 0 || res.Rounds == 0 {
+		t.Fatalf("relaxations=%d rounds=%d", res.Relaxations, res.Rounds)
+	}
+}
+
+func BenchmarkSSSPScale12(b *testing.B) {
+	cfg := rmat.Config{Scale: 12, Seed: 4}
+	r, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 4, WeightSeed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSSSPPullDirectionMatchesDijkstra(t *testing.T) {
+	// Force pull rounds aggressively and verify exact distances.
+	checkAgainstDijkstra(t, 9, 35, Options{Ranks: 4, WeightSeed: 9, PullThreshold: 0.01}, []int64{0, 9})
+}
+
+func TestSSSPPushOnlyStillWorks(t *testing.T) {
+	checkAgainstDijkstra(t, 9, 36, Options{Ranks: 4, WeightSeed: 10, PullThreshold: -1}, []int64{0})
+}
+
+func TestSSSPPullReducesRounds(t *testing.T) {
+	// Dense pull sweeps settle dense phases in fewer rounds than bucketed
+	// pushing on a small-world graph.
+	cfg := rmat.Config{Scale: 11, Seed: 37}
+	edges := rmat.Generate(cfg)
+	n := cfg.NumVertices()
+	push, err := New(n, edges, Options{Ranks: 4, WeightSeed: 11, PullThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := New(n, edges, Options{Ranks: 4, WeightSeed: 11, PullThreshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := int64(-1)
+	for v, d := range push.Part.Degrees {
+		if d > 16 {
+			root = int64(v)
+			break
+		}
+	}
+	if root < 0 {
+		t.Fatal("no connected root")
+	}
+	rPush, err := push.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPull, err := pull.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPull.Rounds >= rPush.Rounds {
+		t.Fatalf("pull rounds %d not below push rounds %d", rPull.Rounds, rPush.Rounds)
+	}
+	// Distances identical either way.
+	for v := int64(0); v < n; v++ {
+		a, b := rPush.Dist[v], rPull.Dist[v]
+		if math.IsInf(a, 1) != math.IsInf(b, 1) || (!math.IsInf(a, 1) && math.Abs(a-b) > 1e-9) {
+			t.Fatalf("dist[%d] differs: %g vs %g", v, a, b)
+		}
+	}
+}

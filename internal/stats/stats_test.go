@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+)
+
+func TestPhaseOfComponentCoversAll(t *testing.T) {
+	seen := map[Phase]bool{}
+	for c := partition.Component(0); c < partition.NumComponents; c++ {
+		p := PhaseOfComponent(c)
+		if p.String() != c.String() {
+			t.Fatalf("phase %v names differ from component %v", p, c)
+		}
+		seen[p] = true
+	}
+	if len(seen) != int(partition.NumComponents) {
+		t.Fatalf("components map onto %d phases", len(seen))
+	}
+}
+
+func TestObserveAndTotals(t *testing.T) {
+	r := &Recorder{}
+	var v comm.VolumeStats
+	v.IntraBytes[comm.KindAlltoallv] = 100
+	r.Observe(PhaseEH2EH, DirPush, 2*time.Millisecond, v, 50)
+	r.Observe(PhaseEH2EH, DirPull, 3*time.Millisecond, comm.VolumeStats{}, 70)
+	r.Observe(PhaseL2L, DirPush, 5*time.Millisecond, comm.VolumeStats{}, 30)
+
+	if got := r.PhaseTime(PhaseEH2EH); got != 5*time.Millisecond {
+		t.Fatalf("PhaseTime = %v", got)
+	}
+	if got := r.TotalTime(); got != 10*time.Millisecond {
+		t.Fatalf("TotalTime = %v", got)
+	}
+	if got := r.TotalEdges(); got != 150 {
+		t.Fatalf("TotalEdges = %d", got)
+	}
+	if got := r.CommBreakdown().IntraBytes[comm.KindAlltoallv]; got != 100 {
+		t.Fatalf("comm bytes = %d", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	a.Observe(PhaseE2L, DirPush, time.Millisecond, comm.VolumeStats{}, 5)
+	b.Observe(PhaseE2L, DirPull, time.Millisecond, comm.VolumeStats{}, 7)
+	a.Merge(b)
+	if a.TotalEdges() != 12 {
+		t.Fatalf("merged edges = %d", a.TotalEdges())
+	}
+	if a.Time[PhaseE2L][DirPush] != time.Millisecond || a.Time[PhaseE2L][DirPull] != time.Millisecond {
+		t.Fatal("merge lost directional times")
+	}
+}
+
+func TestPhaseShare(t *testing.T) {
+	r := &Recorder{}
+	empty := r.PhaseShare()
+	for _, s := range empty {
+		if s != 0 {
+			t.Fatal("empty recorder has nonzero share")
+		}
+	}
+	r.Observe(PhaseL2L, DirPush, 3*time.Millisecond, comm.VolumeStats{}, 0)
+	r.Observe(PhaseOther, DirNone, time.Millisecond, comm.VolumeStats{}, 0)
+	share := r.PhaseShare()
+	if share[PhaseL2L] != 0.75 || share[PhaseOther] != 0.25 {
+		t.Fatalf("shares %v", share)
+	}
+	var sum float64
+	for _, s := range share {
+		sum += s
+	}
+	if sum != 1 {
+		t.Fatalf("shares sum to %g", sum)
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if DirPush.String() != "push" || DirPull.String() != "pull" || DirSkip.String() != "skip" || DirNone.String() != "-" {
+		t.Fatal("direction names drifted")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := []string{"EH2EH", "E2L", "H2L", "L2E", "L2H", "L2L", "reduce", "other"}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != want[p] {
+			t.Fatalf("phase %d = %q, want %q", p, p.String(), want[p])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package sunway
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestAsyncDMARoundTrip(t *testing.T) {
+	cg := NewCG(nil)
+	src := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(src)
+	h := cg.DMAGetAsync(3, 128, src)
+	if got := h.Wait(); got != len(src) {
+		t.Fatalf("Wait returned %d", got)
+	}
+	dst := make([]byte, 4096)
+	cg.DMAPutAsync(3, 128, dst).Wait()
+	if !bytes.Equal(src, dst) {
+		t.Fatal("round trip corrupted data")
+	}
+	if cg.Counters.Snapshot().DMABytes != 8192 {
+		t.Fatalf("DMA bytes %d, want 8192", cg.Counters.Snapshot().DMABytes)
+	}
+}
+
+func TestAsyncDMABounds(t *testing.T) {
+	cg := NewCG(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-LDM DMA accepted")
+		}
+	}()
+	cg.DMAGetAsync(0, LDMBytes-10, make([]byte, 100))
+}
+
+func TestDMAEffectiveBandwidthShape(t *testing.T) {
+	m := DefaultChipModel()
+	// Monotone in grain size, approaching peak.
+	prev := 0.0
+	for _, g := range []int{64, 256, 1024, 4096, 65536, 1 << 20} {
+		bw := m.DMAEffectiveBandwidth(g)
+		if bw <= prev {
+			t.Fatalf("bandwidth not increasing at grain %d", g)
+		}
+		prev = bw
+	}
+	if frac := m.DMAEffectiveBandwidth(1<<20) / m.DMABandwidth; frac < 0.99 {
+		t.Fatalf("1MB grain reaches only %.2f of peak", frac)
+	}
+	// The paper's minimum useful grain (~1KB) sits at half peak under the
+	// calibration — "good bandwidth utilization through large enough grains".
+	if frac := m.DMAEffectiveBandwidth(1024) / m.DMABandwidth; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("1KB grain at %.2f of peak, want ~0.5", frac)
+	}
+	if m.DMAEffectiveBandwidth(0) != 0 {
+		t.Fatal("zero grain should yield zero bandwidth")
+	}
+}
+
+func TestStreamProcessComputesCorrectly(t *testing.T) {
+	cg := NewCG(nil)
+	src := make([]byte, 100000)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, len(src))
+	chunks := StreamProcess(cg, 7, src, dst, 4096, func(chunk []byte) {
+		for i := range chunk {
+			chunk[i] += 3
+		}
+	})
+	wantChunks := (len(src) + 4095) / 4096
+	if chunks != wantChunks {
+		t.Fatalf("processed %d chunks, want %d", chunks, wantChunks)
+	}
+	for i := range dst {
+		if dst[i] != byte(i)+3 {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], byte(i)+3)
+		}
+	}
+	// Traffic: every byte in and out once.
+	if got := cg.Counters.Snapshot().DMABytes; got != int64(2*len(src)) {
+		t.Fatalf("DMA bytes %d, want %d", got, 2*len(src))
+	}
+}
+
+func TestStreamProcessEdgeCases(t *testing.T) {
+	cg := NewCG(nil)
+	if got := StreamProcess(cg, 0, nil, nil, 1024, func([]byte) {}); got != 0 {
+		t.Fatalf("empty stream processed %d chunks", got)
+	}
+	// Non-multiple length.
+	src := []byte{1, 2, 3}
+	dst := make([]byte, 3)
+	StreamProcess(cg, 0, src, dst, 1024, func(chunk []byte) {
+		for i := range chunk {
+			chunk[i] *= 2
+		}
+	})
+	if dst[0] != 2 || dst[2] != 6 {
+		t.Fatalf("tail chunk wrong: %v", dst)
+	}
+}
+
+func TestStreamProcessRejectsBadGeometry(t *testing.T) {
+	cg := NewCG(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized grain accepted")
+		}
+	}()
+	StreamProcess(cg, 0, make([]byte, 10), make([]byte, 10), LDMBytes, func([]byte) {})
+}
+
+func BenchmarkStreamProcess(b *testing.B) {
+	cg := NewCG(nil)
+	src := make([]byte, 1<<20)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StreamProcess(cg, 0, src, dst, 32<<10, func(chunk []byte) {
+			for j := range chunk {
+				chunk[j]++
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package sunway
+
+// LDCache models the optional Local Data Cache of SW26010-Pro (Section
+// 3.1.2): LDM space reconfigured as a direct-mapped cache in front of main
+// memory. The paper's Section 3.3 observes it cannot hold the hot data of a
+// full traversal ("the cache size is also not large enough to hold the hot
+// data given millions of vertices each node is responsible for") — which is
+// exactly the motivation for CG-aware segmenting. The simulator makes that
+// argument quantitative: random accesses over a working set larger than the
+// cache thrash; the same accesses restricted to one segment hit.
+type LDCache struct {
+	lineBytes int
+	lines     int
+	tags      []int64
+	hits      int64
+	misses    int64
+}
+
+// NewLDCache builds a direct-mapped cache of sizeBytes capacity with
+// lineBytes lines. Size must be a multiple of the line size.
+func NewLDCache(sizeBytes, lineBytes int) *LDCache {
+	if lineBytes <= 0 || sizeBytes <= 0 || sizeBytes%lineBytes != 0 {
+		panic("sunway: cache size must be a positive multiple of the line size")
+	}
+	c := &LDCache{lineBytes: lineBytes, lines: sizeBytes / lineBytes}
+	c.tags = make([]int64, c.lines)
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Access touches byte address addr, returning whether it hit.
+func (c *LDCache) Access(addr int64) bool {
+	line := addr / int64(c.lineBytes)
+	slot := int(line % int64(c.lines))
+	if c.tags[slot] == line {
+		c.hits++
+		return true
+	}
+	c.tags[slot] = line
+	c.misses++
+	return false
+}
+
+// Hits returns the hit count.
+func (c *LDCache) Hits() int64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *LDCache) Misses() int64 { return c.misses }
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *LDCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *LDCache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// SegmentingHitRates quantifies the CG-aware segmenting argument: it replays
+// the random bit-vector accesses of a pull kernel over a footprint of
+// footprintBytes, first unrestricted, then segment-by-segment in `segments`
+// contiguous pieces, against a fresh cache of cacheBytes each time. It
+// returns (unsegmented, segmented) hit rates. addrs are byte offsets into
+// the footprint; the segmented replay processes each address in its
+// segment's pass, as the round-robin interval schedule does.
+func SegmentingHitRates(cacheBytes, lineBytes int, footprintBytes int64, addrs []int64, segments int) (float64, float64) {
+	flat := NewLDCache(cacheBytes, lineBytes)
+	for _, a := range addrs {
+		flat.Access(a % footprintBytes)
+	}
+	segLen := (footprintBytes + int64(segments) - 1) / int64(segments)
+	segCache := NewLDCache(cacheBytes, lineBytes)
+	for s := int64(0); s < int64(segments); s++ {
+		lo, hi := s*segLen, (s+1)*segLen
+		for _, a := range addrs {
+			a %= footprintBytes
+			if a >= lo && a < hi {
+				segCache.Access(a)
+			}
+		}
+	}
+	return flat.HitRate(), segCache.HitRate()
+}

@@ -1,0 +1,112 @@
+package sunway
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLDCacheBasics(t *testing.T) {
+	c := NewLDCache(1024, 64) // 16 lines
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) || !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next-line cold access hit")
+	}
+	// Conflict: address 0 and 1024 map to the same slot.
+	c.Reset()
+	c.Access(0)
+	if c.Access(1024) {
+		t.Fatal("conflicting line hit")
+	}
+	if c.Access(0) {
+		t.Fatal("evicted line hit")
+	}
+	if got := c.Misses(); got != 3 {
+		t.Fatalf("misses = %d, want 3", got)
+	}
+}
+
+func TestLDCachePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry accepted")
+		}
+	}()
+	NewLDCache(1000, 64)
+}
+
+func TestHitRateBounds(t *testing.T) {
+	c := NewLDCache(256, 64)
+	if c.HitRate() != 0 {
+		t.Fatal("hit rate before access")
+	}
+	c.Access(0)
+	c.Access(0)
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate %g, want 0.5", hr)
+	}
+}
+
+func TestSegmentingArgument(t *testing.T) {
+	// The paper's premise: random reads over a multi-MB activeness vector
+	// thrash a 256KB cache; segmenting into 6 pieces that fit restores
+	// locality. Footprint 12 MB (the paper's column bit-vector bound is
+	// 12.5 MB), cache 2 MB (one CG's aggregate usable LDM), 6 segments of
+	// 2 MB each.
+	const (
+		footprint = 12 << 20
+		cache     = 2 << 20
+		line      = 64
+	)
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]int64, 300000)
+	for i := range addrs {
+		addrs[i] = rng.Int63n(footprint)
+	}
+	flat, seg := SegmentingHitRates(cache, line, footprint, addrs, 6)
+	if flat > 0.35 {
+		t.Fatalf("unsegmented hit rate %.2f suspiciously high for a 6x-over-capacity working set", flat)
+	}
+	// Each segment fits entirely: after its compulsory misses every access
+	// hits, so the segmented rate must far exceed the unsegmented one.
+	if seg <= flat+0.2 {
+		t.Fatalf("segmenting did not restore locality: flat %.3f vs segmented %.3f", flat, seg)
+	}
+}
+
+func TestSegmentedFitsPerfectly(t *testing.T) {
+	// Working set exactly equals segments x cache: repeated passes within a
+	// segment are all hits after the first touch of each line.
+	const (
+		cache = 1 << 16
+		line  = 64
+	)
+	footprint := int64(4 * cache)
+	var addrs []int64
+	// Touch every line twice, in segment-coherent order after the split.
+	for a := int64(0); a < footprint; a += line {
+		addrs = append(addrs, a, a)
+	}
+	_, seg := SegmentingHitRates(cache, line, footprint, addrs, 4)
+	// 2 accesses per line, 1 compulsory miss each: hit rate exactly 0.5.
+	if seg != 0.5 {
+		t.Fatalf("segmented hit rate %.3f, want 0.5", seg)
+	}
+}
+
+func BenchmarkLDCacheAccess(b *testing.B) {
+	c := NewLDCache(256<<10, 64)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]int64, 1<<16)
+	for i := range addrs {
+		addrs[i] = rng.Int63n(12 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(1<<16-1)])
+	}
+}

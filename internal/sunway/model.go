@@ -1,0 +1,64 @@
+package sunway
+
+// ChipModel prices kernel event counts on SW26010-Pro's published
+// characteristics, yielding the simulated-hardware throughput that Figure 14
+// reports. The counters fed to it are real events from running the kernel;
+// only the per-event costs come from the paper's measurements:
+//
+//   - MPE bucketing runs at 0.0406 GB/s (Figure 14) — a dependent
+//     uncached load+store pair per 8-byte record ≈ 197 ns;
+//   - one CG reaches 12.5 GB/s — 64 CPEs streaming via DMA with RMA puts,
+//     ≈ 41 ns per record per CPE;
+//   - six CGs reach 58.6 GB/s, not 6 × 12.5: the cross-CG atomic
+//     synchronization costs a ~0.78 efficiency factor (Section 4.4).
+//
+// On the host this package also measures true wall-clock throughput, but a
+// wall clock only shows parallel speedup when the host has cores to spare;
+// the model makes the Figure 14 contrast reproducible anywhere.
+type ChipModel struct {
+	MPERecordNanos    float64 // dependent GLD+GST per record on the MPE
+	CPERecordNanos    float64 // pipelined cost per record per CPE
+	DMABandwidth      float64 // chip aggregate DMA bytes/s
+	MultiCGEfficiency float64 // cross-CG atomic synchronization penalty
+}
+
+// DefaultChipModel returns the calibration derived from Figure 14.
+func DefaultChipModel() ChipModel {
+	return ChipModel{
+		MPERecordNanos:    197,
+		CPERecordNanos:    41,
+		DMABandwidth:      249e9,
+		MultiCGEfficiency: 0.78,
+	}
+}
+
+// BucketSeconds models the time for bucketing `records` 8-byte records with
+// the given organization. cgs == 0 means the sequential MPE path.
+func (m ChipModel) BucketSeconds(s CounterSnapshot, cgs int, records int64) float64 {
+	if cgs <= 0 {
+		return float64(records) * m.MPERecordNanos * 1e-9
+	}
+	cpes := float64(cgs * CPEsPerCG)
+	pipeline := float64(records) * m.CPERecordNanos * 1e-9 / cpes
+	// DMA in plus the RMA-shipped payload out contend for the memory system
+	// proportionally to the CGs in use.
+	memBytes := float64(s.DMABytes + s.RMABytes)
+	mem := memBytes / (m.DMABandwidth * float64(cgs) / CGsPerChip)
+	t := pipeline
+	if mem > t {
+		t = mem
+	}
+	if cgs > 1 {
+		t /= m.MultiCGEfficiency
+	}
+	return t
+}
+
+// BucketThroughput returns modeled bytes/second for the run.
+func (m ChipModel) BucketThroughput(s CounterSnapshot, cgs int, records int64) float64 {
+	sec := m.BucketSeconds(s, cgs, records)
+	if sec <= 0 {
+		return 0
+	}
+	return float64(records) * 8 / sec
+}

@@ -1,0 +1,132 @@
+package sunway
+
+import (
+	"sync"
+)
+
+// BucketOCSOnChip runs the OCS-RMA bucket sort with its data actually routed
+// through the simulated chip, byte-for-byte as Figure 8 draws it:
+//
+//   - the 64 CPEs of one CG split into 32 producers and 32 consumers;
+//   - producer i reserves 32 send buffers of RMABufBytes in its own LDM,
+//     one per consumer, and appends each record to the buffer of consumer
+//     (bucket mod 32);
+//   - a full buffer ships with one RMA put into consumer j's i-th receive
+//     buffer (32 reserved slots in the consumer's LDM), then a completion
+//     notification releases it to the consumer;
+//   - consumer j drains its receive slots, decodes the records, and appends
+//     each to one of the buckets it exclusively owns — no atomics anywhere
+//     on the data path.
+//
+// BucketOCS (ocs.go) is the fast host implementation used by benchmarks;
+// this one exists to exercise the LDM/RMA model end to end and is verified
+// against BucketMPE. Both produce identical per-bucket multisets.
+func BucketOCSOnChip(cg *CG, keys []uint64, buckets int, f func(uint64) int) [][]uint64 {
+	const (
+		recBytes = 8
+		batch    = RMABufBytes / recBytes
+	)
+	// LDM layout per producer: 32 send buffers of RMABufBytes at offset
+	// c*RMABufBytes. Per consumer: 32 receive slots at the same offsets.
+	// (Producers and consumers are distinct CPEs, so the regions coexist.)
+	if Producers*RMABufBytes > LDMBytes {
+		panic("sunway: send buffers exceed LDM")
+	}
+	// notify[j] carries (producer, slot fill) tokens for consumer j —
+	// modeling the RMA completion notification the hardware delivers.
+	type token struct {
+		producer int
+		count    int
+	}
+	notify := make([]chan token, Consumers)
+	// ack[i][j] releases producer i's buffer for consumer j after the
+	// consumer drained the receive slot (hardware: reply counter).
+	ack := make([][]chan struct{}, Producers)
+	for j := range notify {
+		notify[j] = make(chan token) // rendezvous: one slot per producer pair
+	}
+	for i := range ack {
+		ack[i] = make([]chan struct{}, Consumers)
+		for j := range ack[i] {
+			ack[i][j] = make(chan struct{}, 1)
+			ack[i][j] <- struct{}{} // slot initially free
+		}
+	}
+
+	out := make([][]uint64, buckets)
+	var consumerWG sync.WaitGroup
+	for j := 0; j < Consumers; j++ {
+		consumerWG.Add(1)
+		go func(j int) {
+			defer consumerWG.Done()
+			cpe := Producers + j // consumers occupy CPEs 32..63
+			for tok := range notify[j] {
+				// Decode the records from the receive slot the producer
+				// put into (slot index = producer number).
+				off := tok.producer * RMABufBytes
+				ldm := cg.LDM(cpe)[off : off+tok.count*recBytes]
+				for r := 0; r < tok.count; r++ {
+					k := getUint64(ldm[r*recBytes:])
+					b := f(k)
+					out[b] = append(out[b], k)
+				}
+				ack[tok.producer][j] <- struct{}{}
+			}
+		}(j)
+	}
+
+	var producerWG sync.WaitGroup
+	chunk := (len(keys) + Producers - 1) / Producers
+	for i := 0; i < Producers; i++ {
+		lo := i * chunk
+		if lo >= len(keys) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		producerWG.Add(1)
+		go func(i, lo, hi int) {
+			defer producerWG.Done()
+			myLDM := cg.LDM(i)
+			fill := make([]int, Consumers)
+			flush := func(j int) {
+				if fill[j] == 0 {
+					return
+				}
+				<-ack[i][j] // wait for my receive slot at consumer j to free
+				// One RMA put moves the batch from my send buffer into
+				// consumer j's receive slot i.
+				src := myLDM[j*RMABufBytes : j*RMABufBytes+fill[j]*recBytes]
+				cg.RMAPut(Producers+j, i*RMABufBytes, src)
+				notify[j] <- token{producer: i, count: fill[j]}
+				fill[j] = 0
+			}
+			cg.DMARead((hi - lo) * recBytes)
+			for _, k := range keys[lo:hi] {
+				j := f(k) % Consumers
+				putUint64(myLDM[j*RMABufBytes+fill[j]*recBytes:], k)
+				fill[j]++
+				if fill[j] == batch {
+					flush(j)
+				}
+			}
+			for j := 0; j < Consumers; j++ {
+				flush(j)
+			}
+		}(i, lo, hi)
+	}
+	producerWG.Wait()
+	// Wait until every shipped batch is drained, then stop the consumers.
+	for i := 0; i < Producers; i++ {
+		for j := 0; j < Consumers; j++ {
+			<-ack[i][j]
+		}
+	}
+	for j := range notify {
+		close(notify[j])
+	}
+	consumerWG.Wait()
+	return out
+}

@@ -1,0 +1,129 @@
+package sunway
+
+import (
+	"sync"
+
+	"repro/internal/bitmap"
+)
+
+// CG-aware segmenting support (paper Section 4.3, Figures 6-7).
+//
+// The activeness bit vector of one core-subgraph segment is distributed over
+// the 64 CPE LDMs of a core group in 1024-byte lines, round-robin by line.
+// A CPE resolving "is source vertex x active?" computes the owner CPE and
+// LDM offset from the bit index with shifts and masks, then issues an RMA
+// get for the word — replacing a slow uncached main-memory load (GLD).
+
+// LoadSegmentBitvector distributes bits (one segment's activeness vector)
+// across the CPE LDMs of cg starting at LDM offset ldmOff, in LDMLineBytes
+// lines. It returns the number of bytes resident per CPE. The vector must
+// fit: lines/64 per CPE, each line LDMLineBytes.
+func LoadSegmentBitvector(cg *CG, bits *bitmap.Bitmap, ldmOff int) int {
+	seg := bitmap.NewSegmented(bits.Len(), CPEsPerCG, LDMLineBytes)
+	seg.LoadFrom(bits)
+	maxBytes := 0
+	for cpe := 0; cpe < CPEsPerCG; cpe++ {
+		lane := seg.Lane(cpe)
+		n := len(lane) * 8
+		if ldmOff+n > LDMBytes {
+			panic("sunway: segment bit vector does not fit in LDM")
+		}
+		dst := cg.LDM(cpe)[ldmOff : ldmOff+n]
+		for i, w := range lane {
+			putUint64(dst[i*8:], w)
+		}
+		cg.DMARead(n)
+		if n > maxBytes {
+			maxBytes = n
+		}
+	}
+	return maxBytes
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// TestBitRMA resolves bit i of a distributed segment vector (loaded at
+// ldmOff) from any CPE via one RMA get, using the paper's offset mapping:
+// line = i / (LDMLineBytes*8); owner = line % 64; offset inside the owner's
+// lane = (line/64)*LDMLineBytes + (i % lineBits)/8.
+func TestBitRMA(cg *CG, ldmOff int, i int) bool {
+	const lineBits = LDMLineBytes * 8
+	line := i / lineBits
+	owner := line % CPEsPerCG
+	localLine := line / CPEsPerCG
+	bitInLine := i % lineBits
+	byteOff := localLine*LDMLineBytes + (bitInLine/64)*8
+	var word [8]byte
+	cg.RMAGet(owner, ldmOff+byteOff, word[:])
+	return getUint64(word[:])&(1<<uint(bitInLine&63)) != 0
+}
+
+// SegmentedLookup runs queries[cpe] on each CPE concurrently, resolving each
+// bit through RMA, and returns the per-CPE hit counts. It exercises the full
+// Figure-7 pipeline: distribute, map offsets, RMA get.
+func SegmentedLookup(cg *CG, ldmOff int, queries [][]int) []int {
+	hits := make([]int, CPEsPerCG)
+	var wg sync.WaitGroup
+	for cpe := 0; cpe < CPEsPerCG && cpe < len(queries); cpe++ {
+		wg.Add(1)
+		go func(cpe int) {
+			defer wg.Done()
+			h := 0
+			for _, q := range queries[cpe] {
+				if TestBitRMA(cg, ldmOff, q) {
+					h++
+				}
+			}
+			hits[cpe] = h
+		}(cpe)
+	}
+	wg.Wait()
+	return hits
+}
+
+// SegmentPlan describes the round-robin (segment, interval) schedule of the
+// core-subgraph pull: CG s processes interval (s+step) mod CGs at each step,
+// so no two CGs ever write the same source interval concurrently.
+type SegmentPlan struct {
+	Segments int
+}
+
+// IntervalFor returns the interval CG cg processes at the given step.
+func (p SegmentPlan) IntervalFor(cg, step int) int {
+	return (cg + step) % p.Segments
+}
+
+// VerifyExclusive reports whether the schedule assigns every (segment,
+// interval) pair exactly once across Segments steps with no two CGs sharing
+// an interval within a step.
+func (p SegmentPlan) VerifyExclusive() bool {
+	seen := make(map[[2]int]bool)
+	for step := 0; step < p.Segments; step++ {
+		used := make(map[int]bool)
+		for cg := 0; cg < p.Segments; cg++ {
+			iv := p.IntervalFor(cg, step)
+			if used[iv] {
+				return false
+			}
+			used[iv] = true
+			seen[[2]int{cg, iv}] = true
+		}
+	}
+	return len(seen) == p.Segments*p.Segments
+}

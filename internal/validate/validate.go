@@ -1,0 +1,128 @@
+// Package validate implements the Graph 500 result validation: the checks
+// the specification requires on every BFS output before a run may be
+// reported. The paper's result "is validated according to Graph 500
+// Specification 2.0" (Section 6.1); these are the same structural checks.
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/rmat"
+)
+
+// Checks performed (Graph 500 spec §BFS validation):
+//  1. the parent array forms a tree rooted at root (root is its own parent,
+//     every chain reaches the root, no cycles);
+//  2. tree edges connect vertices whose BFS levels differ by exactly one;
+//  3. every input edge connects vertices whose levels differ by at most one,
+//     and its endpoints are either both reached or both unreached;
+//  4. every claimed tree edge (parent[v], v) exists in the input edge list;
+//  5. exactly the connected component of the root is visited (implied by
+//     1-4 but asserted directly for defense in depth).
+
+// Result carries validation diagnostics.
+type Result struct {
+	Reached int64 // vertices in the BFS tree (including root)
+	Depth   int64 // maximum BFS level
+}
+
+// BFS validates parent against the original undirected edge list.
+// n is the vertex count. It returns diagnostics or a descriptive error.
+func BFS(n int64, edges []rmat.Edge, root int64, parent []int64) (*Result, error) {
+	if int64(len(parent)) != n {
+		return nil, fmt.Errorf("validate: parent length %d, want %d", len(parent), n)
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("validate: root %d out of range", root)
+	}
+	// Check 1: rootedness and acyclicity via level construction.
+	if parent[root] != root {
+		return nil, fmt.Errorf("validate: parent[root]=%d, want %d", parent[root], root)
+	}
+	levels := make([]int64, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[root] = 0
+	var reached, depth int64 = 1, 0
+	for v := int64(0); v < n; v++ {
+		if parent[v] < 0 || levels[v] >= 0 {
+			if parent[v] < -1 || parent[v] >= n {
+				return nil, fmt.Errorf("validate: parent[%d]=%d out of range", v, parent[v])
+			}
+			continue
+		}
+		var path []int64
+		u := v
+		for levels[u] < 0 {
+			path = append(path, u)
+			u = parent[u]
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("validate: chain from %d leaves range at %d", v, u)
+			}
+			if int64(len(path)) > n {
+				return nil, fmt.Errorf("validate: parent cycle through %d", v)
+			}
+		}
+		lvl := levels[u]
+		for i := len(path) - 1; i >= 0; i-- {
+			lvl++
+			levels[path[i]] = lvl
+			reached++
+			if lvl > depth {
+				depth = lvl
+			}
+		}
+	}
+	// Check 2: tree edges span exactly one level.
+	for v := int64(0); v < n; v++ {
+		if parent[v] < 0 || v == root {
+			continue
+		}
+		if levels[v] != levels[parent[v]]+1 {
+			return nil, fmt.Errorf("validate: tree edge %d->%d spans levels %d->%d",
+				parent[v], v, levels[parent[v]], levels[v])
+		}
+	}
+	// Checks 3 and 5: every input edge is level-consistent and does not
+	// escape the visited component.
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		lu, lv := levels[e.U], levels[e.V]
+		if (lu < 0) != (lv < 0) {
+			return nil, fmt.Errorf("validate: edge (%d,%d) crosses the visited boundary (levels %d,%d)",
+				e.U, e.V, lu, lv)
+		}
+		if lu >= 0 {
+			d := lu - lv
+			if d < -1 || d > 1 {
+				return nil, fmt.Errorf("validate: edge (%d,%d) spans %d levels", e.U, e.V, d)
+			}
+		}
+	}
+	// Check 4: every tree edge exists in the input.
+	present := make(map[[2]int64]bool, len(edges))
+	for _, e := range edges {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		present[[2]int64{a, b}] = true
+	}
+	for v := int64(0); v < n; v++ {
+		p := parent[v]
+		if p < 0 || v == root {
+			continue
+		}
+		a, b := p, v
+		if a > b {
+			a, b = b, a
+		}
+		if !present[[2]int64{a, b}] {
+			return nil, fmt.Errorf("validate: tree edge (%d,%d) not in input", p, v)
+		}
+	}
+	return &Result{Reached: reached, Depth: depth}, nil
+}

@@ -1,0 +1,106 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rmat"
+)
+
+func TestAcceptsSequentialBFS(t *testing.T) {
+	cfg := rmat.Config{Scale: 10, Seed: 1}
+	edges := rmat.Generate(cfg)
+	g := graph.FromEdges(cfg.NumVertices(), edges, graph.BuildOptions{Symmetrize: true, DropSelfLoops: true})
+	for _, root := range []int64{0, 1, 77, 1023} {
+		parent := g.SequentialBFS(root)
+		res, err := BFS(cfg.NumVertices(), edges, root, parent)
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		want := int64(0)
+		for _, p := range parent {
+			if p >= 0 {
+				want++
+			}
+		}
+		if res.Reached != want {
+			t.Fatalf("root %d: reached %d, want %d", root, res.Reached, want)
+		}
+	}
+}
+
+func mustFail(t *testing.T, n int64, edges []rmat.Edge, root int64, parent []int64, wantSub string) {
+	t.Helper()
+	_, err := BFS(n, edges, root, parent)
+	if err == nil {
+		t.Fatalf("validation accepted corrupt result (wanted error containing %q)", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestRejectsBadRoot(t *testing.T) {
+	edges := []rmat.Edge{{U: 0, V: 1}}
+	mustFail(t, 2, edges, 0, []int64{1, 0}, "parent[root]")
+}
+
+func TestRejectsCycle(t *testing.T) {
+	edges := []rmat.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	// 2 and 3 point at each other.
+	mustFail(t, 4, edges, 0, []int64{0, 0, 3, 2}, "cycle")
+}
+
+func TestRejectsLevelSkip(t *testing.T) {
+	// Path 0-1-2-3 but parent[3]=0 claims a non-edge shortcut.
+	edges := []rmat.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	mustFail(t, 4, edges, 0, []int64{0, 0, 1, 0}, "not in input")
+}
+
+func TestRejectsFakeTreeEdge(t *testing.T) {
+	edges := []rmat.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}}
+	// parent[3] = 0: (0,3) is not an edge.
+	mustFail(t, 4, edges, 0, []int64{0, 0, 0, 0}, "not in input")
+}
+
+func TestRejectsUnreachedNeighbor(t *testing.T) {
+	// 0-1 edge but 1 left unvisited.
+	edges := []rmat.Edge{{U: 0, V: 1}}
+	mustFail(t, 2, edges, 0, []int64{0, -1}, "visited boundary")
+}
+
+func TestRejectsCrossLevelInputEdge(t *testing.T) {
+	// Graph: 0-1, 1-2, 0-3, 3-4, 4-2. True BFS from 0: level(2)=2.
+	// Forged parents claim level(2)=3 via 4, violating the 1-2 input edge
+	// (levels 1 and 3).
+	edges := []rmat.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 3}, {U: 3, V: 4}, {U: 4, V: 2}}
+	mustFail(t, 5, edges, 0, []int64{0, 0, 4, 0, 3}, "spans")
+}
+
+func TestRejectsWrongLengths(t *testing.T) {
+	if _, err := BFS(3, nil, 0, []int64{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := BFS(3, nil, 9, []int64{0, -1, -1}); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestDisconnectedComponentOK(t *testing.T) {
+	edges := []rmat.Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+	res, err := BFS(4, edges, 0, []int64{0, 0, -1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 2 || res.Depth != 1 {
+		t.Fatalf("reached=%d depth=%d", res.Reached, res.Depth)
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	edges := []rmat.Edge{{U: 0, V: 0}, {U: 0, V: 1}}
+	if _, err := BFS(2, edges, 0, []int64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+}

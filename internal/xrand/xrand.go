@@ -1,0 +1,130 @@
+// Package xrand provides the deterministic pseudo-random number streams the
+// graph generator and samplers rely on. Two generators are implemented from
+// their published references: SplitMix64 (used to seed and to scramble vertex
+// IDs) and xoshiro256** (the workhorse stream). Both are allocation-free and
+// support cheap parallel substreams via jump-ahead, which is what lets R-MAT
+// edge generation be split across goroutines while staying bit-reproducible.
+package xrand
+
+import "math/bits"
+
+// SplitMix64 is the 64-bit SplitMix generator of Steele, Lea and Flood.
+// Its zero value is a valid stream seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 stream with the given seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a high-quality 64-bit
+// mixing function used to scramble vertex identifiers so that the contiguous
+// block distribution of vertices does not correlate with R-MAT locality
+// (the Graph 500 reference code scrambles IDs for the same reason).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** generator of Blackman and Vigna.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator seeded from seed via SplitMix64, as the
+// authors recommend.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// An all-zero state would be absorbing; SplitMix64 cannot produce four
+	// zeros from any seed, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 1
+	}
+	return &x
+}
+
+// Next returns the next value in the stream.
+func (x *Xoshiro256) Next() uint64 {
+	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform value in [0, n). It uses Lemire's multiply-shift
+// rejection method and panics if n is zero.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n(0)")
+	}
+	hi, lo := bits.Mul64(x.Next(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(x.Next(), n)
+		}
+	}
+	return hi
+}
+
+// jump polynomials from the reference implementation.
+var xoshiroJump = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+var xoshiroLongJump = [4]uint64{0x76e15d3efefdcbbf, 0xc5004e441c522fb3, 0x77710069854ee241, 0x39109bb02acbe635}
+
+func (x *Xoshiro256) applyJump(poly [4]uint64) {
+	var s [4]uint64
+	for _, p := range poly {
+		for b := 0; b < 64; b++ {
+			if p&(1<<uint(b)) != 0 {
+				s[0] ^= x.s[0]
+				s[1] ^= x.s[1]
+				s[2] ^= x.s[2]
+				s[3] ^= x.s[3]
+			}
+			x.Next()
+		}
+	}
+	x.s = s
+}
+
+// Jump advances the stream by 2^128 steps; up to 2^128 substreams obtained by
+// successive Jumps never overlap.
+func (x *Xoshiro256) Jump() { x.applyJump(xoshiroJump) }
+
+// LongJump advances the stream by 2^192 steps.
+func (x *Xoshiro256) LongJump() { x.applyJump(xoshiroLongJump) }
+
+// Substream returns an independent generator: the receiver's state after i
+// jumps. The receiver is not modified.
+func (x *Xoshiro256) Substream(i int) *Xoshiro256 {
+	c := *x
+	for k := 0; k < i; k++ {
+		c.Jump()
+	}
+	return &c
+}
