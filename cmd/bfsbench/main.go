@@ -10,6 +10,7 @@
 //	bfsbench -scale 20 -ranks 64 -ethreshold 4096 -hthreshold 256 -segmented
 //	bfsbench -input edges.bin -informat bin -ranks 16
 //	bfsbench -scale 16 -kernel sssp -roots 8
+//	bfsbench -scale 16 -faults "seed=42,delay=0.01,fail=0.001" -deadline 5ms
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/edgeio"
+	"repro/internal/faultinject"
 	"repro/internal/stats"
 )
 
@@ -41,6 +43,9 @@ func main() {
 		workers   = flag.Int("rankworkers", 1, "intra-rank kernel workers (edge-aware vertex cut)")
 		breakdown = flag.Bool("breakdown", true, "print per-subgraph time breakdown (bfs only)")
 		official  = flag.Bool("official", false, "print the Graph 500 official statistics block (bfs only)")
+		faults    = flag.String("faults", "", "fault-injection plan, e.g. \"seed=42,delay=0.01,fail=0.001\" (bfs only)")
+		deadline  = flag.Duration("deadline", 0, "per-collective deadline under fault injection (0 = off)")
+		retries   = flag.Int("maxretries", 0, "max consecutive retries of a failed iteration (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -76,6 +81,16 @@ func main() {
 	}
 	if *eThresh > 0 && *hThresh > 0 {
 		cfg.Thresholds = graph500.Thresholds{E: *eThresh, H: *hThresh}
+	}
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = plan
+		cfg.CollectiveDeadline = *deadline
+		cfg.MaxRetries = *retries
+		fmt.Printf("fault injection active: %s\n", plan)
 	}
 
 	switch *kernel {
@@ -128,6 +143,15 @@ func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, break
 		share := res.Recorder.PhaseShare()
 		for p := stats.Phase(0); p < stats.NumPhases; p++ {
 			fmt.Printf("  %-7s %6.2f%%  (%d edge touches)\n", p, 100*share[p], res.Recorder.EdgesTouched[p])
+		}
+		if cfg.Faults != nil {
+			fmt.Printf("\nresilience (root %d):\n", sum.Roots[0])
+			fmt.Printf("  injected faults:  %d  (%d delays, %d stalls, %d corruptions, %d failures)\n",
+				res.Faults.Injected(), res.Faults.Delays, res.Faults.Stalls,
+				res.Faults.Corruptions, res.Faults.Failures)
+			fmt.Printf("  collective errors:%d across ranks\n", res.Faults.Errors)
+			fmt.Printf("  iteration retries:%d\n", res.Retries)
+			fmt.Printf("  recovery time:    %v (slowest rank, incl. backoff)\n", res.RecoveryTime.Round(time.Microsecond))
 		}
 	}
 }

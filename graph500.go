@@ -20,7 +20,9 @@ package graph500
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/rmat"
@@ -28,6 +30,11 @@ import (
 	"repro/internal/validate"
 	"repro/internal/xrand"
 )
+
+// ErrNoConvergence re-exports the engine's non-convergence sentinel: a run
+// that exhausted MaxIterations, or exhausted its fault retries, returns an
+// error satisfying errors.Is(err, ErrNoConvergence).
+var ErrNoConvergence = core.ErrNoConvergence
 
 // Edge is one undirected edge. Self loops and duplicates are permitted, as
 // in the Graph 500 generator output.
@@ -93,6 +100,18 @@ type Config struct {
 	RankWorkers int
 	// Hierarchical forwards L2L messages via mesh intersection ranks.
 	Hierarchical bool
+	// Faults injects collective faults (see internal/faultinject); nil means
+	// a perfectly reliable transport.
+	Faults comm.Transport
+	// CollectiveDeadline fails collectives whose slowest contribution was
+	// delayed past it. 0 disables the watchdog.
+	CollectiveDeadline time.Duration
+	// MaxRetries bounds consecutive re-executions of a failed BFS iteration
+	// (0 = engine default of 4; negative = no retries).
+	MaxRetries int
+	// RetryBackoff is the base backoff before re-executing a failed
+	// iteration, doubling per consecutive retry (0 = engine default).
+	RetryBackoff time.Duration
 }
 
 // Runner holds a partitioned graph ready to traverse.
@@ -107,13 +126,17 @@ type Result = core.Result
 // New partitions the graph and prepares the rank world.
 func New(g Graph, cfg Config) (*Runner, error) {
 	opt := core.Options{
-		Mesh:         cfg.Mesh,
-		Ranks:        cfg.Ranks,
-		Thresholds:   cfg.Thresholds,
-		Direction:    cfg.Direction,
-		Segmented:    cfg.Segmented,
-		RankWorkers:  cfg.RankWorkers,
-		Hierarchical: cfg.Hierarchical,
+		Mesh:               cfg.Mesh,
+		Ranks:              cfg.Ranks,
+		Thresholds:         cfg.Thresholds,
+		Direction:          cfg.Direction,
+		Segmented:          cfg.Segmented,
+		RankWorkers:        cfg.RankWorkers,
+		Hierarchical:       cfg.Hierarchical,
+		Transport:          cfg.Faults,
+		CollectiveDeadline: cfg.CollectiveDeadline,
+		MaxRetries:         cfg.MaxRetries,
+		RetryBackoff:       cfg.RetryBackoff,
 	}
 	eng, err := core.NewEngine(g.NumVertices, g.Edges, opt)
 	if err != nil {

@@ -155,7 +155,7 @@ func (e *Engine) Run(root int64) (*Result, error) {
 			visited.Set(int(li))
 			parent[li] = root
 		}
-		activeTotal := comm.AllreduceSumInt64(r.World, int64(frontier.Count()))
+		activeTotal := comm.Must(comm.AllreduceSumInt64(r.World, int64(frontier.Count())))
 		it := 0
 		for ; it < e.opt.MaxIterations && activeTotal > 0; it++ {
 			pull := e.opt.PullThreshold > 0 && float64(activeTotal)/float64(n) > e.opt.PullThreshold
@@ -163,7 +163,7 @@ func (e *Engine) Run(root int64) (*Result, error) {
 				// Bottom-up: replicate the whole frontier (the 2^44-bit
 				// vector Section 2.3 rules out at scale), then scan
 				// unvisited owned vertices with early exit.
-				parts := comm.Allgatherv(r.World, frontier.Words())
+				parts := comm.Must(comm.Allgatherv(r.World, frontier.Words()))
 				wf := worldFrontier.Words()
 				wordsPer := per / 64
 				for m, p := range parts {
@@ -196,7 +196,7 @@ func (e *Engine) Run(root int64) (*Result, error) {
 						send[owner] = append(send[owner], msg{LIdx: e.layout.LocalIdx(nb), Parent: u})
 					}
 				})
-				for _, part := range comm.Alltoallv(r.World, send) {
+				for _, part := range comm.Must(comm.Alltoallv(r.World, send)) {
 					for _, m := range part {
 						if !visited.Test(int(m.LIdx)) {
 							visited.Set(int(m.LIdx))
@@ -208,7 +208,7 @@ func (e *Engine) Run(root int64) (*Result, error) {
 			}
 			frontier.CopyFrom(next)
 			next.Reset()
-			activeTotal = comm.AllreduceSumInt64(r.World, int64(frontier.Count()))
+			activeTotal = comm.Must(comm.AllreduceSumInt64(r.World, int64(frontier.Count())))
 		}
 		iters[r.ID] = it
 		for li := 0; li < rg.localN; li++ {

@@ -8,13 +8,110 @@ func elemSize[T any]() int64 {
 	return int64(unsafe.Sizeof(z))
 }
 
+// sumSlice folds a slice's raw bytes into an FNV-1a checksum. The element
+// types exchanged by the collectives are plain data (integers, floats, small
+// structs), so the byte view is well defined; sender and receivers hash the
+// same memory, which is all checksum agreement needs.
+func sumSlice[T any](h uint64, s []T) uint64 {
+	if len(s) == 0 {
+		return h
+	}
+	es := int(unsafe.Sizeof(s[0]))
+	if es == 0 {
+		return h
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*es)
+	for _, x := range b {
+		h = (h ^ uint64(x)) * 1099511628211
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// corruptCopy returns a copy of s with one bit flipped in its first element,
+// or ok=false when there is nothing to corrupt. The input is never modified:
+// a retry resends the caller's clean buffer.
+func corruptCopy[T any](s []T) ([]T, bool) {
+	if len(s) == 0 || unsafe.Sizeof(s[0]) == 0 {
+		return nil, false
+	}
+	cp := append([]T(nil), s...)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&cp[0])), int(unsafe.Sizeof(cp[0])))
+	b[0] ^= 1
+	return cp, true
+}
+
+// contribute1 runs the transport protocol for a single-buffer payload: it
+// consults the transport (sleeping any injected delay), checksums and
+// possibly corrupts the posted copy, and posts the envelope. Must be followed
+// by bar.wait + verify + payload read + bar.wait.
+func contribute1[T any](c *Comm, kind Kind, send []T) {
+	act := c.rank.intercept(kind, c.Size())
+	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail}
+	if !ctr.failed && !ctr.withheld {
+		post := send
+		if c.faulty() {
+			ctr.declared = sumSlice[T](fnvOffset, send)
+			if act.Corrupt {
+				if cp, ok := corruptCopy(send); ok {
+					post = cp
+					c.rank.Faults.Corruptions++
+				}
+			}
+			p := post
+			ctr.resum = func() uint64 { return sumSlice[T](fnvOffset, p) }
+		}
+		ctr.payload = post
+	}
+	c.sh.slots[c.me] = ctr
+}
+
+// contribute2 is contribute1 for per-destination buffer lists (alltoallv).
+// Corruption flips a bit in a copy of the first non-empty destination buffer.
+func contribute2[T any](c *Comm, kind Kind, send [][]T) {
+	act := c.rank.intercept(kind, c.Size())
+	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail}
+	if !ctr.failed && !ctr.withheld {
+		post := send
+		if c.faulty() {
+			h := uint64(fnvOffset)
+			for _, buf := range send {
+				h = sumSlice[T](h, buf)
+			}
+			ctr.declared = h
+			if act.Corrupt {
+				for j, buf := range send {
+					if cp, ok := corruptCopy(buf); ok {
+						post = append([][]T(nil), send...)
+						post[j] = cp
+						c.rank.Faults.Corruptions++
+						break
+					}
+				}
+			}
+			p := post
+			ctr.resum = func() uint64 {
+				h := uint64(fnvOffset)
+				for _, buf := range p {
+					h = sumSlice[T](h, buf)
+				}
+				return h
+			}
+		}
+		ctr.payload = post
+	}
+	c.sh.slots[c.me] = ctr
+}
+
 // Alltoallv exchanges per-destination buffers: send[j] goes to member j.
 // It returns recv where recv[j] is the buffer member j sent to the caller.
 // As in MPI, the returned data is the caller's copy: it stays valid even if
 // senders immediately reuse or mutate their buffers. The copy happens before
 // the closing barrier, so no sender can race ahead and mutate a buffer a
-// receiver is still reading.
-func Alltoallv[T any](c *Comm, send [][]T) [][]T {
+// receiver is still reading. On a typed fault error the result is nil and no
+// received data is exposed.
+func Alltoallv[T any](c *Comm, send [][]T) ([][]T, error) {
 	k := c.Size()
 	if len(send) != k {
 		panic("comm: Alltoallv needs one buffer per member")
@@ -26,22 +123,29 @@ func Alltoallv[T any](c *Comm, send [][]T) [][]T {
 			c.account(KindAlltoallv, j, int64(len(buf))*es)
 		}
 	}
-	c.sh.slots[c.me] = send
+	contribute2(c, KindAlltoallv, send)
 	c.sh.bar.wait()
-	recv := make([][]T, k)
-	for j := 0; j < k; j++ {
-		posted := c.sh.slots[j].([][]T)
-		if len(posted[c.me]) > 0 {
-			recv[j] = append([]T(nil), posted[c.me]...)
+	err := c.verify(KindAlltoallv, nil)
+	var recv [][]T
+	if err == nil {
+		recv = make([][]T, k)
+		for j := 0; j < k; j++ {
+			posted := c.sh.slots[j].payload.([][]T)
+			if len(posted[c.me]) > 0 {
+				recv[j] = append([]T(nil), posted[c.me]...)
+			}
 		}
 	}
 	c.sh.bar.wait()
-	return recv
+	return recv, err
 }
 
 // AlltoallvFlat is Alltoallv with the received buffers concatenated.
-func AlltoallvFlat[T any](c *Comm, send [][]T) []T {
-	parts := Alltoallv(c, send)
+func AlltoallvFlat[T any](c *Comm, send [][]T) ([]T, error) {
+	parts, err := Alltoallv(c, send)
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -50,14 +154,14 @@ func AlltoallvFlat[T any](c *Comm, send [][]T) []T {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
 // Allgatherv gathers each member's buffer on every member; result[i] is a
 // copy of member i's buffer. The copies happen before the closing barrier so
 // a sender mutating its buffer right after the call cannot corrupt any
 // receiver's view (MPI value semantics).
-func Allgatherv[T any](c *Comm, send []T) [][]T {
+func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
 	k := c.Size()
 	es := elemSize[T]()
 	c.rank.Stats.Calls[KindAllgather]++
@@ -66,17 +170,21 @@ func Allgatherv[T any](c *Comm, send []T) [][]T {
 			c.account(KindAllgather, j, int64(len(send))*es)
 		}
 	}
-	c.sh.slots[c.me] = send
+	contribute1(c, KindAllgather, send)
 	c.sh.bar.wait()
-	out := make([][]T, k)
-	for j := 0; j < k; j++ {
-		posted := c.sh.slots[j].([]T)
-		if len(posted) > 0 {
-			out[j] = append([]T(nil), posted...)
+	err := c.verify(KindAllgather, nil)
+	var out [][]T
+	if err == nil {
+		out = make([][]T, k)
+		for j := 0; j < k; j++ {
+			posted := c.sh.slots[j].payload.([]T)
+			if len(posted) > 0 {
+				out[j] = append([]T(nil), posted...)
+			}
 		}
 	}
 	c.sh.bar.wait()
-	return out
+	return out, err
 }
 
 // ReduceScatterOr ORs all members' full-length word vectors and returns the
@@ -84,7 +192,7 @@ func Allgatherv[T any](c *Comm, send []T) [][]T {
 // decomposition: member i owns words [i*len/k, (i+1)*len/k). All members must
 // pass equal-length slices. Traffic accounting follows the pairwise-exchange
 // algorithm: each member sends every other member that member's segment.
-func ReduceScatterOr(c *Comm, words []uint64) []uint64 {
+func ReduceScatterOr(c *Comm, words []uint64) ([]uint64, error) {
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(words)
@@ -95,17 +203,21 @@ func ReduceScatterOr(c *Comm, words []uint64) []uint64 {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	c.sh.slots[c.me] = words
+	contribute1(c, KindReduceScatter, words)
 	c.sh.bar.wait()
-	seg := make([]uint64, hi-lo)
-	for j := 0; j < k; j++ {
-		other := c.sh.slots[j].([]uint64)
-		for i := range seg {
-			seg[i] |= other[lo+i]
+	err := c.verify(KindReduceScatter, nil)
+	var seg []uint64
+	if err == nil {
+		seg = make([]uint64, hi-lo)
+		for j := 0; j < k; j++ {
+			other := c.sh.slots[j].payload.([]uint64)
+			for i := range seg {
+				seg[i] |= other[lo+i]
+			}
 		}
 	}
 	c.sh.bar.wait()
-	return seg
+	return seg, err
 }
 
 // segBounds returns member i's block of an n-element vector split k ways.
@@ -122,9 +234,12 @@ func segBounds(n, k, i int) (int, int) {
 
 // AllgathervSegments reassembles a vector whose segment i lives on member i
 // (the inverse layout of ReduceScatterOr) into the full-length dst on every
-// member.
-func AllgathervSegments(c *Comm, seg []uint64, dst []uint64) {
-	parts := Allgatherv(c, seg)
+// member. On error dst is left untouched.
+func AllgathervSegments(c *Comm, seg []uint64, dst []uint64) error {
+	parts, err := Allgatherv(c, seg)
+	if err != nil {
+		return err
+	}
 	k := c.Size()
 	for j := 0; j < k; j++ {
 		lo, hi := segBounds(len(dst), k, j)
@@ -133,21 +248,32 @@ func AllgathervSegments(c *Comm, seg []uint64, dst []uint64) {
 		}
 		copy(dst[lo:hi], parts[j])
 	}
+	return nil
 }
 
 // AllreduceOr ORs the members' word vectors in place on every member. It is
 // implemented as reduce-scatter followed by allgather, which is both the
 // standard large-vector algorithm and the decomposition the paper's Figure 11
-// accounts separately.
-func AllreduceOr(c *Comm, words []uint64) {
-	seg := ReduceScatterOr(c, words)
-	AllgathervSegments(c, seg, words)
+// accounts separately. Both halves always run so the collective schedule
+// stays identical on every member even when the first half fails; on error
+// words is left untouched.
+func AllreduceOr(c *Comm, words []uint64) error {
+	seg, err := ReduceScatterOr(c, words)
+	if err != nil {
+		// Keep the schedule: the allgather half still rendezvouses, with an
+		// empty segment, and its result is discarded.
+		_, err2 := Allgatherv(c, []uint64(nil))
+		_ = err2
+		return err
+	}
+	return AllgathervSegments(c, seg, words)
 }
 
 // AllreduceMaxInt64 computes the element-wise maximum across members in
 // place. Used by the delayed reduction of the delegated parent array, where
-// valid parents (≥ 0) win over the -1 sentinel.
-func AllreduceMaxInt64(c *Comm, vals []int64) {
+// valid parents (≥ 0) win over the -1 sentinel. On error vals is untouched,
+// which makes retrying the (idempotent, monotone) reduction safe.
+func AllreduceMaxInt64(c *Comm, vals []int64) error {
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(vals)
@@ -157,33 +283,44 @@ func AllreduceMaxInt64(c *Comm, vals []int64) {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	c.sh.slots[c.me] = vals
+	contribute1(c, KindReduceScatter, vals)
 	c.sh.bar.wait()
+	err := c.verify(KindReduceScatter, nil)
 	lo, hi := segBounds(n, k, c.me)
-	seg := make([]int64, hi-lo)
-	copy(seg, vals[lo:hi])
-	for j := 0; j < k; j++ {
-		if j == c.me {
-			continue
-		}
-		other := c.sh.slots[j].([]int64)
-		for i := range seg {
-			if other[lo+i] > seg[i] {
-				seg[i] = other[lo+i]
+	var seg []int64
+	if err == nil {
+		seg = make([]int64, hi-lo)
+		copy(seg, vals[lo:hi])
+		for j := 0; j < k; j++ {
+			if j == c.me {
+				continue
+			}
+			other := c.sh.slots[j].payload.([]int64)
+			for i := range seg {
+				if other[lo+i] > seg[i] {
+					seg[i] = other[lo+i]
+				}
 			}
 		}
 	}
 	c.sh.bar.wait()
-	parts := Allgatherv(c, seg)
+	parts, err2 := Allgatherv(c, seg)
+	if err != nil {
+		return err
+	}
+	if err2 != nil {
+		return err2
+	}
 	for j := 0; j < k; j++ {
 		jlo, jhi := segBounds(n, k, j)
 		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
 	}
+	return nil
 }
 
 // AllreduceSumInt64 sums scalar contributions across members and returns the
 // total on every member.
-func AllreduceSumInt64(c *Comm, v int64) int64 {
+func AllreduceSumInt64(c *Comm, v int64) (int64, error) {
 	vals := []int64{v}
 	c.rank.Stats.Calls[KindReduceScatter]++
 	for j := 0; j < c.Size(); j++ {
@@ -191,18 +328,38 @@ func AllreduceSumInt64(c *Comm, v int64) int64 {
 			c.account(KindReduceScatter, j, 8)
 		}
 	}
-	c.sh.slots[c.me] = vals
+	contribute1(c, KindReduceScatter, vals)
+	c.sh.bar.wait()
+	err := c.verify(KindReduceScatter, nil)
+	var sum int64
+	if err == nil {
+		for j := 0; j < c.Size(); j++ {
+			sum += c.sh.slots[j].payload.([]int64)[0]
+		}
+	}
+	c.sh.bar.wait()
+	return sum, err
+}
+
+// ControlSumInt64 sums scalar contributions like AllreduceSumInt64 but rides
+// the control plane: it is never intercepted by the fault transport and
+// cannot fail. The resilient engine uses it to vote on whether any rank saw a
+// collective error in an iteration — real systems run exactly this kind of
+// agreement on a reliable out-of-band channel (and so it is also exempt from
+// data-plane traffic accounting).
+func ControlSumInt64(c *Comm, v int64) int64 {
+	c.sh.slots[c.me] = contribution{payload: []int64{v}}
 	c.sh.bar.wait()
 	var sum int64
 	for j := 0; j < c.Size(); j++ {
-		sum += c.sh.slots[j].([]int64)[0]
+		sum += c.sh.slots[j].payload.([]int64)[0]
 	}
 	c.sh.bar.wait()
 	return sum
 }
 
 // Bcast distributes root's value to every member.
-func Bcast[T any](c *Comm, v T, root int) T {
+func Bcast[T any](c *Comm, v T, root int) (T, error) {
 	c.rank.Stats.Calls[KindAllgather]++
 	if c.me == root {
 		for j := 0; j < c.Size(); j++ {
@@ -210,19 +367,27 @@ func Bcast[T any](c *Comm, v T, root int) T {
 				c.account(KindAllgather, j, elemSize[T]())
 			}
 		}
-		c.sh.slots[root] = v
+		contribute1(c, KindAllgather, []T{v})
+	} else {
+		// Non-root members only receive; they are not intercepted (a stalled
+		// receiver cannot lose anyone else's data).
 	}
 	c.sh.bar.wait()
-	out := c.sh.slots[root].(T)
+	err := c.verify(KindAllgather, []int{root})
+	var out T
+	if err == nil {
+		out = c.sh.slots[root].payload.([]T)[0]
+	}
 	c.sh.bar.wait()
-	return out
+	return out, err
 }
 
 // AllreduceSumFloat64 sums the members' float64 vectors element-wise in
 // place on every member. Summation order is member order, so every member
 // computes bit-identical results — the property the framework package relies
 // on to keep replicated hub values consistent without re-broadcasting.
-func AllreduceSumFloat64(c *Comm, vals []float64) {
+// On error vals is left untouched.
+func AllreduceSumFloat64(c *Comm, vals []float64) error {
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(vals)
@@ -232,29 +397,40 @@ func AllreduceSumFloat64(c *Comm, vals []float64) {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	c.sh.slots[c.me] = vals
+	contribute1(c, KindReduceScatter, vals)
 	c.sh.bar.wait()
+	err := c.verify(KindReduceScatter, nil)
 	lo, hi := segBounds(n, k, c.me)
-	seg := make([]float64, hi-lo)
-	for j := 0; j < k; j++ {
-		other := c.sh.slots[j].([]float64)
-		for i := range seg {
-			seg[i] += other[lo+i]
+	var seg []float64
+	if err == nil {
+		seg = make([]float64, hi-lo)
+		for j := 0; j < k; j++ {
+			other := c.sh.slots[j].payload.([]float64)
+			for i := range seg {
+				seg[i] += other[lo+i]
+			}
 		}
 	}
 	c.sh.bar.wait()
-	parts := Allgatherv(c, seg)
+	parts, err2 := Allgatherv(c, seg)
+	if err != nil {
+		return err
+	}
+	if err2 != nil {
+		return err2
+	}
 	for j := 0; j < k; j++ {
 		jlo, jhi := segBounds(n, k, j)
 		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
 	}
+	return nil
 }
 
 // AllreduceSumInt64Vec sums the members' int64 vectors element-wise in place
 // on every member (reduce-scatter + allgather, like the other vector
 // reductions). Used by distributed preprocessing to combine per-rank degree
-// histograms.
-func AllreduceSumInt64Vec(c *Comm, vals []int64) {
+// histograms. On error vals is left untouched.
+func AllreduceSumInt64Vec(c *Comm, vals []int64) error {
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(vals)
@@ -264,20 +440,31 @@ func AllreduceSumInt64Vec(c *Comm, vals []int64) {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	c.sh.slots[c.me] = vals
+	contribute1(c, KindReduceScatter, vals)
 	c.sh.bar.wait()
+	err := c.verify(KindReduceScatter, nil)
 	lo, hi := segBounds(n, k, c.me)
-	seg := make([]int64, hi-lo)
-	for j := 0; j < k; j++ {
-		other := c.sh.slots[j].([]int64)
-		for i := range seg {
-			seg[i] += other[lo+i]
+	var seg []int64
+	if err == nil {
+		seg = make([]int64, hi-lo)
+		for j := 0; j < k; j++ {
+			other := c.sh.slots[j].payload.([]int64)
+			for i := range seg {
+				seg[i] += other[lo+i]
+			}
 		}
 	}
 	c.sh.bar.wait()
-	parts := Allgatherv(c, seg)
+	parts, err2 := Allgatherv(c, seg)
+	if err != nil {
+		return err
+	}
+	if err2 != nil {
+		return err2
+	}
 	for j := 0; j < k; j++ {
 		jlo, jhi := segBounds(n, k, j)
 		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
 	}
+	return nil
 }

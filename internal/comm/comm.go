@@ -11,6 +11,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -111,10 +112,27 @@ func (b *barrier) wait() {
 	b.mu.Unlock()
 }
 
+// contribution is one member's envelope for one collective: the payload plus
+// the fault metadata every member inspects between the two rendezvous
+// barriers. Detection works on metadata rather than on escaping the barrier,
+// which keeps all members in lockstep even while they agree on an error.
+type contribution struct {
+	payload any
+	// declared is the checksum of the data the sender meant to post; resum
+	// recomputes the checksum of the data actually posted. A corrupted copy
+	// makes them disagree on every receiver identically. Both are only used
+	// when a transport is installed.
+	declared uint64
+	resum    func() uint64
+	delay    time.Duration // injected delay the sender slept before posting
+	withheld bool          // stalled: no payload this collective
+	failed   bool          // contribution failed outright
+}
+
 // shared is the state one communicator's members rendezvous through.
 type shared struct {
-	members []int // world ranks, in member order
-	slots   []any // one posting slot per member
+	members []int          // world ranks, in member order
+	slots   []contribution // one posting slot per member
 	bar     *barrier
 }
 
@@ -123,6 +141,7 @@ type World struct {
 	size    int
 	mesh    topology.Mesh
 	machine topology.Machine
+	opt     WorldOptions
 
 	world *shared
 	rows  []*shared // one per mesh row
@@ -130,27 +149,33 @@ type World struct {
 }
 
 // NewWorld builds a world of n ranks arranged in the mesh on the machine.
-// Rank i is modeled as node i of the machine.
+// Rank i is modeled as node i of the machine. The transport is perfectly
+// reliable; use NewWorldOpts to inject faults.
 func NewWorld(n int, mesh topology.Mesh, machine topology.Machine) (*World, error) {
+	return NewWorldOpts(n, mesh, machine, WorldOptions{})
+}
+
+// NewWorldOpts builds a world with an explicit transport configuration.
+func NewWorldOpts(n int, mesh topology.Mesh, machine topology.Machine, opt WorldOptions) (*World, error) {
 	if err := mesh.Validate(n); err != nil {
 		return nil, err
 	}
 	if machine.Nodes < n {
 		return nil, fmt.Errorf("comm: machine has %d nodes for %d ranks", machine.Nodes, n)
 	}
-	w := &World{size: n, mesh: mesh, machine: machine}
+	w := &World{size: n, mesh: mesh, machine: machine, opt: opt}
 	all := make([]int, n)
 	for i := range all {
 		all[i] = i
 	}
-	w.world = &shared{members: all, slots: make([]any, n), bar: newBarrier(n)}
+	w.world = &shared{members: all, slots: make([]contribution, n), bar: newBarrier(n)}
 	w.rows = make([]*shared, mesh.Rows)
 	for r := 0; r < mesh.Rows; r++ {
 		m := make([]int, mesh.Cols)
 		for c := 0; c < mesh.Cols; c++ {
 			m[c] = mesh.RankAt(r, c)
 		}
-		w.rows[r] = &shared{members: m, slots: make([]any, len(m)), bar: newBarrier(len(m))}
+		w.rows[r] = &shared{members: m, slots: make([]contribution, len(m)), bar: newBarrier(len(m))}
 	}
 	w.cols = make([]*shared, mesh.Cols)
 	for c := 0; c < mesh.Cols; c++ {
@@ -158,7 +183,7 @@ func NewWorld(n int, mesh topology.Mesh, machine topology.Machine) (*World, erro
 		for r := 0; r < mesh.Rows; r++ {
 			m[r] = mesh.RankAt(r, c)
 		}
-		w.cols[c] = &shared{members: m, slots: make([]any, len(m)), bar: newBarrier(len(m))}
+		w.cols[c] = &shared{members: m, slots: make([]contribution, len(m)), bar: newBarrier(len(m))}
 	}
 	return w, nil
 }
@@ -198,17 +223,55 @@ func (w *World) Run(fn func(*Rank)) {
 }
 
 // Rank is one process's handle: its identity plus world/row/column
-// communicators and its private traffic stats.
+// communicators and its private traffic and fault stats.
 type Rank struct {
-	ID    int
-	Row   int // mesh row
-	Col   int // mesh column
-	World *Comm
-	RowC  *Comm // communicator over my mesh row
-	ColC  *Comm // communicator over my mesh column
-	Stats VolumeStats
+	ID     int
+	Row    int // mesh row
+	Col    int // mesh column
+	World  *Comm
+	RowC   *Comm // communicator over my mesh row
+	ColC   *Comm // communicator over my mesh column
+	Stats  VolumeStats
+	Faults FaultStats
 
-	w *World
+	w   *World
+	seq int64 // collectives this rank has entered (transport keying)
+}
+
+// Faulty reports whether a fault transport is installed, i.e. whether
+// collectives on this rank's world can return errors at all.
+func (r *Rank) Faulty() bool { return r.w.opt.Transport != nil }
+
+// intercept advances the rank's collective sequence number and consults the
+// transport. It applies the delay (the rank sleeps before contributing) and
+// records injected faults; Fail suppresses the sleep since a failed send
+// never occupies the wire.
+func (r *Rank) intercept(kind Kind, commSize int) FaultAction {
+	r.seq++
+	t := r.w.opt.Transport
+	if t == nil {
+		return FaultAction{}
+	}
+	act := t.Intercept(Call{
+		Rank:      r.ID,
+		Supernode: r.w.machine.Supernode(r.ID),
+		Kind:      kind,
+		Seq:       r.seq,
+		CommSize:  commSize,
+	})
+	if act.Fail {
+		r.Faults.Failures++
+		return act
+	}
+	if act.Withhold {
+		r.Faults.Stalls++
+	}
+	if act.Delay > 0 {
+		r.Faults.Delays++
+		r.Faults.DelayTime += act.Delay
+		time.Sleep(act.Delay)
+	}
+	return act
 }
 
 func (w *World) newRank(id int) *Rank {
@@ -235,10 +298,71 @@ func (c *Comm) Rank() int { return c.me }
 // WorldRank returns the world rank of member i.
 func (c *Comm) WorldRank(i int) int { return c.sh.members[i] }
 
-// Barrier synchronizes all members.
-func (c *Comm) Barrier() {
+// Barrier synchronizes all members. Under fault injection it behaves like
+// the other collectives: a failed or withheld arrival surfaces as a typed
+// error on every member (there is no payload, so corruption cannot occur).
+func (c *Comm) Barrier() error {
 	c.rank.Stats.Calls[KindBarrier]++
+	act := c.rank.intercept(KindBarrier, c.Size())
+	c.sh.slots[c.me] = contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail}
 	c.sh.bar.wait()
+	err := c.verify(KindBarrier, nil)
+	c.sh.bar.wait()
+	return err
+}
+
+// faulty reports whether envelope verification is needed at all.
+func (c *Comm) faulty() bool { return c.rank.w.opt.Transport != nil }
+
+// verify inspects the contributions posted for the current collective and
+// returns the agreed typed error, or nil. It must run between the opening and
+// closing barriers. members lists the member indices that contributed (nil
+// means all); every member scans in the same order over the same metadata, so
+// all members of the communicator reach the same verdict — precedence is
+// outright failure, then stall, then corruption, then deadline, ties broken
+// by lowest member index.
+func (c *Comm) verify(kind Kind, members []int) error {
+	if !c.faulty() {
+		return nil
+	}
+	k := c.Size()
+	at := func(i int) (int, *contribution) {
+		if members != nil {
+			return members[i], &c.sh.slots[members[i]]
+		}
+		return i, &c.sh.slots[i]
+	}
+	n := k
+	if members != nil {
+		n = len(members)
+	}
+	fail := func(j int, sentinel error) error {
+		c.rank.Faults.Errors++
+		return &CollectiveError{Kind: kind, Seq: c.rank.seq, Rank: c.sh.members[j], Err: sentinel}
+	}
+	for i := 0; i < n; i++ {
+		if j, ct := at(i); ct.failed {
+			return fail(j, ErrCollectiveFailed)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if j, ct := at(i); ct.withheld {
+			return fail(j, ErrRankStalled)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if j, ct := at(i); ct.resum != nil && ct.resum() != ct.declared {
+			return fail(j, ErrPayloadCorrupted)
+		}
+	}
+	if d := c.rank.w.opt.Deadline; d > 0 {
+		for i := 0; i < n; i++ {
+			if j, ct := at(i); ct.delay > d {
+				return fail(j, ErrDeadlineExceeded)
+			}
+		}
+	}
+	return nil
 }
 
 // account records sending n bytes from the caller to member dst under kind.

@@ -54,7 +54,7 @@ func TestAlltoallv(t *testing.T) {
 				send[j] = append(send[j], int64(r.ID*100+j))
 			}
 		}
-		recv := Alltoallv(r.World, send)
+		recv := Must(Alltoallv(r.World, send))
 		for j := 0; j < n; j++ {
 			if len(recv[j]) != r.ID {
 				panic(fmt.Sprintf("rank %d: got %d items from %d, want %d", r.ID, len(recv[j]), j, r.ID))
@@ -77,7 +77,7 @@ func TestAlltoallvConservesBytes(t *testing.T) {
 		for j := 0; j < n; j++ {
 			send[j] = make([]uint64, (r.ID+1)*(j+1))
 		}
-		Alltoallv(r.World, send)
+		Must(Alltoallv(r.World, send))
 		st := r.Stats
 		sent[r.ID] = st.IntraBytes[KindAlltoallv] + st.InterBytes[KindAlltoallv]
 	})
@@ -104,7 +104,7 @@ func TestAllgatherv(t *testing.T) {
 	w := testWorld(t, n, topology.Mesh{Rows: 1, Cols: 5})
 	w.Run(func(r *Rank) {
 		mine := []int32{int32(r.ID), int32(r.ID * 2)}
-		all := Allgatherv(r.World, mine)
+		all := Must(Allgatherv(r.World, mine))
 		for j := 0; j < n; j++ {
 			if len(all[j]) != 2 || all[j][0] != int32(j) || all[j][1] != int32(j*2) {
 				panic(fmt.Sprintf("rank %d: bad gather from %d: %v", r.ID, j, all[j]))
@@ -120,9 +120,9 @@ func TestReduceScatterAndAllgatherSegments(t *testing.T) {
 		words := make([]uint64, 10)
 		words[r.ID] = 1 << uint(r.ID) // each rank sets a distinct word
 		words[9] = uint64(1) << uint(16+r.ID)
-		seg := ReduceScatterOr(r.World, words)
+		seg := Must(ReduceScatterOr(r.World, words))
 		full := make([]uint64, 10)
-		AllgathervSegments(r.World, seg, full)
+		Must0(AllgathervSegments(r.World, seg, full))
 		for i := 0; i < n; i++ {
 			if full[i] != 1<<uint(i) {
 				panic(fmt.Sprintf("full[%d] = %x", i, full[i]))
@@ -140,7 +140,7 @@ func TestAllreduceOr(t *testing.T) {
 	w.Run(func(r *Rank) {
 		words := make([]uint64, 3)
 		words[r.ID%3] = 1 << uint(r.ID)
-		AllreduceOr(r.World, words)
+		Must0(AllreduceOr(r.World, words))
 		want := [3]uint64{}
 		for j := 0; j < n; j++ {
 			want[j%3] |= 1 << uint(j)
@@ -158,7 +158,7 @@ func TestAllreduceOrDecomposesIntoRSAndAG(t *testing.T) {
 	var rs, ag int64
 	w.Run(func(r *Rank) {
 		words := make([]uint64, 64)
-		AllreduceOr(r.World, words)
+		Must0(AllreduceOr(r.World, words))
 		if r.ID == 0 {
 			rs = r.Stats.Calls[KindReduceScatter]
 			ag = r.Stats.Calls[KindAllgather]
@@ -178,7 +178,7 @@ func TestAllreduceMaxInt64(t *testing.T) {
 		if r.ID == 2 {
 			vals[6] = 99
 		}
-		AllreduceMaxInt64(r.World, vals)
+		Must0(AllreduceMaxInt64(r.World, vals))
 		for j := 0; j < n; j++ {
 			if vals[j] != int64(j*10) {
 				panic(fmt.Sprintf("vals[%d] = %d", j, vals[j]))
@@ -194,7 +194,7 @@ func TestAllreduceSumInt64(t *testing.T) {
 	const n = 6
 	w := testWorld(t, n, topology.Mesh{Rows: 2, Cols: 3})
 	w.Run(func(r *Rank) {
-		got := AllreduceSumInt64(r.World, int64(r.ID+1))
+		got := Must(AllreduceSumInt64(r.World, int64(r.ID+1)))
 		if got != 21 {
 			panic(fmt.Sprintf("sum = %d, want 21", got))
 		}
@@ -204,7 +204,7 @@ func TestAllreduceSumInt64(t *testing.T) {
 func TestBcast(t *testing.T) {
 	w := testWorld(t, 4, topology.Mesh{Rows: 2, Cols: 2})
 	w.Run(func(r *Rank) {
-		v := Bcast(r.World, r.ID*111, 2)
+		v := Must(Bcast(r.World, r.ID*111, 2))
 		if v != 222 {
 			panic(fmt.Sprintf("rank %d got %d", r.ID, v))
 		}
@@ -215,8 +215,8 @@ func TestRowColCollectivesIndependent(t *testing.T) {
 	// Row sums and column sums over a 2x3 mesh with value = rank id.
 	w := testWorld(t, 6, topology.Mesh{Rows: 2, Cols: 3})
 	w.Run(func(r *Rank) {
-		rowSum := AllreduceSumInt64(r.RowC, int64(r.ID))
-		colSum := AllreduceSumInt64(r.ColC, int64(r.ID))
+		rowSum := Must(AllreduceSumInt64(r.RowC, int64(r.ID)))
+		colSum := Must(AllreduceSumInt64(r.ColC, int64(r.ID)))
 		wantRow := int64(0)
 		for c := 0; c < 3; c++ {
 			wantRow += int64(r.Row*3 + c)
@@ -242,7 +242,7 @@ func TestIntraInterSupernodeSplit(t *testing.T) {
 	var intra, inter int64
 	w.Run(func(r *Rank) {
 		buf := make([]uint64, 10) // 80 bytes
-		Allgatherv(r.World, buf)
+		Must(Allgatherv(r.World, buf))
 		if r.ID == 0 {
 			intra = r.Stats.IntraBytes[KindAllgather]
 			inter = r.Stats.InterBytes[KindAllgather]
@@ -269,7 +269,7 @@ func TestBarrierOrdering(t *testing.T) {
 	var counter atomic.Int64
 	w.Run(func(r *Rank) {
 		counter.Add(1)
-		r.World.Barrier()
+		Must0(r.World.Barrier())
 		if counter.Load() != 8 {
 			panic("barrier did not synchronize")
 		}
@@ -280,7 +280,7 @@ func TestStatsDelta(t *testing.T) {
 	w := testWorld(t, 2, topology.Mesh{Rows: 1, Cols: 2})
 	w.Run(func(r *Rank) {
 		base := r.Stats
-		Allgatherv(r.World, make([]uint64, 4))
+		Must(Allgatherv(r.World, make([]uint64, 4)))
 		d := r.Stats.Delta(&base)
 		if d.Calls[KindAllgather] != 1 {
 			panic("delta calls wrong")
@@ -318,7 +318,7 @@ func BenchmarkAlltoallv16Ranks(b *testing.B) {
 			for j := range send {
 				send[j] = payload
 			}
-			Alltoallv(r.World, send)
+			Must(Alltoallv(r.World, send))
 		})
 	}
 }
@@ -329,7 +329,7 @@ func TestAllreduceSumFloat64(t *testing.T) {
 	results := make([][]float64, n)
 	w.Run(func(r *Rank) {
 		vals := []float64{float64(r.ID), 1, 0.5}
-		AllreduceSumFloat64(r.World, vals)
+		Must0(AllreduceSumFloat64(r.World, vals))
 		results[r.ID] = vals
 	})
 	want := []float64{15, 6, 3}
@@ -356,7 +356,7 @@ func TestAllreduceSumInt64Vec(t *testing.T) {
 		for i := range vals {
 			vals[i] = int64(r.ID + i)
 		}
-		AllreduceSumInt64Vec(r.World, vals)
+		Must0(AllreduceSumInt64Vec(r.World, vals))
 		for i := range vals {
 			want := int64(0)
 			for id := 0; id < n; id++ {
@@ -406,7 +406,7 @@ func TestRandomizedCollectiveSequence(t *testing.T) {
 			case 0: // allreduce OR of rank-tagged words
 				words := make([]uint64, o.size)
 				words[o.size/2] = 1 << uint(r.ID)
-				AllreduceOr(c, words)
+				Must0(AllreduceOr(c, words))
 				var want uint64
 				for m := 0; m < c.Size(); m++ {
 					want |= 1 << uint(c.WorldRank(m))
@@ -415,7 +415,7 @@ func TestRandomizedCollectiveSequence(t *testing.T) {
 					panic(fmt.Sprintf("op %d: OR got %x want %x", i, words[o.size/2], want))
 				}
 			case 1: // sum
-				got := AllreduceSumInt64(c, int64(r.ID+1))
+				got := Must(AllreduceSumInt64(c, int64(r.ID+1)))
 				want := int64(0)
 				for m := 0; m < c.Size(); m++ {
 					want += int64(c.WorldRank(m) + 1)
@@ -428,14 +428,14 @@ func TestRandomizedCollectiveSequence(t *testing.T) {
 				for j := range send {
 					send[j] = []int32{int32(r.ID)}
 				}
-				recv := Alltoallv(c, send)
+				recv := Must(Alltoallv(c, send))
 				for j := range recv {
 					if len(recv[j]) != 1 || recv[j][0] != int32(c.WorldRank(j)) {
 						panic(fmt.Sprintf("op %d: alltoallv echo wrong", i))
 					}
 				}
 			default: // barrier
-				c.Barrier()
+				Must0(c.Barrier())
 			}
 		}
 	})

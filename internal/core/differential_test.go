@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+	"repro/internal/validate"
+	"repro/internal/xrand"
+)
+
+// uniformEdges draws m edges uniformly over n vertices — the opposite degree
+// profile of R-MAT (no hubs, so nearly everything classifies as L).
+func uniformEdges(n int64, m int, seed uint64) []rmat.Edge {
+	rng := xrand.NewXoshiro256(seed)
+	edges := make([]rmat.Edge, m)
+	for i := range edges {
+		edges[i] = rmat.Edge{
+			U: int64(rng.Uint64n(uint64(n))),
+			V: int64(rng.Uint64n(uint64(n))),
+		}
+	}
+	return edges
+}
+
+// TestDifferentialEngineVsBaseline is the property harness: across ~50 seeded
+// graphs spanning both generators, scales, mesh shapes, direction modes,
+// segmenting, and hierarchical forwarding — with roughly a third of the runs
+// under an active fault plan — the 1.5D engine's parent tree must pass
+// Graph 500 validation and induce exactly the levels of the vanilla 1D
+// baseline engine (an independent implementation with none of the delegation
+// machinery).
+func TestDifferentialEngineVsBaseline(t *testing.T) {
+	meshes := []topology.Mesh{
+		{Rows: 1, Cols: 4}, {Rows: 2, Cols: 2}, {Rows: 4, Cols: 1},
+		{Rows: 2, Cols: 3}, {Rows: 3, Cols: 2},
+	}
+	dirs := []DirectionMode{ModeSubIteration, ModeWholeIteration, ModePushOnly, ModePullOnly}
+	scales := []int{8, 9, 10}
+
+	const cases = 50
+	for i := 0; i < cases; i++ {
+		i := i
+		scale := scales[i%len(scales)]
+		mesh := meshes[i%len(meshes)]
+		dir := dirs[i%len(dirs)]
+		gen := "rmat"
+		if i%2 == 1 {
+			gen = "uniform"
+		}
+		segmented := i%7 == 0
+		hier := i%6 == 3
+		faulty := i%3 == 0 // ~1/3 of the corpus runs under a fault plan
+		seed := uint64(1000 + i)
+
+		name := fmt.Sprintf("%02d_%s_s%d_%dx%d_dir%d", i, gen, scale, mesh.Rows, mesh.Cols, dir)
+		if segmented {
+			name += "_seg"
+		}
+		if hier {
+			name += "_hier"
+		}
+		if faulty {
+			name += "_faults"
+		}
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && i%5 != 0 {
+				t.Skip("subset in -short mode")
+			}
+			t.Parallel()
+			n := int64(1) << uint(scale)
+			var edges []rmat.Edge
+			if gen == "rmat" {
+				cfg := rmat.Config{Scale: scale, Seed: seed}
+				edges = rmat.Generate(cfg)
+			} else {
+				edges = uniformEdges(n, 8<<uint(scale), seed)
+			}
+
+			opt := Options{
+				Mesh:         mesh,
+				Thresholds:   partition.Thresholds{E: 256, H: 32},
+				Direction:    dir,
+				Segmented:    segmented,
+				Hierarchical: hier,
+			}
+			if faulty {
+				plan := faultinject.New(seed)
+				plan.DelayProb = 0.01
+				plan.FailProb = 0.001
+				opt.Transport = plan
+				opt.CollectiveDeadline = 120 * time.Microsecond
+				opt.MaxRetries = 8
+			}
+			eng, err := NewEngine(n, edges, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := baseline.New(n, edges, baseline.Options{Ranks: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			roots := []int64{firstConnectedRootOf(eng)}
+			if v := n / 2; eng.Part.Degrees[v] > 0 && v != roots[0] {
+				roots = append(roots, v)
+			}
+			for _, root := range roots {
+				res, err := eng.Run(root)
+				if err != nil {
+					t.Fatalf("engine root %d: %v", root, err)
+				}
+				if _, err := validate.BFS(n, edges, root, res.Parent); err != nil {
+					t.Fatalf("engine root %d: validation: %v", root, err)
+				}
+				bres, err := ref.Run(root)
+				if err != nil {
+					t.Fatalf("baseline root %d: %v", root, err)
+				}
+				if _, err := validate.BFS(n, edges, root, bres.Parent); err != nil {
+					t.Fatalf("baseline root %d: validation: %v", root, err)
+				}
+				// Parent choices may legitimately differ; BFS levels may not.
+				refLvl, err := graph.Levels(bres.Parent, root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotLvl, err := graph.Levels(res.Parent, root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := int64(0); v < n; v++ {
+					if refLvl[v] != gotLvl[v] {
+						t.Fatalf("root %d: level[%d] = %d, baseline %d", root, v, gotLvl[v], refLvl[v])
+					}
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -73,8 +74,24 @@ type Options struct {
 	// BuildWorkers caps partitioning parallelism. 0 means GOMAXPROCS.
 	BuildWorkers int
 	// MaxIterations aborts runs that fail to converge. 0 means 2*64
-	// (a small-world graph's diameter is far below this).
+	// (a small-world graph's diameter is far below this). Exhausting it
+	// returns an error satisfying errors.Is(err, ErrNoConvergence).
 	MaxIterations int
+
+	// Transport injects faults into the rank world's collectives (see
+	// internal/faultinject). nil means a perfectly reliable transport and
+	// zero resilience overhead: no snapshots, no votes, no checksums.
+	Transport comm.Transport
+	// CollectiveDeadline fails any collective whose slowest contribution was
+	// delayed past it (comm.ErrDeadlineExceeded). 0 disables the watchdog.
+	CollectiveDeadline time.Duration
+	// MaxRetries bounds consecutive re-executions of one failed iteration
+	// before the run aborts with ErrNoConvergence. 0 means 4; negative means
+	// no retries (fail on the first collective error).
+	MaxRetries int
+	// RetryBackoff is the base backoff slept before re-executing a failed
+	// iteration, doubling per consecutive retry. 0 means 200µs.
+	RetryBackoff time.Duration
 }
 
 // DefaultThresholds scales the paper's SCALE-35 tuning (E=2048, H=128 per
@@ -118,8 +135,27 @@ func (o Options) withDefaults() (Options, error) {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 128
 	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 4
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 200 * time.Microsecond
+	}
 	return o, nil
 }
+
+// ErrNoConvergence marks a BFS run that ended without draining its frontier:
+// either MaxIterations elapsed with vertices still being discovered, or a
+// failing iteration exhausted MaxRetries (in which case the returned error
+// also wraps the comm sentinel that kept firing, e.g. comm.ErrRankStalled).
+var ErrNoConvergence = errors.New("core: BFS did not converge")
+
+// errRemoteRank stands in for the collective error when the local rank's
+// iteration succeeded but the global vote said another rank's failed.
+var errRemoteRank = errors.New("core: collective error on a remote rank")
 
 // Engine runs BFS over a partitioned graph.
 type Engine struct {
@@ -166,7 +202,10 @@ func NewEngineFromPartition(part *partition.Partitioned, opt Options) (*Engine, 
 	if part.Layout.Mesh != opt.Mesh {
 		return nil, fmt.Errorf("core: partition mesh %v differs from options mesh %v", part.Layout.Mesh, opt.Mesh)
 	}
-	world, err := comm.NewWorld(opt.Ranks, opt.Mesh, opt.Machine)
+	world, err := comm.NewWorldOpts(opt.Ranks, opt.Mesh, opt.Machine, comm.WorldOptions{
+		Transport: opt.Transport,
+		Deadline:  opt.CollectiveDeadline,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +235,13 @@ type Result struct {
 	// Trace records per-iteration frontier composition and chosen
 	// directions (Figure 5 and the direction-optimization diagnostics).
 	Trace []IterTrace
+	// Faults aggregates all ranks' injected faults and observed collective
+	// errors; zero when no fault transport was installed.
+	Faults comm.FaultStats
+	// Retries counts iteration re-executions across all ranks; RecoveryTime
+	// is the wall time the slowest rank spent in failed attempts + backoff.
+	Retries      int64
+	RecoveryTime time.Duration
 }
 
 // IterTrace is one iteration's frontier composition and direction choices.
@@ -212,7 +258,10 @@ func (r *Result) GTEPS() float64 {
 	return float64(r.TraversedEdges) / r.Time.Seconds() / 1e9
 }
 
-// Run executes one BFS from root and assembles the global result.
+// Run executes one BFS from root and assembles the global result. Under a
+// fault transport the run may fail even after retries; the Result is still
+// returned alongside the error so callers can inspect the fault and retry
+// accounting of the doomed run.
 func (e *Engine) Run(root int64) (*Result, error) {
 	n := e.Part.Layout.N
 	if root < 0 || root >= n {
@@ -224,12 +273,18 @@ func (e *Engine) Run(root int64) (*Result, error) {
 	}
 	states := make([]*rankState, e.Opt.Ranks)
 	traces := make([][]IterTrace, e.Opt.Ranks)
+	errs := make([]error, e.Opt.Ranks)
 	start := time.Now()
 	e.World.Run(func(r *comm.Rank) {
 		st := newRankState(e, r)
 		states[r.ID] = st
-		traces[r.ID] = st.bfs(root)
-		st.writeParents(res.Parent)
+		traces[r.ID], errs[r.ID] = st.bfs(root)
+		if errs[r.ID] == nil {
+			st.writeParents(res.Parent)
+		}
+		st.rec.Faults = r.Faults
+		st.rec.Retries = st.retries
+		st.rec.Recovery = st.recovery
 	})
 	res.Time = time.Since(start)
 	res.Trace = traces[0]
@@ -238,8 +293,18 @@ func (e *Engine) Run(root int64) (*Result, error) {
 	for _, st := range states {
 		res.PerRank = append(res.PerRank, st.rec)
 		res.Recorder.Merge(st.rec)
+		if st.recovery > res.RecoveryTime {
+			res.RecoveryTime = st.recovery
+		}
 	}
+	res.Faults = res.Recorder.Faults
+	res.Retries = res.Recorder.Retries
 	res.TraversedEdges = e.countTraversedEdges(res.Parent)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+	"repro/internal/validate"
+)
+
+// pathEdges builds the path 0-1-2-...-n-1 (diameter n-1, all L vertices).
+func pathEdges(n int64) []rmat.Edge {
+	edges := make([]rmat.Edge, 0, n-1)
+	for v := int64(0); v < n-1; v++ {
+		edges = append(edges, rmat.Edge{U: v, V: v + 1})
+	}
+	return edges
+}
+
+// TestSeededFaultPlanStillValidates is the issue's acceptance criterion: a
+// seeded plan that delays 1% and fails 0.1% of collective contributions must
+// still yield parent trees that pass Graph 500 validation on every tested
+// root, with the retries and recovery time visible in the Result.
+func TestSeededFaultPlanStillValidates(t *testing.T) {
+	n, edges := rmatEdges(t, 10, 5)
+	plan := faultinject.New(42)
+	plan.DelayProb = 0.01
+	plan.FailProb = 0.001
+	eng, err := NewEngine(n, edges, Options{
+		Mesh:       topology.Mesh{Rows: 2, Cols: 2},
+		Thresholds: partition.Thresholds{E: 512, H: 64},
+		Transport:  plan,
+		// Injected delays are uniform in [50µs, 200µs], so a 120µs deadline
+		// turns a predictable slice of them into hard faults that force the
+		// retry path, on top of the outright failures.
+		CollectiveDeadline: 120 * time.Microsecond,
+		MaxRetries:         8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromEdges(n, edges, graph.BuildOptions{Symmetrize: true, DropSelfLoops: true})
+	var injected, retries int64
+	var recovery time.Duration
+	for _, root := range []int64{firstConnectedRootOf(eng), 100, 511, 777} {
+		res, err := eng.Run(root)
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if _, err := validate.BFS(n, edges, root, res.Parent); err != nil {
+			t.Fatalf("root %d: validation under faults: %v", root, err)
+		}
+		refLvl, err := graph.Levels(g.SequentialBFS(root), root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLvl, err := graph.Levels(res.Parent, root)
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		for v := int64(0); v < n; v++ {
+			if refLvl[v] != gotLvl[v] {
+				t.Fatalf("root %d: level[%d] = %d, reference %d", root, v, gotLvl[v], refLvl[v])
+			}
+		}
+		injected += res.Faults.Injected()
+		retries += res.Retries
+		recovery += res.RecoveryTime
+	}
+	if injected == 0 {
+		t.Fatal("plan with delay=0.01,fail=0.001 injected no faults across 4 runs")
+	}
+	if retries == 0 {
+		t.Fatal("no iteration retry was ever taken; faults were not exercised")
+	}
+	if recovery == 0 {
+		t.Fatal("retries happened but no recovery time was recorded")
+	}
+}
+
+// TestPermanentStallIsTypedErrorNotHang: a rank that stalls forever must
+// surface as an error satisfying both ErrNoConvergence and
+// comm.ErrRankStalled — and the run must terminate, watchdog-enforced.
+func TestPermanentStallIsTypedErrorNotHang(t *testing.T) {
+	n, edges := rmatEdges(t, 9, 1)
+	plan := faultinject.New(0)
+	plan.StallRank = 2
+	plan.StallStart = 5
+	plan.StallLen = -1 // forever
+	eng, err := NewEngine(n, edges, Options{
+		Mesh:         topology.Mesh{Rows: 2, Cols: 2},
+		Transport:    plan,
+		MaxRetries:   2,
+		RetryBackoff: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := eng.Run(firstConnectedRootOf(eng))
+		ch <- outcome{res, err}
+	}()
+	var out outcome
+	select {
+	case out = <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("permanently stalled rank hung the run instead of erroring")
+	}
+	if out.err == nil {
+		t.Fatal("run with a permanently stalled rank returned nil error")
+	}
+	if !errors.Is(out.err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence in chain", out.err)
+	}
+	if !errors.Is(out.err, comm.ErrRankStalled) {
+		t.Fatalf("err = %v, want comm.ErrRankStalled in chain", out.err)
+	}
+	if out.res != nil && out.res.Faults.Stalls == 0 {
+		t.Fatalf("result records no stalls: %+v", out.res.Faults)
+	}
+}
+
+// TestTransientStallRecovers: a rank stalled for a finite window costs
+// retries, not the run.
+func TestTransientStallRecovers(t *testing.T) {
+	n, edges := rmatEdges(t, 9, 2)
+	plan := faultinject.New(0)
+	plan.StallRank = 1
+	plan.StallStart = 3
+	plan.StallLen = 4
+	eng, err := NewEngine(n, edges, Options{
+		Mesh:         topology.Mesh{Rows: 2, Cols: 2},
+		Transport:    plan,
+		RetryBackoff: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnectedRootOf(eng)
+	res, err := eng.Run(root)
+	if err != nil {
+		t.Fatalf("transient stall did not recover: %v", err)
+	}
+	if _, err := validate.BFS(n, edges, root, res.Parent); err != nil {
+		t.Fatalf("validation after stall recovery: %v", err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("stall window cost no retries; the fault never landed")
+	}
+	if res.RecoveryTime == 0 {
+		t.Fatal("retries recorded but recovery time is zero")
+	}
+}
+
+// TestCorruptionIsDetectedAndRetried: corrupted payloads are caught by
+// checksum and the iteration re-runs with clean buffers.
+func TestCorruptionIsDetectedAndRetried(t *testing.T) {
+	n, edges := rmatEdges(t, 9, 3)
+	plan := faultinject.New(11)
+	plan.CorruptProb = 0.02
+	eng, err := NewEngine(n, edges, Options{
+		Mesh:         topology.Mesh{Rows: 2, Cols: 2},
+		Transport:    plan,
+		MaxRetries:   8,
+		RetryBackoff: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnectedRootOf(eng)
+	res, err := eng.Run(root)
+	if err != nil {
+		t.Fatalf("run under corruption: %v", err)
+	}
+	if _, err := validate.BFS(n, edges, root, res.Parent); err != nil {
+		t.Fatalf("validation under corruption: %v", err)
+	}
+	if res.Faults.Corruptions == 0 {
+		t.Fatal("CorruptProb=0.02 corrupted nothing; pick a different seed")
+	}
+	if res.Retries == 0 {
+		t.Fatal("corruption was injected but never forced a retry")
+	}
+}
+
+// TestMaxIterationsReturnsErrNoConvergence: a frontier still active at the
+// iteration cap is a typed abort, not a silent truncation (and carries no
+// comm sentinel — nothing failed, the graph is just too deep).
+func TestMaxIterationsReturnsErrNoConvergence(t *testing.T) {
+	const n = 64
+	eng, err := NewEngine(n, pathEdges(n), Options{
+		Mesh:          topology.Mesh{Rows: 2, Cols: 2},
+		MaxIterations: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(0)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	for _, sentinel := range []error{comm.ErrRankStalled, comm.ErrCollectiveFailed,
+		comm.ErrPayloadCorrupted, comm.ErrDeadlineExceeded} {
+		if errors.Is(err, sentinel) {
+			t.Fatalf("iteration-cap abort claims a comm fault: %v", err)
+		}
+	}
+	// The same graph converges fine when the cap is big enough.
+	eng2, err := NewEngine(n, pathEdges(n), Options{
+		Mesh:          topology.Mesh{Rows: 2, Cols: 2},
+		MaxIterations: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng2.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := validate.BFS(n, pathEdges(n), 0, res.Parent); err != nil {
+		t.Fatal(err)
+	}
+}

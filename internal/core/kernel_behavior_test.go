@@ -110,7 +110,8 @@ func TestH2LPullIsLocal(t *testing.T) {
 
 func TestL2LPullUsesAllgatherNotAlltoallv(t *testing.T) {
 	n, edges, th := hubLGraph()
-	eng, err := NewEngine(n, edges, Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: th, Direction: ModePullOnly})
+	eng, err := NewEngine(n, edges, Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: th, Direction: ModePullOnly,
+		MaxIterations: 256}) // the 400..599 L-path gives the graph diameter ~200
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,8 @@ func TestL2LPullUsesAllgatherNotAlltoallv(t *testing.T) {
 
 func TestL2LPushUsesAlltoallvNotAllgather(t *testing.T) {
 	n, edges, th := hubLGraph()
-	eng, err := NewEngine(n, edges, Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: th, Direction: ModePushOnly})
+	eng, err := NewEngine(n, edges, Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: th, Direction: ModePushOnly,
+		MaxIterations: 256}) // the 400..599 L-path gives the graph diameter ~200
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestHierarchicalL2LDoublesHops(t *testing.T) {
 	n, edges, th := hubLGraph()
 	run := func(hier bool) int64 {
 		eng, err := NewEngine(n, edges, Options{Mesh: topology.Mesh{Rows: 2, Cols: 2},
-			Thresholds: th, Direction: ModePushOnly, Hierarchical: hier})
+			Thresholds: th, Direction: ModePushOnly, Hierarchical: hier, MaxIterations: 256})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -37,7 +37,7 @@ type l2lMsg struct {
 // the edge-aware vertex-cut (Section 5): chunk boundaries follow the prefix
 // sum of active-source degrees, not source counts, so one heavy hub cannot
 // serialize the kernel.
-func (st *rankState) ehPush() int64 {
+func (st *rankState) ehPush() (int64, error) {
 	push := &st.rg.EHPush
 	orig := st.e.Part.Hubs.Orig
 	// Collect active source positions.
@@ -48,7 +48,7 @@ func (st *rankState) ehPush() int64 {
 		}
 	}
 	if len(active) == 0 {
-		return 0
+		return 0, nil
 	}
 	workers := st.e.Opt.RankWorkers
 	if workers == 1 || len(active) < 2*workers {
@@ -63,7 +63,7 @@ func (st *rankState) ehPush() int64 {
 				}
 			}
 		}
-		return edges
+		return edges, nil
 	}
 	// Edge-aware vertex cut: prefix-sum active degrees, then split evenly by
 	// accumulated degree.
@@ -107,7 +107,7 @@ func (st *rankState) ehPush() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // edgeCutChunks splits [0, len(prefix)-1) into up to `workers` ranges of
@@ -138,7 +138,7 @@ func edgeCutChunks(prefix []int64, workers int) [][2]int {
 // ehPull is the bottom-up core-subgraph kernel: scan unvisited destination
 // hubs in the row block, probing source hubs in the column block against the
 // replicated frontier, with early exit on the first active parent.
-func (st *rankState) ehPull() int64 {
+func (st *rankState) ehPull() (int64, error) {
 	pull := &st.rg.EHPull
 	orig := st.e.Part.Hubs.Orig
 	var edges int64
@@ -155,7 +155,7 @@ func (st *rankState) ehPull() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // ehPullSegmented is the CG-aware variant (Section 4.3): the source bitmap is
@@ -164,7 +164,7 @@ func (st *rankState) ehPull() int64 {
 // intervals rotate round-robin across steps so no two workers ever write the
 // same destination range concurrently. The hot source-bitmap slice stays
 // cache-resident per worker — the commodity-CPU analogue of LDM residency.
-func (st *rankState) ehPullSegmented() int64 {
+func (st *rankState) ehPullSegmented() (int64, error) {
 	segs := st.e.segPull[st.r.ID]
 	s := len(segs)
 	orig := st.e.Part.Hubs.Orig
@@ -213,14 +213,14 @@ func (st *rankState) ehPullSegmented() int64 {
 	for _, e := range edgesPer {
 		edges += e
 	}
-	return edges
+	return edges, nil
 }
 
 // --- E2L / H2L (hub -> L) ---------------------------------------------------
 
 // e2lPush: active E hubs activate owned L vertices; purely local because E is
 // delegated on every rank.
-func (st *rankState) e2lPush() int64 {
+func (st *rankState) e2lPush() (int64, error) {
 	csr := &st.rg.EToL
 	orig := st.e.Part.Hubs.Orig
 	var edges int64
@@ -237,12 +237,12 @@ func (st *rankState) e2lPush() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // e2lPull: unvisited owned L vertices probe their E neighbors against the
 // replicated frontier; local, with early exit.
-func (st *rankState) e2lPull() int64 {
+func (st *rankState) e2lPull() (int64, error) {
 	csr := &st.rg.LToE
 	orig := st.e.Part.Hubs.Orig
 	var edges int64
@@ -259,13 +259,13 @@ func (st *rankState) e2lPull() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // h2lPush: active H hubs in this rank's column block message their L
 // neighbors' owners along the row (the H2L component is stored at the
 // intersection of H's column and the owner's row).
-func (st *rankState) h2lPush() int64 {
+func (st *rankState) h2lPush() (int64, error) {
 	csr := &st.rg.HToL
 	orig := st.e.Part.Hubs.Orig
 	cols := st.e.Opt.Mesh.Cols
@@ -281,14 +281,17 @@ func (st *rankState) h2lPush() int64 {
 			send[rem.Col] = append(send[rem.Col], lMsg{LIdx: rem.LIdx, Parent: parent})
 		}
 	}
-	recv := comm.Alltoallv(st.r.RowC, send)
+	recv, err := comm.Alltoallv(st.r.RowC, send)
+	if err != nil {
+		return edges, err
+	}
 	st.applyLMsgs(recv)
-	return edges
+	return edges, nil
 }
 
 // h2lPull: unvisited owned L vertices probe their H neighbors against the
 // replicated hub frontier; local thanks to delegation.
-func (st *rankState) h2lPull() int64 {
+func (st *rankState) h2lPull() (int64, error) {
 	csr := &st.rg.LToH
 	orig := st.e.Part.Hubs.Orig
 	var edges int64
@@ -305,7 +308,7 @@ func (st *rankState) h2lPull() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // applyLMsgs applies received L activation messages owner-locally. With
@@ -385,7 +388,7 @@ func (st *rankState) applyLMsgsTwoStage(recv [][]lMsg, total, workers int) {
 
 // l2ePush: active owned L vertices activate E delegates locally (E is
 // delegated everywhere, so no message leaves the rank).
-func (st *rankState) l2ePush() int64 {
+func (st *rankState) l2ePush() (int64, error) {
 	csr := &st.rg.LToE
 	layout := st.e.Part.Layout
 	var edges int64
@@ -398,12 +401,12 @@ func (st *rankState) l2ePush() int64 {
 			}
 		}
 	})
-	return edges
+	return edges, nil
 }
 
 // l2ePull: unvisited E hubs probe their owned-L neighbors against the local
 // frontier; every rank does its share, with per-rank early exit.
-func (st *rankState) l2ePull() int64 {
+func (st *rankState) l2ePull() (int64, error) {
 	csr := &st.rg.EToL
 	layout := st.e.Part.Layout
 	var edges int64
@@ -420,13 +423,13 @@ func (st *rankState) l2ePull() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // l2hPush: active owned L vertices message the row delegate of each
 // unvisited H neighbor (the rank in this row holding H's column), which
 // records the delegate activation; the next hub sync propagates it.
-func (st *rankState) l2hPush() int64 {
+func (st *rankState) l2hPush() (int64, error) {
 	csr := &st.rg.LToH
 	layout := st.e.Part.Layout
 	hubs := st.e.Part.Hubs
@@ -444,7 +447,10 @@ func (st *rankState) l2hPush() int64 {
 			send[col] = append(send[col], hubMsg{Hub: hub, Parent: parent})
 		}
 	})
-	recv := comm.Alltoallv(st.r.RowC, send)
+	recv, err := comm.Alltoallv(st.r.RowC, send)
+	if err != nil {
+		return edges, err
+	}
 	for _, part := range recv {
 		for _, m := range part {
 			if !st.hubVisited.Test(int(m.Hub)) && !st.hubNew.Test(int(m.Hub)) {
@@ -453,19 +459,21 @@ func (st *rankState) l2hPush() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // l2hPull: unvisited H hubs in this rank's column block probe their L
 // neighbors across the row against a row-wide L frontier (one row allgather),
 // with early exit.
-func (st *rankState) l2hPull() int64 {
+func (st *rankState) l2hPull() (int64, error) {
 	per := int(st.e.Part.Layout.PerRank)
 	mesh := st.e.Opt.Mesh
 	if st.rowFrontier == nil {
 		st.rowFrontier = bitmap.New(per * mesh.Cols)
 	}
-	gatherFrontier(st.r.RowC, st.lFrontier, st.rowFrontier)
+	if err := gatherFrontier(st.r.RowC, st.lFrontier, st.rowFrontier); err != nil {
+		return 0, err
+	}
 	csr := &st.rg.HToL
 	layout := st.e.Part.Layout
 	var edges int64
@@ -483,18 +491,22 @@ func (st *rankState) l2hPull() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // gatherFrontier allgathers each member's local frontier words into the
 // member-indexed concatenated bitmap dst.
-func gatherFrontier(c *comm.Comm, local *bitmap.Bitmap, dst *bitmap.Bitmap) {
-	parts := comm.Allgatherv(c, local.Words())
+func gatherFrontier(c *comm.Comm, local *bitmap.Bitmap, dst *bitmap.Bitmap) error {
+	parts, err := comm.Allgatherv(c, local.Words())
+	if err != nil {
+		return err
+	}
 	wordsPer := len(local.Words())
 	dw := dst.Words()
 	for m, p := range parts {
 		copy(dw[m*wordsPer:(m+1)*wordsPer], p)
 	}
+	return nil
 }
 
 // --- L2L ---------------------------------------------------------------------
@@ -504,7 +516,7 @@ func gatherFrontier(c *comm.Comm, local *bitmap.Bitmap, dst *bitmap.Bitmap) {
 // column and destination row (column alltoallv then row alltoallv), the
 // paper's forwarding scheme for fewer live global connections; otherwise one
 // world alltoallv.
-func (st *rankState) l2lPush() int64 {
+func (st *rankState) l2lPush() (int64, error) {
 	csr := &st.rg.L2L
 	layout := st.e.Part.Layout
 	mesh := st.e.Opt.Mesh
@@ -518,9 +530,12 @@ func (st *rankState) l2lPush() int64 {
 				send[layout.Owner(dst)] = append(send[layout.Owner(dst)], l2lMsg{Dst: dst, Parent: parent})
 			}
 		})
-		recv := comm.Alltoallv(st.r.World, send)
+		recv, err := comm.Alltoallv(st.r.World, send)
+		if err != nil {
+			return edges, err
+		}
 		st.applyL2L(recv)
-		return edges
+		return edges, nil
 	}
 	// Stage 1: sort by destination row, send down my column.
 	sendRow := make([][]l2lMsg, mesh.Rows)
@@ -532,8 +547,10 @@ func (st *rankState) l2lPush() int64 {
 			sendRow[row] = append(sendRow[row], l2lMsg{Dst: dst, Parent: parent})
 		}
 	})
-	viaCol := comm.Alltoallv(st.r.ColC, sendRow)
-	// Stage 2: forward within the destination row by owner column.
+	viaCol, colErr := comm.Alltoallv(st.r.ColC, sendRow)
+	// Stage 2: forward within the destination row by owner column. This runs
+	// even when stage 1 failed (with nothing to forward) so every rank keeps
+	// the same per-communicator collective schedule under faults.
 	sendCol := make([][]l2lMsg, mesh.Cols)
 	for _, part := range viaCol {
 		for _, m := range part {
@@ -541,9 +558,15 @@ func (st *rankState) l2lPush() int64 {
 			sendCol[col] = append(sendCol[col], m)
 		}
 	}
-	recv := comm.Alltoallv(st.r.RowC, sendCol)
+	recv, rowErr := comm.Alltoallv(st.r.RowC, sendCol)
+	if colErr != nil {
+		return edges, colErr
+	}
+	if rowErr != nil {
+		return edges, rowErr
+	}
 	st.applyL2L(recv)
-	return edges
+	return edges, nil
 }
 
 func (st *rankState) applyL2L(recv [][]l2lMsg) {
@@ -562,12 +585,14 @@ func (st *rankState) applyL2L(recv [][]l2lMsg) {
 // l2lPull: one world allgather replicates the L frontier (indexed by
 // original vertex ID thanks to the padded block layout), then unvisited
 // owned L vertices probe their neighbors with early exit.
-func (st *rankState) l2lPull() int64 {
+func (st *rankState) l2lPull() (int64, error) {
 	per := int(st.e.Part.Layout.PerRank)
 	if st.worldFrontier == nil {
 		st.worldFrontier = bitmap.New(per * st.e.Part.Layout.P)
 	}
-	gatherFrontier(st.r.World, st.lFrontier, st.worldFrontier)
+	if err := gatherFrontier(st.r.World, st.lFrontier, st.worldFrontier); err != nil {
+		return 0, err
+	}
 	csr := &st.rg.L2L
 	var edges int64
 	for li := 0; li < st.rg.LocalN; li++ {
@@ -583,5 +608,5 @@ func (st *rankState) l2lPull() int64 {
 			}
 		}
 	}
-	return edges
+	return edges, nil
 }

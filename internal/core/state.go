@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/bitmap"
@@ -44,6 +45,56 @@ type rankState struct {
 	// cached active counts, recomputed after each hub sync / L update
 	activeL int64
 	visitL  int64
+
+	// resilience bookkeeping (only exercised under a fault transport)
+	retries  int64
+	recovery time.Duration
+}
+
+// iterSnapshot captures the state an iteration needs to be re-executed after
+// a collective failure: every frontier/visited bitmap plus the cached global
+// counts. The parent arrays are deliberately NOT captured — parent updates are
+// monotone (a slot is written at most once per discovery, always with a valid
+// BFS parent at the discovering level), so any write a failed attempt left
+// behind is either re-performed identically by the retry or is already a
+// correct parent for that vertex.
+type iterSnapshot struct {
+	hubFrontier, hubVisited, hubNew, hubIter []uint64
+	lFrontier, lVisited, lNew                []uint64
+	activeL, visitL                          int64
+}
+
+func snapWords(dst *[]uint64, src *bitmap.Bitmap) {
+	w := src.Words()
+	if cap(*dst) < len(w) {
+		*dst = make([]uint64, len(w))
+	}
+	*dst = (*dst)[:len(w)]
+	copy(*dst, w)
+}
+
+func (st *rankState) snapshot(s *iterSnapshot) {
+	snapWords(&s.hubFrontier, st.hubFrontier)
+	snapWords(&s.hubVisited, st.hubVisited)
+	snapWords(&s.hubNew, st.hubNew)
+	snapWords(&s.hubIter, st.hubIter)
+	snapWords(&s.lFrontier, st.lFrontier)
+	snapWords(&s.lVisited, st.lVisited)
+	snapWords(&s.lNew, st.lNew)
+	s.activeL = st.activeL
+	s.visitL = st.visitL
+}
+
+func (st *rankState) restore(s *iterSnapshot) {
+	copy(st.hubFrontier.Words(), s.hubFrontier)
+	copy(st.hubVisited.Words(), s.hubVisited)
+	copy(st.hubNew.Words(), s.hubNew)
+	copy(st.hubIter.Words(), s.hubIter)
+	copy(st.lFrontier.Words(), s.lFrontier)
+	copy(st.lVisited.Words(), s.lVisited)
+	copy(st.lNew.Words(), s.lNew)
+	st.activeL = s.activeL
+	st.visitL = s.visitL
 }
 
 func newRankState(e *Engine, r *comm.Rank) *rankState {
@@ -79,7 +130,16 @@ func newRankState(e *Engine, r *comm.Rank) *rankState {
 // bfs runs the main loop and returns the iteration trace. All ranks execute
 // it in lockstep; every collective below is reached by every rank in the
 // same order (direction choices derive from globally consistent state).
-func (st *rankState) bfs(root int64) []IterTrace {
+//
+// Under a fault transport the loop becomes a retry loop: each iteration is
+// snapshotted before execution, every collective error is collected without
+// breaking the collective schedule, and at the iteration boundary all ranks
+// vote over the reliable control plane on whether anyone failed. A failed
+// vote restores the snapshot on every rank and re-executes the iteration
+// after an exponential backoff — idempotent because visited/parent updates
+// are monotone. MaxRetries consecutive failures (or MaxIterations without an
+// empty frontier) abort with ErrNoConvergence.
+func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 	layout := st.e.Part.Layout
 	hubs := st.e.Part.Hubs
 	if h, ok := hubs.HubOf(root); ok {
@@ -94,20 +154,28 @@ func (st *rankState) bfs(root int64) []IterTrace {
 		st.activeL = 1
 		st.visitL = 1
 	}
-	// Global L counts for direction decisions.
-	st.activeL = comm.AllreduceSumInt64(st.r.World, st.activeL)
-	st.visitL = comm.AllreduceSumInt64(st.r.World, st.visitL)
+	// Global L counts for direction decisions. Bootstrap rides the control
+	// plane: there is no prior consistent state to retry from.
+	st.activeL = comm.ControlSumInt64(st.r.World, st.activeL)
+	st.visitL = comm.ControlSumInt64(st.r.World, st.visitL)
 
+	faulty := st.r.Faulty()
+	var snap iterSnapshot
 	var trace []IterTrace
+	attempt := 0
+	converged := false
 	for iter := 0; iter < st.e.Opt.MaxIterations; iter++ {
+		iterStart := time.Now()
+		if faulty {
+			st.snapshot(&snap)
+		}
 		it := IterTrace{
 			ActiveE: int64(st.hubFrontier.CountRange(0, int(st.numE))),
 			ActiveH: int64(st.hubFrontier.CountRange(int(st.numE), st.k)),
 			ActiveL: st.activeL,
 		}
 		it.Directions = st.chooseDirections(it)
-		st.runIteration(it.Directions)
-		trace = append(trace, it)
+		err := st.runIteration(it.Directions)
 
 		// Advance frontiers. Hub side: hubIter was synced incrementally.
 		st.hubFrontier.CopyFrom(st.hubIter)
@@ -122,31 +190,98 @@ func (st *rankState) bfs(root int64) []IterTrace {
 			// iteration. Correctness-neutral but pays a world-wide
 			// K-element reduce per iteration — the traffic the paper's
 			// delayed reduction eliminates.
-			st.reduceParents()
+			if e2 := st.reduceParents(); err == nil {
+				err = e2
+			}
 		}
 
 		newHubs := int64(st.hubFrontier.Count())
-		st.activeL = comm.AllreduceSumInt64(st.r.World, int64(st.lFrontier.Count()))
-		st.visitL += st.activeL
-		if newHubs+st.activeL == 0 {
+		al, e2 := comm.AllreduceSumInt64(st.r.World, int64(st.lFrontier.Count()))
+		if err == nil {
+			err = e2
+		}
+
+		if faulty {
+			// Agreement: did any rank see a collective error this iteration?
+			var bad int64
+			if err != nil {
+				bad = 1
+			}
+			if comm.ControlSumInt64(st.r.World, bad) > 0 {
+				attempt++
+				st.retries++
+				if attempt > st.e.Opt.MaxRetries {
+					st.recovery += time.Since(iterStart)
+					if err == nil {
+						err = errRemoteRank
+					}
+					return trace, fmt.Errorf("core: iteration %d still failing after %d retries: %w: %w",
+						iter, st.e.Opt.MaxRetries, ErrNoConvergence, err)
+				}
+				st.restore(&snap)
+				backoff := st.e.Opt.RetryBackoff << uint(attempt-1)
+				time.Sleep(backoff)
+				st.recovery += time.Since(iterStart)
+				iter--
+				continue
+			}
+			attempt = 0
+		}
+
+		trace = append(trace, it)
+		st.activeL = al
+		st.visitL += al
+		if newHubs+al == 0 {
+			converged = true
 			break
 		}
+	}
+	if !converged {
+		return trace, fmt.Errorf("core: frontier still active after %d iterations: %w",
+			st.e.Opt.MaxIterations, ErrNoConvergence)
 	}
 
 	// Delayed reduction of the delegated parent array (Section 5): one
 	// world-wide max-reduce after the run instead of per-iteration traffic.
-	st.reduceParents()
-	return trace
+	// The reduction is idempotent (element-wise max over monotone parents),
+	// so under faults it retries with the same vote protocol as iterations.
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		err := st.reduceParents()
+		if !faulty {
+			return trace, err
+		}
+		var bad int64
+		if err != nil {
+			bad = 1
+		}
+		if comm.ControlSumInt64(st.r.World, bad) == 0 {
+			return trace, nil
+		}
+		st.retries++
+		if attempt >= st.e.Opt.MaxRetries {
+			st.recovery += time.Since(t0)
+			if err == nil {
+				err = errRemoteRank
+			}
+			return trace, fmt.Errorf("core: parent reduction still failing after %d retries: %w: %w",
+				st.e.Opt.MaxRetries, ErrNoConvergence, err)
+		}
+		time.Sleep(st.e.Opt.RetryBackoff << uint(attempt))
+		st.recovery += time.Since(t0)
+	}
 }
 
 // reduceParents max-reduces the delegated parent array across all ranks.
-func (st *rankState) reduceParents() {
+func (st *rankState) reduceParents() error {
 	t0 := time.Now()
 	base := st.r.Stats
+	var err error
 	if len(st.parentHub) > 0 {
-		comm.AllreduceMaxInt64(st.r.World, st.parentHub)
+		err = comm.AllreduceMaxInt64(st.r.World, st.parentHub)
 	}
 	st.rec.Observe(stats.PhaseReduce, stats.DirNone, time.Since(t0), st.r.Stats.Delta(&base), 0)
+	return err
 }
 
 // runIteration executes the six sub-iterations in hub-first order, syncing
@@ -154,19 +289,29 @@ func (st *rankState) reduceParents() {
 // sub-iterations see the latest visited sets (Section 4.2). Skipped
 // sub-iterations are elided entirely — including their collectives, which is
 // safe because the skip decision derives from globally consistent counts.
-func (st *rankState) runIteration(dirs [partition.NumComponents]stats.Direction) {
-	run := func(c partition.Component, push, pull func() int64) {
+// A collective error inside one kernel does NOT short-circuit the iteration:
+// detection is symmetric only within the failing communicator (one column's
+// alltoallv can fail while the others succeed), so every rank must keep
+// executing the identical per-communicator collective schedule to stay in
+// rendezvous lockstep. The first error is collected and resolved globally by
+// the caller's control-plane vote at the iteration boundary.
+func (st *rankState) runIteration(dirs [partition.NumComponents]stats.Direction) error {
+	var firstErr error
+	run := func(c partition.Component, push, pull func() (int64, error)) {
 		d := dirs[c]
 		if d == stats.DirSkip {
 			st.rec.Observe(stats.PhaseOfComponent(c), d, 0, comm.VolumeStats{}, 0)
 			return
 		}
-		st.observe(c, d, func() int64 {
+		err := st.observe(c, d, func() (int64, error) {
 			if d == stats.DirPush {
 				return push()
 			}
 			return pull()
 		})
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
 	// 1. EH2EH (hub -> hub).
 	ehPull := st.ehPull
@@ -174,7 +319,9 @@ func (st *rankState) runIteration(dirs [partition.NumComponents]stats.Direction)
 		ehPull = st.ehPullSegmented
 	}
 	run(partition.CompEH2EH, st.ehPush, ehPull)
-	st.syncHubs()
+	if err := st.syncHubs(); firstErr == nil {
+		firstErr = err
+	}
 
 	// 2. E2L and H2L (hub -> L).
 	run(partition.CompE2L, st.e2lPush, st.e2lPull)
@@ -183,31 +330,40 @@ func (st *rankState) runIteration(dirs [partition.NumComponents]stats.Direction)
 	// 3. L2E and L2H (L -> hub).
 	run(partition.CompL2E, st.l2ePush, st.l2ePull)
 	run(partition.CompL2H, st.l2hPush, st.l2hPull)
-	st.syncHubs()
+	if err := st.syncHubs(); firstErr == nil {
+		firstErr = err
+	}
 
 	// 4. L2L.
 	run(partition.CompL2L, st.l2lPush, st.l2lPull)
+	return firstErr
 }
 
 // observe times a kernel and attributes its traffic delta and edge touches.
-func (st *rankState) observe(c partition.Component, d stats.Direction, fn func() int64) {
+func (st *rankState) observe(c partition.Component, d stats.Direction, fn func() (int64, error)) error {
 	t0 := time.Now()
 	base := st.r.Stats
-	edges := fn()
+	edges, err := fn()
 	st.rec.Observe(stats.PhaseOfComponent(c), d, time.Since(t0), st.r.Stats.Delta(&base), edges)
+	return err
 }
 
 // syncHubs merges local hub activations globally: allreduce-OR down the
 // column then across the row reproduces the paper's delegation traffic
 // pattern (E and H state moves only on column and row links), after which
 // hubNew's contents are globally agreed and folded into visited state.
-func (st *rankState) syncHubs() {
+func (st *rankState) syncHubs() error {
 	t0 := time.Now()
 	base := st.r.Stats
 	words := st.hubNew.Words()
+	var err error
 	if len(words) > 0 {
-		comm.AllreduceOr(st.r.ColC, words)
-		comm.AllreduceOr(st.r.RowC, words)
+		// Both allreduces always run — even after the column one fails — so
+		// the row communicator's collective schedule matches on every rank.
+		err = comm.AllreduceOr(st.r.ColC, words)
+		if e2 := comm.AllreduceOr(st.r.RowC, words); err == nil {
+			err = e2
+		}
 	}
 	// hubNew now holds the union of all ranks' new activations (it may
 	// include hubs another rank also activated; visited filtering below is
@@ -217,6 +373,7 @@ func (st *rankState) syncHubs() {
 	st.hubVisited.Or(st.hubNew)
 	st.hubNew.Reset()
 	st.rec.Observe(stats.PhaseOther, stats.DirNone, time.Since(t0), st.r.Stats.Delta(&base), 0)
+	return err
 }
 
 // writeParents assembles this rank's share of the global parent array:

@@ -1,0 +1,75 @@
+package edgeio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinRoundTrip: any input ReadBin accepts must re-encode via WriteBin
+// to the identical byte stream (the binary format has exactly one encoding),
+// and re-decode to the identical edge list.
+func FuzzReadBinRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Add([]byte("0123456789abcdef0123456789abcdef"))
+	f.Add([]byte{1, 2, 3}) // truncated record: must error, not panic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := ReadBin(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteBin(&buf, edges); err != nil {
+			t.Fatalf("WriteBin on decoded edges: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("re-encode differs from accepted input:\n  in:  %x\n  out: %x", data, buf.Bytes())
+		}
+		again, err := ReadBin(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("re-decode edge count %d, want %d", len(again), len(edges))
+		}
+		for i := range edges {
+			if edges[i] != again[i] {
+				t.Fatalf("edge %d changed across round trip: %v -> %v", i, edges[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzReadTextRoundTrip: any input ReadText accepts must survive a
+// write-then-read cycle with the edge list unchanged (the text format is not
+// canonical — comments and whitespace are lost — so the list, not the bytes,
+// is the invariant).
+func FuzzReadTextRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n% matrix market\n3 4 extra fields ok\n"))
+	f.Add([]byte("9223372036854775807 0\n"))
+	f.Add([]byte("not numbers"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, edges); err != nil {
+			t.Fatalf("WriteText on decoded edges: %v", err)
+		}
+		again, err := ReadText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of WriteText output: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("edge count %d after round trip, want %d", len(again), len(edges))
+		}
+		for i := range edges {
+			if edges[i] != again[i] {
+				t.Fatalf("edge %d changed across round trip: %v -> %v", i, edges[i], again[i])
+			}
+		}
+	})
+}

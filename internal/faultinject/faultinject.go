@@ -1,0 +1,190 @@
+// Package faultinject provides deterministic fault plans for the comm layer's
+// injectable transport. A Plan is a pure function of (seed, rank, collective
+// kind, sequence number): the same plan on the same run schedule always
+// injects the same faults, which is what makes chaos runs reproducible and
+// their failures bisectable. Plans model the hazards a production collective
+// stack meets at scale — contribution jitter, a rank stalling for a window of
+// collectives, payload corruption, outright send failure — and can be scoped
+// to one supernode of the modeled machine (a misbehaving switch board rather
+// than uniformly random noise).
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/xrand"
+)
+
+// Plan is a deterministic comm.Transport. The zero value injects nothing;
+// use New for a plan with the conventional "unscoped" sentinels filled in.
+type Plan struct {
+	// Seed drives every probabilistic draw.
+	Seed uint64
+
+	// DelayProb is the per-contribution probability of an injected delay,
+	// uniform in [DelayMin, DelayMax] (defaulting to [50µs, 200µs] when both
+	// are zero).
+	DelayProb          float64
+	DelayMin, DelayMax time.Duration
+
+	// CorruptProb is the per-contribution probability of a payload bit flip
+	// (detected by receivers via checksum, surfacing ErrPayloadCorrupted).
+	CorruptProb float64
+
+	// FailProb is the per-contribution probability of an outright failure
+	// (surfacing ErrCollectiveFailed).
+	FailProb float64
+
+	// StallRank, when StallLen > 0, withholds that rank's contributions for
+	// collective sequence numbers in [StallStart, StallStart+StallLen) —
+	// a rank that hangs for a window and comes back. StallLen < 0 stalls it
+	// forever (the permanent-failure case that must surface as a typed error,
+	// never a hang).
+	StallRank  int
+	StallStart int64
+	StallLen   int64
+
+	// Supernode, when >= 0, restricts the probabilistic faults to ranks on
+	// that supernode of the modeled machine. Negative means all ranks.
+	Supernode int
+}
+
+// New returns an empty plan with unscoped sentinels (Supernode -1, no stall).
+func New(seed uint64) *Plan {
+	return &Plan{Seed: seed, StallRank: -1, Supernode: -1}
+}
+
+// Intercept implements comm.Transport. It is safe for concurrent use: the
+// plan is never mutated and every draw is a pure hash of the call identity.
+func (p *Plan) Intercept(c comm.Call) comm.FaultAction {
+	var act comm.FaultAction
+	if p.StallLen != 0 && c.Rank == p.StallRank && c.Seq >= p.StallStart &&
+		(p.StallLen < 0 || c.Seq < p.StallStart+p.StallLen) {
+		act.Withhold = true
+		return act
+	}
+	if p.DelayProb <= 0 && p.CorruptProb <= 0 && p.FailProb <= 0 {
+		return act
+	}
+	if p.Supernode >= 0 && c.Supernode != p.Supernode {
+		return act
+	}
+	// Three independent draws from a Mix64 chain over the call identity.
+	h := xrand.Mix64(p.Seed ^ xrand.Mix64(uint64(c.Rank)<<32|uint64(uint32(c.Kind))) ^ xrand.Mix64(uint64(c.Seq)))
+	if u(h) < p.FailProb {
+		act.Fail = true
+		return act
+	}
+	h = xrand.Mix64(h)
+	if u(h) < p.CorruptProb {
+		act.Corrupt = true
+	}
+	h = xrand.Mix64(h)
+	if u(h) < p.DelayProb {
+		lo, hi := p.DelayMin, p.DelayMax
+		if lo == 0 && hi == 0 {
+			lo, hi = 50*time.Microsecond, 200*time.Microsecond
+		}
+		if hi < lo {
+			hi = lo
+		}
+		h = xrand.Mix64(h)
+		act.Delay = lo + time.Duration(u(h)*float64(hi-lo+1))
+	}
+	return act
+}
+
+// u maps a hash to [0, 1) with 53 bits of precision.
+func u(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Parse builds a plan from a comma-separated spec, the format of bfsbench's
+// -faults flag. Keys: seed=N, delay=P, delaymin=DUR, delaymax=DUR, corrupt=P,
+// fail=P, stallrank=R, stallstart=N, stalllen=N (negative = forever),
+// supernode=S. Example: "seed=42,delay=0.01,fail=0.001".
+func Parse(spec string) (*Plan, error) {
+	p := New(0)
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 0, 64)
+		case "delay":
+			p.DelayProb, err = strconv.ParseFloat(val, 64)
+		case "delaymin":
+			p.DelayMin, err = time.ParseDuration(val)
+		case "delaymax":
+			p.DelayMax, err = time.ParseDuration(val)
+		case "corrupt":
+			p.CorruptProb, err = strconv.ParseFloat(val, 64)
+		case "fail":
+			p.FailProb, err = strconv.ParseFloat(val, 64)
+		case "stallrank":
+			p.StallRank, err = strconv.Atoi(val)
+		case "stallstart":
+			p.StallStart, err = strconv.ParseInt(val, 10, 64)
+		case "stalllen":
+			p.StallLen, err = strconv.ParseInt(val, 10, 64)
+		case "supernode":
+			p.Supernode, err = strconv.Atoi(val)
+		default:
+			return nil, fmt.Errorf("faultinject: unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad value for %s: %v", key, err)
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan in Parse's format (only non-default fields).
+func (p *Plan) String() string {
+	kv := map[string]string{}
+	if p.Seed != 0 {
+		kv["seed"] = strconv.FormatUint(p.Seed, 10)
+	}
+	if p.DelayProb > 0 {
+		kv["delay"] = strconv.FormatFloat(p.DelayProb, 'g', -1, 64)
+	}
+	if p.DelayMin != 0 {
+		kv["delaymin"] = p.DelayMin.String()
+	}
+	if p.DelayMax != 0 {
+		kv["delaymax"] = p.DelayMax.String()
+	}
+	if p.CorruptProb > 0 {
+		kv["corrupt"] = strconv.FormatFloat(p.CorruptProb, 'g', -1, 64)
+	}
+	if p.FailProb > 0 {
+		kv["fail"] = strconv.FormatFloat(p.FailProb, 'g', -1, 64)
+	}
+	if p.StallLen != 0 {
+		kv["stallrank"] = strconv.Itoa(p.StallRank)
+		kv["stallstart"] = strconv.FormatInt(p.StallStart, 10)
+		kv["stalllen"] = strconv.FormatInt(p.StallLen, 10)
+	}
+	if p.Supernode >= 0 {
+		kv["supernode"] = strconv.Itoa(p.Supernode)
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+kv[k])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/topology"
+)
+
+func TestInterceptIsDeterministic(t *testing.T) {
+	p := New(42)
+	p.DelayProb = 0.3
+	p.CorruptProb = 0.2
+	p.FailProb = 0.1
+	for seq := int64(1); seq <= 200; seq++ {
+		c := comm.Call{Rank: int(seq) % 7, Kind: comm.Kind(seq % 4), Seq: seq, CommSize: 8}
+		a := p.Intercept(c)
+		b := p.Intercept(c)
+		if a != b {
+			t.Fatalf("seq %d: two intercepts of the same call disagree: %+v vs %+v", seq, a, b)
+		}
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a, b := New(1), New(2)
+	for _, p := range []*Plan{a, b} {
+		p.FailProb = 0.5
+	}
+	diff := 0
+	for seq := int64(1); seq <= 256; seq++ {
+		c := comm.Call{Rank: 3, Kind: comm.KindAlltoallv, Seq: seq, CommSize: 4}
+		if a.Intercept(c).Fail != b.Intercept(c).Fail {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("256 calls under different seeds produced identical fault schedules")
+	}
+}
+
+func TestProbabilityExtremes(t *testing.T) {
+	always := New(7)
+	always.FailProb = 1
+	never := New(7)
+	for seq := int64(1); seq <= 100; seq++ {
+		c := comm.Call{Rank: 0, Kind: comm.KindBarrier, Seq: seq, CommSize: 2}
+		if !always.Intercept(c).Fail {
+			t.Fatalf("seq %d: FailProb=1 did not fail", seq)
+		}
+		if a := never.Intercept(c); a != (comm.FaultAction{}) {
+			t.Fatalf("seq %d: empty plan injected %+v", seq, a)
+		}
+	}
+}
+
+func TestStallWindow(t *testing.T) {
+	p := New(0)
+	p.StallRank = 2
+	p.StallStart = 5
+	p.StallLen = 3
+	for seq := int64(1); seq <= 12; seq++ {
+		got := p.Intercept(comm.Call{Rank: 2, Seq: seq}).Withhold
+		want := seq >= 5 && seq < 8
+		if got != want {
+			t.Fatalf("rank 2 seq %d: withhold=%v, want %v", seq, got, want)
+		}
+		if p.Intercept(comm.Call{Rank: 1, Seq: seq}).Withhold {
+			t.Fatalf("rank 1 seq %d stalled; plan targets rank 2", seq)
+		}
+	}
+	p.StallLen = -1 // forever
+	if !p.Intercept(comm.Call{Rank: 2, Seq: 1 << 40}).Withhold {
+		t.Fatal("permanent stall ended")
+	}
+}
+
+func TestSupernodeScoping(t *testing.T) {
+	p := New(9)
+	p.FailProb = 1
+	p.Supernode = 1
+	if p.Intercept(comm.Call{Rank: 0, Supernode: 0, Seq: 1}).Fail {
+		t.Fatal("fault fired outside the scoped supernode")
+	}
+	if !p.Intercept(comm.Call{Rank: 4, Supernode: 1, Seq: 1}).Fail {
+		t.Fatal("fault did not fire inside the scoped supernode")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "corrupt=0.001,delay=0.01,delaymax=500µs,delaymin=50µs,fail=0.0005,seed=42,stalllen=2,stallrank=3,stallstart=10,supernode=1"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.DelayProb != 0.01 || p.DelayMin != 50*time.Microsecond ||
+		p.DelayMax != 500*time.Microsecond || p.CorruptProb != 0.001 || p.FailProb != 0.0005 ||
+		p.StallRank != 3 || p.StallStart != 10 || p.StallLen != 2 || p.Supernode != 1 {
+		t.Fatalf("parsed plan %+v does not match spec", p)
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse accepted a field without =")
+	}
+	if _, err := Parse("nope=1"); err == nil {
+		t.Fatal("Parse accepted an unknown key")
+	}
+	empty, err := Parse("  ")
+	if err != nil || empty.String() != "" {
+		t.Fatalf("empty spec: plan %+v err %v", empty, err)
+	}
+}
+
+// TestPlanDrivesWorld installs a plan on a real world and checks the typed
+// error comes back on every rank, with fault stats accounted.
+func TestPlanDrivesWorld(t *testing.T) {
+	const n = 4
+	p := New(3)
+	p.FailProb = 1
+	w, err := comm.NewWorldOpts(n, topology.Mesh{Rows: 2, Cols: 2}, topology.NewSunway(n),
+		comm.WorldOptions{Transport: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, n)
+	faults := make([]comm.FaultStats, n)
+	w.Run(func(r *comm.Rank) {
+		_, errs[r.ID] = comm.AllreduceSumInt64(r.World, 1)
+		faults[r.ID] = r.Faults
+	})
+	for id, err := range errs {
+		if !errors.Is(err, comm.ErrCollectiveFailed) {
+			t.Fatalf("rank %d: err = %v, want ErrCollectiveFailed", id, err)
+		}
+		if faults[id].Failures != 1 || faults[id].Errors != 1 {
+			t.Fatalf("rank %d: fault stats %+v, want 1 failure / 1 error", id, faults[id])
+		}
+	}
+}

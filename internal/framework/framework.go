@@ -193,7 +193,7 @@ func (st *prState) run(damping, tol float64, maxIter int) (int, float64) {
 			}
 		}
 		d := []float64{dangling}
-		comm.AllreduceSumFloat64(st.r.World, d)
+		comm.Must0(comm.AllreduceSumFloat64(st.r.World, d))
 		danglingShare := d[0] / n
 
 		// EH2EH: each stored directed edge contributes src/deg(src) to dst.
@@ -222,7 +222,7 @@ func (st *prState) run(damping, tol float64, maxIter int) (int, float64) {
 				send[rem.Col] = append(send[rem.Col], prMsg{LIdx: rem.LIdx, Val: msg})
 			}
 		}
-		for _, part := range comm.Alltoallv(st.r.RowC, send) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.RowC, send)) {
 			for _, m := range part {
 				st.lAcc[m.LIdx] += m.Val
 			}
@@ -255,7 +255,7 @@ func (st *prState) run(damping, tol float64, maxIter int) (int, float64) {
 				sendLL[owner] = append(sendLL[owner], prMsg{LIdx: layout.LocalIdx(dst), Val: msg})
 			}
 		}
-		for _, part := range comm.Alltoallv(st.r.World, sendLL) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.World, sendLL)) {
 			for _, m := range part {
 				st.lAcc[m.LIdx] += m.Val
 			}
@@ -263,8 +263,8 @@ func (st *prState) run(damping, tol float64, maxIter int) (int, float64) {
 		// Delegated hub accumulator reduction: column then row sum-reduce
 		// (the BFS hub sync pattern with + instead of OR).
 		if st.k > 0 {
-			comm.AllreduceSumFloat64(st.r.ColC, st.hubAcc)
-			comm.AllreduceSumFloat64(st.r.RowC, st.hubAcc)
+			comm.Must0(comm.AllreduceSumFloat64(st.r.ColC, st.hubAcc))
+			comm.Must0(comm.AllreduceSumFloat64(st.r.RowC, st.hubAcc))
 		}
 		// Apply. Hub applies are replicated and deterministic (identical
 		// accumulators everywhere); L applies are owner-local.
@@ -287,7 +287,7 @@ func (st *prState) run(damping, tol float64, maxIter int) (int, float64) {
 			st.lVal[li] = nv
 		}
 		dd := []float64{localDelta}
-		comm.AllreduceSumFloat64(st.r.World, dd)
+		comm.Must0(comm.AllreduceSumFloat64(st.r.World, dd))
 		delta = dd[0]
 	}
 	return iter, delta

@@ -156,7 +156,7 @@ func (st *progState[V]) run(maxIter int) int {
 				send[rem.Col] = append(send[rem.Col], progMsg[V]{LIdx: rem.LIdx, Val: m})
 			}
 		}
-		for _, part := range comm.Alltoallv(st.r.RowC, send) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.RowC, send)) {
 			for _, m := range part {
 				lAcc[m.LIdx] = prog.Combine(lAcc[m.LIdx], m.Val)
 			}
@@ -180,7 +180,7 @@ func (st *progState[V]) run(maxIter int) int {
 				sendLL[owner] = append(sendLL[owner], progMsg[V]{LIdx: layout.LocalIdx(dst), Val: m})
 			}
 		}
-		for _, part := range comm.Alltoallv(st.r.World, sendLL) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.World, sendLL)) {
 			for _, m := range part {
 				lAcc[m.LIdx] = prog.Combine(lAcc[m.LIdx], m.Val)
 			}
@@ -215,7 +215,7 @@ func (st *progState[V]) run(maxIter int) int {
 				changed++
 			}
 		}
-		if comm.AllreduceSumInt64(st.r.World, changed) == 0 {
+		if comm.Must(comm.AllreduceSumInt64(st.r.World, changed)) == 0 {
 			iter++
 			break
 		}
@@ -226,7 +226,7 @@ func (st *progState[V]) run(maxIter int) int {
 // combineOver gathers each member's accumulator vector and folds them in
 // member order.
 func combineOver[V comparable](c *comm.Comm, acc []V, prog Program[V]) {
-	parts := comm.Allgatherv(c, acc)
+	parts := comm.Must(comm.Allgatherv(c, acc))
 	ident := prog.Identity()
 	for h := range acc {
 		folded := ident

@@ -123,7 +123,7 @@ func (st *kcoreState) run() int {
 	iter := 0
 	for ; iter < 1<<20; iter++ {
 		peeled := st.peel()
-		total := comm.AllreduceSumInt64(st.r.World, peeled)
+		total := comm.Must(comm.AllreduceSumInt64(st.r.World, peeled))
 		if total == 0 {
 			break
 		}
@@ -184,19 +184,19 @@ func (st *kcoreState) run() int {
 			st.lPeeled[li] = false
 		}
 		// Deliver.
-		for _, part := range comm.Alltoallv(st.r.RowC, sendRow) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.RowC, sendRow)) {
 			for _, m := range part {
 				lDecLocal[m.LIdx] += int64(m.Dec)
 			}
 		}
-		for _, part := range comm.Alltoallv(st.r.World, sendLL) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.World, sendLL)) {
 			for _, m := range part {
 				lDecLocal[m.LIdx] += int64(m.Dec)
 			}
 		}
 		if st.kk > 0 {
-			comm.AllreduceSumInt64Vec(st.r.ColC, hubDec)
-			comm.AllreduceSumInt64Vec(st.r.RowC, hubDec)
+			comm.Must0(comm.AllreduceSumInt64Vec(st.r.ColC, hubDec))
+			comm.Must0(comm.AllreduceSumInt64Vec(st.r.RowC, hubDec))
 		}
 		for h := 0; h < st.kk; h++ {
 			st.hubDeg[h] -= hubDec[h]

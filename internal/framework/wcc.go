@@ -143,7 +143,7 @@ func (st *wccState) run() int {
 				send[rem.Col] = append(send[rem.Col], labelMsg{LIdx: rem.LIdx, Label: st.hubLabel[hub]})
 			}
 		}
-		for _, part := range comm.Alltoallv(st.r.RowC, send) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.RowC, send)) {
 			for _, m := range part {
 				lowerL(m.LIdx, m.Label)
 			}
@@ -167,7 +167,7 @@ func (st *wccState) run() int {
 				sendLL[owner] = append(sendLL[owner], labelMsg{LIdx: layout.LocalIdx(dst), Label: label})
 			}
 		}
-		for _, part := range comm.Alltoallv(st.r.World, sendLL) {
+		for _, part := range comm.Must(comm.Alltoallv(st.r.World, sendLL)) {
 			for _, m := range part {
 				lowerL(m.LIdx, m.Label)
 			}
@@ -177,7 +177,7 @@ func (st *wccState) run() int {
 		if st.k > 0 {
 			st.syncHubLabels(&changed)
 		}
-		total := comm.AllreduceSumInt64(st.r.World, changed)
+		total := comm.Must(comm.AllreduceSumInt64(st.r.World, changed))
 		if total == 0 {
 			break
 		}
@@ -191,8 +191,8 @@ func (st *wccState) syncHubLabels(changed *int64) {
 	for h := range neg {
 		neg[h] = -st.hubLabel[h]
 	}
-	comm.AllreduceMaxInt64(st.r.ColC, neg)
-	comm.AllreduceMaxInt64(st.r.RowC, neg)
+	comm.Must0(comm.AllreduceMaxInt64(st.r.ColC, neg))
+	comm.Must0(comm.AllreduceMaxInt64(st.r.RowC, neg))
 	for h := range neg {
 		if l := -neg[h]; l < st.hubLabel[h] {
 			st.hubLabel[h] = l

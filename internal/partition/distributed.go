@@ -41,7 +41,7 @@ func BuildDistributed(world *comm.World, n int64, shard func(rank int) []rmat.Ed
 			degrees[e.U]++
 			degrees[e.V]++
 		}
-		comm.AllreduceSumInt64Vec(r.World, degrees)
+		comm.Must0(comm.AllreduceSumInt64Vec(r.World, degrees))
 		degreesOut[r.ID] = degrees
 		// Phase 2: every rank computes the identical hub directory from the
 		// identical degree vector.
@@ -94,7 +94,7 @@ func exchangeRecords(r *comm.Rank, rb []rankBuf, p int) rankBuf {
 		for q := range send {
 			send[q] = rb[q].eh
 		}
-		for _, part := range comm.Alltoallv(r.World, send) {
+		for _, part := range comm.Must(comm.Alltoallv(r.World, send)) {
 			mine.eh = append(mine.eh, part...)
 		}
 	}
@@ -103,7 +103,7 @@ func exchangeRecords(r *comm.Rank, rb []rankBuf, p int) rankBuf {
 		for q := range send {
 			send[q] = rb[q].e2l
 		}
-		for _, part := range comm.Alltoallv(r.World, send) {
+		for _, part := range comm.Must(comm.Alltoallv(r.World, send)) {
 			mine.e2l = append(mine.e2l, part...)
 		}
 	}
@@ -112,7 +112,7 @@ func exchangeRecords(r *comm.Rank, rb []rankBuf, p int) rankBuf {
 		for q := range send {
 			send[q] = rb[q].h2l
 		}
-		for _, part := range comm.Alltoallv(r.World, send) {
+		for _, part := range comm.Must(comm.Alltoallv(r.World, send)) {
 			mine.h2l = append(mine.h2l, part...)
 		}
 	}
@@ -121,7 +121,7 @@ func exchangeRecords(r *comm.Rank, rb []rankBuf, p int) rankBuf {
 		for q := range send {
 			send[q] = rb[q].l2e
 		}
-		for _, part := range comm.Alltoallv(r.World, send) {
+		for _, part := range comm.Must(comm.Alltoallv(r.World, send)) {
 			mine.l2e = append(mine.l2e, part...)
 		}
 	}
@@ -130,7 +130,7 @@ func exchangeRecords(r *comm.Rank, rb []rankBuf, p int) rankBuf {
 		for q := range send {
 			send[q] = rb[q].l2h
 		}
-		for _, part := range comm.Alltoallv(r.World, send) {
+		for _, part := range comm.Must(comm.Alltoallv(r.World, send)) {
 			mine.l2h = append(mine.l2h, part...)
 		}
 	}
@@ -139,7 +139,7 @@ func exchangeRecords(r *comm.Rank, rb []rankBuf, p int) rankBuf {
 		for q := range send {
 			send[q] = rb[q].l2l
 		}
-		for _, part := range comm.Alltoallv(r.World, send) {
+		for _, part := range comm.Must(comm.Alltoallv(r.World, send)) {
 			mine.l2l = append(mine.l2l, part...)
 		}
 	}

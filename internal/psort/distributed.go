@@ -39,7 +39,7 @@ func DistributedSortUint64(c *comm.Comm, local []uint64) []uint64 {
 		}
 		samples = append(samples, local[len(local)*s/p])
 	}
-	gathered := comm.Allgatherv(c, samples)
+	gathered := comm.Must(comm.Allgatherv(c, samples))
 	var pool []uint64
 	for _, g := range gathered {
 		pool = append(pool, g...)
@@ -66,7 +66,7 @@ func DistributedSortUint64(c *comm.Comm, local []uint64) []uint64 {
 		send[k] = local[lo:hi]
 		lo = hi
 	}
-	parts := comm.Alltoallv(c, send)
+	parts := comm.Must(comm.Alltoallv(c, send))
 	// Phase 4: p-way merge of the received sorted runs.
 	total := 0
 	for _, part := range parts {
@@ -99,7 +99,7 @@ func DistributedSortBy[T any](c *comm.Comm, local []T, key func(T) uint64) []T {
 	for s := 0; s < p && len(local) > 0; s++ {
 		samples = append(samples, key(local[len(local)*s/p]))
 	}
-	gathered := comm.Allgatherv(c, samples)
+	gathered := comm.Must(comm.Allgatherv(c, samples))
 	var pool []uint64
 	for _, g := range gathered {
 		pool = append(pool, g...)
@@ -125,7 +125,7 @@ func DistributedSortBy[T any](c *comm.Comm, local []T, key func(T) uint64) []T {
 		send[k] = local[lo:hi]
 		lo = hi
 	}
-	parts := comm.Alltoallv(c, send)
+	parts := comm.Must(comm.Alltoallv(c, send))
 	total := 0
 	for _, part := range parts {
 		total += len(part)

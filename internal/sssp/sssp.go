@@ -241,7 +241,7 @@ func (st *rankState) run(root int64) int {
 		// sweep — every vertex re-minimizes over all neighbors against
 		// gathered distances — beats per-edge messaging.
 		var improved int64
-		dirty := comm.AllreduceSumInt64(st.rk.World, st.dirtyCount())
+		dirty := comm.Must(comm.AllreduceSumInt64(st.rk.World, st.dirtyCount()))
 		pt := st.r.Opt.PullThreshold
 		if pt > 0 && float64(dirty) > pt*float64(n) {
 			improved = st.relaxRoundPull()
@@ -250,12 +250,12 @@ func (st *rankState) run(root int64) int {
 			improved = st.relaxRound(limit)
 		}
 		// Advance the bucket once no vertex within it improves anywhere.
-		total := comm.AllreduceSumInt64(st.rk.World, improved)
+		total := comm.Must(comm.AllreduceSumInt64(st.rk.World, improved))
 		if total == 0 {
 			// Find the lowest bucket with pending work anywhere: a global
 			// min-reduce, expressed as max over negated values.
 			neg := []int64{-int64(st.nextPending())}
-			comm.AllreduceMaxInt64(st.rk.World, neg)
+			comm.Must0(comm.AllreduceMaxInt64(st.rk.World, neg))
 			minNext := -neg[0]
 			if minNext == int64(^uint64(0)>>1) || minNext < 0 {
 				break // nothing pending anywhere
@@ -414,17 +414,17 @@ func (st *rankState) relaxRound(limit float64) int64 {
 	}
 
 	// Exchange and apply. The collective sequence is identical on every rank.
-	for _, part := range comm.Alltoallv(st.rk.RowC, sendL) {
+	for _, part := range comm.Must(comm.Alltoallv(st.rk.RowC, sendL)) {
 		for _, m := range part {
 			relaxLocalL(m.LIdx, m.Dist, m.Parent)
 		}
 	}
-	for _, part := range comm.Alltoallv(st.rk.RowC, sendHub) {
+	for _, part := range comm.Must(comm.Alltoallv(st.rk.RowC, sendHub)) {
 		for _, m := range part {
 			relaxLocalHub(m.Hub, m.Dist, m.Parent)
 		}
 	}
-	for _, part := range comm.Alltoallv(st.rk.World, sendLL) {
+	for _, part := range comm.Must(comm.Alltoallv(st.rk.World, sendLL)) {
 		for _, m := range part {
 			relaxLocalL(m.LIdx, m.Dist, m.Parent)
 		}
@@ -449,8 +449,8 @@ func (st *rankState) syncHubDists() {
 	// max over the negated ordering... simpler and explicit: gather both
 	// arrays and reduce locally.
 	reduce := func(c *comm.Comm) {
-		distParts := comm.Allgatherv(c, st.hubDist)
-		parentParts := comm.Allgatherv(c, st.hubParent)
+		distParts := comm.Must(comm.Allgatherv(c, st.hubDist))
+		parentParts := comm.Must(comm.Allgatherv(c, st.hubParent))
 		for j := range distParts {
 			dp, pp := distParts[j], parentParts[j]
 			for h := 0; h < st.k; h++ {
@@ -517,7 +517,7 @@ func (st *rankState) relaxRoundPull() int64 {
 
 	// Gather every rank's L distances into a world view indexed by original
 	// vertex ID (the padded block layout makes offsets line up).
-	parts := comm.Allgatherv(st.rk.World, st.lDist)
+	parts := comm.Must(comm.Allgatherv(st.rk.World, st.lDist))
 	worldDist := make([]float64, per*layout.P)
 	for m, p := range parts {
 		copy(worldDist[m*per:(m+1)*per], p)

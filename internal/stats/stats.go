@@ -108,6 +108,14 @@ type Recorder struct {
 	// EdgesTouched counts adjacency entries scanned per phase, the work
 	// measure behind TEPS and the direction-optimization savings.
 	EdgesTouched [NumPhases]int64
+	// Faults counts the rank's injected faults and observed collective errors
+	// when the run executed under a fault transport.
+	Faults comm.FaultStats
+	// Retries counts iteration attempts the rank re-executed after a
+	// collective error; Recovery is the wall time those attempts (including
+	// backoff) consumed.
+	Retries  int64
+	Recovery time.Duration
 }
 
 // Observe adds one kernel execution's time, traffic delta and scanned edges.
@@ -126,6 +134,9 @@ func (r *Recorder) Merge(other *Recorder) {
 		r.Volumes[p].Add(&other.Volumes[p])
 		r.EdgesTouched[p] += other.EdgesTouched[p]
 	}
+	r.Faults.Add(&other.Faults)
+	r.Retries += other.Retries
+	r.Recovery += other.Recovery
 }
 
 // PhaseTime returns the total time of a phase across directions.

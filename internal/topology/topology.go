@@ -54,6 +54,32 @@ func (m Machine) Supernodes() int {
 // SameSupernode reports whether two nodes share a supernode.
 func (m Machine) SameSupernode(a, b int) bool { return m.Supernode(a) == m.Supernode(b) }
 
+// SupernodeMembers returns the node indices of supernode s, clipped to the
+// machine size (the last supernode may be partial). Fault plans scoped to one
+// supernode use this to enumerate the ranks they cover.
+func (m Machine) SupernodeMembers(s int) []int {
+	if s < 0 || s >= m.Supernodes() {
+		return nil
+	}
+	if m.SupernodeSize <= 0 {
+		out := make([]int, m.Nodes)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	lo := s * m.SupernodeSize
+	hi := lo + m.SupernodeSize
+	if hi > m.Nodes {
+		hi = m.Nodes
+	}
+	out := make([]int, 0, hi-lo)
+	for n := lo; n < hi; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
 // CrossBandwidth is the effective per-node bandwidth for traffic leaving the
 // supernode: NIC bandwidth divided by the oversubscription factor.
 func (m Machine) CrossBandwidth() float64 {

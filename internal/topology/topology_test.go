@@ -136,3 +136,37 @@ func TestRowsMapToSupernodes(t *testing.T) {
 		}
 	}
 }
+
+func TestSupernodeMembers(t *testing.T) {
+	m := Machine{Nodes: 10, SupernodeSize: 4}
+	cases := []struct {
+		s    int
+		want []int
+	}{
+		{0, []int{0, 1, 2, 3}},
+		{1, []int{4, 5, 6, 7}},
+		{2, []int{8, 9}}, // partial last supernode
+		{3, nil},
+		{-1, nil},
+	}
+	for _, cse := range cases {
+		got := m.SupernodeMembers(cse.s)
+		if len(got) != len(cse.want) {
+			t.Fatalf("SupernodeMembers(%d) = %v, want %v", cse.s, got, cse.want)
+		}
+		for i := range got {
+			if got[i] != cse.want[i] {
+				t.Fatalf("SupernodeMembers(%d) = %v, want %v", cse.s, got, cse.want)
+			}
+		}
+		for _, n := range got {
+			if m.Supernode(n) != cse.s {
+				t.Fatalf("node %d not in supernode %d", n, cse.s)
+			}
+		}
+	}
+	flat := Machine{Nodes: 3, SupernodeSize: 0}
+	if got := flat.SupernodeMembers(0); len(got) != 3 {
+		t.Fatalf("flat machine supernode 0 = %v, want all 3 nodes", got)
+	}
+}
