@@ -11,6 +11,7 @@ package graph500
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -451,6 +452,53 @@ func BenchmarkAblation_PullRatio(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCheckpointEvery1Overhead measures what the async double-buffered
+// checkpoint writer costs the traversal at the most aggressive setting
+// (-checkpoint-every=1: a delta capture after every BFS iteration), against
+// an identical engine with checkpointing off. Prints the per-iteration
+// overhead in ns and as a percentage of the fault-free iteration time.
+func BenchmarkCheckpointEvery1Overhead(b *testing.B) {
+	n, edges := benchGraph(b, 14)
+	plain := benchEngine(b, n, edges, core.Options{Ranks: 4})
+	root := pickRoot(plain)
+	ck := benchEngine(b, n, edges, core.Options{Ranks: 4, CheckpointDir: b.TempDir(), CheckpointEvery: 1})
+	// Warm both paths (graph tier write, partitioning) outside the timing.
+	if _, err := plain.Run(root); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ck.Run(root); err != nil {
+		b.Fatal(err)
+	}
+	var plainNs, ckNs, iters, segs, bytes, dropped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := plain.Run(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plainNs += res.Time.Nanoseconds()
+		ckRes, err := ck.Run(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ckRes.Recovery.CheckpointSegments == 0 {
+			b.Fatal("checkpointed run committed no segments")
+		}
+		ckNs += ckRes.Time.Nanoseconds()
+		iters += int64(ckRes.Iterations)
+		segs += ckRes.Recovery.CheckpointSegments
+		bytes += ckRes.Recovery.CheckpointBytes
+		dropped += ckRes.Recovery.CheckpointDropped
+	}
+	b.StopTimer()
+	perIter := float64(ckNs-plainNs) / float64(iters)
+	pct := 100 * float64(ckNs-plainNs) / float64(plainNs)
+	b.ReportMetric(perIter, "ns-overhead/iter")
+	b.ReportMetric(pct, "%overhead")
+	b.Logf("checkpoint-every=1 over %d runs: plain=%v checkpointed=%v -> %.0f ns/iter (%.2f%%) overhead; %d segments, %d bytes, %d captures dropped",
+		b.N, time.Duration(plainNs), time.Duration(ckNs), perIter, pct, segs, bytes, dropped)
 }
 
 // BenchmarkAblation_RankWorkers sweeps intra-rank parallelism (edge-aware

@@ -43,9 +43,12 @@ func main() {
 		workers   = flag.Int("rankworkers", 1, "intra-rank kernel workers (edge-aware vertex cut)")
 		breakdown = flag.Bool("breakdown", true, "print per-subgraph time breakdown (bfs only)")
 		official  = flag.Bool("official", false, "print the Graph 500 official statistics block (bfs only)")
-		faults    = flag.String("faults", "", "fault-injection plan, e.g. \"seed=42,delay=0.01,fail=0.001\" (bfs only)")
+		faults    = flag.String("faults", "", "fault-injection plan, e.g. \"seed=42,delay=0.01,fail=0.001\" or \"kill@rank=3,iter=2\" (bfs only)")
 		deadline  = flag.Duration("deadline", 0, "per-collective deadline under fault injection (0 = off)")
 		retries   = flag.Int("maxretries", 0, "max consecutive retries of a failed iteration (0 = default 4)")
+		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint store directory (empty = checkpointing off)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "iterations between traversal checkpoints")
+		recovery  = flag.String("recovery", "shrink", "world rebuild after a fail-stop: shrink or restore")
 	)
 	flag.Parse()
 
@@ -91,6 +94,20 @@ func main() {
 		cfg.CollectiveDeadline = *deadline
 		cfg.MaxRetries = *retries
 		fmt.Printf("fault injection active: %s\n", plan)
+	}
+	if *ckptDir != "" {
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointEvery = *ckptEvery
+		fmt.Printf("checkpointing to %s every %d iteration(s)\n", *ckptDir, *ckptEvery)
+	}
+	switch *recovery {
+	case "shrink":
+		cfg.Recovery = graph500.ShrinkRecovery
+	case "restore":
+		cfg.Recovery = graph500.RestoreRecovery
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -recovery %q (want shrink or restore)\n", *recovery)
+		os.Exit(2)
 	}
 
 	switch *kernel {
@@ -145,13 +162,21 @@ func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, break
 			fmt.Printf("  %-7s %6.2f%%  (%d edge touches)\n", p, 100*share[p], res.Recorder.EdgesTouched[p])
 		}
 		if cfg.Faults != nil {
-			fmt.Printf("\nresilience (root %d):\n", sum.Roots[0])
-			fmt.Printf("  injected faults:  %d  (%d delays, %d stalls, %d corruptions, %d failures)\n",
-				res.Faults.Injected(), res.Faults.Delays, res.Faults.Stalls,
-				res.Faults.Corruptions, res.Faults.Failures)
-			fmt.Printf("  collective errors:%d across ranks\n", res.Faults.Errors)
-			fmt.Printf("  iteration retries:%d\n", res.Retries)
-			fmt.Printf("  recovery time:    %v (slowest rank, incl. backoff)\n", res.RecoveryTime.Round(time.Microsecond))
+			fmt.Printf("\nresilience (all %d runs):\n", len(sum.Roots))
+			fmt.Printf("  injected faults:  %d  (%d delays, %d stalls, %d corruptions, %d failures, %d kills)\n",
+				sum.Faults.Injected(), sum.Faults.Delays, sum.Faults.Stalls,
+				sum.Faults.Corruptions, sum.Faults.Failures, sum.Faults.Kills)
+			fmt.Printf("  collective errors:%d across ranks\n", sum.Faults.Errors)
+			fmt.Printf("  iteration retries:%d\n", sum.Retries)
+		}
+		if rec := sum.Recovery; cfg.CheckpointDir != "" || rec.Epochs > 0 {
+			fmt.Printf("\nfail-stop recovery (all %d runs, mode %v):\n", len(sum.Roots), cfg.Recovery)
+			fmt.Printf("  world epochs:     %d  (%d ranks lost)\n", rec.Epochs, rec.RanksLost)
+			fmt.Printf("  replayed:         %d iterations, %d bytes restored (last resume@%d)\n",
+				rec.IterationsReplayed, rec.BytesRestored, rec.LastResumeIter)
+			fmt.Printf("  recovery time:    %v (rebuild + replay)\n", rec.RecoveryTime.Round(time.Microsecond))
+			fmt.Printf("  checkpoints:      %d segments, %d bytes committed (%d dropped, %d errors)\n",
+				rec.CheckpointSegments, rec.CheckpointBytes, rec.CheckpointDropped, rec.CheckpointErrors)
 		}
 	}
 }

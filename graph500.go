@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/rmat"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/validate"
 	"repro/internal/xrand"
@@ -76,6 +77,20 @@ const (
 	PullOnly                = core.ModePullOnly
 )
 
+// RecoveryMode re-exports the engine's world-rebuild strategy after a
+// fail-stop rank death.
+type RecoveryMode = core.RecoveryMode
+
+// Recovery modes.
+const (
+	// ShrinkRecovery re-homes dead rank slots onto surviving nodes (no spare
+	// hardware needed; survivors absorb the load).
+	ShrinkRecovery = core.RecoverShrink
+	// RestoreRecovery spawns replacement ranks on fresh spare nodes,
+	// restoring the original mesh capacity.
+	RestoreRecovery = core.RecoverRestore
+)
+
 // Thresholds re-exports the degree classification cut-offs.
 type Thresholds = partition.Thresholds
 
@@ -112,6 +127,24 @@ type Config struct {
 	// RetryBackoff is the base backoff before re-executing a failed
 	// iteration, doubling per consecutive retry (0 = engine default).
 	RetryBackoff time.Duration
+	// CheckpointDir enables the durable two-tier checkpoint store: the
+	// immutable graph tier is written once per engine, and an async
+	// double-buffered writer commits per-iteration traversal deltas. A run
+	// that loses a rank resumes from the newest complete checkpoint instead
+	// of restarting. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the delta cadence in iterations (0 = every
+	// iteration).
+	CheckpointEvery int
+	// Recovery selects how the rank world is rebuilt after a fail-stop
+	// (default ShrinkRecovery).
+	Recovery RecoveryMode
+	// KeepCheckpoints retains the run's checkpoint scope after success (see
+	// Result.CheckpointScope) instead of pruning it.
+	KeepCheckpoints bool
+	// ResumeFrom names an existing checkpoint scope under CheckpointDir to
+	// resume instead of starting fresh.
+	ResumeFrom string
 }
 
 // Runner holds a partitioned graph ready to traverse.
@@ -137,6 +170,11 @@ func New(g Graph, cfg Config) (*Runner, error) {
 		CollectiveDeadline: cfg.CollectiveDeadline,
 		MaxRetries:         cfg.MaxRetries,
 		RetryBackoff:       cfg.RetryBackoff,
+		CheckpointDir:      cfg.CheckpointDir,
+		CheckpointEvery:    cfg.CheckpointEvery,
+		Recovery:           cfg.Recovery,
+		KeepCheckpoints:    cfg.KeepCheckpoints,
+		ResumeFrom:         cfg.ResumeFrom,
 	}
 	eng, err := core.NewEngine(g.NumVertices, g.Edges, opt)
 	if err != nil {
@@ -198,6 +236,12 @@ type BenchmarkSummary struct {
 	MinTEPS        float64
 	MaxTEPS        float64
 	TotalTraversed int64
+	// Faults and Recovery aggregate the fault-injection and fail-stop
+	// recovery accounting across all runs (a kill spec fires during exactly
+	// one of them, so per-root results would hide it).
+	Faults   comm.FaultStats
+	Recovery stats.RecoveryStats
+	Retries  int64
 }
 
 // GTEPS returns the harmonic-mean TEPS in giga units.
@@ -210,13 +254,20 @@ func (r *Runner) Benchmark(count int, seed uint64) (*BenchmarkSummary, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum := &BenchmarkSummary{Roots: roots, MinTEPS: -1}
+	sum := &BenchmarkSummary{Roots: roots, MinTEPS: -1,
+		Recovery: stats.RecoveryStats{LastResumeIter: -2}}
 	var invSum float64
 	for _, root := range roots {
 		res, err := r.RunValidated(root)
 		if err != nil {
 			return nil, fmt.Errorf("root %d: %w", root, err)
 		}
+		sum.Faults.Add(&res.Faults)
+		sum.Recovery.Add(&res.Recovery)
+		if res.Recovery.LastResumeIter != -2 {
+			sum.Recovery.LastResumeIter = res.Recovery.LastResumeIter
+		}
+		sum.Retries += res.Retries
 		teps := float64(res.TraversedEdges) / res.Time.Seconds()
 		sum.MeanTEPS += teps
 		invSum += 1 / teps

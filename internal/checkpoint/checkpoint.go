@@ -1,0 +1,455 @@
+// Package checkpoint is the durable two-tier store behind fail-stop
+// recovery. The insight (shared with the SC'11 distributed-memory BFS line of
+// work) is that the partitioned graph is enormous and immutable while the
+// per-iteration traversal state is tiny and churning, so the two deserve
+// different tiers:
+//
+//   - the graph tier — layout metadata plus every rank's partitioned
+//     CSRs and delegation tables — is written once, right after
+//     partitioning, under <dir>/graph/;
+//   - the delta tier — per-iteration frontier/parent/visited increments —
+//     is written continuously during a run, one directory per run scope
+//     under <dir>/runs/<scope>/rank-NNNN/, by an asynchronous
+//     double-buffered Writer that never blocks the BFS kernels.
+//
+// Every segment on disk is CRC-32 checked and committed by atomic rename, so
+// a torn write (power cut mid-segment) is detected at read time — the reader
+// surfaces ErrCheckpointCorrupt and recovery falls back to the previous
+// complete iteration instead of consuming garbage.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrCheckpointCorrupt marks a segment that failed its integrity checks:
+// truncated header or payload, bad magic, CRC mismatch, or an undecodable
+// payload. Match with errors.Is.
+var ErrCheckpointCorrupt = errors.New("checkpoint: segment corrupt")
+
+// Segment kinds.
+const (
+	kindGraphMeta byte = iota + 1
+	kindRankGraph
+	kindDelta
+)
+
+// Segment wire format, little-endian:
+//
+//	[0:4)   magic "CPK1"
+//	[4]     kind
+//	[5:9)   rank
+//	[9:17)  iteration (int64; -1 for the bootstrap delta, 0 for graph tiers)
+//	[17:21) payload length
+//	[21:n)  gob payload
+//	[n:n+4) CRC-32 (IEEE) over bytes [0:n)
+const (
+	segMagic   = 0x314b5043 // "CPK1"
+	headerSize = 21
+)
+
+func encodeSegment(kind byte, rank int, iter int64, payload any) ([]byte, error) {
+	var pb bytes.Buffer
+	if err := gob.NewEncoder(&pb).Encode(payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	out := make([]byte, headerSize, headerSize+pb.Len()+4)
+	binary.LittleEndian.PutUint32(out[0:], segMagic)
+	out[4] = kind
+	binary.LittleEndian.PutUint32(out[5:], uint32(rank))
+	binary.LittleEndian.PutUint64(out[9:], uint64(iter))
+	binary.LittleEndian.PutUint32(out[17:], uint32(pb.Len()))
+	out = append(out, pb.Bytes()...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out)), nil
+}
+
+// commit writes data next to path and renames it into place, the atomic
+// publish that guarantees a reader never sees a half-written segment under
+// the final name — a torn write leaves only a stale .tmp behind.
+func commit(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func corruptErr(path, msg string) error {
+	return fmt.Errorf("%s: %s: %w", path, msg, ErrCheckpointCorrupt)
+}
+
+// readSegment loads and verifies one segment, decoding its payload into
+// payload (a pointer). It returns the payload's iteration stamp and the
+// segment's on-disk size.
+func readSegment(path string, wantKind byte, wantRank int, payload any) (iter int64, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	size = int64(len(data))
+	if len(data) < headerSize+4 {
+		return 0, size, corruptErr(path, "truncated header")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != segMagic {
+		return 0, size, corruptErr(path, "bad magic")
+	}
+	if data[4] != wantKind {
+		return 0, size, corruptErr(path, fmt.Sprintf("segment kind %d, want %d", data[4], wantKind))
+	}
+	if r := int(binary.LittleEndian.Uint32(data[5:])); r != wantRank {
+		return 0, size, corruptErr(path, fmt.Sprintf("segment for rank %d, want %d", r, wantRank))
+	}
+	plen := int(binary.LittleEndian.Uint32(data[17:]))
+	if len(data) != headerSize+plen+4 {
+		return 0, size, corruptErr(path, "truncated payload")
+	}
+	body := data[:headerSize+plen]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[headerSize+plen:]) {
+		return 0, size, corruptErr(path, "crc mismatch")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data[headerSize:headerSize+plen])).Decode(payload); err != nil {
+		return 0, size, corruptErr(path, "payload decode: "+err.Error())
+	}
+	return int64(binary.LittleEndian.Uint64(data[9:])), size, nil
+}
+
+// Store is a checkpoint directory.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "graph"), filepath.Join(dir, "runs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// GraphMeta identifies the partitioning a graph tier was written for, so a
+// store can be safely shared across engines: a mismatch means "repartition
+// happened, rewrite the tier".
+type GraphMeta struct {
+	N          int64
+	Ranks      int
+	MeshRows   int
+	MeshCols   int
+	PerRank    int64
+	NumE, NumH int
+	ThreshE    int64
+	ThreshH    int64
+}
+
+func (s *Store) graphMetaPath() string { return filepath.Join(s.dir, "graph", "meta.ckpt") }
+
+func (s *Store) rankGraphPath(rank int) string {
+	return filepath.Join(s.dir, "graph", fmt.Sprintf("rank-%04d.ckpt", rank))
+}
+
+// HasGraph reports whether a valid graph tier matching meta is present.
+func (s *Store) HasGraph(meta GraphMeta) bool {
+	var got GraphMeta
+	if _, _, err := readSegment(s.graphMetaPath(), kindGraphMeta, 0, &got); err != nil {
+		return false
+	}
+	return got == meta
+}
+
+// WriteGraphMeta commits the graph tier's identity segment.
+func (s *Store) WriteGraphMeta(meta GraphMeta) (int64, error) {
+	data, err := encodeSegment(kindGraphMeta, 0, 0, &meta)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), commit(s.graphMetaPath(), data)
+}
+
+// WriteRankGraph commits one rank's partitioned graph (any gob-encodable
+// value; the engine stores its *partition.RankGraph).
+func (s *Store) WriteRankGraph(rank int, rg any) (int64, error) {
+	data, err := encodeSegment(kindRankGraph, rank, 0, rg)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), commit(s.rankGraphPath(rank), data)
+}
+
+// ReadRankGraph loads and CRC-verifies one rank's graph tier into rg (a
+// pointer), returning the bytes read. This is the read a replacement rank
+// pays when it rejoins a restored world.
+func (s *Store) ReadRankGraph(rank int, rg any) (int64, error) {
+	_, size, err := readSegment(s.rankGraphPath(rank), kindRankGraph, rank, rg)
+	return size, err
+}
+
+// Scope opens (creating if needed) the named run scope in the delta tier.
+func (s *Store) Scope(name string) (*RunScope, error) {
+	dir := filepath.Join(s.dir, "runs", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &RunScope{name: name, dir: dir}, nil
+}
+
+// RunScope is one run's delta-tier directory: per-rank chains of iteration
+// segments.
+type RunScope struct {
+	name string
+	dir  string
+}
+
+// Name returns the scope's name.
+func (sc *RunScope) Name() string { return sc.name }
+
+// Dir returns the scope's directory.
+func (sc *RunScope) Dir() string { return sc.dir }
+
+// Remove deletes the scope and everything under it.
+func (sc *RunScope) Remove() error { return os.RemoveAll(sc.dir) }
+
+func (sc *RunScope) rankDir(rank int) string {
+	return filepath.Join(sc.dir, fmt.Sprintf("rank-%04d", rank))
+}
+
+func deltaPath(rankDir string, iter int64) string {
+	if iter < 0 {
+		return filepath.Join(rankDir, "boot.ckpt")
+	}
+	return filepath.Join(rankDir, fmt.Sprintf("iter-%08d.ckpt", iter))
+}
+
+// State is one rank's complete BFS iteration state at an iteration boundary:
+// the replicated hub bitmaps, the owner-local L bitmaps, both parent arrays,
+// and the globally agreed counts. Iter -1 is the bootstrap state (root
+// planted, no iterations run).
+type State struct {
+	Iter        int64
+	HubFrontier []uint64
+	HubVisited  []uint64
+	LFrontier   []uint64
+	LVisited    []uint64
+	ParentHub   []int64
+	ParentL     []int64
+	ActiveL     int64
+	VisitL      int64
+}
+
+// NewState allocates a zero State with the given word/element counts
+// (parents initialized to the -1 sentinel), the starting point of a replay.
+func NewState(hubWords, lWords, hubLen, lLen int) *State {
+	st := &State{
+		Iter:        -2,
+		HubFrontier: make([]uint64, hubWords),
+		HubVisited:  make([]uint64, hubWords),
+		LFrontier:   make([]uint64, lWords),
+		LVisited:    make([]uint64, lWords),
+		ParentHub:   make([]int64, hubLen),
+		ParentL:     make([]int64, lLen),
+	}
+	for i := range st.ParentHub {
+		st.ParentHub[i] = -1
+	}
+	for i := range st.ParentL {
+		st.ParentL[i] = -1
+	}
+	return st
+}
+
+// WordDelta is one changed word of a bitmap: replay assigns Word at Idx.
+type WordDelta struct {
+	Idx  int32
+	Word uint64
+}
+
+// ParentDelta is one changed parent slot.
+type ParentDelta struct {
+	Idx    int32
+	Parent int64
+}
+
+// Delta is the incremental payload of one iteration segment: only the words
+// and parent slots that changed since the rank's previous committed segment.
+// The bootstrap segment is a Delta against the all-zero / all minus-one
+// state, which makes replay a single uniform fold.
+type Delta struct {
+	Iter        int64
+	HubFrontier []WordDelta
+	HubVisited  []WordDelta
+	LFrontier   []WordDelta
+	LVisited    []WordDelta
+	ParentHub   []ParentDelta
+	ParentL     []ParentDelta
+	ActiveL     int64
+	VisitL      int64
+}
+
+func (st *State) apply(d *Delta) {
+	st.Iter = d.Iter
+	for _, w := range d.HubFrontier {
+		st.HubFrontier[w.Idx] = w.Word
+	}
+	for _, w := range d.HubVisited {
+		st.HubVisited[w.Idx] = w.Word
+	}
+	for _, w := range d.LFrontier {
+		st.LFrontier[w.Idx] = w.Word
+	}
+	for _, w := range d.LVisited {
+		st.LVisited[w.Idx] = w.Word
+	}
+	for _, p := range d.ParentHub {
+		st.ParentHub[p.Idx] = p.Parent
+	}
+	for _, p := range d.ParentL {
+		st.ParentL[p.Idx] = p.Parent
+	}
+	st.ActiveL = d.ActiveL
+	st.VisitL = d.VisitL
+}
+
+// chain lists a rank's committed segment iterations in ascending order
+// (boot = -1 first), stopping at the first segment that fails verification:
+// later deltas build on earlier ones, so nothing after a corrupt segment is
+// usable. The returned ok is false when the rank has no valid boot segment.
+func (sc *RunScope) chain(rank int) (iters []int64, ok bool) {
+	rd := sc.rankDir(rank)
+	entries, err := os.ReadDir(rd)
+	if err != nil {
+		return nil, false
+	}
+	var all []int64
+	hasBoot := false
+	for _, e := range entries {
+		name := e.Name()
+		if name == "boot.ckpt" {
+			hasBoot = true
+		} else if n, k := len(name), len("iter-00000000.ckpt"); n == k && name[:5] == "iter-" {
+			var it int64
+			if _, err := fmt.Sscanf(name, "iter-%08d.ckpt", &it); err == nil {
+				all = append(all, it)
+			}
+		}
+	}
+	if !hasBoot {
+		return nil, false
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var d Delta
+	if _, _, err := readSegment(deltaPath(rd, -1), kindDelta, rank, &d); err != nil {
+		return nil, false
+	}
+	iters = append(iters, int64(-1))
+	for _, it := range all {
+		d = Delta{}
+		if _, _, err := readSegment(deltaPath(rd, it), kindDelta, rank, &d); err != nil {
+			break
+		}
+		iters = append(iters, it)
+	}
+	return iters, true
+}
+
+// LatestComplete returns the highest iteration present and valid in EVERY
+// rank's segment chain — the only iteration all ranks can consistently
+// resume from. -1 means "bootstrap only". ok is false when some rank has no
+// valid boot segment, i.e. the scope cannot seed a resume at all and the
+// engine must restart the traversal from the root.
+func (sc *RunScope) LatestComplete(ranks int) (int64, bool) {
+	var common map[int64]int
+	for r := 0; r < ranks; r++ {
+		iters, ok := sc.chain(r)
+		if !ok {
+			return 0, false
+		}
+		if common == nil {
+			common = make(map[int64]int)
+		}
+		for _, it := range iters {
+			common[it]++
+		}
+	}
+	best, found := int64(0), false
+	for it, cnt := range common {
+		if cnt == ranks && (!found || it > best) {
+			best, found = it, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// Replay folds rank's segment chain up to and including iteration upTo into
+// a fresh State, returning the bytes read. Segments beyond upTo are ignored.
+// upTo must come from LatestComplete (or be -1 for bootstrap-only).
+func (sc *RunScope) Replay(rank int, upTo int64, hubWords, lWords, hubLen, lLen int) (*State, int64, error) {
+	iters, ok := sc.chain(rank)
+	if !ok {
+		return nil, 0, fmt.Errorf("checkpoint: rank %d has no valid boot segment in scope %s: %w",
+			rank, sc.name, ErrCheckpointCorrupt)
+	}
+	if last := iters[len(iters)-1]; last < upTo {
+		return nil, 0, fmt.Errorf("checkpoint: rank %d chain stops at %d, want %d: %w",
+			rank, last, upTo, ErrCheckpointCorrupt)
+	}
+	st := NewState(hubWords, lWords, hubLen, lLen)
+	var bytes int64
+	applied := false
+	rd := sc.rankDir(rank)
+	for _, it := range iters {
+		if it > upTo {
+			break
+		}
+		var d Delta
+		_, size, err := readSegment(deltaPath(rd, it), kindDelta, rank, &d)
+		if err != nil {
+			return nil, bytes, err // chain() verified these; only racy corruption lands here
+		}
+		bytes += size
+		st.apply(&d)
+		applied = true
+	}
+	if !applied || st.Iter != upTo {
+		return nil, bytes, fmt.Errorf("checkpoint: rank %d chain stops at %d, want %d: %w",
+			rank, st.Iter, upTo, ErrCheckpointCorrupt)
+	}
+	return st, bytes, nil
+}
+
+// Truncate removes rank's segments beyond iteration after (exclusive),
+// including unverifiable ones: on resume the engine re-executes those
+// iterations and rewrites the chain, and a stale or torn tail must not
+// shadow the rewrite.
+func (sc *RunScope) Truncate(rank int, after int64) error {
+	rd := sc.rankDir(rank)
+	entries, err := os.ReadDir(rd)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		var it int64
+		if _, err := fmt.Sscanf(e.Name(), "iter-%08d.ckpt", &it); err == nil && it > after {
+			if err := os.Remove(filepath.Join(rd, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -48,8 +48,8 @@ func corruptCopy[T any](s []T) ([]T, bool) {
 // by bar.wait + verify + payload read + bar.wait.
 func contribute1[T any](c *Comm, kind Kind, send []T) {
 	act := c.rank.intercept(kind, c.Size())
-	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail}
-	if !ctr.failed && !ctr.withheld {
+	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
+	if !ctr.failed && !ctr.withheld && !ctr.dead {
 		post := send
 		if c.faulty() {
 			ctr.declared = sumSlice[T](fnvOffset, send)
@@ -71,8 +71,8 @@ func contribute1[T any](c *Comm, kind Kind, send []T) {
 // Corruption flips a bit in a copy of the first non-empty destination buffer.
 func contribute2[T any](c *Comm, kind Kind, send [][]T) {
 	act := c.rank.intercept(kind, c.Size())
-	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail}
-	if !ctr.failed && !ctr.withheld {
+	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
+	if !ctr.failed && !ctr.withheld && !ctr.dead {
 		post := send
 		if c.faulty() {
 			h := uint64(fnvOffset)
@@ -356,6 +356,27 @@ func ControlSumInt64(c *Comm, v int64) int64 {
 	}
 	c.sh.bar.wait()
 	return sum
+}
+
+// ControlOrWords ORs the members' fixed-length word vectors on the control
+// plane: like ControlSumInt64 it is never intercepted by the fault transport
+// and cannot fail — even a dead rank still posts its vector, which is exactly
+// what the membership protocol needs (the zombie's goroutine doubles as its
+// failure detector and contributes its own death bit). All members must pass
+// equal-length vectors. The engine's per-iteration vote rides this: word 0
+// carries the step-failure mask, the rest a dead-rank bitmask.
+func ControlOrWords(c *Comm, words []uint64) []uint64 {
+	c.sh.slots[c.me] = contribution{payload: append([]uint64(nil), words...)}
+	c.sh.bar.wait()
+	out := make([]uint64, len(words))
+	for j := 0; j < c.Size(); j++ {
+		other := c.sh.slots[j].payload.([]uint64)
+		for i := range out {
+			out[i] |= other[i]
+		}
+	}
+	c.sh.bar.wait()
+	return out
 }
 
 // Bcast distributes root's value to every member.

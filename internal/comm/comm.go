@@ -10,6 +10,7 @@ package comm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -127,6 +128,7 @@ type contribution struct {
 	delay    time.Duration // injected delay the sender slept before posting
 	withheld bool          // stalled: no payload this collective
 	failed   bool          // contribution failed outright
+	dead     bool          // fail-stop: the rank is permanently gone
 }
 
 // shared is the state one communicator's members rendezvous through.
@@ -137,11 +139,21 @@ type shared struct {
 }
 
 // World owns the ranks and their communicators.
+//
+// A world lives inside one epoch of the membership protocol: rank slots are
+// fixed at creation, and when a slot fail-stops (a Kill fault) the world
+// cannot heal in place — survivors build the successor with NextEpoch, which
+// keeps the mesh shape but remaps the dead slots onto hosting nodes
+// (RebuildShrink) or onto fresh spare nodes (RebuildRestore). nodeOf carries
+// the rank→machine-node mapping that the remap rewrites; on an epoch-0 world
+// it is the identity, matching the historical "rank i is node i" model.
 type World struct {
 	size    int
 	mesh    topology.Mesh
 	machine topology.Machine
 	opt     WorldOptions
+	epoch   int
+	nodeOf  []int // rank -> hosting machine node
 
 	world *shared
 	rows  []*shared // one per mesh row
@@ -163,10 +175,11 @@ func NewWorldOpts(n int, mesh topology.Mesh, machine topology.Machine, opt World
 	if machine.Nodes < n {
 		return nil, fmt.Errorf("comm: machine has %d nodes for %d ranks", machine.Nodes, n)
 	}
-	w := &World{size: n, mesh: mesh, machine: machine, opt: opt}
+	w := &World{size: n, mesh: mesh, machine: machine, opt: opt, nodeOf: make([]int, n)}
 	all := make([]int, n)
 	for i := range all {
 		all[i] = i
+		w.nodeOf[i] = i
 	}
 	w.world = &shared{members: all, slots: make([]contribution, n), bar: newBarrier(n)}
 	w.rows = make([]*shared, mesh.Rows)
@@ -196,6 +209,106 @@ func (w *World) Mesh() topology.Mesh { return w.mesh }
 
 // Machine returns the modeled machine.
 func (w *World) Machine() topology.Machine { return w.machine }
+
+// Epoch returns the world's membership epoch (0 for a freshly built world).
+func (w *World) Epoch() int { return w.epoch }
+
+// NodeOf returns the machine node hosting rank r in this epoch.
+func (w *World) NodeOf(r int) int { return w.nodeOf[r] }
+
+// RebuildMode selects how NextEpoch re-homes dead rank slots.
+type RebuildMode int
+
+// Rebuild modes.
+const (
+	// RebuildShrink re-homes each dead slot onto the nearest surviving rank
+	// in its mesh row (wrapping; falling back to the lowest surviving rank if
+	// the whole row died). The survivor's node is oversubscribed: it hosts
+	// its own slot plus the adopted one, which re-owns the dead rank's vertex
+	// range from checkpoint. No new hardware is required, at the cost of load
+	// imbalance on the host node.
+	RebuildShrink RebuildMode = iota
+	// RebuildRestore spawns a replacement on a fresh spare node appended to
+	// the machine. Load balance is preserved, at the cost of requiring a
+	// spare and paying the full graph-tier checkpoint read on the newcomer.
+	RebuildRestore
+)
+
+// String names the mode.
+func (m RebuildMode) String() string {
+	switch m {
+	case RebuildShrink:
+		return "shrink"
+	case RebuildRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("rebuildmode(%d)", int(m))
+}
+
+// NextEpoch builds the successor world after the listed ranks fail-stopped.
+// The mesh shape and rank count are preserved — every collective still
+// rendezvouses over the full R×C mesh, which the 1.5D schedule requires — but
+// the dead slots are re-homed per mode, and the epoch number advances. The
+// survivors' in-memory rank state does NOT carry over: the new world has
+// fresh rendezvous structures and every slot (survivor or replacement) is
+// expected to reload its state from the latest complete checkpoint, which is
+// the only state all members can agree on.
+//
+// The caller's dead list must be the membership-vote verdict, identical on
+// every rank, or the survivors would rebuild divergent worlds.
+func (w *World) NextEpoch(dead []int, mode RebuildMode) (*World, error) {
+	if len(dead) == 0 {
+		return nil, fmt.Errorf("comm: NextEpoch with no dead ranks")
+	}
+	isDead := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		if d < 0 || d >= w.size {
+			return nil, fmt.Errorf("comm: NextEpoch: dead rank %d out of [0,%d)", d, w.size)
+		}
+		isDead[d] = true
+	}
+	if len(isDead) == w.size {
+		return nil, fmt.Errorf("comm: NextEpoch: all %d ranks dead, no survivors", w.size)
+	}
+	nw, err := NewWorldOpts(w.size, w.mesh, w.machine, w.opt)
+	if err != nil {
+		return nil, err
+	}
+	nw.epoch = w.epoch + 1
+	copy(nw.nodeOf, w.nodeOf)
+	ds := make([]int, 0, len(isDead))
+	for d := range isDead {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	for _, d := range ds {
+		switch mode {
+		case RebuildRestore:
+			nw.nodeOf[d] = nw.machine.Nodes
+			nw.machine.Nodes++
+		default: // RebuildShrink
+			host := -1
+			row, col := w.mesh.RowOf(d), w.mesh.ColOf(d)
+			for off := 1; off < w.mesh.Cols; off++ {
+				cand := w.mesh.RankAt(row, (col+off)%w.mesh.Cols)
+				if !isDead[cand] {
+					host = cand
+					break
+				}
+			}
+			if host < 0 { // whole row dead: lowest surviving rank
+				for r := 0; r < w.size; r++ {
+					if !isDead[r] {
+						host = r
+						break
+					}
+				}
+			}
+			nw.nodeOf[d] = nw.nodeOf[host]
+		}
+	}
+	return nw, nil
+}
 
 // Run executes fn once per rank, each on its own goroutine, and returns when
 // all complete. Panics in any rank are re-raised after all goroutines stop.
@@ -234,31 +347,64 @@ type Rank struct {
 	Stats  VolumeStats
 	Faults FaultStats
 
-	w   *World
-	seq int64 // collectives this rank has entered (transport keying)
+	w    *World
+	seq  int64 // collectives this rank has entered (transport keying)
+	dead bool  // fail-stop latch: set by the first Kill action, never cleared
+	iter int64 // engine-declared iteration label (-1 outside an iteration)
+	tag  int   // engine-declared schedule-position label (-1 untagged)
 }
 
 // Faulty reports whether a fault transport is installed, i.e. whether
 // collectives on this rank's world can return errors at all.
 func (r *Rank) Faulty() bool { return r.w.opt.Transport != nil }
 
+// Dead reports whether this rank has fail-stopped. A dead rank keeps
+// executing the collective schedule as a zombie (so rendezvous never
+// deadlocks) but every collective it joins fails with ErrRankDead; its
+// goroutine doubles as the failure detector, voting its own death on the
+// control plane.
+func (r *Rank) Dead() bool { return r.dead }
+
+// Epoch returns the world epoch this rank is running in.
+func (r *Rank) Epoch() int { return r.w.epoch }
+
+// SetIter labels subsequent collectives with the engine's iteration number
+// (-1 = outside any iteration). Purely advisory transport metadata.
+func (r *Rank) SetIter(iter int64) { r.iter = iter }
+
+// SetTag labels subsequent collectives with a schedule position (-1 =
+// untagged). The core engine tags kernel collectives with their component
+// index, so transports can target "the collective during component c".
+func (r *Rank) SetTag(tag int) { r.tag = tag }
+
 // intercept advances the rank's collective sequence number and consults the
 // transport. It applies the delay (the rank sleeps before contributing) and
 // records injected faults; Fail suppresses the sleep since a failed send
-// never occupies the wire.
+// never occupies the wire. A dead rank is not re-intercepted: it contributes
+// a dead envelope to everything, forever.
 func (r *Rank) intercept(kind Kind, commSize int) FaultAction {
 	r.seq++
 	t := r.w.opt.Transport
 	if t == nil {
 		return FaultAction{}
 	}
+	if r.dead {
+		return FaultAction{Kill: true}
+	}
 	act := t.Intercept(Call{
 		Rank:      r.ID,
-		Supernode: r.w.machine.Supernode(r.ID),
+		Supernode: r.w.machine.Supernode(r.w.nodeOf[r.ID]),
 		Kind:      kind,
 		Seq:       r.seq,
 		CommSize:  commSize,
+		Iter:      r.iter,
+		Tag:       r.tag,
 	})
+	if act.Kill {
+		r.dead = true
+		r.Faults.Kills++
+		return act
+	}
 	if act.Fail {
 		r.Faults.Failures++
 		return act
@@ -275,7 +421,7 @@ func (r *Rank) intercept(kind Kind, commSize int) FaultAction {
 }
 
 func (w *World) newRank(id int) *Rank {
-	r := &Rank{ID: id, Row: w.mesh.RowOf(id), Col: w.mesh.ColOf(id), w: w}
+	r := &Rank{ID: id, Row: w.mesh.RowOf(id), Col: w.mesh.ColOf(id), w: w, iter: -1, tag: -1}
 	r.World = &Comm{sh: w.world, me: id, rank: r}
 	r.RowC = &Comm{sh: w.rows[r.Row], me: r.Col, rank: r}
 	r.ColC = &Comm{sh: w.cols[r.Col], me: r.Row, rank: r}
@@ -304,7 +450,7 @@ func (c *Comm) WorldRank(i int) int { return c.sh.members[i] }
 func (c *Comm) Barrier() error {
 	c.rank.Stats.Calls[KindBarrier]++
 	act := c.rank.intercept(KindBarrier, c.Size())
-	c.sh.slots[c.me] = contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail}
+	c.sh.slots[c.me] = contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
 	c.sh.bar.wait()
 	err := c.verify(KindBarrier, nil)
 	c.sh.bar.wait()
@@ -319,8 +465,10 @@ func (c *Comm) faulty() bool { return c.rank.w.opt.Transport != nil }
 // closing barriers. members lists the member indices that contributed (nil
 // means all); every member scans in the same order over the same metadata, so
 // all members of the communicator reach the same verdict — precedence is
-// outright failure, then stall, then corruption, then deadline, ties broken
-// by lowest member index.
+// rank death, then outright failure, then stall, then corruption, then
+// deadline, ties broken by lowest member index. Death ranks first because it
+// is the only non-retryable verdict: a retry loop that saw ErrCollectiveFailed
+// when a dead rank was also present would spin pointlessly.
 func (c *Comm) verify(kind Kind, members []int) error {
 	if !c.faulty() {
 		return nil
@@ -339,6 +487,11 @@ func (c *Comm) verify(kind Kind, members []int) error {
 	fail := func(j int, sentinel error) error {
 		c.rank.Faults.Errors++
 		return &CollectiveError{Kind: kind, Seq: c.rank.seq, Rank: c.sh.members[j], Err: sentinel}
+	}
+	for i := 0; i < n; i++ {
+		if j, ct := at(i); ct.dead {
+			return fail(j, ErrRankDead)
+		}
 	}
 	for i := 0; i < n; i++ {
 		if j, ct := at(i); ct.failed {
@@ -370,8 +523,11 @@ func (c *Comm) account(kind Kind, dst int, n int64) {
 	if n == 0 {
 		return
 	}
-	src := c.sh.members[c.me]
-	d := c.sh.members[dst]
+	// Supernode locality follows the hosting nodes of the current epoch, not
+	// the rank IDs: after a shrink rebuild an adopted slot lives on its
+	// host's node, so its traffic prices as that node's.
+	src := c.rank.w.nodeOf[c.sh.members[c.me]]
+	d := c.rank.w.nodeOf[c.sh.members[dst]]
 	if c.rank.w.machine.SameSupernode(src, d) {
 		c.rank.Stats.IntraBytes[kind] += n
 	} else {

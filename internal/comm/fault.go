@@ -38,6 +38,12 @@ var (
 	// ErrDeadlineExceeded marks a collective whose slowest contribution
 	// arrived later than the configured per-collective deadline.
 	ErrDeadlineExceeded = errors.New("comm: collective deadline exceeded")
+	// ErrRankDead marks a fail-stop rank: a Kill fault removed it
+	// permanently, and every collective it participates in from then on
+	// fails with this sentinel on every member. Unlike the transient faults
+	// above, retrying cannot clear it — recovery requires a new world epoch
+	// (see World.NextEpoch).
+	ErrRankDead = errors.New("comm: rank is dead (fail-stop)")
 )
 
 // CollectiveError wraps a sentinel with the collective and rank it hit.
@@ -64,6 +70,13 @@ type Call struct {
 	Kind      Kind  // collective kind
 	Seq       int64 // the rank's collective sequence number (1-based)
 	CommSize  int   // members in the communicator
+	// Iter is the engine-declared iteration the call belongs to (-1 outside
+	// an iteration), and Tag its schedule position within the iteration (-1
+	// untagged). Both are advisory labels set via Rank.SetIter/SetTag; they
+	// let transports scope faults to "iteration 2" or "during component c"
+	// instead of raw sequence numbers.
+	Iter int64
+	Tag  int
 }
 
 // FaultAction is the Transport's verdict for one contribution. The zero value
@@ -82,6 +95,13 @@ type FaultAction struct {
 	Corrupt bool
 	// Fail fails the contribution outright: ErrCollectiveFailed everywhere.
 	Fail bool
+	// Kill permanently removes the rank: this collective and every later one
+	// the rank participates in fail with ErrRankDead on every member. The
+	// rank's goroutine keeps arriving at rendezvous (posting a dead envelope,
+	// so nothing deadlocks) but contributes no payload ever again — a
+	// fail-stop zombie. Kill takes precedence over every other action, and
+	// once a rank is dead the transport is no longer consulted for it.
+	Kill bool
 }
 
 // Transport decides the fate of each collective contribution. Implementations
@@ -109,6 +129,7 @@ type FaultStats struct {
 	Stalls      int64 // contributions withheld
 	Corruptions int64 // payloads corrupted (only counted when applied)
 	Failures    int64 // contributions failed outright
+	Kills       int64 // ranks fail-stopped (counted once per kill, not per collective)
 	DelayTime   time.Duration
 	// Errors counts collectives that returned a typed error at this rank.
 	Errors int64
@@ -120,13 +141,14 @@ func (s *FaultStats) Add(other *FaultStats) {
 	s.Stalls += other.Stalls
 	s.Corruptions += other.Corruptions
 	s.Failures += other.Failures
+	s.Kills += other.Kills
 	s.DelayTime += other.DelayTime
 	s.Errors += other.Errors
 }
 
 // Injected totals all injected faults.
 func (s *FaultStats) Injected() int64 {
-	return s.Delays + s.Stalls + s.Corruptions + s.Failures
+	return s.Delays + s.Stalls + s.Corruptions + s.Failures + s.Kills
 }
 
 // Must unwraps a collective result, panicking on error. The fault-oblivious

@@ -11,8 +11,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/partition"
 	"repro/internal/stats"
@@ -92,6 +94,60 @@ type Options struct {
 	// RetryBackoff is the base backoff slept before re-executing a failed
 	// iteration, doubling per consecutive retry. 0 means 200µs.
 	RetryBackoff time.Duration
+
+	// CheckpointDir enables the durable two-tier checkpoint store (see
+	// internal/checkpoint): the immutable partitioned graph is written there
+	// once, and every run writes per-iteration state deltas into a run
+	// scope, which is what fail-stop recovery resumes from. Empty disables
+	// checkpointing — a killed rank then forces a full restart of the
+	// traversal under the new world.
+	CheckpointDir string
+	// CheckpointEvery is the delta-tier cadence in iterations (1 = every
+	// iteration). 0 means 1.
+	CheckpointEvery int
+	// Recovery selects how the world is rebuilt after a fail-stop:
+	// RecoverShrink (default) re-homes dead slots onto surviving nodes,
+	// RecoverRestore spawns replacements on spare nodes.
+	Recovery RecoveryMode
+	// KeepCheckpoints retains a run's delta scope after success instead of
+	// pruning it (the graph tier is always retained). Needed to resume a
+	// later engine instance with ResumeFrom.
+	KeepCheckpoints bool
+	// ResumeFrom names an existing run scope under CheckpointDir to resume
+	// the first Run call from — the cross-process restart path. The scope's
+	// latest complete iteration is loaded; if the scope cannot seed a resume
+	// (no valid bootstrap segments) the run restarts from the root. On a
+	// resumed run Result.Trace covers only the re-executed iterations (the
+	// absolute iteration axis starts past the checkpoint), so Iterations
+	// undercounts the traversal's logical depth by LastResumeIter+1.
+	ResumeFrom string
+}
+
+// RecoveryMode selects the world-rebuild strategy after a fail-stop.
+type RecoveryMode int
+
+// Recovery modes.
+const (
+	// RecoverShrink re-homes each dead rank slot onto a surviving node: no
+	// spare hardware needed, the host node runs oversubscribed and re-owns
+	// the dead rank's vertex range from checkpoint.
+	RecoverShrink RecoveryMode = iota
+	// RecoverRestore spawns a replacement rank on a fresh spare node that
+	// rejoins at the current epoch, reloading the graph tier and the dead
+	// rank's delta chain from checkpoint.
+	RecoverRestore
+)
+
+// String names the mode.
+func (m RecoveryMode) String() string {
+	return m.rebuild().String()
+}
+
+func (m RecoveryMode) rebuild() comm.RebuildMode {
+	if m == RecoverRestore {
+		return comm.RebuildRestore
+	}
+	return comm.RebuildShrink
 }
 
 // DefaultThresholds scales the paper's SCALE-35 tuning (E=2048, H=128 per
@@ -144,6 +200,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.RetryBackoff == 0 {
 		o.RetryBackoff = 200 * time.Microsecond
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
 	return o, nil
 }
 
@@ -164,6 +223,9 @@ type Engine struct {
 	Opt   Options
 
 	segPull [][]partition.SparseCSR // [rank][segment], built when Segmented
+
+	runSeq     int    // run-scope counter for checkpoint naming
+	resumeFrom string // pending Opt.ResumeFrom, consumed by the first Run
 }
 
 // NewEngine partitions the graph (n vertices, undirected edge list) and sets
@@ -209,7 +271,7 @@ func NewEngineFromPartition(part *partition.Partitioned, opt Options) (*Engine, 
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{Part: part, World: world, Opt: opt}
+	e := &Engine{Part: part, World: world, Opt: opt, resumeFrom: opt.ResumeFrom}
 	if opt.Segmented {
 		e.segPull = make([][]partition.SparseCSR, opt.Ranks)
 		for r, rg := range part.Ranks {
@@ -242,6 +304,13 @@ type Result struct {
 	// is the wall time the slowest rank spent in failed attempts + backoff.
 	Retries      int64
 	RecoveryTime time.Duration
+	// Recovery accounts fail-stop recovery: world epochs spent, ranks lost,
+	// iterations replayed, checkpoint bytes written and restored.
+	Recovery stats.RecoveryStats
+	// CheckpointScope names the run's retained delta scope under
+	// Options.CheckpointDir ("" when checkpointing is off or the scope was
+	// pruned after success). Pass it to a later engine's ResumeFrom.
+	CheckpointScope string
 }
 
 // IterTrace is one iteration's frontier composition and direction choices.
@@ -258,54 +327,265 @@ func (r *Result) GTEPS() float64 {
 	return float64(r.TraversedEdges) / r.Time.Seconds() / 1e9
 }
 
+// Collective schedule tags (comm.Call.Tag). Kernels are tagged with their
+// component enum value (0..5); these name the remaining tagged points, so a
+// fault transport can scope a kill to "during component c", "at the
+// epilogue", or "during setup" instead of raw sequence numbers.
+const (
+	TagEpilogue = int(partition.NumComponents)     // frontier advance + active-L allreduce
+	TagReduce   = int(partition.NumComponents) + 1 // delegated parent reduction
+	TagSetup    = int(partition.NumComponents) + 2 // epoch-start setup barrier (Iter -1)
+)
+
+// deadWorldError aborts a rank's bfs when the control-plane vote agreed some
+// ranks fail-stopped: not retryable inside the current world epoch, the
+// engine must rebuild the world and resume from checkpoint.
+type deadWorldError struct{ dead []int }
+
+func (e *deadWorldError) Error() string {
+	return fmt.Sprintf("core: ranks %v fail-stopped; world rebuild required", e.dead)
+}
+
+func (e *deadWorldError) Unwrap() error { return comm.ErrRankDead }
+
+// deadRanks collects the union of agreed-dead ranks from an epoch's errors.
+func deadRanks(errs []error) []int {
+	seen := map[int]bool{}
+	for _, err := range errs {
+		var dw *deadWorldError
+		if errors.As(err, &dw) {
+			for _, d := range dw.dead {
+				seen[d] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	dead := make([]int, 0, len(seen))
+	for d := range seen {
+		dead = append(dead, d)
+	}
+	sort.Ints(dead)
+	return dead
+}
+
+// ensureGraphTier writes the graph tier once per (store, partitioning): every
+// rank's partitioned graph first, the meta segment last as the commit marker,
+// so a crash mid-write reads back as "no valid tier" and is rewritten.
+func (e *Engine) ensureGraphTier(store *checkpoint.Store) (segs, bytes int64, err error) {
+	lay := e.Part.Layout
+	meta := checkpoint.GraphMeta{
+		N:        lay.N,
+		Ranks:    e.Opt.Ranks,
+		MeshRows: lay.Mesh.Rows,
+		MeshCols: lay.Mesh.Cols,
+		PerRank:  lay.PerRank,
+		NumE:     e.Part.Hubs.NumE,
+		NumH:     e.Part.Hubs.NumH,
+		ThreshE:  e.Opt.Thresholds.E,
+		ThreshH:  e.Opt.Thresholds.H,
+	}
+	if store.HasGraph(meta) {
+		return 0, 0, nil
+	}
+	for r, rg := range e.Part.Ranks {
+		n, werr := store.WriteRankGraph(r, rg)
+		if werr != nil {
+			return segs, bytes, werr
+		}
+		segs++
+		bytes += n
+	}
+	n, werr := store.WriteGraphMeta(meta)
+	if werr != nil {
+		return segs, bytes, werr
+	}
+	return segs + 1, bytes + n, nil
+}
+
+// runEpoch executes one world epoch: every rank of the current world runs the
+// bfs loop, resuming from resumeIter when >= -1 (replaced marks rank slots
+// whose predecessor died last epoch). A fail-stop surfaces as *deadWorldError
+// in errs on every rank.
+func (e *Engine) runEpoch(root int64, store *checkpoint.Store, scope *checkpoint.RunScope,
+	resumeIter int64, replaced map[int]bool) ([]*rankState, [][]IterTrace, []error) {
+	states := make([]*rankState, e.Opt.Ranks)
+	traces := make([][]IterTrace, e.Opt.Ranks)
+	errs := make([]error, e.Opt.Ranks)
+	e.World.Run(func(r *comm.Rank) {
+		st := newRankState(e, r)
+		st.store, st.scope = store, scope
+		st.resumeIter = resumeIter
+		st.replaced = replaced[r.ID]
+		states[r.ID] = st
+		traces[r.ID], errs[r.ID] = st.bfs(root)
+		st.rec.Faults = r.Faults
+		st.rec.Retries = st.retries
+		st.rec.Recovery = st.recovery
+	})
+	return states, traces, errs
+}
+
 // Run executes one BFS from root and assembles the global result. Under a
 // fault transport the run may fail even after retries; the Result is still
 // returned alongside the error so callers can inspect the fault and retry
 // accounting of the doomed run.
+//
+// A fail-stop (a Kill fault) does not fail the run when CheckpointDir is set:
+// the engine detects the agreed-dead ranks, rebuilds the world as a new epoch
+// (Options.Recovery selects shrink vs restore), replays every rank from the
+// latest complete checkpoint and continues, recording the cost in
+// Result.Recovery. With checkpointing off, recovery degrades to a full
+// restart of the traversal under the new world.
 func (e *Engine) Run(root int64) (*Result, error) {
 	n := e.Part.Layout.N
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("core: root %d out of [0,%d)", root, n)
 	}
-	res := &Result{Root: root, Parent: make([]int64, n)}
+	res := &Result{Root: root, Parent: make([]int64, n), Recorder: &stats.Recorder{}}
 	for i := range res.Parent {
 		res.Parent[i] = -1
 	}
-	states := make([]*rankState, e.Opt.Ranks)
-	traces := make([][]IterTrace, e.Opt.Ranks)
-	errs := make([]error, e.Opt.Ranks)
-	start := time.Now()
-	e.World.Run(func(r *comm.Rank) {
-		st := newRankState(e, r)
-		states[r.ID] = st
-		traces[r.ID], errs[r.ID] = st.bfs(root)
-		if errs[r.ID] == nil {
-			st.writeParents(res.Parent)
+	res.Recovery.LastResumeIter = -2
+
+	var store *checkpoint.Store
+	var scope *checkpoint.RunScope
+	resumeIter := int64(-2) // -2 = fresh start (plant the root)
+	if e.Opt.CheckpointDir != "" {
+		var err error
+		store, err = checkpoint.Open(e.Opt.CheckpointDir)
+		if err != nil {
+			return nil, err
 		}
-		st.rec.Faults = r.Faults
-		st.rec.Retries = st.retries
-		st.rec.Recovery = st.recovery
-	})
+		segs, bytes, err := e.ensureGraphTier(store)
+		if err != nil {
+			return nil, err
+		}
+		res.Recovery.CheckpointSegments += segs
+		res.Recovery.CheckpointBytes += bytes
+		name, resuming := e.resumeFrom, e.resumeFrom != ""
+		e.resumeFrom = ""
+		if !resuming {
+			name = fmt.Sprintf("run%03d-root%d", e.runSeq, root)
+			e.runSeq++
+		}
+		scope, err = store.Scope(name)
+		if err != nil {
+			return nil, err
+		}
+		if resuming {
+			if it, ok := scope.LatestComplete(e.Opt.Ranks); ok {
+				resumeIter = it
+			}
+		}
+	}
+
+	start := time.Now()
+	replaced := map[int]bool{}
+	var full []IterTrace
+	var states []*rankState
+	var runErr error
+	for {
+		if resumeIter >= -1 {
+			res.Recovery.LastResumeIter = resumeIter
+		}
+		var traces [][]IterTrace
+		var errs []error
+		states, traces, errs = e.runEpoch(root, store, scope, resumeIter, replaced)
+		var maxReplay time.Duration
+		for _, st := range states {
+			res.Recorder.Merge(st.rec)
+			if st.recovery > res.RecoveryTime {
+				res.RecoveryTime = st.recovery
+			}
+			if st.replayDur > maxReplay {
+				maxReplay = st.replayDur
+			}
+		}
+		res.Recovery.RecoveryTime += maxReplay
+
+		// Stitch this epoch's trace onto the absolute iteration axis: the
+		// epoch re-executed everything past the checkpoint it resumed from.
+		startAbs := int(resumeIter) + 1
+		if resumeIter == -2 {
+			startAbs = 0
+		}
+		if startAbs < len(full) {
+			full = full[:startAbs]
+		}
+		full = append(full, traces[0]...)
+
+		dead := deadRanks(errs)
+		if len(dead) == 0 {
+			runErr = firstErr(errs)
+			break
+		}
+
+		// Fail-stop recovery: rebuild the world, pick the resume point.
+		recStart := time.Now()
+		res.Recovery.Epochs++
+		res.Recovery.RanksLost += int64(len(dead))
+		if res.Recovery.Epochs > int64(e.Opt.Ranks) {
+			runErr = fmt.Errorf("core: %d world epochs exhausted: %w: %w",
+				res.Recovery.Epochs, ErrNoConvergence, comm.ErrRankDead)
+			break
+		}
+		nw, err := e.World.NextEpoch(dead, e.Opt.Recovery.rebuild())
+		if err != nil {
+			runErr = err
+			break
+		}
+		e.World = nw
+		replaced = map[int]bool{}
+		for _, d := range dead {
+			replaced[d] = true
+		}
+		resumeIter = -2
+		if scope != nil {
+			if it, ok := scope.LatestComplete(e.Opt.Ranks); ok {
+				resumeIter = it
+			}
+		}
+		replayFrom := resumeIter + 1
+		if resumeIter == -2 {
+			replayFrom = 0
+		}
+		if completed := int64(len(full)); completed > replayFrom {
+			res.Recovery.IterationsReplayed += completed - replayFrom
+		}
+		res.Recovery.RecoveryTime += time.Since(recStart)
+	}
 	res.Time = time.Since(start)
-	res.Trace = traces[0]
-	res.Iterations = len(res.Trace)
-	res.Recorder = &stats.Recorder{}
+
+	res.Trace = full
+	res.Iterations = len(full)
 	for _, st := range states {
 		res.PerRank = append(res.PerRank, st.rec)
-		res.Recorder.Merge(st.rec)
-		if st.recovery > res.RecoveryTime {
-			res.RecoveryTime = st.recovery
-		}
 	}
 	res.Faults = res.Recorder.Faults
 	res.Retries = res.Recorder.Retries
-	res.TraversedEdges = e.countTraversedEdges(res.Parent)
-	for _, err := range errs {
-		if err != nil {
-			return res, err
+	// Fold the rank-side accounting (checkpoint writers, replay bytes) into
+	// the engine-side recovery record; Add leaves LastResumeIter alone.
+	res.Recovery.Add(&res.Recorder.FailStop)
+	res.Recorder.FailStop = res.Recovery
+	if runErr == nil {
+		for _, st := range states {
+			st.writeParents(res.Parent)
 		}
+		res.TraversedEdges = e.countTraversedEdges(res.Parent)
+		if scope != nil {
+			if e.Opt.KeepCheckpoints {
+				res.CheckpointScope = scope.Name()
+			} else {
+				_ = scope.Remove()
+			}
+		}
+	} else if scope != nil {
+		// A failed run keeps its scope: it is the restart path (ResumeFrom).
+		res.CheckpointScope = scope.Name()
 	}
-	return res, nil
+	return res, runErr
 }
 
 // countTraversedEdges sums degrees of reachable vertices / 2 (each undirected

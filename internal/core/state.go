@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/bitmap"
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/partition"
 	"repro/internal/stats"
@@ -49,10 +52,30 @@ type rankState struct {
 	// resilience bookkeeping (only exercised under a fault transport)
 	retries  int64
 	recovery time.Duration
+
+	// Fail-stop recovery plumbing, set by the engine before bfs runs.
+	store       *checkpoint.Store    // nil when checkpointing is off
+	scope       *checkpoint.RunScope // nil when checkpointing is off
+	resumeIter  int64                // -2 fresh start; >= -1 replay the chain to here
+	replaced    bool                 // slot died last epoch: reload the graph tier
+	writer      *checkpoint.Writer
+	resumeState *checkpoint.State // replayed state, seeds the writer's shadow
+	replayDur   time.Duration     // wall clock spent replaying (engine takes the max)
 }
 
-// iterSnapshot captures the state an iteration needs to be re-executed after
-// a collective failure: every frontier/visited bitmap plus the cached global
+// One iteration is four steps, each ending at a consistent collective
+// boundary so a retry can re-enter at the lowest globally failed step,
+// short-circuiting everything that already completed cleanly on every rank:
+//
+//	step 0: EH2EH + hub sync
+//	step 1: E2L, H2L, L2E, L2H + hub sync
+//	step 2: L2L
+//	step 3: epilogue — frontier advance, optional immediate parent
+//	        reduction, and the global active-L allreduce
+const numSteps = 4
+
+// iterSnapshot captures the state a step needs to be re-executed after a
+// collective failure: every frontier/visited bitmap plus the cached global
 // counts. The parent arrays are deliberately NOT captured — parent updates are
 // monotone (a slot is written at most once per discovery, always with a valid
 // BFS parent at the discovering level), so any write a failed attempt left
@@ -117,6 +140,7 @@ func newRankState(e *Engine, r *comm.Rank) *rankState {
 		lVisited:    bitmap.New(per),
 		lNew:        bitmap.New(per),
 		parentL:     make([]int64, per),
+		resumeIter:  -2,
 	}
 	for i := range st.parentHub {
 		st.parentHub[i] = -1
@@ -127,19 +151,10 @@ func newRankState(e *Engine, r *comm.Rank) *rankState {
 	return st
 }
 
-// bfs runs the main loop and returns the iteration trace. All ranks execute
-// it in lockstep; every collective below is reached by every rank in the
-// same order (direction choices derive from globally consistent state).
-//
-// Under a fault transport the loop becomes a retry loop: each iteration is
-// snapshotted before execution, every collective error is collected without
-// breaking the collective schedule, and at the iteration boundary all ranks
-// vote over the reliable control plane on whether anyone failed. A failed
-// vote restores the snapshot on every rank and re-executes the iteration
-// after an exponential backoff — idempotent because visited/parent updates
-// are monotone. MaxRetries consecutive failures (or MaxIterations without an
-// empty frontier) abort with ErrNoConvergence.
-func (st *rankState) bfs(root int64) ([]IterTrace, error) {
+// plantRoot seeds the bootstrap state: the root in its frontier, then the
+// global L counts for direction decisions. Bootstrap rides the control plane:
+// there is no prior consistent state to retry from.
+func (st *rankState) plantRoot(root int64) {
 	layout := st.e.Part.Layout
 	hubs := st.e.Part.Hubs
 	if h, ok := hubs.HubOf(root); ok {
@@ -154,78 +169,242 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 		st.activeL = 1
 		st.visitL = 1
 	}
-	// Global L counts for direction decisions. Bootstrap rides the control
-	// plane: there is no prior consistent state to retry from.
 	st.activeL = comm.ControlSumInt64(st.r.World, st.activeL)
 	st.visitL = comm.ControlSumInt64(st.r.World, st.visitL)
+}
 
+// loadCheckpoint rebuilds the rank's iteration state by replaying the delta
+// chain up to resumeIter. A replaced rank slot (its predecessor fail-stopped
+// last epoch) additionally reloads and verifies its graph-tier partition —
+// the read a rejoining replacement pays, and the bulk of BytesRestored.
+// Segments beyond the resume point are truncated: the re-executed iterations
+// rewrite them, and a stale or torn tail must not shadow the rewrite.
+func (st *rankState) loadCheckpoint() error {
+	hubWords := len(st.hubFrontier.Words())
+	lWords := len(st.lFrontier.Words())
+	cs, n, err := st.scope.Replay(st.r.ID, st.resumeIter, hubWords, lWords, len(st.parentHub), len(st.parentL))
+	st.rec.FailStop.BytesRestored += n
+	if err != nil {
+		return err
+	}
+	if st.replaced && st.store != nil {
+		var rg partition.RankGraph
+		gn, err := st.store.ReadRankGraph(st.r.ID, &rg)
+		st.rec.FailStop.BytesRestored += gn
+		if err != nil {
+			return err
+		}
+		if rg.LocalN != st.rg.LocalN {
+			return fmt.Errorf("core: graph tier for rank %d has LocalN %d, want %d",
+				st.r.ID, rg.LocalN, st.rg.LocalN)
+		}
+	}
+	copy(st.hubFrontier.Words(), cs.HubFrontier)
+	copy(st.hubVisited.Words(), cs.HubVisited)
+	copy(st.lFrontier.Words(), cs.LFrontier)
+	copy(st.lVisited.Words(), cs.LVisited)
+	copy(st.parentHub, cs.ParentHub)
+	copy(st.parentL, cs.ParentL)
+	st.activeL = cs.ActiveL
+	st.visitL = cs.VisitL
+	st.resumeState = cs
+	return st.scope.Truncate(st.r.ID, st.resumeIter)
+}
+
+// capture queues the state as of completing iteration iter to the async
+// checkpoint writer; the synchronous cost is one memcpy into a capture
+// buffer. must forces it through (the bootstrap segment, without which the
+// chain is useless) instead of dropping when both buffers are in flight.
+// hubNew/hubIter/lNew are all empty at every capture point, so they are not
+// part of the on-disk state.
+func (st *rankState) capture(iter int64, must bool) {
+	st.writer.Checkpoint(iter, must,
+		st.hubFrontier.Words(), st.hubVisited.Words(),
+		st.lFrontier.Words(), st.lVisited.Words(),
+		st.parentHub, st.parentL, st.activeL, st.visitL)
+}
+
+// vote is the retry-boundary agreement over the reliable control plane.
+// Word 0 ORs every rank's failed-step mask; the remaining words OR a
+// dead-rank bitmask assembled from typed collective errors plus the rank's
+// own death latch — a dead rank keeps participating in control collectives,
+// so the "zombie" acts as its own failure detector and no timeout is needed
+// for unanimous detection. Returns the global step mask and the agreed
+// dead-rank list.
+func (st *rankState) vote(stepMask uint64, errs ...error) (uint64, []int) {
+	ranks := st.e.Opt.Ranks
+	words := make([]uint64, 1+(ranks+63)/64)
+	words[0] = stepMask
+	for _, err := range errs {
+		var ce *comm.CollectiveError
+		if errors.As(err, &ce) && errors.Is(ce.Err, comm.ErrRankDead) {
+			words[1+ce.Rank/64] |= 1 << uint(ce.Rank%64)
+		}
+	}
+	if st.r.Dead() {
+		words[1+st.r.ID/64] |= 1 << uint(st.r.ID%64)
+	}
+	agg := comm.ControlOrWords(st.r.World, words)
+	var dead []int
+	for i := 0; i < ranks; i++ {
+		if agg[1+i/64]&(1<<uint(i%64)) != 0 {
+			dead = append(dead, i)
+		}
+	}
+	return agg[0], dead
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bfs runs the main loop for one world epoch and returns the iteration trace.
+// All ranks execute it in lockstep; every collective below is reached by
+// every rank in the same order (direction choices derive from globally
+// consistent state).
+//
+// Under a fault transport the loop becomes a step-granular retry loop: each
+// of an iteration's four steps is snapshotted on entry, collective errors are
+// collected without breaking the collective schedule, and at the iteration
+// boundary all ranks vote over the reliable control plane. The vote carries a
+// failed-step mask — transient errors restore to the lowest globally failed
+// step and re-execute only from there, so components that completed cleanly
+// on every rank are not re-run — and a dead-rank bitmask. Death is the one
+// non-retryable verdict: every rank returns a *deadWorldError and the engine
+// rebuilds the world at the next epoch and resumes from checkpoint. Retry is
+// idempotent because visited/parent updates are monotone. MaxRetries
+// consecutive failed votes (or MaxIterations without an empty frontier) abort
+// with ErrNoConvergence.
+func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 	faulty := st.r.Faulty()
-	var snap iterSnapshot
+
+	// Epoch setup point: a rank can die before the traversal proper — the
+	// "failure during partitioning/setup" case — modeled as a tagged barrier
+	// at epoch start plus a death vote. Only run under a fault transport;
+	// a reliable world has nothing to detect.
+	if faulty {
+		st.r.SetIter(-1)
+		st.r.SetTag(TagSetup)
+		berr := st.r.World.Barrier()
+		if _, dead := st.vote(0, berr); len(dead) > 0 {
+			return nil, &deadWorldError{dead: dead}
+		}
+		// A transient setup-barrier error is harmless: the barrier carries
+		// no state and the vote just agreed nobody died.
+	}
+
+	startIter := 0
+	var initErr error
+	if st.scope != nil && st.resumeIter >= -1 {
+		t0 := time.Now()
+		initErr = st.loadCheckpoint()
+		st.replayDur = time.Since(t0)
+		startIter = int(st.resumeIter) + 1
+	} else {
+		st.plantRoot(root)
+		if st.scope != nil {
+			// A fresh start over an existing scope (e.g. a chain too torn to
+			// resume) must clear any stale tail before rewriting it.
+			initErr = st.scope.Truncate(st.r.ID, -1)
+		}
+	}
+	if st.scope != nil && initErr == nil {
+		st.writer, initErr = checkpoint.NewWriter(st.scope, st.r.ID,
+			len(st.hubFrontier.Words()), len(st.lFrontier.Words()),
+			len(st.parentHub), len(st.parentL), st.resumeState)
+	}
+	if st.writer != nil {
+		defer func() {
+			ws := st.writer.Close()
+			st.rec.FailStop.CheckpointSegments += ws.Segments
+			st.rec.FailStop.CheckpointBytes += ws.Bytes
+			st.rec.FailStop.CheckpointDropped += ws.Dropped
+			st.rec.FailStop.CheckpointErrors += ws.Errors
+		}()
+	}
+	if st.scope != nil {
+		// Init vote: a rank aborting on a local replay/setup error must not
+		// leave the others stuck in the iteration loop's collectives. Rides
+		// the control plane, with or without a fault transport.
+		var bad int64
+		if initErr != nil {
+			bad = 1
+		}
+		if comm.ControlSumInt64(st.r.World, bad) > 0 {
+			if initErr == nil {
+				initErr = errRemoteRank
+			}
+			return nil, fmt.Errorf("core: checkpoint init failed: %w", initErr)
+		}
+		if st.resumeState == nil {
+			st.capture(-1, true)
+		}
+	}
+
+	var snaps [numSteps]iterSnapshot
 	var trace []IterTrace
 	attempt := 0
 	converged := false
-	for iter := 0; iter < st.e.Opt.MaxIterations; iter++ {
-		iterStart := time.Now()
-		if faulty {
-			st.snapshot(&snap)
-		}
+	for iter := startIter; iter < st.e.Opt.MaxIterations; iter++ {
+		st.r.SetIter(int64(iter))
+		attemptStart := time.Now()
 		it := IterTrace{
 			ActiveE: int64(st.hubFrontier.CountRange(0, int(st.numE))),
 			ActiveH: int64(st.hubFrontier.CountRange(int(st.numE), st.k)),
 			ActiveL: st.activeL,
 		}
 		it.Directions = st.chooseDirections(it)
-		err := st.runIteration(it.Directions)
-
-		// Advance frontiers. Hub side: hubIter was synced incrementally.
-		st.hubFrontier.CopyFrom(st.hubIter)
-		st.hubIter.Reset()
-		// L side: owner-local swap.
-		st.lFrontier.CopyFrom(st.lNew)
-		st.lVisited.Or(st.lNew)
-		st.lNew.Reset()
-
-		if st.e.Opt.ImmediateParentReduction {
-			// The traditional scheme: reconcile delegate parents every
-			// iteration. Correctness-neutral but pays a world-wide
-			// K-element reduce per iteration — the traffic the paper's
-			// delayed reduction eliminates.
-			if e2 := st.reduceParents(); err == nil {
-				err = e2
-			}
-		}
-
-		newHubs := int64(st.hubFrontier.Count())
-		al, e2 := comm.AllreduceSumInt64(st.r.World, int64(st.lFrontier.Count()))
-		if err == nil {
-			err = e2
-		}
-
-		if faulty {
-			// Agreement: did any rank see a collective error this iteration?
-			var bad int64
-			if err != nil {
-				bad = 1
-			}
-			if comm.ControlSumInt64(st.r.World, bad) > 0 {
-				attempt++
-				st.retries++
-				if attempt > st.e.Opt.MaxRetries {
-					st.recovery += time.Since(iterStart)
-					if err == nil {
-						err = errRemoteRank
-					}
-					return trace, fmt.Errorf("core: iteration %d still failing after %d retries: %w: %w",
-						iter, st.e.Opt.MaxRetries, ErrNoConvergence, err)
+		var newHubs, al int64
+		g := 0
+		for {
+			var stepErrs [numSteps]error
+			var failMask uint64
+			for ; g < numSteps; g++ {
+				if faulty {
+					st.snapshot(&snaps[g])
 				}
-				st.restore(&snap)
-				backoff := st.e.Opt.RetryBackoff << uint(attempt-1)
-				time.Sleep(backoff)
-				st.recovery += time.Since(iterStart)
-				iter--
-				continue
+				if err := st.runStep(g, it.Directions, &newHubs, &al); err != nil {
+					stepErrs[g] = err
+					failMask |= 1 << uint(g)
+				}
 			}
-			attempt = 0
+			if !faulty {
+				break // a reliable world's collectives cannot fail
+			}
+			// Agreement: which steps failed anywhere, and did anyone die?
+			gmask, dead := st.vote(failMask, stepErrs[:]...)
+			if len(dead) > 0 {
+				return trace, &deadWorldError{dead: dead}
+			}
+			if gmask == 0 {
+				attempt = 0
+				break
+			}
+			attempt++
+			st.retries++
+			if attempt > st.e.Opt.MaxRetries {
+				err := firstErr(stepErrs[:])
+				if err == nil {
+					err = errRemoteRank
+				}
+				st.recovery += time.Since(attemptStart)
+				return trace, fmt.Errorf("core: iteration %d still failing after %d retries: %w: %w",
+					iter, st.e.Opt.MaxRetries, ErrNoConvergence, err)
+			}
+			// Re-enter at the lowest step any rank failed: steps below it
+			// completed cleanly on every rank, so their work stands. Every
+			// rank restores the same step's snapshot, keeping the collective
+			// schedule from there identical.
+			g = bits.TrailingZeros64(gmask)
+			st.restore(&snaps[g])
+			time.Sleep(st.e.Opt.RetryBackoff << uint(attempt-1))
+			st.recovery += time.Since(attemptStart)
+			attemptStart = time.Now()
 		}
 
 		trace = append(trace, it)
@@ -234,6 +413,9 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 		if newHubs+al == 0 {
 			converged = true
 			break
+		}
+		if st.writer != nil && iter%st.e.Opt.CheckpointEvery == 0 {
+			st.capture(int64(iter), false)
 		}
 	}
 	if !converged {
@@ -245,17 +427,24 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 	// world-wide max-reduce after the run instead of per-iteration traffic.
 	// The reduction is idempotent (element-wise max over monotone parents),
 	// so under faults it retries with the same vote protocol as iterations.
+	// A fail-stop here still aborts to the engine, which replays the final
+	// iteration from checkpoint and reduces under the new world.
+	st.r.SetTag(TagReduce)
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
 		err := st.reduceParents()
 		if !faulty {
 			return trace, err
 		}
-		var bad int64
+		var bad uint64
 		if err != nil {
 			bad = 1
 		}
-		if comm.ControlSumInt64(st.r.World, bad) == 0 {
+		gmask, dead := st.vote(bad, err)
+		if len(dead) > 0 {
+			return trace, &deadWorldError{dead: dead}
+		}
+		if gmask == 0 {
 			return trace, nil
 		}
 		st.retries++
@@ -284,20 +473,21 @@ func (st *rankState) reduceParents() error {
 	return err
 }
 
-// runIteration executes the six sub-iterations in hub-first order, syncing
-// delegated hub state after each group of hub-activating kernels so later
-// sub-iterations see the latest visited sets (Section 4.2). Skipped
-// sub-iterations are elided entirely — including their collectives, which is
-// safe because the skip decision derives from globally consistent counts.
-// A collective error inside one kernel does NOT short-circuit the iteration:
-// detection is symmetric only within the failing communicator (one column's
-// alltoallv can fail while the others succeed), so every rank must keep
-// executing the identical per-communicator collective schedule to stay in
-// rendezvous lockstep. The first error is collected and resolved globally by
-// the caller's control-plane vote at the iteration boundary.
-func (st *rankState) runIteration(dirs [partition.NumComponents]stats.Direction) error {
+// runStep executes one of the iteration's four steps. Kernels run in
+// hub-first order, syncing delegated hub state after each group of
+// hub-activating kernels so later sub-iterations see the latest visited sets
+// (Section 4.2). Skipped sub-iterations are elided entirely — including their
+// collectives, which is safe because the skip decision derives from globally
+// consistent counts. A collective error inside one kernel does NOT
+// short-circuit the step: detection is symmetric only within the failing
+// communicator (one column's alltoallv can fail while the others succeed), so
+// every rank must keep executing the identical per-communicator collective
+// schedule to stay in rendezvous lockstep. The first error is collected and
+// resolved globally by the caller's control-plane vote.
+func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Direction, newHubs, al *int64) error {
 	var firstErr error
 	run := func(c partition.Component, push, pull func() (int64, error)) {
+		st.r.SetTag(int(c))
 		d := dirs[c]
 		if d == stats.DirSkip {
 			st.rec.Observe(stats.PhaseOfComponent(c), d, 0, comm.VolumeStats{}, 0)
@@ -313,29 +503,54 @@ func (st *rankState) runIteration(dirs [partition.NumComponents]stats.Direction)
 			firstErr = err
 		}
 	}
-	// 1. EH2EH (hub -> hub).
-	ehPull := st.ehPull
-	if st.e.Opt.Segmented {
-		ehPull = st.ehPullSegmented
+	switch g {
+	case 0:
+		// EH2EH (hub -> hub), then sync.
+		ehPull := st.ehPull
+		if st.e.Opt.Segmented {
+			ehPull = st.ehPullSegmented
+		}
+		run(partition.CompEH2EH, st.ehPush, ehPull)
+		if err := st.syncHubs(); firstErr == nil {
+			firstErr = err
+		}
+	case 1:
+		// E2L and H2L (hub -> L), then L2E and L2H (L -> hub), then sync.
+		run(partition.CompE2L, st.e2lPush, st.e2lPull)
+		run(partition.CompH2L, st.h2lPush, st.h2lPull)
+		run(partition.CompL2E, st.l2ePush, st.l2ePull)
+		run(partition.CompL2H, st.l2hPush, st.l2hPull)
+		if err := st.syncHubs(); firstErr == nil {
+			firstErr = err
+		}
+	case 2:
+		run(partition.CompL2L, st.l2lPush, st.l2lPull)
+	case 3:
+		// Epilogue: advance frontiers and agree on the global L count.
+		st.r.SetTag(TagEpilogue)
+		st.hubFrontier.CopyFrom(st.hubIter)
+		st.hubIter.Reset()
+		st.lFrontier.CopyFrom(st.lNew)
+		st.lVisited.Or(st.lNew)
+		st.lNew.Reset()
+		if st.e.Opt.ImmediateParentReduction {
+			// The traditional scheme: reconcile delegate parents every
+			// iteration. Correctness-neutral but pays a world-wide K-element
+			// reduce per iteration — the traffic the paper's delayed
+			// reduction eliminates.
+			st.r.SetTag(TagReduce)
+			if err := st.reduceParents(); firstErr == nil {
+				firstErr = err
+			}
+			st.r.SetTag(TagEpilogue)
+		}
+		*newHubs = int64(st.hubFrontier.Count())
+		a, err := comm.AllreduceSumInt64(st.r.World, int64(st.lFrontier.Count()))
+		if firstErr == nil {
+			firstErr = err
+		}
+		*al = a
 	}
-	run(partition.CompEH2EH, st.ehPush, ehPull)
-	if err := st.syncHubs(); firstErr == nil {
-		firstErr = err
-	}
-
-	// 2. E2L and H2L (hub -> L).
-	run(partition.CompE2L, st.e2lPush, st.e2lPull)
-	run(partition.CompH2L, st.h2lPush, st.h2lPull)
-
-	// 3. L2E and L2H (L -> hub).
-	run(partition.CompL2E, st.l2ePush, st.l2ePull)
-	run(partition.CompL2H, st.l2hPush, st.l2hPull)
-	if err := st.syncHubs(); firstErr == nil {
-		firstErr = err
-	}
-
-	// 4. L2L.
-	run(partition.CompL2L, st.l2lPush, st.l2lPull)
 	return firstErr
 }
 

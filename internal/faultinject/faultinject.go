@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -52,6 +53,27 @@ type Plan struct {
 	// Supernode, when >= 0, restricts the probabilistic faults to ranks on
 	// that supernode of the modeled machine. Negative means all ranks.
 	Supernode int
+
+	// Kills fail-stops ranks permanently (comm's Kill action). Each spec
+	// fires at most once per process: a replacement rank replaying the kill
+	// iteration after recovery is not re-killed, modeling a real fail-stop
+	// (the node died once; its successor is healthy hardware).
+	Kills []*KillSpec
+}
+
+// KillSpec fail-stops one rank. The zero trigger fields mean "the rank's
+// first intercepted collective"; Iter and Seq narrow the trigger.
+type KillSpec struct {
+	// Rank is the world rank to kill. Required.
+	Rank int
+	// Iter, when >= 0, only fires during that engine iteration (comm
+	// Call.Iter). -1 fires in any iteration, including outside iterations.
+	Iter int64
+	// Seq, when > 0, only fires at the rank's first collective with
+	// sequence number >= Seq.
+	Seq int64
+
+	fired atomic.Bool
 }
 
 // New returns an empty plan with unscoped sentinels (Supernode -1, no stall).
@@ -59,10 +81,26 @@ func New(seed uint64) *Plan {
 	return &Plan{Seed: seed, StallRank: -1, Supernode: -1}
 }
 
-// Intercept implements comm.Transport. It is safe for concurrent use: the
-// plan is never mutated and every draw is a pure hash of the call identity.
+// Intercept implements comm.Transport. It is safe for concurrent use: apart
+// from the once-only kill latches the plan is never mutated, and every
+// probabilistic draw is a pure hash of the call identity.
 func (p *Plan) Intercept(c comm.Call) comm.FaultAction {
 	var act comm.FaultAction
+	for _, k := range p.Kills {
+		if c.Rank != k.Rank {
+			continue
+		}
+		if k.Iter >= 0 && c.Iter != k.Iter {
+			continue
+		}
+		if k.Seq > 0 && c.Seq < k.Seq {
+			continue
+		}
+		if k.fired.CompareAndSwap(false, true) {
+			act.Kill = true
+			return act
+		}
+	}
 	if p.StallLen != 0 && c.Rank == p.StallRank && c.Seq >= p.StallStart &&
 		(p.StallLen < 0 || c.Seq < p.StallStart+p.StallLen) {
 		act.Withhold = true
@@ -102,22 +140,121 @@ func (p *Plan) Intercept(c comm.Call) comm.FaultAction {
 // u maps a hash to [0, 1) with 53 bits of precision.
 func u(h uint64) float64 { return float64(h>>11) / (1 << 53) }
 
-// Parse builds a plan from a comma-separated spec, the format of bfsbench's
-// -faults flag. Keys: seed=N, delay=P, delaymin=DUR, delaymax=DUR, corrupt=P,
-// fail=P, stallrank=R, stallstart=N, stalllen=N (negative = forever),
-// supernode=S. Example: "seed=42,delay=0.01,fail=0.001".
+// ParseError reports where in a fault spec parsing failed. Line and Col are
+// 1-based; multi-line specs (newlines work like commas) get accurate line
+// numbers, so a spec loaded from a file can be fixed by its editor position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error formats like a compiler diagnostic.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("faultinject: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lineCol converts a byte offset in spec to a 1-based line and column.
+func lineCol(spec string, off int) (int, int) {
+	line, col := 1, 1
+	for i := 0; i < off && i < len(spec); i++ {
+		if spec[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// Parse builds a plan from a spec, the format of bfsbench's -faults flag:
+// fields separated by commas or newlines, each key=value. Top-level keys:
+// seed=N, delay=P, delaymin=DUR, delaymax=DUR, corrupt=P, fail=P,
+// stallrank=R, stallstart=N, stalllen=N (negative = forever), supernode=S.
+//
+// A field of the form kill@rank=R opens a kill clause that fail-stops rank R
+// permanently; the clause-scoped keys iter=K (fire during engine iteration K)
+// and seq=S (fire at the rank's first collective with sequence >= S) bind to
+// the most recent kill clause. Multiple kill clauses are allowed.
+//
+// Examples:
+//
+//	"seed=42,delay=0.01,fail=0.001"
+//	"kill@rank=3,iter=2"
+//	"kill@rank=3,iter=2,kill@rank=7,iter=2,seed=9"
+//
+// A malformed spec returns a *ParseError with the offending line and column;
+// it never yields a silently empty plan.
 func Parse(spec string) (*Plan, error) {
 	p := New(0)
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
-	for _, field := range strings.Split(spec, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+	var kill *KillSpec // open kill clause, nil at top level
+	perr := func(off int, format string, args ...any) error {
+		line, col := lineCol(spec, off)
+		return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+	}
+	off := 0
+	for off <= len(spec) {
+		end := len(spec)
+		for i := off; i < len(spec); i++ {
+			if spec[i] == ',' || spec[i] == '\n' {
+				end = i
+				break
+			}
+		}
+		field := spec[off:end]
+		fieldOff := off
+		off = end + 1
+		// Skip leading whitespace, keeping the offset honest.
+		for len(field) > 0 && (field[0] == ' ' || field[0] == '\t' || field[0] == '\r') {
+			field = field[1:]
+			fieldOff++
+		}
+		field = strings.TrimRight(field, " \t\r")
+		if field == "" {
+			if end == len(spec) {
+				break
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(field, "kill@"); ok {
+			key, val, ok := strings.Cut(rest, "=")
+			if !ok || key != "rank" {
+				return nil, perr(fieldOff, "kill clause must open with kill@rank=N, got %q", field)
+			}
+			rank, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, perr(fieldOff+len("kill@rank="), "bad kill rank %q: %v", val, err)
+			}
+			kill = &KillSpec{Rank: rank, Iter: -1}
+			p.Kills = append(p.Kills, kill)
+			if end == len(spec) {
+				break
+			}
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
 		if !ok {
-			return nil, fmt.Errorf("faultinject: field %q is not key=value", field)
+			return nil, perr(fieldOff, "field %q is not key=value", field)
+		}
+		valOff := fieldOff + len(key) + 1
+		if val == "" {
+			return nil, perr(valOff, "key %q has an empty value", key)
 		}
 		var err error
 		switch key {
+		case "iter":
+			if kill == nil {
+				return nil, perr(fieldOff, "key %q only applies inside a kill@rank=N clause", key)
+			}
+			kill.Iter, err = strconv.ParseInt(val, 10, 64)
+		case "seq":
+			if kill == nil {
+				return nil, perr(fieldOff, "key %q only applies inside a kill@rank=N clause", key)
+			}
+			kill.Seq, err = strconv.ParseInt(val, 10, 64)
 		case "seed":
 			p.Seed, err = strconv.ParseUint(val, 0, 64)
 		case "delay":
@@ -139,10 +276,13 @@ func Parse(spec string) (*Plan, error) {
 		case "supernode":
 			p.Supernode, err = strconv.Atoi(val)
 		default:
-			return nil, fmt.Errorf("faultinject: unknown key %q", key)
+			return nil, perr(fieldOff, "unknown key %q", key)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("faultinject: bad value for %s: %v", key, err)
+			return nil, perr(valOff, "bad value for %s: %v", key, err)
+		}
+		if end == len(spec) {
+			break
 		}
 	}
 	return p, nil
@@ -182,9 +322,19 @@ func (p *Plan) String() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	parts := make([]string, 0, len(keys))
+	parts := make([]string, 0, len(keys)+len(p.Kills))
 	for _, k := range keys {
 		parts = append(parts, k+"="+kv[k])
+	}
+	for _, k := range p.Kills {
+		s := "kill@rank=" + strconv.Itoa(k.Rank)
+		if k.Iter >= 0 {
+			s += ",iter=" + strconv.FormatInt(k.Iter, 10)
+		}
+		if k.Seq > 0 {
+			s += ",seq=" + strconv.FormatInt(k.Seq, 10)
+		}
+		parts = append(parts, s)
 	}
 	return strings.Join(parts, ",")
 }

@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestParseKillClause(t *testing.T) {
+	p, err := Parse("kill@rank=3,iter=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kills) != 1 {
+		t.Fatalf("got %d kill specs, want 1", len(p.Kills))
+	}
+	k := p.Kills[0]
+	if k.Rank != 3 || k.Iter != 2 || k.Seq != 0 {
+		t.Fatalf("kill spec %+v, want rank 3 iter 2", k)
+	}
+	if got := p.String(); got != "kill@rank=3,iter=2" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseMultipleKillClauses(t *testing.T) {
+	spec := "seed=9,kill@rank=3,iter=2,kill@rank=7,seq=5"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || len(p.Kills) != 2 {
+		t.Fatalf("plan %+v: want seed 9 and 2 kills", p)
+	}
+	// iter/seq bind to the most recent clause.
+	if p.Kills[0].Rank != 3 || p.Kills[0].Iter != 2 || p.Kills[0].Seq != 0 {
+		t.Fatalf("first kill %+v", p.Kills[0])
+	}
+	if p.Kills[1].Rank != 7 || p.Kills[1].Iter != -1 || p.Kills[1].Seq != 5 {
+		t.Fatalf("second kill %+v", p.Kills[1])
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	// And the rendering re-parses to the same plan.
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Seed != p.Seed || len(q.Kills) != 2 ||
+		q.Kills[1].Rank != 7 || q.Kills[1].Iter != -1 || q.Kills[1].Seq != 5 {
+		t.Fatalf("re-parsed plan %+v differs", q)
+	}
+}
+
+func TestKillSpecFiresOnceOnItsIteration(t *testing.T) {
+	p, err := Parse("kill@rank=2,iter=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Intercept(comm.Call{Rank: 2, Iter: 0, Seq: 1}).Kill {
+		t.Fatal("kill fired outside its iteration")
+	}
+	if p.Intercept(comm.Call{Rank: 1, Iter: 1, Seq: 2}).Kill {
+		t.Fatal("kill fired on the wrong rank")
+	}
+	if !p.Intercept(comm.Call{Rank: 2, Iter: 1, Seq: 3}).Kill {
+		t.Fatal("kill did not fire on its trigger call")
+	}
+	// The latch models real fail-stop: a replacement rank replaying the same
+	// iteration after recovery must not be re-killed.
+	if p.Intercept(comm.Call{Rank: 2, Iter: 1, Seq: 4}).Kill {
+		t.Fatal("kill fired twice")
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		spec      string
+		line, col int
+		contains  string
+	}{
+		{"iter=2", 1, 1, "kill@rank=N"},
+		{"seq=5", 1, 1, "kill@rank=N"},
+		{"kill@rank=x", 1, 11, "bad kill rank"},
+		{"kill@iter=2", 1, 1, "kill clause must open with kill@rank=N"},
+		{"seed=", 1, 6, "empty value"},
+		{"seed=1, fail=", 1, 14, "empty value"},
+		{"seed=1,\nkill@rank=2,badkey=3", 2, 13, "unknown key"},
+		{"seed=1\nfail=x", 2, 6, "bad value"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Fatalf("Parse(%q) accepted a malformed spec", tc.spec)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) error %T is not *ParseError", tc.spec, err)
+		}
+		if pe.Line != tc.line || pe.Col != tc.col {
+			t.Fatalf("Parse(%q) reported %d:%d, want %d:%d (%v)", tc.spec, pe.Line, pe.Col, tc.line, tc.col, err)
+		}
+		if !strings.Contains(pe.Msg, tc.contains) {
+			t.Fatalf("Parse(%q) message %q does not mention %q", tc.spec, pe.Msg, tc.contains)
+		}
+	}
+}
+
+func TestParseNewlinesAsSeparators(t *testing.T) {
+	p, err := Parse("seed=4\nkill@rank=1\niter=3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 4 || len(p.Kills) != 1 || p.Kills[0].Rank != 1 || p.Kills[0].Iter != 3 {
+		t.Fatalf("plan %+v", p)
+	}
+}

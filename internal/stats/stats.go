@@ -116,6 +116,56 @@ type Recorder struct {
 	// backoff) consumed.
 	Retries  int64
 	Recovery time.Duration
+	// FailStop records the fail-stop recovery and checkpoint accounting of
+	// the run (zero when checkpointing is off and no rank died).
+	FailStop RecoveryStats
+}
+
+// RecoveryStats accounts fail-stop recovery: world-epoch transitions,
+// checkpoint traffic, and the replay cost of resuming. Per-rank recorders
+// carry their own checkpoint-writer and restore numbers; the engine adds the
+// run-global fields (Epochs, RanksLost, IterationsReplayed, RecoveryTime)
+// once, so merging recorders never double-counts them.
+type RecoveryStats struct {
+	// Epochs counts world rebuilds (one per detected fail-stop event, which
+	// may lose several ranks at once); RanksLost totals ranks lost across
+	// them.
+	Epochs    int64
+	RanksLost int64
+	// IterationsReplayed counts iterations re-executed because they happened
+	// after the checkpoint the run resumed from.
+	IterationsReplayed int64
+	// BytesRestored totals checkpoint bytes read back during recovery
+	// (delta-tier replay on every rank, plus the graph tier on replaced
+	// ranks).
+	BytesRestored int64
+	// LastResumeIter is the iteration of the newest checkpoint the run
+	// resumed from (-1 = bootstrap segment only, -2 = never resumed).
+	LastResumeIter int64
+	// RecoveryTime is wall clock spent rebuilding worlds and replaying
+	// state, as observed by the engine (not summed across ranks).
+	RecoveryTime time.Duration
+	// Checkpoint-writer accounting, summed across ranks: committed segments
+	// and bytes, captures dropped because both buffers were in flight, and
+	// segments that failed to commit.
+	CheckpointSegments int64
+	CheckpointBytes    int64
+	CheckpointDropped  int64
+	CheckpointErrors   int64
+}
+
+// Add accumulates other into s. Counters sum; LastResumeIter is engine-owned
+// (set once on the aggregate, not meaningful to sum) and is left untouched.
+func (s *RecoveryStats) Add(other *RecoveryStats) {
+	s.Epochs += other.Epochs
+	s.RanksLost += other.RanksLost
+	s.IterationsReplayed += other.IterationsReplayed
+	s.BytesRestored += other.BytesRestored
+	s.RecoveryTime += other.RecoveryTime
+	s.CheckpointSegments += other.CheckpointSegments
+	s.CheckpointBytes += other.CheckpointBytes
+	s.CheckpointDropped += other.CheckpointDropped
+	s.CheckpointErrors += other.CheckpointErrors
 }
 
 // Observe adds one kernel execution's time, traffic delta and scanned edges.
@@ -137,6 +187,7 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.Faults.Add(&other.Faults)
 	r.Retries += other.Retries
 	r.Recovery += other.Recovery
+	r.FailStop.Add(&other.FailStop)
 }
 
 // PhaseTime returns the total time of a phase across directions.
