@@ -24,6 +24,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/sunway"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 const (
@@ -514,4 +515,48 @@ func BenchmarkAblation_RankWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTraceOverhead measures what the span recorder costs the traversal:
+// tracing off (the nil-check fast path every instrumented hook pays) against
+// tracing on (one span per kernel/sync/collective/decision on every rank).
+// The acceptance bar for the disabled path is <2% against the seed engine;
+// the on path shows the full recording cost. Reset between runs keeps the
+// tracer's span memory bounded.
+func BenchmarkTraceOverhead(b *testing.B) {
+	n, edges := benchGraph(b, 12)
+	off := benchEngine(b, n, edges, core.Options{Ranks: 4})
+	root := pickRoot(off)
+	tr := trace.New()
+	on := benchEngine(b, n, edges, core.Options{Ranks: 4, Trace: tr})
+	if _, err := off.Run(root); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := on.Run(root); err != nil {
+		b.Fatal(err)
+	}
+	if len(tr.Spans()) == 0 {
+		b.Fatal("traced run recorded no spans")
+	}
+	tr.Reset()
+	var offNs, onNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := off.Run(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offNs += res.Time.Nanoseconds()
+		onRes, err := on.Run(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onNs += onRes.Time.Nanoseconds()
+		tr.Reset()
+	}
+	b.StopTimer()
+	pct := 100 * float64(onNs-offNs) / float64(offNs)
+	b.ReportMetric(pct, "%overhead-on")
+	b.Logf("tracing over %d runs: off=%v on=%v -> %.2f%% recording overhead",
+		b.N, time.Duration(offNs), time.Duration(onNs), pct)
 }

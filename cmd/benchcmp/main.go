@@ -1,0 +1,72 @@
+// Command benchcmp compares two bfsbench JSON reports and fails when the
+// candidate's harmonic-mean GTEPS regressed more than the allowed fraction
+// below the baseline. CI runs it against the committed BENCH_baseline.json:
+//
+//	benchcmp -baseline BENCH_baseline.json -candidate BENCH_ci.json -max-drop 0.25
+//
+// Exit status: 0 within budget, 1 regression, 2 usage or unreadable input.
+// Configurations must match (scale, mesh, roots, seed) — a faster machine
+// must not sneak a config change past the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline report JSON (required)")
+		candidate = flag.String("candidate", "", "candidate report JSON (required)")
+		maxDrop   = flag.Float64("max-drop", 0.25, "max allowed fractional drop of harmonic-mean GTEPS")
+		skipCfg   = flag.Bool("skip-config-check", false, "compare even when run configurations differ")
+	)
+	flag.Parse()
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -candidate are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *maxDrop < 0 || *maxDrop >= 1 {
+		fmt.Fprintf(os.Stderr, "benchcmp: -max-drop %v out of [0,1)\n", *maxDrop)
+		os.Exit(2)
+	}
+
+	base, err := report.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := report.ReadFile(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+
+	if base.Config != cand.Config && !*skipCfg {
+		fmt.Fprintf(os.Stderr, "benchcmp: run configurations differ:\n  baseline:  %+v\n  candidate: %+v\n", base.Config, cand.Config)
+		os.Exit(2)
+	}
+
+	b := base.Summary.HarmonicMeanGTEPS
+	c := cand.Summary.HarmonicMeanGTEPS
+	if b <= 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: baseline harmonic-mean GTEPS %v is not positive\n", b)
+		os.Exit(2)
+	}
+	change := (c - b) / b
+	fmt.Printf("harmonic-mean GTEPS: baseline %.4f, candidate %.4f (%+.1f%%), gate -%.0f%%\n",
+		b, c, 100*change, 100**maxDrop)
+	floor := b * (1 - *maxDrop)
+	if c < floor {
+		fmt.Printf("FAIL: candidate %.4f below allowed floor %.4f\n", c, floor)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@
 //	bfsbench -input edges.bin -informat bin -ranks 16
 //	bfsbench -scale 16 -kernel sssp -roots 8
 //	bfsbench -scale 16 -faults "seed=42,delay=0.01,fail=0.001" -deadline 5ms
+//	bfsbench -scale 14 -ranks 4 -json bench.json -trace spans.jsonl -trace-chrome trace.json
 package main
 
 import (
@@ -22,7 +23,9 @@ import (
 	"repro"
 	"repro/internal/edgeio"
 	"repro/internal/faultinject"
+	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -49,6 +52,9 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint store directory (empty = checkpointing off)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "iterations between traversal checkpoints")
 		recovery  = flag.String("recovery", "shrink", "world rebuild after a fail-stop: shrink or restore")
+		jsonOut   = flag.String("json", "", "write the machine-readable benchmark report (JSON) to this file (bfs only)")
+		traceOut  = flag.String("trace", "", "record per-iteration spans and write the merged timeline (JSONL) to this file (bfs only)")
+		chromeOut = flag.String("trace-chrome", "", "record spans and write a Chrome trace_event file for chrome://tracing (bfs only)")
 	)
 	flag.Parse()
 
@@ -110,9 +116,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	out := outputs{json: *jsonOut, trace: *traceOut, chrome: *chromeOut}
+	if out.trace != "" || out.chrome != "" {
+		cfg.Trace = trace.New()
+	}
+	out.cfgReport = report.RunConfig{
+		Scale:        *scale,
+		EdgeFactor:   16,
+		NumVertices:  g.NumVertices,
+		NumEdges:     int64(len(g.Edges)),
+		Roots:        *roots,
+		Seed:         *seed,
+		Direction:    "sub-iteration",
+		Segmented:    *segmented,
+		Hierarchical: *hier,
+		RankWorkers:  *workers,
+		Faults:       *faults,
+		Checkpoints:  *ckptDir != "",
+	}
+	if *input != "" {
+		out.cfgReport.Scale, out.cfgReport.EdgeFactor = 0, 0
+	}
+
 	switch *kernel {
 	case "bfs":
-		runBFS(g, cfg, *roots, *seed, *breakdown, *official, time.Since(t0))
+		runBFS(g, cfg, *roots, *seed, *breakdown, *official, time.Since(t0), out)
 	case "sssp":
 		runSSSP(g, cfg, *roots, *seed)
 	default:
@@ -121,7 +149,15 @@ func main() {
 	}
 }
 
-func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, breakdown, official bool, genTime time.Duration) {
+// outputs collects the machine-readable emission targets.
+type outputs struct {
+	json      string
+	trace     string
+	chrome    string
+	cfgReport report.RunConfig
+}
+
+func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, breakdown, official bool, genTime time.Duration, out outputs) {
 	t0 := time.Now()
 	r, err := graph500.New(g, cfg)
 	if err != nil {
@@ -145,6 +181,32 @@ func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, break
 	if err != nil {
 		fatal(err)
 	}
+	out.cfgReport.Ranks = r.Engine.Opt.Ranks
+	out.cfgReport.MeshRows = r.Engine.Opt.Mesh.Rows
+	out.cfgReport.MeshCols = r.Engine.Opt.Mesh.Cols
+	if out.json != "" {
+		doc := report.Build(report.Inputs{
+			Config:       out.cfgReport,
+			HarmonicTEPS: sum.HarmonicTEPS,
+			MeanTEPS:     sum.MeanTEPS,
+			MinTEPS:      sum.MinTEPS,
+			MaxTEPS:      sum.MaxTEPS,
+			MeanSeconds:  sum.MeanSeconds,
+			Traversed:    sum.TotalTraversed,
+			Iterations:   sum.Iterations,
+			Recorder:     &sum.Recorder,
+			Directions:   sum.Directions,
+			Faults:       sum.Faults,
+			Retries:      sum.Retries,
+			RecoveryWall: sum.RecoveryTime,
+			Recovery:     sum.Recovery,
+		})
+		if err := doc.WriteFile(out.json); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote benchmark report to %s\n", out.json)
+	}
+	defer writeTraces(cfg.Trace, out)
 	fmt.Printf("\n%d validated BFS runs:\n", len(sum.Roots))
 	fmt.Printf("  harmonic mean: %10.4f GTEPS   (the Graph 500 statistic)\n", sum.GTEPS())
 	fmt.Printf("  mean:          %10.4f GTEPS\n", sum.MeanTEPS/1e9)
@@ -211,6 +273,34 @@ func runSSSP(g graph500.Graph, cfg graph500.Config, roots int, seed uint64) {
 	fmt.Printf("\n%d validated SSSP runs:\n", len(sampled))
 	fmt.Printf("  mean time:        %8.2f ms\n", totalTime.Seconds()*1e3/float64(len(sampled)))
 	fmt.Printf("  mean relaxations: %8d\n", totalRelax/int64(len(sampled)))
+}
+
+// writeTraces dumps the recorded span timeline in the requested formats.
+// Called after the runs complete, when every recording goroutine has exited.
+func writeTraces(tr *trace.Tracer, out outputs) {
+	if tr == nil {
+		return
+	}
+	write := func(path string, emit func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace to %s\n", path)
+	}
+	if out.trace != "" {
+		write(out.trace, func(f *os.File) error { return tr.WriteJSONL(f) })
+	}
+	if out.chrome != "" {
+		write(out.chrome, func(f *os.File) error { return tr.WriteChrome(f) })
+	}
 }
 
 func fatal(err error) {

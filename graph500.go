@@ -28,6 +28,7 @@ import (
 	"repro/internal/rmat"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/validate"
 	"repro/internal/xrand"
 )
@@ -145,6 +146,9 @@ type Config struct {
 	// ResumeFrom names an existing checkpoint scope under CheckpointDir to
 	// resume instead of starting fresh.
 	ResumeFrom string
+	// Trace, when non-nil, records every run's span timeline (kernels,
+	// collectives, decisions, checkpoints, recovery) for the -trace output.
+	Trace *trace.Tracer
 }
 
 // Runner holds a partitioned graph ready to traverse.
@@ -175,6 +179,7 @@ func New(g Graph, cfg Config) (*Runner, error) {
 		Recovery:           cfg.Recovery,
 		KeepCheckpoints:    cfg.KeepCheckpoints,
 		ResumeFrom:         cfg.ResumeFrom,
+		Trace:              cfg.Trace,
 	}
 	eng, err := core.NewEngine(g.NumVertices, g.Edges, opt)
 	if err != nil {
@@ -242,6 +247,18 @@ type BenchmarkSummary struct {
 	Faults   comm.FaultStats
 	Recovery stats.RecoveryStats
 	Retries  int64
+	// RecoveryTime totals the wall time the slowest rank spent in failed
+	// attempts and backoff, summed across runs.
+	RecoveryTime time.Duration
+	// Recorder aggregates every run's per-rank time/volume/edge breakdowns
+	// (the Figure 10/11 inputs of the machine-readable report).
+	Recorder stats.Recorder
+	// Directions tallies the chosen traversal direction per component across
+	// all runs' iterations (the Figure 15 input), indexed by
+	// stats.Direction.
+	Directions [partition.NumComponents][stats.NumDirections]int64
+	// Iterations totals traversal iterations across runs.
+	Iterations int64
 }
 
 // GTEPS returns the harmonic-mean TEPS in giga units.
@@ -268,6 +285,14 @@ func (r *Runner) Benchmark(count int, seed uint64) (*BenchmarkSummary, error) {
 			sum.Recovery.LastResumeIter = res.Recovery.LastResumeIter
 		}
 		sum.Retries += res.Retries
+		sum.RecoveryTime += res.RecoveryTime
+		sum.Recorder.Merge(res.Recorder)
+		sum.Iterations += int64(res.Iterations)
+		for _, it := range res.Trace {
+			for c := 0; c < int(partition.NumComponents); c++ {
+				sum.Directions[c][it.Directions[c]]++
+			}
+		}
 		teps := float64(res.TraversedEdges) / res.Time.Seconds()
 		sum.MeanTEPS += teps
 		invSum += 1 / teps

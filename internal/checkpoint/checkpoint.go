@@ -115,7 +115,7 @@ func readSegment(path string, wantKind byte, wantRank int, payload any) (iter in
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[headerSize+plen:]) {
 		return 0, size, corruptErr(path, "crc mismatch")
 	}
-	if err := gob.NewDecoder(bytes.NewReader(data[headerSize:headerSize+plen])).Decode(payload); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(data[headerSize : headerSize+plen])).Decode(payload); err != nil {
 		return 0, size, corruptErr(path, "payload decode: "+err.Error())
 	}
 	return int64(binary.LittleEndian.Uint64(data[9:])), size, nil

@@ -32,7 +32,7 @@ func openScope(t *testing.T) (*Store, *RunScope) {
 // state for comparison.
 func writeChain(t *testing.T, sc *RunScope, rank int, upTo int) *State {
 	t.Helper()
-	w, err := NewWriter(sc, rank, hubWords, lWords, hubLen, lLen, nil)
+	w, err := NewWriter(sc, rank, hubWords, lWords, hubLen, lLen, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestWriterResumeSeedsShadow(t *testing.T) {
 	// A post-resume writer diffs against the replayed state: re-committing
 	// identical state for iteration 2 must produce an (almost) empty delta
 	// that still replays to the same result.
-	w, err := NewWriter(sc, 0, hubWords, lWords, hubLen, lLen, resume)
+	w, err := NewWriter(sc, 0, hubWords, lWords, hubLen, lLen, resume, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

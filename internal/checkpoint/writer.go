@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // WriterStats summarizes one Writer's lifetime.
@@ -33,15 +35,19 @@ type Writer struct {
 
 	segments, bytes, dropped, errs atomic.Int64
 
-	shadow *State // writer-goroutine-owned after start
+	shadow *State        // writer-goroutine-owned after start
+	tr     *trace.Stream // writer-goroutine-owned span stream; nil when tracing is off
 }
 
 // NewWriter builds the writer for rank inside scope. The size arguments fix
 // the capture-buffer geometry. resume, when non-nil, seeds the shadow with
 // the state of the rank's last committed segment (the state a replay
 // produced) so post-resume diffs chain correctly; nil means a fresh chain
-// whose first capture must be the bootstrap (Iter -1) state.
-func NewWriter(sc *RunScope, rank int, hubWords, lWords, hubLen, lLen int, resume *State) (*Writer, error) {
+// whose first capture must be the bootstrap (Iter -1) state. tr, when
+// non-nil, receives one "commit" span per committed segment; it must be a
+// stream dedicated to this writer (the writer goroutine is its single
+// writer).
+func NewWriter(sc *RunScope, rank int, hubWords, lWords, hubLen, lLen int, resume *State, tr *trace.Stream) (*Writer, error) {
 	rd := sc.rankDir(rank)
 	if err := os.MkdirAll(rd, 0o755); err != nil {
 		return nil, err
@@ -53,6 +59,7 @@ func NewWriter(sc *RunScope, rank int, hubWords, lWords, hubLen, lLen int, resum
 		work:    make(chan *State, 2),
 		done:    make(chan struct{}),
 		shadow:  NewState(hubWords, lWords, hubLen, lLen),
+		tr:      tr,
 	}
 	w.free <- NewState(hubWords, lWords, hubLen, lLen)
 	w.free <- NewState(hubWords, lWords, hubLen, lLen)
@@ -127,6 +134,10 @@ func (w *Writer) Close() WriterStats {
 func (w *Writer) loop() {
 	defer close(w.done)
 	for buf := range w.work {
+		var t0 int64
+		if w.tr != nil {
+			t0 = w.tr.Now()
+		}
 		d := diffStates(w.shadow, buf)
 		data, err := encodeSegment(kindDelta, w.rank, buf.Iter, &d)
 		if err == nil {
@@ -141,6 +152,14 @@ func (w *Writer) loop() {
 			w.segments.Add(1)
 			w.bytes.Add(int64(len(data)))
 			w.shadow.apply(&d)
+		}
+		if w.tr != nil {
+			sp := trace.Span{Kind: trace.KindCheckpoint, Iter: buf.Iter, Step: -1,
+				Name: "commit", Start: t0, Dur: w.tr.Now() - t0, Bytes: int64(len(data))}
+			if err != nil {
+				sp.Err = 1
+			}
+			w.tr.Emit(sp)
 		}
 		w.free <- buf
 	}

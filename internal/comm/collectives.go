@@ -116,6 +116,7 @@ func Alltoallv[T any](c *Comm, send [][]T) ([][]T, error) {
 	if len(send) != k {
 		panic("comm: Alltoallv needs one buffer per member")
 	}
+	tok := c.traceEnter()
 	es := elemSize[T]()
 	c.rank.Stats.Calls[KindAlltoallv]++
 	for j, buf := range send {
@@ -137,6 +138,7 @@ func Alltoallv[T any](c *Comm, send [][]T) ([][]T, error) {
 		}
 	}
 	c.sh.bar.wait()
+	c.traceExit("alltoallv", tok, err)
 	return recv, err
 }
 
@@ -162,6 +164,7 @@ func AlltoallvFlat[T any](c *Comm, send [][]T) ([]T, error) {
 // a sender mutating its buffer right after the call cannot corrupt any
 // receiver's view (MPI value semantics).
 func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
+	tok := c.traceEnter()
 	k := c.Size()
 	es := elemSize[T]()
 	c.rank.Stats.Calls[KindAllgather]++
@@ -184,6 +187,7 @@ func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
 		}
 	}
 	c.sh.bar.wait()
+	c.traceExit("allgatherv", tok, err)
 	return out, err
 }
 
@@ -193,6 +197,7 @@ func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
 // pass equal-length slices. Traffic accounting follows the pairwise-exchange
 // algorithm: each member sends every other member that member's segment.
 func ReduceScatterOr(c *Comm, words []uint64) ([]uint64, error) {
+	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(words)
@@ -217,6 +222,7 @@ func ReduceScatterOr(c *Comm, words []uint64) ([]uint64, error) {
 		}
 	}
 	c.sh.bar.wait()
+	c.traceExit("reduce_scatter_or", tok, err)
 	return seg, err
 }
 
@@ -274,6 +280,7 @@ func AllreduceOr(c *Comm, words []uint64) error {
 // valid parents (≥ 0) win over the -1 sentinel. On error vals is untouched,
 // which makes retrying the (idempotent, monotone) reduction safe.
 func AllreduceMaxInt64(c *Comm, vals []int64) error {
+	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(vals)
@@ -305,22 +312,23 @@ func AllreduceMaxInt64(c *Comm, vals []int64) error {
 	}
 	c.sh.bar.wait()
 	parts, err2 := Allgatherv(c, seg)
-	if err != nil {
-		return err
+	if err == nil {
+		err = err2
 	}
-	if err2 != nil {
-		return err2
+	if err == nil {
+		for j := 0; j < k; j++ {
+			jlo, jhi := segBounds(n, k, j)
+			copy(vals[jlo:jhi], parts[j][:jhi-jlo])
+		}
 	}
-	for j := 0; j < k; j++ {
-		jlo, jhi := segBounds(n, k, j)
-		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
-	}
-	return nil
+	c.traceExit("allreduce_max", tok, err)
+	return err
 }
 
 // AllreduceSumInt64 sums scalar contributions across members and returns the
 // total on every member.
 func AllreduceSumInt64(c *Comm, v int64) (int64, error) {
+	tok := c.traceEnter()
 	vals := []int64{v}
 	c.rank.Stats.Calls[KindReduceScatter]++
 	for j := 0; j < c.Size(); j++ {
@@ -338,6 +346,7 @@ func AllreduceSumInt64(c *Comm, v int64) (int64, error) {
 		}
 	}
 	c.sh.bar.wait()
+	c.traceExit("allreduce_sum", tok, err)
 	return sum, err
 }
 
@@ -381,6 +390,7 @@ func ControlOrWords(c *Comm, words []uint64) []uint64 {
 
 // Bcast distributes root's value to every member.
 func Bcast[T any](c *Comm, v T, root int) (T, error) {
+	tok := c.traceEnter()
 	c.rank.Stats.Calls[KindAllgather]++
 	if c.me == root {
 		for j := 0; j < c.Size(); j++ {
@@ -400,6 +410,7 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 		out = c.sh.slots[root].payload.([]T)[0]
 	}
 	c.sh.bar.wait()
+	c.traceExit("bcast", tok, err)
 	return out, err
 }
 
@@ -409,6 +420,7 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 // on to keep replicated hub values consistent without re-broadcasting.
 // On error vals is left untouched.
 func AllreduceSumFloat64(c *Comm, vals []float64) error {
+	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(vals)
@@ -434,17 +446,17 @@ func AllreduceSumFloat64(c *Comm, vals []float64) error {
 	}
 	c.sh.bar.wait()
 	parts, err2 := Allgatherv(c, seg)
-	if err != nil {
-		return err
+	if err == nil {
+		err = err2
 	}
-	if err2 != nil {
-		return err2
+	if err == nil {
+		for j := 0; j < k; j++ {
+			jlo, jhi := segBounds(n, k, j)
+			copy(vals[jlo:jhi], parts[j][:jhi-jlo])
+		}
 	}
-	for j := 0; j < k; j++ {
-		jlo, jhi := segBounds(n, k, j)
-		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
-	}
-	return nil
+	c.traceExit("allreduce_sum_f64", tok, err)
+	return err
 }
 
 // AllreduceSumInt64Vec sums the members' int64 vectors element-wise in place
@@ -452,6 +464,7 @@ func AllreduceSumFloat64(c *Comm, vals []float64) error {
 // reductions). Used by distributed preprocessing to combine per-rank degree
 // histograms. On error vals is left untouched.
 func AllreduceSumInt64Vec(c *Comm, vals []int64) error {
+	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	n := len(vals)
@@ -477,15 +490,15 @@ func AllreduceSumInt64Vec(c *Comm, vals []int64) error {
 	}
 	c.sh.bar.wait()
 	parts, err2 := Allgatherv(c, seg)
-	if err != nil {
-		return err
+	if err == nil {
+		err = err2
 	}
-	if err2 != nil {
-		return err2
+	if err == nil {
+		for j := 0; j < k; j++ {
+			jlo, jhi := segBounds(n, k, j)
+			copy(vals[jlo:jhi], parts[j][:jhi-jlo])
+		}
 	}
-	for j := 0; j < k; j++ {
-		jlo, jhi := segBounds(n, k, j)
-		copy(vals[jlo:jhi], parts[j][:jhi-jlo])
-	}
-	return nil
+	c.traceExit("allreduce_sum_vec", tok, err)
+	return err
 }

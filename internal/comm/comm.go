@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Kind labels a collective for traffic accounting, matching the categories of
@@ -29,6 +30,10 @@ const (
 	KindBarrier
 	numKinds
 )
+
+// NumKinds is the collective-kind axis size, for callers that iterate the
+// VolumeStats arrays (the Figure 11 report).
+const NumKinds = numKinds
 
 // String returns the figure-11 style label.
 func (k Kind) String() string {
@@ -80,6 +85,15 @@ func (s *VolumeStats) TotalBytes() int64 {
 		t += s.IntraBytes[k] + s.InterBytes[k]
 	}
 	return t
+}
+
+// Totals sums payload bytes across kinds, split by supernode locality.
+func (s *VolumeStats) Totals() (intra, inter int64) {
+	for k := 0; k < int(numKinds); k++ {
+		intra += s.IntraBytes[k]
+		inter += s.InterBytes[k]
+	}
+	return intra, inter
 }
 
 // barrier is a reusable cyclic barrier.
@@ -158,6 +172,12 @@ type World struct {
 	world *shared
 	rows  []*shared // one per mesh row
 	cols  []*shared // one per mesh column
+
+	// streams holds one trace stream per rank slot when WorldOptions.Trace is
+	// installed (nil otherwise). A slot's stream is reused across Run calls —
+	// only one goroutine occupies a slot at a time, preserving the
+	// single-writer contract.
+	streams []*trace.Stream
 }
 
 // NewWorld builds a world of n ranks arranged in the mesh on the machine.
@@ -197,6 +217,12 @@ func NewWorldOpts(n int, mesh topology.Mesh, machine topology.Machine, opt World
 			m[r] = mesh.RankAt(r, c)
 		}
 		w.cols[c] = &shared{members: m, slots: make([]contribution, len(m)), bar: newBarrier(len(m))}
+	}
+	if opt.Trace != nil {
+		w.streams = make([]*trace.Stream, n)
+		for i := range w.streams {
+			w.streams[i] = opt.Trace.NewStream(i)
+		}
 	}
 	return w, nil
 }
@@ -348,15 +374,21 @@ type Rank struct {
 	Faults FaultStats
 
 	w    *World
-	seq  int64 // collectives this rank has entered (transport keying)
-	dead bool  // fail-stop latch: set by the first Kill action, never cleared
-	iter int64 // engine-declared iteration label (-1 outside an iteration)
-	tag  int   // engine-declared schedule-position label (-1 untagged)
+	tr   *trace.Stream // nil unless WorldOptions.Trace is installed
+	seq  int64         // collectives this rank has entered (transport keying)
+	dead bool          // fail-stop latch: set by the first Kill action, never cleared
+	iter int64         // engine-declared iteration label (-1 outside an iteration)
+	tag  int           // engine-declared schedule-position label (-1 untagged)
 }
 
 // Faulty reports whether a fault transport is installed, i.e. whether
 // collectives on this rank's world can return errors at all.
 func (r *Rank) Faulty() bool { return r.w.opt.Transport != nil }
+
+// Trace returns the rank's span stream, or nil when tracing is off. The
+// stream is single-writer: only the goroutine occupying the rank slot may
+// emit on it.
+func (r *Rank) Trace() *trace.Stream { return r.tr }
 
 // Dead reports whether this rank has fail-stopped. A dead rank keeps
 // executing the collective schedule as a zombie (so rendezvous never
@@ -422,17 +454,21 @@ func (r *Rank) intercept(kind Kind, commSize int) FaultAction {
 
 func (w *World) newRank(id int) *Rank {
 	r := &Rank{ID: id, Row: w.mesh.RowOf(id), Col: w.mesh.ColOf(id), w: w, iter: -1, tag: -1}
-	r.World = &Comm{sh: w.world, me: id, rank: r}
-	r.RowC = &Comm{sh: w.rows[r.Row], me: r.Col, rank: r}
-	r.ColC = &Comm{sh: w.cols[r.Col], me: r.Row, rank: r}
+	if w.streams != nil {
+		r.tr = w.streams[id]
+	}
+	r.World = &Comm{sh: w.world, me: id, rank: r, scope: "world"}
+	r.RowC = &Comm{sh: w.rows[r.Row], me: r.Col, rank: r, scope: "row"}
+	r.ColC = &Comm{sh: w.cols[r.Col], me: r.Row, rank: r, scope: "col"}
 	return r
 }
 
 // Comm is one rank's handle on a communicator.
 type Comm struct {
-	sh   *shared
-	me   int // my member index
-	rank *Rank
+	sh    *shared
+	me    int // my member index
+	rank  *Rank
+	scope string // "world", "row" or "col" (trace span labeling)
 }
 
 // Size returns the number of members.
@@ -448,13 +484,63 @@ func (c *Comm) WorldRank(i int) int { return c.sh.members[i] }
 // the other collectives: a failed or withheld arrival surfaces as a typed
 // error on every member (there is no payload, so corruption cannot occur).
 func (c *Comm) Barrier() error {
+	tok := c.traceEnter()
 	c.rank.Stats.Calls[KindBarrier]++
 	act := c.rank.intercept(KindBarrier, c.Size())
 	c.sh.slots[c.me] = contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
 	c.sh.bar.wait()
 	err := c.verify(KindBarrier, nil)
 	c.sh.bar.wait()
+	c.traceExit("barrier", tok, err)
 	return err
+}
+
+// traceToken carries a collective span's entry state between traceEnter and
+// traceExit. The zero value means tracing is off.
+type traceToken struct {
+	start int64
+	base  VolumeStats
+	on    bool
+}
+
+// traceEnter opens a collective span: the one nil check the hot path pays
+// when tracing is off.
+func (c *Comm) traceEnter() traceToken {
+	tr := c.rank.tr
+	if tr == nil {
+		return traceToken{}
+	}
+	return traceToken{start: tr.Now(), base: c.rank.Stats, on: true}
+}
+
+// traceExit closes a collective span, attributing the payload bytes the
+// caller sent during it, split intra/inter supernode. Spans nest like a
+// flame graph: a composite collective's span covers the bytes of the inner
+// collectives it issued (total semantics, not self).
+func (c *Comm) traceExit(name string, tok traceToken, err error) {
+	if !tok.on {
+		return
+	}
+	tr := c.rank.tr
+	d := c.rank.Stats.Delta(&tok.base)
+	intra, inter := d.Totals()
+	sp := trace.Span{
+		Kind:  trace.KindCollective,
+		Epoch: c.rank.w.epoch,
+		Iter:  c.rank.iter,
+		Step:  -1,
+		Tag:   c.rank.tag,
+		Name:  name + "/" + c.scope,
+		Start: tok.start,
+		Dur:   tr.Now() - tok.start,
+
+		IntraBytes: intra,
+		InterBytes: inter,
+	}
+	if err != nil {
+		sp.Err = 1
+	}
+	tr.Emit(sp)
 }
 
 // faulty reports whether envelope verification is needed at all.

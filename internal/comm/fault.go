@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // This file is the fault-injection surface of the runtime. The paper's
@@ -120,6 +122,12 @@ type WorldOptions struct {
 	// contribution is delayed past it fails with ErrDeadlineExceeded on
 	// every member. 0 disables deadline detection.
 	Deadline time.Duration
+	// Trace records one span per collective (enter to exit, payload bytes
+	// split by supernode locality) on a per-rank stream. nil disables
+	// tracing; the hot path then pays a single nil check per collective.
+	// Control-plane collectives (ControlSumInt64, ControlOrWords) are exempt,
+	// mirroring their exemption from traffic accounting.
+	Trace *trace.Tracer
 }
 
 // FaultStats counts one rank's injected faults and observed collective

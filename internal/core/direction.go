@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/partition"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // chooseDirections implements sub-iteration direction optimization
@@ -16,6 +17,38 @@ import (
 // compare active-source against unvisited-destination ratios, the message-
 // count proxies.
 func (st *rankState) chooseDirections(it IterTrace) [partition.NumComponents]stats.Direction {
+	var s0 int64
+	if st.tr != nil {
+		s0 = st.tr.Now()
+	}
+	dirs := st.pickDirections(it)
+	if st.tr != nil {
+		// One decision record per iteration: the globally consistent inputs
+		// the choice derives from, and the per-component outcome (the
+		// Figure 15 unit). Unvisited counts are recomputed here so the
+		// tracing-off path never pays for them.
+		visitedE := int64(st.hubVisited.CountRange(0, int(st.numE)))
+		visitedH := int64(st.hubVisited.CountRange(int(st.numE), st.k))
+		args := map[string]int64{
+			"active_e": it.ActiveE,
+			"active_h": it.ActiveH,
+			"active_l": it.ActiveL,
+			"unvis_e":  st.numE - visitedE,
+			"unvis_h":  int64(st.e.Part.Hubs.NumH) - visitedH,
+			"unvis_l":  st.numL - st.visitL,
+			"mode":     int64(st.e.Opt.Direction),
+		}
+		for c := 0; c < int(partition.NumComponents); c++ {
+			args["dir_"+partition.Component(c).String()] = int64(dirs[c])
+		}
+		st.tr.Emit(trace.Span{Kind: trace.KindDecision, Epoch: st.r.Epoch(),
+			Iter: st.curIter, Step: -1, Name: "choose_directions",
+			Start: s0, Dur: st.tr.Now() - s0, Args: args})
+	}
+	return dirs
+}
+
+func (st *rankState) pickDirections(it IterTrace) [partition.NumComponents]stats.Direction {
 	var dirs [partition.NumComponents]stats.Direction
 	switch st.e.Opt.Direction {
 	case ModePushOnly:

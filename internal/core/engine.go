@@ -19,6 +19,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // DirectionMode selects how traversal directions are chosen.
@@ -113,6 +114,11 @@ type Options struct {
 	// pruning it (the graph tier is always retained). Needed to resume a
 	// later engine instance with ResumeFrom.
 	KeepCheckpoints bool
+	// Trace, when non-nil, records the run's span timeline: one span per
+	// kernel/sync/reduce execution and per collective on every rank, plus
+	// direction decisions, checkpoint-writer commits and recovery events.
+	// nil disables tracing; the hot path then pays one nil check per hook.
+	Trace *trace.Tracer
 	// ResumeFrom names an existing run scope under CheckpointDir to resume
 	// the first Run call from — the cross-process restart path. The scope's
 	// latest complete iteration is loaded; if the scope cannot seed a resume
@@ -224,8 +230,9 @@ type Engine struct {
 
 	segPull [][]partition.SparseCSR // [rank][segment], built when Segmented
 
-	runSeq     int    // run-scope counter for checkpoint naming
-	resumeFrom string // pending Opt.ResumeFrom, consumed by the first Run
+	tr         *trace.Stream // engine-level span stream; nil when tracing is off
+	runSeq     int           // run-scope counter for checkpoint naming
+	resumeFrom string        // pending Opt.ResumeFrom, consumed by the first Run
 }
 
 // NewEngine partitions the graph (n vertices, undirected edge list) and sets
@@ -267,11 +274,15 @@ func NewEngineFromPartition(part *partition.Partitioned, opt Options) (*Engine, 
 	world, err := comm.NewWorldOpts(opt.Ranks, opt.Mesh, opt.Machine, comm.WorldOptions{
 		Transport: opt.Transport,
 		Deadline:  opt.CollectiveDeadline,
+		Trace:     opt.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{Part: part, World: world, Opt: opt, resumeFrom: opt.ResumeFrom}
+	if opt.Trace != nil {
+		e.tr = opt.Trace.NewStream(-1)
+	}
 	if opt.Segmented {
 		e.segPull = make([][]partition.SparseCSR, opt.Ranks)
 		for r, rg := range part.Ranks {
@@ -482,6 +493,12 @@ func (e *Engine) Run(root int64) (*Result, error) {
 	}
 
 	start := time.Now()
+	var runT0 int64
+	if e.tr != nil {
+		runT0 = e.tr.Now()
+		e.tr.Emit(trace.Span{Kind: trace.KindEvent, Iter: -1, Step: -1,
+			Name: "run_start", Start: runT0, Args: map[string]int64{"root": root}})
+	}
 	replaced := map[int]bool{}
 	var full []IterTrace
 	var states []*rankState
@@ -524,6 +541,10 @@ func (e *Engine) Run(root int64) (*Result, error) {
 
 		// Fail-stop recovery: rebuild the world, pick the resume point.
 		recStart := time.Now()
+		var recT0 int64
+		if e.tr != nil {
+			recT0 = e.tr.Now()
+		}
 		res.Recovery.Epochs++
 		res.Recovery.RanksLost += int64(len(dead))
 		if res.Recovery.Epochs > int64(e.Opt.Ranks) {
@@ -555,8 +576,22 @@ func (e *Engine) Run(root int64) (*Result, error) {
 			res.Recovery.IterationsReplayed += completed - replayFrom
 		}
 		res.Recovery.RecoveryTime += time.Since(recStart)
+		if e.tr != nil {
+			e.tr.Emit(trace.Span{Kind: trace.KindRecovery,
+				Epoch: int(res.Recovery.Epochs), Iter: resumeIter, Step: -1,
+				Name: "world_rebuild", Start: recT0, Dur: e.tr.Now() - recT0,
+				Args: map[string]int64{"ranks_lost": int64(len(dead))}})
+		}
 	}
 	res.Time = time.Since(start)
+	if e.tr != nil {
+		sp := trace.Span{Kind: trace.KindEvent, Epoch: int(res.Recovery.Epochs),
+			Iter: -1, Step: -1, Name: "run", Start: runT0, Dur: e.tr.Now() - runT0}
+		if runErr != nil {
+			sp.Err = 1
+		}
+		e.tr.Emit(sp)
+	}
 
 	res.Trace = full
 	res.Iterations = len(full)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/partition"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // rankState is the per-rank BFS working set.
@@ -26,6 +27,13 @@ type rankState struct {
 	r   *comm.Rank
 	rg  *partition.RankGraph
 	rec *stats.Recorder
+
+	// tr is the rank's span stream (nil when tracing is off); curIter,
+	// curStep and curAttempt are the coordinates stamped on emitted spans.
+	tr         *trace.Stream
+	curIter    int64
+	curStep    int
+	curAttempt int
 
 	k          int // hub count
 	numE, numL int64
@@ -81,10 +89,19 @@ const numSteps = 4
 // BFS parent at the discovering level), so any write a failed attempt left
 // behind is either re-performed identically by the retry or is already a
 // correct parent for that vertex.
+//
+// The stats recorder IS captured (by value: it is all arrays and scalars).
+// A retry re-enters runStep mid-iteration and re-observes the re-executed
+// kernels; without rolling the recorder back to the step boundary, the
+// failed attempt's timings, traffic volumes and edge touches would stay in
+// the aggregates and double-count every re-entered span. Trace spans are
+// deliberately NOT rolled back — the timeline shows what actually ran, with
+// failed attempts distinguished by their Attempt field.
 type iterSnapshot struct {
 	hubFrontier, hubVisited, hubNew, hubIter []uint64
 	lFrontier, lVisited, lNew                []uint64
 	activeL, visitL                          int64
+	rec                                      stats.Recorder
 }
 
 func snapWords(dst *[]uint64, src *bitmap.Bitmap) {
@@ -106,6 +123,7 @@ func (st *rankState) snapshot(s *iterSnapshot) {
 	snapWords(&s.lNew, st.lNew)
 	s.activeL = st.activeL
 	s.visitL = st.visitL
+	s.rec = *st.rec
 }
 
 func (st *rankState) restore(s *iterSnapshot) {
@@ -118,6 +136,7 @@ func (st *rankState) restore(s *iterSnapshot) {
 	copy(st.lNew.Words(), s.lNew)
 	st.activeL = s.activeL
 	st.visitL = s.visitL
+	*st.rec = s.rec
 }
 
 func newRankState(e *Engine, r *comm.Rank) *rankState {
@@ -128,6 +147,9 @@ func newRankState(e *Engine, r *comm.Rank) *rankState {
 		r:           r,
 		rg:          e.Part.Ranks[r.ID],
 		rec:         &stats.Recorder{},
+		tr:          r.Trace(),
+		curIter:     -1,
+		curStep:     -1,
 		k:           k,
 		numE:        int64(e.Part.Hubs.NumE),
 		numL:        e.Part.Layout.N - int64(k),
@@ -218,10 +240,22 @@ func (st *rankState) loadCheckpoint() error {
 // hubNew/hubIter/lNew are all empty at every capture point, so they are not
 // part of the on-disk state.
 func (st *rankState) capture(iter int64, must bool) {
-	st.writer.Checkpoint(iter, must,
+	var s0 int64
+	if st.tr != nil {
+		s0 = st.tr.Now()
+	}
+	ok := st.writer.Checkpoint(iter, must,
 		st.hubFrontier.Words(), st.hubVisited.Words(),
 		st.lFrontier.Words(), st.lVisited.Words(),
 		st.parentHub, st.parentL, st.activeL, st.visitL)
+	if st.tr != nil {
+		sp := trace.Span{Kind: trace.KindCheckpoint, Epoch: st.r.Epoch(),
+			Iter: iter, Step: -1, Name: "capture", Start: s0, Dur: st.tr.Now() - s0}
+		if !ok {
+			sp.Args = map[string]int64{"dropped": 1}
+		}
+		st.tr.Emit(sp)
+	}
 }
 
 // vote is the retry-boundary agreement over the reliable control plane.
@@ -302,8 +336,21 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 	var initErr error
 	if st.scope != nil && st.resumeIter >= -1 {
 		t0 := time.Now()
+		var s0 int64
+		if st.tr != nil {
+			s0 = st.tr.Now()
+		}
 		initErr = st.loadCheckpoint()
 		st.replayDur = time.Since(t0)
+		if st.tr != nil {
+			sp := trace.Span{Kind: trace.KindRecovery, Iter: st.resumeIter, Step: -1,
+				Name: "replay", Start: s0, Dur: st.tr.Now() - s0,
+				Bytes: st.rec.FailStop.BytesRestored}
+			if initErr != nil {
+				sp.Err = 1
+			}
+			st.tr.Emit(sp)
+		}
 		startIter = int(st.resumeIter) + 1
 	} else {
 		st.plantRoot(root)
@@ -314,9 +361,15 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 		}
 	}
 	if st.scope != nil && initErr == nil {
+		// The async writer goroutine records on its own forked stream: a
+		// trace stream is single-writer and the rank goroutine keeps st.tr.
+		var wtr *trace.Stream
+		if st.tr != nil {
+			wtr = st.tr.Fork()
+		}
 		st.writer, initErr = checkpoint.NewWriter(st.scope, st.r.ID,
 			len(st.hubFrontier.Words()), len(st.lFrontier.Words()),
-			len(st.parentHub), len(st.parentL), st.resumeState)
+			len(st.parentHub), len(st.parentL), st.resumeState, wtr)
 	}
 	if st.writer != nil {
 		defer func() {
@@ -347,11 +400,13 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 	}
 
 	var snaps [numSteps]iterSnapshot
-	var trace []IterTrace
+	var itrace []IterTrace
 	attempt := 0
 	converged := false
 	for iter := startIter; iter < st.e.Opt.MaxIterations; iter++ {
 		st.r.SetIter(int64(iter))
+		st.curIter = int64(iter)
+		st.curAttempt = attempt
 		attemptStart := time.Now()
 		it := IterTrace{
 			ActiveE: int64(st.hubFrontier.CountRange(0, int(st.numE))),
@@ -362,9 +417,11 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 		var newHubs, al int64
 		g := 0
 		for {
+			st.curAttempt = attempt
 			var stepErrs [numSteps]error
 			var failMask uint64
 			for ; g < numSteps; g++ {
+				st.curStep = g
 				if faulty {
 					st.snapshot(&snaps[g])
 				}
@@ -379,7 +436,7 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 			// Agreement: which steps failed anywhere, and did anyone die?
 			gmask, dead := st.vote(failMask, stepErrs[:]...)
 			if len(dead) > 0 {
-				return trace, &deadWorldError{dead: dead}
+				return itrace, &deadWorldError{dead: dead}
 			}
 			if gmask == 0 {
 				attempt = 0
@@ -393,7 +450,7 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 					err = errRemoteRank
 				}
 				st.recovery += time.Since(attemptStart)
-				return trace, fmt.Errorf("core: iteration %d still failing after %d retries: %w: %w",
+				return itrace, fmt.Errorf("core: iteration %d still failing after %d retries: %w: %w",
 					iter, st.e.Opt.MaxRetries, ErrNoConvergence, err)
 			}
 			// Re-enter at the lowest step any rank failed: steps below it
@@ -402,12 +459,18 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 			// schedule from there identical.
 			g = bits.TrailingZeros64(gmask)
 			st.restore(&snaps[g])
+			if st.tr != nil {
+				st.tr.Emit(trace.Span{Kind: trace.KindRecovery, Iter: st.curIter,
+					Step: g, Attempt: attempt, Name: "retry", Start: st.tr.Now(),
+					Args: map[string]int64{"step_mask": int64(gmask)}})
+			}
 			time.Sleep(st.e.Opt.RetryBackoff << uint(attempt-1))
 			st.recovery += time.Since(attemptStart)
 			attemptStart = time.Now()
 		}
+		st.curStep = -1
 
-		trace = append(trace, it)
+		itrace = append(itrace, it)
 		st.activeL = al
 		st.visitL += al
 		if newHubs+al == 0 {
@@ -419,7 +482,7 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 		}
 	}
 	if !converged {
-		return trace, fmt.Errorf("core: frontier still active after %d iterations: %w",
+		return itrace, fmt.Errorf("core: frontier still active after %d iterations: %w",
 			st.e.Opt.MaxIterations, ErrNoConvergence)
 	}
 
@@ -432,9 +495,17 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 	st.r.SetTag(TagReduce)
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
+		st.curAttempt = attempt
+		// Same rollback discipline as the step retry loop: a re-executed
+		// reduction re-observes PhaseReduce, so the failed attempt's
+		// observation must not stay in the aggregates.
+		var recSnap stats.Recorder
+		if faulty {
+			recSnap = *st.rec
+		}
 		err := st.reduceParents()
 		if !faulty {
-			return trace, err
+			return itrace, err
 		}
 		var bad uint64
 		if err != nil {
@@ -442,10 +513,10 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 		}
 		gmask, dead := st.vote(bad, err)
 		if len(dead) > 0 {
-			return trace, &deadWorldError{dead: dead}
+			return itrace, &deadWorldError{dead: dead}
 		}
 		if gmask == 0 {
-			return trace, nil
+			return itrace, nil
 		}
 		st.retries++
 		if attempt >= st.e.Opt.MaxRetries {
@@ -453,8 +524,13 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 			if err == nil {
 				err = errRemoteRank
 			}
-			return trace, fmt.Errorf("core: parent reduction still failing after %d retries: %w: %w",
+			return itrace, fmt.Errorf("core: parent reduction still failing after %d retries: %w: %w",
 				st.e.Opt.MaxRetries, ErrNoConvergence, err)
+		}
+		*st.rec = recSnap
+		if st.tr != nil {
+			st.tr.Emit(trace.Span{Kind: trace.KindRecovery, Iter: st.curIter,
+				Step: -1, Attempt: attempt, Name: "retry_reduce", Start: st.tr.Now()})
 		}
 		time.Sleep(st.e.Opt.RetryBackoff << uint(attempt))
 		st.recovery += time.Since(t0)
@@ -464,12 +540,28 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 // reduceParents max-reduces the delegated parent array across all ranks.
 func (st *rankState) reduceParents() error {
 	t0 := time.Now()
+	var s0 int64
+	if st.tr != nil {
+		s0 = st.tr.Now()
+	}
 	base := st.r.Stats
 	var err error
 	if len(st.parentHub) > 0 {
 		err = comm.AllreduceMaxInt64(st.r.World, st.parentHub)
 	}
-	st.rec.Observe(stats.PhaseReduce, stats.DirNone, time.Since(t0), st.r.Stats.Delta(&base), 0)
+	delta := st.r.Stats.Delta(&base)
+	st.rec.Observe(stats.PhaseReduce, stats.DirNone, time.Since(t0), delta, 0)
+	if st.tr != nil {
+		intra, inter := delta.Totals()
+		sp := trace.Span{Kind: trace.KindReduce, Epoch: st.r.Epoch(),
+			Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
+			Name: "reduce_parents", Start: s0, Dur: st.tr.Now() - s0,
+			IntraBytes: intra, InterBytes: inter}
+		if err != nil {
+			sp.Err = 1
+		}
+		st.tr.Emit(sp)
+	}
 	return err
 }
 
@@ -491,6 +583,11 @@ func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Directio
 		d := dirs[c]
 		if d == stats.DirSkip {
 			st.rec.Observe(stats.PhaseOfComponent(c), d, 0, comm.VolumeStats{}, 0)
+			if st.tr != nil {
+				st.tr.Emit(trace.Span{Kind: trace.KindKernel, Epoch: st.r.Epoch(),
+					Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
+					Tag: int(c), Name: c.String(), Dir: "skip", Start: st.tr.Now()})
+			}
 			return
 		}
 		err := st.observe(c, d, func() (int64, error) {
@@ -557,9 +654,26 @@ func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Directio
 // observe times a kernel and attributes its traffic delta and edge touches.
 func (st *rankState) observe(c partition.Component, d stats.Direction, fn func() (int64, error)) error {
 	t0 := time.Now()
+	var s0 int64
+	if st.tr != nil {
+		s0 = st.tr.Now()
+	}
 	base := st.r.Stats
 	edges, err := fn()
-	st.rec.Observe(stats.PhaseOfComponent(c), d, time.Since(t0), st.r.Stats.Delta(&base), edges)
+	delta := st.r.Stats.Delta(&base)
+	st.rec.Observe(stats.PhaseOfComponent(c), d, time.Since(t0), delta, edges)
+	if st.tr != nil {
+		intra, inter := delta.Totals()
+		sp := trace.Span{Kind: trace.KindKernel, Epoch: st.r.Epoch(),
+			Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
+			Tag: int(c), Name: c.String(), Dir: d.String(),
+			Start: s0, Dur: st.tr.Now() - s0, Edges: edges,
+			IntraBytes: intra, InterBytes: inter}
+		if err != nil {
+			sp.Err = 1
+		}
+		st.tr.Emit(sp)
+	}
 	return err
 }
 
@@ -569,6 +683,10 @@ func (st *rankState) observe(c partition.Component, d stats.Direction, fn func()
 // hubNew's contents are globally agreed and folded into visited state.
 func (st *rankState) syncHubs() error {
 	t0 := time.Now()
+	var s0 int64
+	if st.tr != nil {
+		s0 = st.tr.Now()
+	}
 	base := st.r.Stats
 	words := st.hubNew.Words()
 	var err error
@@ -587,7 +705,19 @@ func (st *rankState) syncHubs() error {
 	st.hubIter.Or(st.hubNew)
 	st.hubVisited.Or(st.hubNew)
 	st.hubNew.Reset()
-	st.rec.Observe(stats.PhaseOther, stats.DirNone, time.Since(t0), st.r.Stats.Delta(&base), 0)
+	delta := st.r.Stats.Delta(&base)
+	st.rec.Observe(stats.PhaseOther, stats.DirNone, time.Since(t0), delta, 0)
+	if st.tr != nil {
+		intra, inter := delta.Totals()
+		sp := trace.Span{Kind: trace.KindSync, Epoch: st.r.Epoch(),
+			Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
+			Name: "hub_sync", Start: s0, Dur: st.tr.Now() - s0,
+			IntraBytes: intra, InterBytes: inter}
+		if err != nil {
+			sp.Err = 1
+		}
+		st.tr.Emit(sp)
+	}
 	return err
 }
 

@@ -1,0 +1,282 @@
+// Package report defines the versioned machine-readable output of the
+// benchmark pipeline: one JSON document per bfsbench invocation carrying the
+// Graph 500 headline statistics plus the paper's evaluation breakdowns —
+// per-phase time/edges/volume (Figure 10), per-collective traffic
+// (Figure 11), per-component direction decisions (Figure 15) and the
+// resilience/recovery accounting. CI commits a baseline document and gates
+// merges on the harmonic-mean GTEPS of a fresh run against it (see
+// cmd/benchcmp).
+//
+// The schema is versioned: any field removal or meaning change bumps
+// SchemaVersion; additions are backward compatible within a version. The
+// golden-file test pins the encoding so schema drift is an explicit,
+// reviewed change.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// Schema identifies the document type; SchemaVersion its revision.
+const (
+	Schema        = "graph500-bench"
+	SchemaVersion = 1
+)
+
+// Report is the top-level document.
+type Report struct {
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+
+	Config  RunConfig `json:"config"`
+	Summary Summary   `json:"summary"`
+
+	// Phases is the Figure 10 breakdown: one entry per engine phase (the
+	// six components, reduce, other), in phase order.
+	Phases []PhaseEntry `json:"phases"`
+	// Collectives is the Figure 11 breakdown: one entry per collective
+	// kind, in kind order.
+	Collectives []CollectiveEntry `json:"collectives"`
+	// Directions is the Figure 15 breakdown: per component, how many
+	// iterations chose push, pull or skip, in component order.
+	Directions []DirectionEntry `json:"directions"`
+
+	Resilience Resilience `json:"resilience"`
+}
+
+// RunConfig records the benchmarked configuration, enough to reproduce the
+// run and to refuse apples-to-oranges comparisons.
+type RunConfig struct {
+	Scale        int    `json:"scale"`
+	EdgeFactor   int    `json:"edge_factor"`
+	NumVertices  int64  `json:"num_vertices"`
+	NumEdges     int64  `json:"num_edges"`
+	Ranks        int    `json:"ranks"`
+	MeshRows     int    `json:"mesh_rows"`
+	MeshCols     int    `json:"mesh_cols"`
+	Roots        int    `json:"roots"`
+	Seed         uint64 `json:"seed"`
+	Direction    string `json:"direction"`
+	Segmented    bool   `json:"segmented"`
+	Hierarchical bool   `json:"hierarchical"`
+	RankWorkers  int    `json:"rank_workers"`
+	Faults       string `json:"faults,omitempty"`
+	Checkpoints  bool   `json:"checkpoints,omitempty"`
+}
+
+// Summary is the Graph 500 headline block.
+type Summary struct {
+	// HarmonicMeanGTEPS is the reported Graph 500 statistic and the value
+	// the CI regression gate compares.
+	HarmonicMeanGTEPS float64 `json:"harmonic_mean_gteps"`
+	MeanGTEPS         float64 `json:"mean_gteps"`
+	MinGTEPS          float64 `json:"min_gteps"`
+	MaxGTEPS          float64 `json:"max_gteps"`
+	MeanSeconds       float64 `json:"mean_seconds"`
+	TotalTraversed    int64   `json:"total_traversed_edges"`
+	Iterations        int64   `json:"iterations"`
+}
+
+// PhaseEntry is one Figure 10 bar: a phase's share of engine time, split by
+// traversal direction, with its scanned edges and payload traffic.
+type PhaseEntry struct {
+	Phase        string  `json:"phase"`
+	Seconds      float64 `json:"seconds"`
+	Share        float64 `json:"share"`
+	PushSeconds  float64 `json:"push_seconds"`
+	PullSeconds  float64 `json:"pull_seconds"`
+	EdgesTouched int64   `json:"edges_touched"`
+	IntraBytes   int64   `json:"intra_bytes"`
+	InterBytes   int64   `json:"inter_bytes"`
+}
+
+// CollectiveEntry is one Figure 11 bar: a collective kind's payload traffic
+// split by supernode locality, and its call count.
+type CollectiveEntry struct {
+	Kind       string `json:"kind"`
+	IntraBytes int64  `json:"intra_bytes"`
+	InterBytes int64  `json:"inter_bytes"`
+	Calls      int64  `json:"calls"`
+}
+
+// DirectionEntry is one Figure 15 row: how often each direction won for one
+// component across all benchmarked iterations.
+type DirectionEntry struct {
+	Component string `json:"component"`
+	Push      int64  `json:"push"`
+	Pull      int64  `json:"pull"`
+	Skip      int64  `json:"skip"`
+}
+
+// Resilience aggregates fault-injection and fail-stop recovery accounting
+// across the benchmark's runs.
+type Resilience struct {
+	FaultsInjected     int64   `json:"faults_injected"`
+	CollectiveErrors   int64   `json:"collective_errors"`
+	Retries            int64   `json:"retries"`
+	RetrySeconds       float64 `json:"retry_seconds"`
+	Epochs             int64   `json:"epochs"`
+	RanksLost          int64   `json:"ranks_lost"`
+	IterationsReplayed int64   `json:"iterations_replayed"`
+	BytesRestored      int64   `json:"bytes_restored"`
+	RecoverySeconds    float64 `json:"recovery_seconds"`
+	CheckpointSegments int64   `json:"checkpoint_segments"`
+	CheckpointBytes    int64   `json:"checkpoint_bytes"`
+	CheckpointDropped  int64   `json:"checkpoint_dropped"`
+	CheckpointErrors   int64   `json:"checkpoint_errors"`
+}
+
+// Inputs is everything Build needs, decoupled from the root package so the
+// report layer depends only on the measurement substrates.
+type Inputs struct {
+	Config RunConfig
+
+	HarmonicTEPS float64
+	MeanTEPS     float64
+	MinTEPS      float64
+	MaxTEPS      float64
+	MeanSeconds  float64
+	Traversed    int64
+	Iterations   int64
+
+	// Recorder is the benchmark-wide aggregate of every rank's breakdowns.
+	Recorder *stats.Recorder
+	// Directions tallies chosen directions per component across iterations,
+	// indexed by stats.Direction.
+	Directions [partition.NumComponents][stats.NumDirections]int64
+
+	Faults       comm.FaultStats
+	Retries      int64
+	RecoveryWall time.Duration
+	Recovery     stats.RecoveryStats
+}
+
+// Build assembles the versioned document from the benchmark's measurements.
+func Build(in Inputs) *Report {
+	r := &Report{
+		Schema:        Schema,
+		SchemaVersion: SchemaVersion,
+		Config:        in.Config,
+		Summary: Summary{
+			HarmonicMeanGTEPS: in.HarmonicTEPS / 1e9,
+			MeanGTEPS:         in.MeanTEPS / 1e9,
+			MinGTEPS:          in.MinTEPS / 1e9,
+			MaxGTEPS:          in.MaxTEPS / 1e9,
+			MeanSeconds:       in.MeanSeconds,
+			TotalTraversed:    in.Traversed,
+			Iterations:        in.Iterations,
+		},
+	}
+
+	rec := in.Recorder
+	if rec == nil {
+		rec = &stats.Recorder{}
+	}
+	total := rec.TotalTime()
+	for p := stats.Phase(0); p < stats.NumPhases; p++ {
+		e := PhaseEntry{
+			Phase:        p.String(),
+			Seconds:      rec.PhaseTime(p).Seconds(),
+			PushSeconds:  rec.Time[p][stats.DirPush].Seconds(),
+			PullSeconds:  rec.Time[p][stats.DirPull].Seconds(),
+			EdgesTouched: rec.EdgesTouched[p],
+		}
+		if total > 0 {
+			e.Share = float64(rec.PhaseTime(p)) / float64(total)
+		}
+		e.IntraBytes, e.InterBytes = rec.Volumes[p].Totals()
+		r.Phases = append(r.Phases, e)
+	}
+
+	vol := rec.CommBreakdown()
+	for k := comm.Kind(0); k < comm.NumKinds; k++ {
+		r.Collectives = append(r.Collectives, CollectiveEntry{
+			Kind:       k.String(),
+			IntraBytes: vol.IntraBytes[k],
+			InterBytes: vol.InterBytes[k],
+			Calls:      vol.Calls[k],
+		})
+	}
+
+	for c := 0; c < int(partition.NumComponents); c++ {
+		r.Directions = append(r.Directions, DirectionEntry{
+			Component: partition.Component(c).String(),
+			Push:      in.Directions[c][stats.DirPush],
+			Pull:      in.Directions[c][stats.DirPull],
+			Skip:      in.Directions[c][stats.DirSkip],
+		})
+	}
+
+	r.Resilience = Resilience{
+		FaultsInjected:     in.Faults.Injected(),
+		CollectiveErrors:   in.Faults.Errors,
+		Retries:            in.Retries,
+		RetrySeconds:       in.RecoveryWall.Seconds(),
+		Epochs:             in.Recovery.Epochs,
+		RanksLost:          in.Recovery.RanksLost,
+		IterationsReplayed: in.Recovery.IterationsReplayed,
+		BytesRestored:      in.Recovery.BytesRestored,
+		RecoverySeconds:    in.Recovery.RecoveryTime.Seconds(),
+		CheckpointSegments: in.Recovery.CheckpointSegments,
+		CheckpointBytes:    in.Recovery.CheckpointBytes,
+		CheckpointDropped:  in.Recovery.CheckpointDropped,
+		CheckpointErrors:   in.Recovery.CheckpointErrors,
+	}
+	return r
+}
+
+// Write encodes the document as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the document to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a document and checks its schema identity. A document from a
+// newer SchemaVersion is rejected: the reader cannot know what changed.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("report: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("report: schema version %d is newer than supported %d",
+			r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadFile reads a document from path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

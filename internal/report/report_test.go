@@ -1,0 +1,113 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/stats"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden report document")
+
+// syntheticInputs builds a fully deterministic measurement set that exercises
+// every section of the document.
+func syntheticInputs() Inputs {
+	rec := &stats.Recorder{}
+	for p := stats.Phase(0); p < stats.NumPhases; p++ {
+		var v comm.VolumeStats
+		v.IntraBytes[comm.KindAlltoallv] = int64(1000 * (p + 1))
+		v.InterBytes[comm.KindAllgather] = int64(100 * (p + 1))
+		v.Calls[comm.KindAlltoallv] = int64(p + 1)
+		rec.Observe(p, stats.DirPush, time.Duration(p+1)*time.Millisecond, v, int64(50*(p+1)))
+		rec.Observe(p, stats.DirPull, time.Duration(p+1)*500*time.Microsecond, comm.VolumeStats{}, int64(10*(p+1)))
+	}
+	in := Inputs{
+		Config: RunConfig{
+			Scale: 14, EdgeFactor: 16, NumVertices: 1 << 14, NumEdges: 16 << 14,
+			Ranks: 4, MeshRows: 2, MeshCols: 2, Roots: 8, Seed: 42,
+			Direction: "sub-iteration", Segmented: true, RankWorkers: 1,
+		},
+		HarmonicTEPS: 2.5e8,
+		MeanTEPS:     3e8,
+		MinTEPS:      1e8,
+		MaxTEPS:      5e8,
+		MeanSeconds:  0.0125,
+		Traversed:    4_000_000,
+		Iterations:   48,
+		Recorder:     rec,
+		Faults:       comm.FaultStats{Failures: 2, Errors: 8},
+		Retries:      2,
+		RecoveryWall: 3 * time.Millisecond,
+		Recovery: stats.RecoveryStats{
+			Epochs: 1, RanksLost: 1, IterationsReplayed: 3, BytesRestored: 4096,
+			RecoveryTime: 2 * time.Millisecond, CheckpointSegments: 7, CheckpointBytes: 9000,
+		},
+	}
+	for c := range in.Directions {
+		in.Directions[c][stats.DirPush] = int64(3 + c)
+		in.Directions[c][stats.DirPull] = int64(2 * c)
+		in.Directions[c][stats.DirSkip] = int64(c)
+	}
+	return in
+}
+
+// TestGoldenDocument pins the JSON encoding: any schema change shows up as a
+// reviewed diff of testdata/report_v1.golden (regenerate with
+// `go test ./internal/report -run TestGoldenDocument -update-golden`), and a
+// meaning change must bump SchemaVersion.
+func TestGoldenDocument(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Build(syntheticInputs()).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("document drifted from golden file.\ngot:\n%s\nwant:\n%s\n"+
+			"If the change is intentional, regenerate with -update-golden "+
+			"and bump SchemaVersion if any field changed meaning.", buf.Bytes(), want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := Build(syntheticInputs())
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary != r.Summary || got.Config != r.Config {
+		t.Fatalf("round trip mutated the document: %+v vs %+v", got.Summary, r.Summary)
+	}
+	if len(got.Phases) != int(stats.NumPhases) || len(got.Collectives) != int(comm.NumKinds) {
+		t.Fatalf("sections truncated: %d phases, %d collectives", len(got.Phases), len(got.Collectives))
+	}
+}
+
+func TestReadRejectsForeignSchema(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte(`{"schema":"other","schema_version":1}`))); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte(`{"schema":"graph500-bench","schema_version":99}`))); err == nil {
+		t.Fatal("newer schema version accepted")
+	}
+}

@@ -87,6 +87,10 @@ const (
 	numDirections
 )
 
+// NumDirections is the direction-axis size, for callers that tally per
+// direction (the Figure 15 report).
+const NumDirections = int(numDirections)
+
 // String names the direction.
 func (d Direction) String() string {
 	switch d {

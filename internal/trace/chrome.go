@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON Array
+// flavor wrapped in an object, which chrome://tracing and Perfetto both
+// accept). Timestamps are microseconds; "X" events are complete spans, "i"
+// events instants, "M" events metadata (thread names).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTID maps a span to a stable Chrome thread ID: ranks occupy even
+// slots so their checkpoint-writer companions (kind == checkpoint, emitted
+// by the writer goroutine) can sit on the adjacent odd slot, and the engine
+// stream (rank -1) renders as thread 0 above them all.
+func chromeTID(sp *Span) int {
+	if sp.Rank < 0 {
+		return 0
+	}
+	tid := 1 + 2*sp.Rank
+	if sp.Kind == KindCheckpoint && sp.Name == "commit" {
+		tid++ // async writer goroutine: own lane
+	}
+	return tid
+}
+
+// WriteChrome converts the merged timeline into Chrome trace_event JSON for
+// flame-style inspection. Load the file in chrome://tracing or
+// https://ui.perfetto.dev.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans)+8)
+
+	// Thread-name metadata: one per distinct tid seen.
+	names := map[int]string{}
+	for i := range spans {
+		sp := &spans[i]
+		tid := chromeTID(sp)
+		if _, ok := names[tid]; !ok {
+			switch {
+			case sp.Rank < 0:
+				names[tid] = "engine"
+			case tid%2 == 0:
+				names[tid] = rankLabel(sp.Rank) + " ckpt"
+			default:
+				names[tid] = rankLabel(sp.Rank)
+			}
+		}
+	}
+	tids := make([]int, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+			Args: map[string]any{"name": names[tid]},
+		})
+	}
+
+	for i := range spans {
+		sp := &spans[i]
+		ev := chromeEvent{
+			Name: chromeName(sp),
+			Cat:  sp.Kind.String(),
+			TS:   float64(sp.Start) / 1e3,
+			PID:  0,
+			TID:  chromeTID(sp),
+			Args: chromeArgs(sp),
+		}
+		if sp.Dur > 0 {
+			ev.Phase = "X"
+			ev.Dur = float64(sp.Dur) / 1e3
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		events = append(events, ev)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func rankLabel(r int) string {
+	return "rank " + strconv.Itoa(r)
+}
+
+func chromeName(sp *Span) string {
+	name := sp.Name
+	if sp.Dir != "" && sp.Dir != "-" {
+		name += " (" + sp.Dir + ")"
+	}
+	return name
+}
+
+func chromeArgs(sp *Span) map[string]any {
+	args := map[string]any{"iter": sp.Iter}
+	if sp.Step >= 0 {
+		args["step"] = sp.Step
+	}
+	if sp.Attempt > 0 {
+		args["attempt"] = sp.Attempt
+	}
+	if sp.Edges > 0 {
+		args["edges"] = sp.Edges
+	}
+	if sp.IntraBytes > 0 {
+		args["intra_bytes"] = sp.IntraBytes
+	}
+	if sp.InterBytes > 0 {
+		args["inter_bytes"] = sp.InterBytes
+	}
+	if sp.Bytes > 0 {
+		args["bytes"] = sp.Bytes
+	}
+	if sp.Err != 0 {
+		args["err"] = sp.Err
+	}
+	for k, v := range sp.Args {
+		args[k] = v
+	}
+	return args
+}

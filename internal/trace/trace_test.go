@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpansMergeSortedAcrossStreams(t *testing.T) {
+	tr := New()
+	a := tr.NewStream(0)
+	b := tr.NewStream(1)
+	a.Emit(Span{Kind: KindKernel, Name: "EH2EH", Start: 30, Dur: 5})
+	b.Emit(Span{Kind: KindKernel, Name: "L2L", Start: 10, Dur: 5})
+	a.Emit(Span{Kind: KindSync, Name: "hub_sync", Start: 20, Dur: 2})
+	got := tr.Spans()
+	if len(got) != 3 {
+		t.Fatalf("got %d spans, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Fatalf("spans out of order at %d: %d after %d", i, got[i].Start, got[i-1].Start)
+		}
+	}
+	if got[0].Name != "L2L" || got[0].Rank != 1 {
+		t.Fatalf("first span = %+v, want rank 1's L2L", got[0])
+	}
+}
+
+func TestEmitStampsStreamRank(t *testing.T) {
+	tr := New()
+	s := tr.NewStream(7)
+	s.Emit(Span{Kind: KindEvent, Name: "x"})
+	if got := tr.Spans()[0].Rank; got != 7 {
+		t.Fatalf("span rank = %d, want 7", got)
+	}
+}
+
+func TestWriteJSONLRoundTrips(t *testing.T) {
+	tr := New()
+	s := tr.NewStream(2)
+	s.Emit(Span{Kind: KindKernel, Epoch: 1, Iter: 3, Step: 0, Name: "EH2EH",
+		Dir: "pull", Start: 100, Dur: 50, Edges: 1234, IntraBytes: 64, InterBytes: 32})
+	s.Emit(Span{Kind: KindDecision, Iter: 3, Step: -1, Name: "choose_directions",
+		Start: 90, Args: map[string]int64{"active_l": 17}})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line not JSON: %v: %s", err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	// Sorted by start: decision (90) first.
+	if lines[0]["kind"] != "decision" || lines[0]["args"].(map[string]any)["active_l"].(float64) != 17 {
+		t.Fatalf("first line = %v", lines[0])
+	}
+	k := lines[1]
+	for key, want := range map[string]any{
+		"kind": "kernel", "name": "EH2EH", "dir": "pull", "rank": float64(2),
+		"iter": float64(3), "edges": float64(1234), "intra_bytes": float64(64),
+		"inter_bytes": float64(32), "start_ns": float64(100), "dur_ns": float64(50),
+	} {
+		if k[key] != want {
+			t.Errorf("kernel line[%q] = %v, want %v", key, k[key], want)
+		}
+	}
+}
+
+func TestWriteChromeIsValidTraceEventJSON(t *testing.T) {
+	tr := New()
+	eng := tr.NewStream(-1)
+	eng.Emit(Span{Kind: KindEvent, Name: "run_start", Start: 0})
+	s := tr.NewStream(0)
+	s.Emit(Span{Kind: KindKernel, Iter: 0, Step: 0, Name: "EH2EH", Dir: "push", Start: 10, Dur: 20})
+	s.Emit(Span{Kind: KindCheckpoint, Iter: 0, Step: -1, Name: "commit", Start: 15, Dur: 8, Bytes: 512})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output not JSON: %v", err)
+	}
+	var complete, instant, meta int
+	tids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "i":
+			instant++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+		tids[ev["tid"].(float64)] = true
+	}
+	if complete != 2 || instant != 1 {
+		t.Fatalf("complete=%d instant=%d, want 2 and 1", complete, instant)
+	}
+	if meta == 0 {
+		t.Fatal("no thread_name metadata emitted")
+	}
+	// Engine (tid 0), rank 0 (tid 1), and the writer lane (tid 2) are distinct.
+	if len(tids) != 3 {
+		t.Fatalf("tids = %v, want 3 distinct lanes", tids)
+	}
+	if !strings.Contains(buf.String(), `"name":"rank 0 ckpt"`) {
+		t.Fatal("checkpoint writer lane not named")
+	}
+}
+
+// TestConcurrentStreamsUnderRace drives one stream per goroutine in parallel
+// — the usage pattern of rank goroutines plus checkpoint writers — and must
+// pass under -race.
+func TestConcurrentStreamsUnderRace(t *testing.T) {
+	tr := New()
+	const goroutines, perG = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := tr.NewStream(g)
+			for i := 0; i < perG; i++ {
+				s.Emit(Span{Kind: KindKernel, Iter: int64(i), Step: i % 4,
+					Name: "L2L", Start: s.Now(), Dur: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != goroutines*perG {
+		t.Fatalf("merged %d spans, want %d", got, goroutines*perG)
+	}
+}
+
+func TestResetKeepsStreamsUsable(t *testing.T) {
+	tr := New()
+	s := tr.NewStream(0)
+	s.Emit(Span{Kind: KindKernel, Name: "a"})
+	tr.Reset()
+	if got := len(tr.Spans()); got != 0 {
+		t.Fatalf("spans after reset = %d, want 0", got)
+	}
+	s.Emit(Span{Kind: KindKernel, Name: "b"})
+	if got := tr.Spans(); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("spans after re-emit = %+v", got)
+	}
+}
