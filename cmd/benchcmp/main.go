@@ -1,31 +1,53 @@
-// Command benchcmp compares two bfsbench JSON reports and fails when the
+// Command benchcmp compares bfsbench JSON reports and fails when the
 // candidate's harmonic-mean GTEPS regressed more than the allowed fraction
-// below the baseline. CI runs it against the committed BENCH_baseline.json:
+// below the baseline. To damp scheduler noise the candidate flag accepts
+// several reports (comma-separated and/or repeated); the gate compares the
+// MEDIAN of their harmonic means. CI runs it against the committed
+// BENCH_baseline.json over three fresh runs:
 //
-//	benchcmp -baseline BENCH_baseline.json -candidate BENCH_ci.json -max-drop 0.25
+//	benchcmp -baseline BENCH_baseline.json -candidate a.json,b.json,c.json -max-drop 0.15
 //
 // Exit status: 0 within budget, 1 regression, 2 usage or unreadable input.
 // Configurations must match (scale, mesh, roots, seed) — a faster machine
-// must not sneak a config change past the gate.
+// must not sneak a config change past the gate — and every candidate must
+// share one configuration.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/report"
 )
 
+// candidateList gathers -candidate values: the flag may repeat, and each
+// value may itself hold comma-separated paths.
+type candidateList []string
+
+func (c *candidateList) String() string { return strings.Join(*c, ",") }
+
+func (c *candidateList) Set(v string) error {
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			*c = append(*c, p)
+		}
+	}
+	return nil
+}
+
 func main() {
+	var candidates candidateList
 	var (
-		baseline  = flag.String("baseline", "", "baseline report JSON (required)")
-		candidate = flag.String("candidate", "", "candidate report JSON (required)")
-		maxDrop   = flag.Float64("max-drop", 0.25, "max allowed fractional drop of harmonic-mean GTEPS")
-		skipCfg   = flag.Bool("skip-config-check", false, "compare even when run configurations differ")
+		baseline = flag.String("baseline", "", "baseline report JSON (required)")
+		maxDrop  = flag.Float64("max-drop", 0.15, "max allowed fractional drop of median harmonic-mean GTEPS")
+		skipCfg  = flag.Bool("skip-config-check", false, "compare even when run configurations differ")
 	)
+	flag.Var(&candidates, "candidate", "candidate report JSON; repeat or comma-separate for a median-of-N gate (required)")
 	flag.Parse()
-	if *baseline == "" || *candidate == "" {
+	if *baseline == "" || len(candidates) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -candidate are required")
 		flag.Usage()
 		os.Exit(2)
@@ -39,31 +61,53 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cand, err := report.ReadFile(*candidate)
-	if err != nil {
-		fatal(err)
-	}
-
-	if base.Config != cand.Config && !*skipCfg {
-		fmt.Fprintf(os.Stderr, "benchcmp: run configurations differ:\n  baseline:  %+v\n  candidate: %+v\n", base.Config, cand.Config)
-		os.Exit(2)
+	teps := make([]float64, 0, len(candidates))
+	for _, path := range candidates {
+		cand, err := report.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if base.Config != cand.Config && !*skipCfg {
+			fmt.Fprintf(os.Stderr, "benchcmp: run configurations differ:\n  baseline:  %+v\n  candidate %s: %+v\n", base.Config, path, cand.Config)
+			os.Exit(2)
+		}
+		teps = append(teps, cand.Summary.HarmonicMeanGTEPS)
 	}
 
 	b := base.Summary.HarmonicMeanGTEPS
-	c := cand.Summary.HarmonicMeanGTEPS
 	if b <= 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: baseline harmonic-mean GTEPS %v is not positive\n", b)
 		os.Exit(2)
 	}
+	c := median(teps)
 	change := (c - b) / b
-	fmt.Printf("harmonic-mean GTEPS: baseline %.4f, candidate %.4f (%+.1f%%), gate -%.0f%%\n",
-		b, c, 100*change, 100**maxDrop)
+	fmt.Printf("harmonic-mean GTEPS: baseline %.4f, candidate median %.4f of %v (%+.1f%%), gate -%.0f%%\n",
+		b, c, formatTEPS(teps), 100*change, 100**maxDrop)
 	floor := b * (1 - *maxDrop)
 	if c < floor {
-		fmt.Printf("FAIL: candidate %.4f below allowed floor %.4f\n", c, floor)
+		fmt.Printf("FAIL: candidate median %.4f below allowed floor %.4f\n", c, floor)
 		os.Exit(1)
 	}
 	fmt.Println("OK")
+}
+
+// median of a non-empty slice; the even case averages the middle pair.
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 0 {
+		return (s[mid-1] + s[mid]) / 2
+	}
+	return s[mid]
+}
+
+func formatTEPS(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.4f", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 func fatal(err error) {

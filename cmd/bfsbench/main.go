@@ -43,6 +43,7 @@ func main() {
 		hThresh   = flag.Int64("hthreshold", 0, "H degree threshold (0 = scale default)")
 		segmented = flag.Bool("segmented", false, "enable CG-aware core subgraph segmenting")
 		hier      = flag.Bool("hierarchical", false, "forward L2L messages via mesh intersections")
+		sparse    = flag.String("sparse", "auto", "sparse tail collective policy: auto, off or always")
 		workers   = flag.Int("rankworkers", 1, "intra-rank kernel workers (edge-aware vertex cut)")
 		breakdown = flag.Bool("breakdown", true, "print per-subgraph time breakdown (bfs only)")
 		official  = flag.Bool("official", false, "print the Graph 500 official statistics block (bfs only)")
@@ -87,6 +88,17 @@ func main() {
 	}
 	if *rows > 0 && *cols > 0 {
 		cfg.Mesh = graph500.Mesh{Rows: *rows, Cols: *cols}
+	}
+	switch *sparse {
+	case "auto":
+		cfg.SparseTail = graph500.SparseAuto
+	case "off":
+		cfg.SparseTail = graph500.SparseOff
+	case "always":
+		cfg.SparseTail = graph500.SparseAlways
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -sparse %q (want auto, off or always)\n", *sparse)
+		os.Exit(2)
 	}
 	if *eThresh > 0 && *hThresh > 0 {
 		cfg.Thresholds = graph500.Thresholds{E: *eThresh, H: *hThresh}
@@ -133,6 +145,11 @@ func main() {
 		RankWorkers:  *workers,
 		Faults:       *faults,
 		Checkpoints:  *ckptDir != "",
+	}
+	if *sparse != "auto" {
+		// Only a non-default policy marks the report: keeps config-equality
+		// checks against pre-sparse baselines working.
+		out.cfgReport.Sparse = *sparse
 	}
 	if *input != "" {
 		out.cfgReport.Scale, out.cfgReport.EdgeFactor = 0, 0

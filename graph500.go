@@ -78,6 +78,21 @@ const (
 	PullOnly                = core.ModePullOnly
 )
 
+// SparseMode re-exports the engine's sparse-tail collective policy.
+type SparseMode = core.SparseMode
+
+// Sparse-tail policies.
+const (
+	// SparseAuto adaptively ships tail-iteration messages as sparse update
+	// triples over one allgather when frontiers collapse (the default).
+	SparseAuto = core.SparseAuto
+	// SparseOff forces the dense per-destination exchanges everywhere.
+	SparseOff = core.SparseOff
+	// SparseAlways forces the sparse exchange for every eligible push
+	// component (stress/verification aid).
+	SparseAlways = core.SparseAlways
+)
+
 // RecoveryMode re-exports the engine's world-rebuild strategy after a
 // fail-stop rank death.
 type RecoveryMode = core.RecoveryMode
@@ -116,6 +131,10 @@ type Config struct {
 	RankWorkers int
 	// Hierarchical forwards L2L messages via mesh intersection ranks.
 	Hierarchical bool
+	// SparseTail selects the sparse-update tail collective policy (default
+	// SparseAuto: low-frontier iterations batch their remote push payloads
+	// into one sparse allgather instead of dense alltoallv exchanges).
+	SparseTail SparseMode
 	// Faults injects collective faults (see internal/faultinject); nil means
 	// a perfectly reliable transport.
 	Faults comm.Transport
@@ -170,6 +189,7 @@ func New(g Graph, cfg Config) (*Runner, error) {
 		Segmented:          cfg.Segmented,
 		RankWorkers:        cfg.RankWorkers,
 		Hierarchical:       cfg.Hierarchical,
+		SparseTail:         cfg.SparseTail,
 		Transport:          cfg.Faults,
 		CollectiveDeadline: cfg.CollectiveDeadline,
 		MaxRetries:         cfg.MaxRetries,

@@ -328,26 +328,45 @@ func AllreduceMaxInt64(c *Comm, vals []int64) error {
 // AllreduceSumInt64 sums scalar contributions across members and returns the
 // total on every member.
 func AllreduceSumInt64(c *Comm, v int64) (int64, error) {
+	sums, err := AllreduceSumInt64s(c, []int64{v})
+	if err != nil {
+		return 0, err
+	}
+	return sums[0], nil
+}
+
+// AllreduceSumInt64s sums the members' equal-length int64 vectors element-wise
+// and returns the totals on every member. Unlike AllreduceSumInt64Vec this is
+// one rendezvous — every member posts its whole vector and sums all
+// contributions — the right shape for control-sized vectors where a
+// reduce-scatter + allgather pair would double the collective count. The
+// engine's epilogue rides it to agree on the active-L count and the
+// iteration's observed bytes in a single collective, keeping the epilogue's
+// schedule position identical whether or not the byte feedback is consumed.
+func AllreduceSumInt64s(c *Comm, vals []int64) ([]int64, error) {
 	tok := c.traceEnter()
-	vals := []int64{v}
 	c.rank.Stats.Calls[KindReduceScatter]++
 	for j := 0; j < c.Size(); j++ {
 		if j != c.me {
-			c.account(KindReduceScatter, j, 8)
+			c.account(KindReduceScatter, j, 8*int64(len(vals)))
 		}
 	}
 	contribute1(c, KindReduceScatter, vals)
 	c.sh.bar.wait()
 	err := c.verify(KindReduceScatter, nil)
-	var sum int64
+	var sums []int64
 	if err == nil {
+		sums = make([]int64, len(vals))
 		for j := 0; j < c.Size(); j++ {
-			sum += c.sh.slots[j].payload.([]int64)[0]
+			other := c.sh.slots[j].payload.([]int64)
+			for i := range sums {
+				sums[i] += other[i]
+			}
 		}
 	}
 	c.sh.bar.wait()
 	c.traceExit("allreduce_sum", tok, err)
-	return sum, err
+	return sums, err
 }
 
 // ControlSumInt64 sums scalar contributions like AllreduceSumInt64 but rides

@@ -28,6 +28,7 @@ const (
 	KindAllgather
 	KindReduceScatter
 	KindBarrier
+	KindAllgatherSparse
 	numKinds
 )
 
@@ -46,6 +47,8 @@ func (k Kind) String() string {
 		return "reduce_scatter"
 	case KindBarrier:
 		return "barrier"
+	case KindAllgatherSparse:
+		return "allgather_sparse"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

@@ -78,6 +78,12 @@ var collectiveOps = []struct {
 	{"allreducesumint64vec", func(r *Rank) error {
 		return AllreduceSumInt64Vec(r.World, make([]int64, r.World.Size()))
 	}},
+	{"allgathersparse", func(r *Rank) error {
+		_, err := AllgatherSparse(r.World, []SparseUpdate{
+			{Dst: int32(r.World.Size() - 1), Tag: 1, Off: int64(r.ID), Val: 7},
+		})
+		return err
+	}},
 	{"bcast", func(r *Rank) error {
 		_, err := Bcast(r.World, r.ID*3, 0)
 		return err

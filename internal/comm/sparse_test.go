@@ -1,0 +1,262 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestSparseCodecRoundTrip(t *testing.T) {
+	cases := [][]SparseUpdate{
+		nil,
+		{},
+		{{Dst: 0, Tag: 0, Off: 0, Val: 0}},
+		{{Dst: 3, Tag: 2, Off: 12345, Val: -1}},
+		{{Dst: 1, Tag: 0, Off: -7, Val: 1 << 40}, {Dst: 1, Tag: 1, Off: 0, Val: -9}},
+		{
+			{Dst: 0, Tag: 5, Off: 1, Val: 2},
+			{Dst: 2, Tag: 5, Off: 3, Val: 4},
+			{Dst: 0, Tag: 6, Off: 5, Val: 6},
+		},
+	}
+	for i, ups := range cases {
+		frame := EncodeSparseUpdates(nil, ups)
+		if len(frame) != sparseHeaderLen+sparseRecordLen*len(ups) {
+			t.Fatalf("case %d: frame length %d, want %d", i, len(frame), sparseHeaderLen+sparseRecordLen*len(ups))
+		}
+		got, err := DecodeSparseUpdates(frame)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(got) != len(ups) {
+			t.Fatalf("case %d: %d records decoded, want %d", i, len(got), len(ups))
+		}
+		for j := range ups {
+			if got[j] != ups[j] {
+				t.Fatalf("case %d record %d: %+v != %+v", i, j, got[j], ups[j])
+			}
+		}
+	}
+}
+
+func TestSparseCodecAppendsToDst(t *testing.T) {
+	// Encode must append after existing bytes, leaving them untouched.
+	prefix := []byte("hello")
+	frame := EncodeSparseUpdates(append([]byte(nil), prefix...), []SparseUpdate{{Dst: 1, Off: 2, Val: 3}})
+	if !bytes.HasPrefix(frame, prefix) {
+		t.Fatalf("encode clobbered the destination prefix: %q", frame[:5])
+	}
+	got, err := DecodeSparseUpdates(frame[len(prefix):])
+	if err != nil || len(got) != 1 || got[0] != (SparseUpdate{Dst: 1, Off: 2, Val: 3}) {
+		t.Fatalf("decode after prefix: %v, %v", got, err)
+	}
+}
+
+func TestSparseCodecCanonical(t *testing.T) {
+	// Same updates, same bytes — the property the fuzz round-trip relies on.
+	ups := []SparseUpdate{{Dst: 2, Tag: 1, Off: 99, Val: -4}, {Dst: 0, Tag: 3, Off: 1, Val: 1}}
+	a := EncodeSparseUpdates(nil, ups)
+	b := EncodeSparseUpdates(nil, ups)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not canonical")
+	}
+}
+
+func TestSparseDecodeRejectsMalformed(t *testing.T) {
+	good := EncodeSparseUpdates(nil, []SparseUpdate{{Dst: 1, Tag: 2, Off: 3, Val: 4}})
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"short-header", good[:sparseHeaderLen-1]},
+		{"bad-magic", append([]byte("XPU1"), good[4:]...)},
+		{"truncated-one-byte", good[:len(good)-1]},
+		{"truncated-one-record", EncodeSparseUpdates(nil, []SparseUpdate{{Dst: 0}, {Dst: 1}})[:sparseHeaderLen+sparseRecordLen]},
+		{"trailing-byte", append(append([]byte(nil), good...), 0)},
+		{"count-overstates", func() []byte {
+			f := append([]byte(nil), good...)
+			f[4] = 200 // claims 200 records, carries 1
+			return f
+		}()},
+		{"count-understates", func() []byte {
+			f := append([]byte(nil), good...)
+			f[4] = 0 // claims 0 records, carries 1
+			return f
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeSparseUpdates(tc.frame); !errors.Is(err, ErrSparseFrame) {
+			t.Fatalf("%s: err = %v, want ErrSparseFrame", tc.name, err)
+		}
+	}
+	// truncated-one-record above rebuilds a same-length frame; also check a
+	// frame cut mid-record.
+	two := EncodeSparseUpdates(nil, []SparseUpdate{{Dst: 0}, {Dst: 1}})
+	if _, err := DecodeSparseUpdates(two[:len(two)-sparseRecordLen/2]); !errors.Is(err, ErrSparseFrame) {
+		t.Fatalf("mid-record cut: err = %v, want ErrSparseFrame", err)
+	}
+}
+
+// TestAllgatherSparseMatchesAlltoallv pins the substitution contract: the
+// sparse exchange delivers, per source member, exactly the values a dense
+// Alltoallv would have delivered, in the same per-source order.
+func TestAllgatherSparseMatchesAlltoallv(t *testing.T) {
+	const n = 4
+	w, err := NewWorld(n, topology.Mesh{Rows: 2, Cols: 2}, topology.NewSunway(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank r sends value 100*r+j twice to every rank j<r, once to itself.
+	sendFor := func(id int) ([][]int64, []SparseUpdate) {
+		dense := make([][]int64, n)
+		var sparse []SparseUpdate
+		for j := 0; j < id; j++ {
+			for rep := 0; rep < 2; rep++ {
+				v := int64(100*id + j)
+				dense[j] = append(dense[j], v)
+				sparse = append(sparse, SparseUpdate{Dst: int32(j), Off: int64(rep), Val: v})
+			}
+		}
+		dense[id] = append(dense[id], int64(-id))
+		sparse = append(sparse, SparseUpdate{Dst: int32(id), Off: 0, Val: int64(-id)})
+		return dense, sparse
+	}
+	w.Run(func(r *Rank) {
+		dense, sparse := sendFor(r.ID)
+		wantRecv, err := Alltoallv(r.World, dense)
+		if err != nil {
+			panicf(t, "rank %d: alltoallv: %v", r.ID, err)
+		}
+		got, err := AllgatherSparse(r.World, sparse)
+		if err != nil {
+			panicf(t, "rank %d: allgathersparse: %v", r.ID, err)
+		}
+		for j := 0; j < n; j++ {
+			vals := make([]int64, 0, len(got[j]))
+			for _, u := range got[j] {
+				if int(u.Dst) != r.ID {
+					panicf(t, "rank %d: received a record addressed to %d", r.ID, u.Dst)
+				}
+				vals = append(vals, u.Val)
+			}
+			if !reflect.DeepEqual(vals, append([]int64{}, wantRecv[j]...)) {
+				panicf(t, "rank %d: from %d got %v, dense path delivered %v", r.ID, j, vals, wantRecv[j])
+			}
+		}
+	})
+}
+
+func TestAllgatherSparseEmptyExchange(t *testing.T) {
+	const n = 4
+	w, err := NewWorld(n, topology.Mesh{Rows: 1, Cols: 4}, topology.NewSunway(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *Rank) {
+		out, err := AllgatherSparse(r.World, nil)
+		if err != nil {
+			panicf(t, "rank %d: %v", r.ID, err)
+		}
+		for j, part := range out {
+			if len(part) != 0 {
+				panicf(t, "rank %d: empty exchange delivered %d records from %d", r.ID, len(part), j)
+			}
+		}
+		if r.Stats.Calls[KindAllgatherSparse] != 1 {
+			panicf(t, "rank %d: Calls[allgather_sparse] = %d, want 1", r.ID, r.Stats.Calls[KindAllgatherSparse])
+		}
+	})
+}
+
+func TestAllgatherSparseScopedToRow(t *testing.T) {
+	// On a row communicator, Dst is a row-member index and records never leak
+	// to the other row.
+	const n = 4
+	w, err := NewWorld(n, topology.Mesh{Rows: 2, Cols: 2}, topology.NewSunway(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *Rank) {
+		me := r.RowC.Rank()
+		peer := 1 - me
+		out, err := AllgatherSparse(r.RowC, []SparseUpdate{
+			{Dst: int32(peer), Off: int64(r.ID), Val: int64(10 * r.ID)},
+		})
+		if err != nil {
+			panicf(t, "rank %d: %v", r.ID, err)
+		}
+		got := out[peer]
+		if len(got) != 1 {
+			panicf(t, "rank %d: %d records from row peer, want 1", r.ID, len(got))
+		}
+		// The peer is in my row: its Off encodes its world rank.
+		wantFrom := r.Row*2 + peer
+		if got[0].Off != int64(wantFrom) || got[0].Val != int64(10*wantFrom) {
+			panicf(t, "rank %d: got %+v, want from world rank %d", r.ID, got[0], wantFrom)
+		}
+	})
+}
+
+func TestAllgatherSparsePanicsOnBadDst(t *testing.T) {
+	const n = 2
+	w, err := NewWorld(n, topology.Mesh{Rows: 1, Cols: 2}, topology.NewSunway(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Dst did not panic")
+		}
+	}()
+	w.Run(func(r *Rank) {
+		AllgatherSparse(r.World, []SparseUpdate{{Dst: int32(n), Val: 1}})
+	})
+}
+
+// FuzzSparseCodec fuzzes the decoder with arbitrary frames: any frame that
+// decodes must re-encode to the identical bytes (the canonical-encoding
+// property), and mutations that truncate or extend a valid frame must be
+// rejected.
+func FuzzSparseCodec(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeSparseUpdates(nil, nil))
+	f.Add(EncodeSparseUpdates(nil, []SparseUpdate{{Dst: 1, Tag: 2, Off: 3, Val: 4}}))
+	f.Add(EncodeSparseUpdates(nil, []SparseUpdate{
+		{Dst: 0, Tag: 0, Off: -1, Val: 1 << 62},
+		{Dst: 3, Tag: 7, Off: 42, Val: -42},
+	}))
+	f.Add([]byte("SPU1\x01\x00\x00\x00short"))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ups, err := DecodeSparseUpdates(frame)
+		if err != nil {
+			if !errors.Is(err, ErrSparseFrame) {
+				t.Fatalf("decode error %v does not wrap ErrSparseFrame", err)
+			}
+			return
+		}
+		// Round trip: canonical encoding means re-encoding the decoded records
+		// must reproduce the input bit for bit.
+		re := EncodeSparseUpdates(nil, ups)
+		if !bytes.Equal(re, frame) {
+			t.Fatalf("round trip diverged:\n in: %x\nout: %x", frame, re)
+		}
+		// A valid frame with a byte chopped or appended must be rejected.
+		if len(frame) > 0 {
+			if _, err := DecodeSparseUpdates(frame[:len(frame)-1]); err == nil {
+				t.Fatal("decoder accepted a truncated frame")
+			}
+		}
+		if _, err := DecodeSparseUpdates(append(append([]byte(nil), frame...), 0xff)); err == nil {
+			t.Fatal("decoder accepted trailing bytes")
+		}
+		if len(frame) >= sparseHeaderLen+sparseRecordLen {
+			if _, err := DecodeSparseUpdates(frame[:len(frame)-sparseRecordLen]); err == nil {
+				t.Fatal("decoder accepted a frame missing one record")
+			}
+		}
+	})
+}

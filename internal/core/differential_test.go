@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/comm"
 	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -138,6 +139,255 @@ func TestDifferentialEngineVsBaseline(t *testing.T) {
 				for v := int64(0); v < n; v++ {
 					if refLvl[v] != gotLvl[v] {
 						t.Fatalf("root %d: level[%d] = %d, baseline %d", root, v, gotLvl[v], refLvl[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Sparse-tail differential corpus -------------------------------------
+//
+// The graphs below are deliberately tail-heavy: long paths, narrow grids,
+// combs and stringy trees whose frontiers stay tiny for most of the
+// traversal, so well over 70% of iterations qualify for the sparse-update
+// exchange. Each case runs the adaptive sparse engine against a forced-dense
+// run of the same partition and demands bit-exact parent arrays — the
+// substitution contract of AllgatherSparse — plus the usual baseline level
+// comparison and Graph 500 validation. A third of the corpus repeats the
+// sparse run under a seeded fault plan.
+
+// gridEdges builds a rows x cols 2D grid graph: diameter rows+cols-2, frontier
+// width bounded by the antidiagonal.
+func gridEdges(rows, cols int64) (int64, []rmat.Edge) {
+	var edges []rmat.Edge
+	at := func(r, c int64) int64 { return r*cols + c }
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, rmat.Edge{U: at(r, c), V: at(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, rmat.Edge{U: at(r, c), V: at(r+1, c)})
+			}
+		}
+	}
+	return rows * cols, edges
+}
+
+// combEdges builds a spine path whose every vertex grows two tooth paths of
+// the given length. With low thresholds the degree-4+ spine classifies as H
+// hubs while the teeth stay L, so the tail exercises the H2L/L2H sparse pair
+// (and with it the batched row exchange).
+func combEdges(spine, tooth int64) (int64, []rmat.Edge) {
+	var edges []rmat.Edge
+	n := spine
+	for s := int64(0); s+1 < spine; s++ {
+		edges = append(edges, rmat.Edge{U: s, V: s + 1})
+	}
+	for s := int64(0); s < spine; s++ {
+		for side := 0; side < 2; side++ {
+			prev := s
+			for i := int64(0); i < tooth; i++ {
+				edges = append(edges, rmat.Edge{U: prev, V: n})
+				prev = n
+				n++
+			}
+		}
+	}
+	return n, edges
+}
+
+// stringyTreeEdges attaches vertex i to a random parent among its three
+// predecessors: expected depth is a constant fraction of n, with branching
+// factor barely above one — the worst case for dense per-destination buffers.
+func stringyTreeEdges(n int64, seed uint64) []rmat.Edge {
+	rng := xrand.NewXoshiro256(seed)
+	edges := make([]rmat.Edge, 0, n-1)
+	for i := int64(1); i < n; i++ {
+		back := int64(rng.Uint64n(3)) + 1
+		if back > i {
+			back = i
+		}
+		edges = append(edges, rmat.Edge{U: i - back, V: i})
+	}
+	return edges
+}
+
+func anySparse(it IterTrace) bool {
+	for _, on := range it.Sparse {
+		if on {
+			return true
+		}
+	}
+	return false
+}
+
+func sparseIterFraction(res *Result) float64 {
+	if len(res.Trace) == 0 {
+		return 0
+	}
+	sparse := 0
+	for _, it := range res.Trace {
+		if anySparse(it) {
+			sparse++
+		}
+	}
+	return float64(sparse) / float64(len(res.Trace))
+}
+
+func sparseCalls(res *Result) int64 {
+	v := res.Recorder.CommBreakdown()
+	return v.Calls[comm.KindAllgatherSparse]
+}
+
+func TestDifferentialSparseTail(t *testing.T) {
+	lowTh := partition.Thresholds{E: 8, H: 3}   // comb spines become H hubs
+	allL := partition.Thresholds{E: 256, H: 32} // everything classifies L
+	cases := []struct {
+		name    string
+		build   func() (int64, []rmat.Edge)
+		th      partition.Thresholds
+		mesh    topology.Mesh
+		dir     DirectionMode
+		hier    bool
+		faulty  bool
+		always  bool // additionally run SparseAlways
+		maxIter int
+		// minFrac is the demanded sparse-iteration fraction: 0.7 for the
+		// push-mode cases; lower where sub-iteration direction choice sends
+		// the late tail down the (already cheap) pull path instead.
+		minFrac float64
+	}{
+		{"path512_1x4_push", func() (int64, []rmat.Edge) { return 512, pathEdges(512) }, allL,
+			topology.Mesh{Rows: 1, Cols: 4}, ModePushOnly, false, false, false, 600, 0.7},
+		{"path512_2x2_sub_faults", func() (int64, []rmat.Edge) { return 512, pathEdges(512) }, allL,
+			topology.Mesh{Rows: 2, Cols: 2}, ModeSubIteration, false, true, false, 600, 0.7},
+		{"path300_4x1_push_always", func() (int64, []rmat.Edge) { return 300, pathEdges(300) }, allL,
+			topology.Mesh{Rows: 4, Cols: 1}, ModePushOnly, false, false, true, 400, 0.7},
+		{"path512_2x3_sub", func() (int64, []rmat.Edge) { return 512, pathEdges(512) }, allL,
+			topology.Mesh{Rows: 2, Cols: 3}, ModeSubIteration, false, false, false, 600, 0.7},
+		{"grid32x32_2x2_push", func() (int64, []rmat.Edge) { return gridEdges(32, 32) }, allL,
+			topology.Mesh{Rows: 2, Cols: 2}, ModePushOnly, false, false, false, 128, 0.7},
+		{"grid32x32_2x2_sub_faults", func() (int64, []rmat.Edge) { return gridEdges(32, 32) }, allL,
+			topology.Mesh{Rows: 2, Cols: 2}, ModeSubIteration, false, true, false, 128, 0.4},
+		{"grid16x64_1x4_push_always", func() (int64, []rmat.Edge) { return gridEdges(16, 64) }, allL,
+			topology.Mesh{Rows: 1, Cols: 4}, ModePushOnly, false, false, true, 128, 0.7},
+		{"grid8x128_4x1_sub", func() (int64, []rmat.Edge) { return gridEdges(8, 128) }, allL,
+			topology.Mesh{Rows: 4, Cols: 1}, ModeSubIteration, false, false, false, 160, 0.4},
+		{"comb64x8_2x2_push", func() (int64, []rmat.Edge) { return combEdges(64, 8) }, lowTh,
+			topology.Mesh{Rows: 2, Cols: 2}, ModePushOnly, false, false, false, 128, 0.7},
+		{"comb64x8_2x2_sub_faults", func() (int64, []rmat.Edge) { return combEdges(64, 8) }, lowTh,
+			topology.Mesh{Rows: 2, Cols: 2}, ModeSubIteration, false, true, false, 128, 0.4},
+		{"comb96x4_2x3_push_always", func() (int64, []rmat.Edge) { return combEdges(96, 4) }, lowTh,
+			topology.Mesh{Rows: 2, Cols: 3}, ModePushOnly, false, false, true, 160, 0.7},
+		{"comb48x6_2x2_push_hier", func() (int64, []rmat.Edge) { return combEdges(48, 6) }, lowTh,
+			topology.Mesh{Rows: 2, Cols: 2}, ModePushOnly, true, false, false, 128, 0.7},
+		{"tree1024_2x2_push", func() (int64, []rmat.Edge) { return 1024, stringyTreeEdges(1024, 7) }, allL,
+			topology.Mesh{Rows: 2, Cols: 2}, ModePushOnly, false, false, false, 1200, 0.7},
+		{"tree1024_1x4_sub_faults", func() (int64, []rmat.Edge) { return 1024, stringyTreeEdges(1024, 8) }, allL,
+			topology.Mesh{Rows: 1, Cols: 4}, ModeSubIteration, false, true, false, 1200, 0.7},
+		{"tree768_4x1_sub_always", func() (int64, []rmat.Edge) { return 768, stringyTreeEdges(768, 9) }, allL,
+			topology.Mesh{Rows: 4, Cols: 1}, ModeSubIteration, false, false, true, 1000, 0.7},
+	}
+	for i, tc := range cases {
+		i, tc := i, tc
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && i%3 != 0 {
+				t.Skip("subset in -short mode")
+			}
+			t.Parallel()
+			n, edges := tc.build()
+			base := Options{
+				Mesh:          tc.mesh,
+				Thresholds:    tc.th,
+				Direction:     tc.dir,
+				Hierarchical:  tc.hier,
+				MaxIterations: tc.maxIter,
+			}
+			optOf := func(mode SparseMode, faulty bool) Options {
+				opt := base
+				opt.SparseTail = mode
+				if faulty {
+					plan := faultinject.New(uint64(4000 + i))
+					plan.DelayProb = 0.01
+					plan.FailProb = 0.001
+					opt.Transport = plan
+					opt.CollectiveDeadline = 120 * time.Microsecond
+					opt.MaxRetries = 8
+				}
+				return opt
+			}
+			dense, err := NewEngine(n, edges, optOf(SparseOff, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			auto, err := NewEngineFromPartition(dense.Part, optOf(SparseAuto, tc.faulty))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := baseline.New(n, edges, baseline.Options{Ranks: 4, MaxIterations: tc.maxIter})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			root := firstConnectedRootOf(dense)
+			dres, err := dense.Run(root)
+			if err != nil {
+				t.Fatalf("dense run: %v", err)
+			}
+			if got := sparseCalls(dres); got != 0 {
+				t.Fatalf("forced-dense run made %d sparse exchanges", got)
+			}
+			ares, err := auto.Run(root)
+			if err != nil {
+				t.Fatalf("sparse run: %v", err)
+			}
+			// The substitution contract: not just the same BFS levels — the
+			// identical parent array, bit for bit.
+			for v := int64(0); v < n; v++ {
+				if dres.Parent[v] != ares.Parent[v] {
+					t.Fatalf("parent[%d]: dense %d, sparse %d", v, dres.Parent[v], ares.Parent[v])
+				}
+			}
+			if _, err := validate.BFS(n, edges, root, ares.Parent); err != nil {
+				t.Fatalf("sparse run validation: %v", err)
+			}
+			if frac := sparseIterFraction(ares); frac < tc.minFrac {
+				t.Fatalf("only %.0f%% of iterations went sparse, want >= %.0f%%; the corpus graph is supposed to be tail-heavy", 100*frac, 100*tc.minFrac)
+			}
+			if sparseCalls(ares) == 0 {
+				t.Fatal("adaptive run never used the sparse exchange")
+			}
+			bres, err := ref.Run(root)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			refLvl, err := graph.Levels(bres.Parent, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotLvl, err := graph.Levels(ares.Parent, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := int64(0); v < n; v++ {
+				if refLvl[v] != gotLvl[v] {
+					t.Fatalf("level[%d] = %d, baseline %d", v, gotLvl[v], refLvl[v])
+				}
+			}
+			if tc.always {
+				alw, err := NewEngineFromPartition(dense.Part, optOf(SparseAlways, false))
+				if err != nil {
+					t.Fatal(err)
+				}
+				lres, err := alw.Run(root)
+				if err != nil {
+					t.Fatalf("always-sparse run: %v", err)
+				}
+				for v := int64(0); v < n; v++ {
+					if dres.Parent[v] != lres.Parent[v] {
+						t.Fatalf("always-sparse parent[%d]: dense %d, sparse %d", v, dres.Parent[v], lres.Parent[v])
 					}
 				}
 			}

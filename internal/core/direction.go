@@ -7,21 +7,28 @@ import (
 )
 
 // chooseDirections implements sub-iteration direction optimization
-// (Section 4.2). Every input is globally consistent across ranks — hub
-// bitmaps are replicated and L counts are allreduced — so all ranks compute
-// identical choices and stay in collective lockstep.
+// (Section 4.2) plus the tail-iteration representation switch: it fills
+// it.Directions and it.Sparse and latches both into the rank state for the
+// iteration (retries of a failed iteration keep the same choices, so the
+// collective schedule is stable across attempts). Every input is globally
+// consistent across ranks — hub bitmaps are replicated, L counts are
+// allreduced, and the byte feedback is the previous epilogue's global sum —
+// so all ranks compute identical choices and stay in collective lockstep.
 //
 // Node-local components (EH2EH, E2L, L2E) switch on the source active ratio
 // alone: their pull cost is hard to predict from unvisited counts because of
 // early exit, exactly as the paper argues. Remote components (H2L, L2H, L2L)
 // compare active-source against unvisited-destination ratios, the message-
 // count proxies.
-func (st *rankState) chooseDirections(it IterTrace) [partition.NumComponents]stats.Direction {
+func (st *rankState) chooseDirections(it *IterTrace) {
 	var s0 int64
 	if st.tr != nil {
 		s0 = st.tr.Now()
 	}
-	dirs := st.pickDirections(it)
+	it.Directions = st.pickDirections(*it)
+	it.Sparse = st.pickSparse(*it, it.Directions)
+	st.sparse = it.Sparse
+	st.batchRow = it.Sparse[partition.CompH2L] && it.Sparse[partition.CompL2H]
 	if st.tr != nil {
 		// One decision record per iteration: the globally consistent inputs
 		// the choice derives from, and the per-component outcome (the
@@ -30,22 +37,60 @@ func (st *rankState) chooseDirections(it IterTrace) [partition.NumComponents]sta
 		visitedE := int64(st.hubVisited.CountRange(0, int(st.numE)))
 		visitedH := int64(st.hubVisited.CountRange(int(st.numE), st.k))
 		args := map[string]int64{
-			"active_e": it.ActiveE,
-			"active_h": it.ActiveH,
-			"active_l": it.ActiveL,
-			"unvis_e":  st.numE - visitedE,
-			"unvis_h":  int64(st.e.Part.Hubs.NumH) - visitedH,
-			"unvis_l":  st.numL - st.visitL,
-			"mode":     int64(st.e.Opt.Direction),
+			"active_e":   it.ActiveE,
+			"active_h":   it.ActiveH,
+			"active_l":   it.ActiveL,
+			"unvis_e":    st.numE - visitedE,
+			"unvis_h":    int64(st.e.Part.Hubs.NumH) - visitedH,
+			"unvis_l":    st.numL - st.visitL,
+			"mode":       int64(st.e.Opt.Direction),
+			"last_bytes": st.lastIterBytes,
 		}
 		for c := 0; c < int(partition.NumComponents); c++ {
-			args["dir_"+partition.Component(c).String()] = int64(dirs[c])
+			args["dir_"+partition.Component(c).String()] = int64(it.Directions[c])
+			if it.Sparse[c] {
+				args["sparse_"+partition.Component(c).String()] = 1
+			}
 		}
 		st.tr.Emit(trace.Span{Kind: trace.KindDecision, Epoch: st.r.Epoch(),
 			Iter: st.curIter, Step: -1, Name: "choose_directions",
 			Start: s0, Dur: st.tr.Now() - s0, Args: args})
 	}
-	return dirs
+}
+
+// pickSparse chooses, per remote push component, between the dense
+// per-destination exchange and the sparse-update allgather. Only pushing
+// remote components are eligible (pull kernels exchange frontiers, not
+// messages), and hierarchical L2L always stays dense — two-stage forwarding
+// is that mode's point, and its forwarder-ordered applies differ from a flat
+// exchange's member order, which would break the dense/sparse bit-exactness
+// contract. Under SparseAuto a component goes sparse when its global
+// active-source count fits the cutoff and the previous iteration's observed
+// global traffic (unknown = -1 right after start or checkpoint resume, on
+// every rank alike) fits the byte ceiling.
+func (st *rankState) pickSparse(it IterTrace, dirs [partition.NumComponents]stats.Direction) [partition.NumComponents]bool {
+	var sp [partition.NumComponents]bool
+	mode := st.e.Opt.SparseTail
+	if mode == SparseOff {
+		return sp
+	}
+	eligible := func(c partition.Component, activeSrc int64) bool {
+		if dirs[c] != stats.DirPush {
+			return false
+		}
+		if c == partition.CompL2L && st.e.Opt.Hierarchical {
+			return false
+		}
+		if mode == SparseAlways {
+			return true
+		}
+		return activeSrc <= st.e.Opt.SparseCutoff &&
+			(st.lastIterBytes < 0 || st.lastIterBytes <= st.e.Opt.SparseMaxBytes)
+	}
+	sp[partition.CompH2L] = eligible(partition.CompH2L, it.ActiveH)
+	sp[partition.CompL2H] = eligible(partition.CompL2H, it.ActiveL)
+	sp[partition.CompL2L] = eligible(partition.CompL2L, it.ActiveL)
+	return sp
 }
 
 func (st *rankState) pickDirections(it IterTrace) [partition.NumComponents]stats.Direction {

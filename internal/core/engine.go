@@ -39,6 +39,26 @@ const (
 	ModePullOnly
 )
 
+// SparseMode selects whether tail iterations ship destination-addressed
+// sparse update triples (comm.AllgatherSparse) instead of dense
+// per-destination alltoallv buffers for the remote push components.
+type SparseMode int
+
+// Sparse-tail modes.
+const (
+	// SparseAuto switches per component per iteration: a remote push
+	// component goes sparse when its global active-source count is at or
+	// below SparseCutoff and the previous iteration's globally observed
+	// data-plane bytes fit under SparseMaxBytes. The default.
+	SparseAuto SparseMode = iota
+	// SparseOff forces the dense exchanges everywhere (the pre-sparse
+	// schedule, and the differential corpus's reference arm).
+	SparseOff
+	// SparseAlways forces the sparse exchange for every eligible remote push
+	// component regardless of frontier size (stress/verification aid).
+	SparseAlways
+)
+
 // Options configures an Engine.
 type Options struct {
 	Mesh    topology.Mesh    // process mesh; zero value = squarest mesh for P
@@ -68,6 +88,22 @@ type Options struct {
 	// unvisited destination is far cheaper than a per-edge message, and
 	// early exit truncates most scans.
 	PullRatio float64
+	// SparseTail selects the sparse-update tail path for the remote push
+	// components (H2L, L2H, and non-hierarchical L2L): tiny tail frontiers
+	// ship (dst, tag, offset, value) triples over one allgather instead of a
+	// dense per-destination alltoallv, and when both row-exchange components
+	// (H2L and L2H) go sparse in the same iteration their payloads batch into
+	// a single exchange. Hierarchical L2L always stays dense: its two-stage
+	// forwarding is the point of that mode and its apply order differs from a
+	// flat exchange. The zero value is SparseAuto (adaptive, on).
+	SparseTail SparseMode
+	// SparseCutoff is the largest global active-source count at which
+	// SparseAuto picks the sparse path for a component. 0 means 64 per rank.
+	SparseCutoff int64
+	// SparseMaxBytes is the largest previous-iteration global data-plane
+	// byte count at which SparseAuto keeps choosing sparse (hysteresis
+	// against a collapsing-then-exploding frontier). 0 means 32KiB per rank.
+	SparseMaxBytes int64
 	// ImmediateParentReduction reduces the delegated parent array after
 	// every iteration instead of once after the run — the traditional scheme
 	// the paper's delayed reduction (Section 5) replaces. Exists for the
@@ -196,6 +232,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 128
+	}
+	if o.SparseCutoff <= 0 {
+		o.SparseCutoff = 64 * int64(o.Ranks)
+	}
+	if o.SparseMaxBytes <= 0 {
+		o.SparseMaxBytes = 32 * 1024 * int64(o.Ranks)
 	}
 	switch {
 	case o.MaxRetries == 0:
@@ -328,6 +370,10 @@ type Result struct {
 type IterTrace struct {
 	ActiveE, ActiveH, ActiveL int64
 	Directions                [partition.NumComponents]stats.Direction
+	// Sparse marks the remote push components whose exchange shipped sparse
+	// update triples (comm.AllgatherSparse) instead of dense buffers this
+	// iteration; always false for components that pulled or skipped.
+	Sparse [partition.NumComponents]bool
 }
 
 // GTEPS returns giga-traversed-edges-per-second for the run.

@@ -232,3 +232,86 @@ func TestMaxIterationsReturnsErrNoConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSparseTailUnderEveryFaultKind runs a forced-sparse traversal of a
+// tail-heavy comb graph under each injectable fault kind in turn. The sparse
+// frames ride the same contribution protocol as every dense collective, so
+// delay/deadline, outright failure, corruption and stall windows must all be
+// detected, retried, and leave the parent array bit-identical to a fault-free
+// forced-dense run — the chaos half of the sparse substitution contract.
+func TestSparseTailUnderEveryFaultKind(t *testing.T) {
+	n, edges := combEdges(48, 6)
+	th := partition.Thresholds{E: 8, H: 3} // comb spine classifies H
+	base := Options{
+		Mesh:          topology.Mesh{Rows: 2, Cols: 2},
+		Thresholds:    th,
+		Direction:     ModePushOnly,
+		MaxIterations: 128,
+	}
+	denseOpt := base
+	denseOpt.SparseTail = SparseOff
+	dense, err := NewEngine(n, edges, denseOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnectedRootOf(dense)
+	dres, err := dense.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := []struct {
+		name   string
+		mutate func(*faultinject.Plan, *Options)
+	}{
+		{"delay-deadline", func(p *faultinject.Plan, o *Options) {
+			p.DelayProb = 0.05
+			o.CollectiveDeadline = 120 * time.Microsecond
+		}},
+		{"fail", func(p *faultinject.Plan, o *Options) { p.FailProb = 0.005 }},
+		{"corrupt", func(p *faultinject.Plan, o *Options) { p.CorruptProb = 0.02 }},
+		{"stall-window", func(p *faultinject.Plan, o *Options) {
+			p.StallRank = 1
+			p.StallStart = 10
+			p.StallLen = 5
+		}},
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			plan := faultinject.New(77)
+			opt := base
+			opt.SparseTail = SparseAlways
+			opt.Transport = plan
+			opt.MaxRetries = 10
+			opt.RetryBackoff = 50 * time.Microsecond
+			k.mutate(plan, &opt)
+			eng, err := NewEngineFromPartition(dense.Part, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run(root)
+			if err != nil {
+				t.Fatalf("sparse run under %s: %v", k.name, err)
+			}
+			if res.Faults.Injected() == 0 {
+				t.Fatalf("%s plan injected nothing; pick a different seed", k.name)
+			}
+			if res.Retries == 0 {
+				t.Fatalf("%s was injected but never forced a retry", k.name)
+			}
+			if sparseCalls(res) == 0 {
+				t.Fatal("forced-sparse run made no sparse exchanges")
+			}
+			if _, err := validate.BFS(n, edges, root, res.Parent); err != nil {
+				t.Fatalf("validation under %s: %v", k.name, err)
+			}
+			for v := int64(0); v < n; v++ {
+				if res.Parent[v] != dres.Parent[v] {
+					t.Fatalf("%s: parent[%d] = %d, fault-free dense run %d", k.name, v, res.Parent[v], dres.Parent[v])
+				}
+			}
+		})
+	}
+}

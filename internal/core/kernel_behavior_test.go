@@ -72,7 +72,10 @@ func TestH2LPushMessagesStayInRow(t *testing.T) {
 	n, edges, th := hubLGraph()
 	mesh := topology.Mesh{Rows: 2, Cols: 2}
 	mach := topology.Machine{Nodes: 4, SupernodeSize: 2, NICBandwidth: 1e9, Oversubscription: 4}
-	eng, err := NewEngine(n, edges, Options{Mesh: mesh, Machine: mach, Thresholds: th, Direction: ModePushOnly})
+	// SparseOff pins the dense row exchange; the sparse tail's scope behavior
+	// is covered by the sparse differential corpus.
+	eng, err := NewEngine(n, edges, Options{Mesh: mesh, Machine: mach, Thresholds: th, Direction: ModePushOnly,
+		SparseTail: SparseOff})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +134,8 @@ func TestL2LPullUsesAllgatherNotAlltoallv(t *testing.T) {
 func TestL2LPushUsesAlltoallvNotAllgather(t *testing.T) {
 	n, edges, th := hubLGraph()
 	eng, err := NewEngine(n, edges, Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: th, Direction: ModePushOnly,
-		MaxIterations: 256}) // the 400..599 L-path gives the graph diameter ~200
+		SparseTail:    SparseOff, // pin the dense exchange this test is about
+		MaxIterations: 256})      // the 400..599 L-path gives the graph diameter ~200
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +158,8 @@ func TestHierarchicalL2LDoublesHops(t *testing.T) {
 	n, edges, th := hubLGraph()
 	run := func(hier bool) int64 {
 		eng, err := NewEngine(n, edges, Options{Mesh: topology.Mesh{Rows: 2, Cols: 2},
-			Thresholds: th, Direction: ModePushOnly, Hierarchical: hier, MaxIterations: 256})
+			Thresholds: th, Direction: ModePushOnly, Hierarchical: hier,
+			SparseTail: SparseOff, MaxIterations: 256})
 		if err != nil {
 			t.Fatal(err)
 		}

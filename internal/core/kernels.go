@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitmap"
 	"repro/internal/comm"
+	"repro/internal/partition"
 )
 
 // Message types. All parents travel as original vertex IDs.
@@ -266,6 +267,9 @@ func (st *rankState) e2lPull() (int64, error) {
 // neighbors' owners along the row (the H2L component is stored at the
 // intersection of H's column and the owner's row).
 func (st *rankState) h2lPush() (int64, error) {
+	if st.sparse[partition.CompH2L] {
+		return st.h2lPushSparse()
+	}
 	csr := &st.rg.HToL
 	orig := st.e.Part.Hubs.Orig
 	cols := st.e.Opt.Mesh.Cols
@@ -287,6 +291,54 @@ func (st *rankState) h2lPush() (int64, error) {
 	}
 	st.applyLMsgs(recv)
 	return edges, nil
+}
+
+// h2lPushSparse ships the same messages as the dense h2lPush as
+// destination-addressed triples over one row allgather. When the L2H push
+// also went sparse this iteration (st.batchRow) the updates are parked in
+// pendRow instead — the two kernels' payloads then ride a single batched
+// exchange at the L2H flush point, applied in the dense schedule's kernel
+// order. Generation order matches the dense kernel exactly, so each
+// receiver's filtered stream is the same sequence the dense exchange
+// delivers.
+func (st *rankState) h2lPushSparse() (int64, error) {
+	csr := &st.rg.HToL
+	orig := st.e.Part.Hubs.Orig
+	var ups []comm.SparseUpdate
+	var edges int64
+	for i, hub := range csr.IDs {
+		if !st.hubFrontier.Test(int(hub)) {
+			continue
+		}
+		parent := orig[hub]
+		for _, rem := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
+			edges++
+			ups = append(ups, comm.SparseUpdate{Dst: int32(rem.Col),
+				Tag: int32(partition.CompH2L), Off: int64(rem.LIdx), Val: parent})
+		}
+	}
+	if st.batchRow {
+		st.pendRow = append(st.pendRow, ups...)
+		return edges, nil
+	}
+	out, err := comm.AllgatherSparse(st.r.RowC, ups)
+	if err != nil {
+		return edges, err
+	}
+	st.applyLMsgs(lPartsOf(out))
+	return edges, nil
+}
+
+// lPartsOf reshapes received sparse updates into the dense exchange's
+// per-source lMsg parts (Off is the destination-local L index).
+func lPartsOf(out [][]comm.SparseUpdate) [][]lMsg {
+	parts := make([][]lMsg, len(out))
+	for j, us := range out {
+		for _, u := range us {
+			parts[j] = append(parts[j], lMsg{LIdx: int32(u.Off), Parent: u.Val})
+		}
+	}
+	return parts
 }
 
 // h2lPull: unvisited owned L vertices probe their H neighbors against the
@@ -430,6 +482,9 @@ func (st *rankState) l2ePull() (int64, error) {
 // unvisited H neighbor (the rank in this row holding H's column), which
 // records the delegate activation; the next hub sync propagates it.
 func (st *rankState) l2hPush() (int64, error) {
+	if st.sparse[partition.CompL2H] {
+		return st.l2hPushSparse()
+	}
 	csr := &st.rg.LToH
 	layout := st.e.Part.Layout
 	hubs := st.e.Part.Hubs
@@ -451,7 +506,49 @@ func (st *rankState) l2hPush() (int64, error) {
 	if err != nil {
 		return edges, err
 	}
-	for _, part := range recv {
+	st.applyHubMsgs(recv)
+	return edges, nil
+}
+
+// l2hPushSparse is the sparse-triple form of l2hPush (Off carries the hub
+// id). With st.batchRow set it appends onto the H2L updates already parked in
+// pendRow and flushes the combined frame as the iteration's single row
+// exchange; otherwise it exchanges inline.
+func (st *rankState) l2hPushSparse() (int64, error) {
+	csr := &st.rg.LToH
+	layout := st.e.Part.Layout
+	hubs := st.e.Part.Hubs
+	mesh := st.e.Opt.Mesh
+	var ups []comm.SparseUpdate
+	var edges int64
+	st.lFrontier.ForEach(func(li int) {
+		parent := layout.GlobalOf(st.r.ID, int32(li))
+		for _, hub := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			if st.hubVisited.Test(int(hub)) {
+				continue // delegation knowledge saves the message
+			}
+			col := hubs.ColBlockOf(hub, mesh)
+			ups = append(ups, comm.SparseUpdate{Dst: int32(col),
+				Tag: int32(partition.CompL2H), Off: int64(hub), Val: parent})
+		}
+	})
+	if st.batchRow {
+		st.pendRow = append(st.pendRow, ups...)
+		return edges, st.flushRowSparse()
+	}
+	out, err := comm.AllgatherSparse(st.r.RowC, ups)
+	if err != nil {
+		return edges, err
+	}
+	st.applyHubMsgs(hubPartsOf(out))
+	return edges, nil
+}
+
+// applyHubMsgs records received delegate activations (the L2H push's receive
+// side), in part order.
+func (st *rankState) applyHubMsgs(parts [][]hubMsg) {
+	for _, part := range parts {
 		for _, m := range part {
 			if !st.hubVisited.Test(int(m.Hub)) && !st.hubNew.Test(int(m.Hub)) {
 				st.hubNew.Set(int(m.Hub))
@@ -459,7 +556,49 @@ func (st *rankState) l2hPush() (int64, error) {
 			}
 		}
 	}
-	return edges, nil
+}
+
+// hubPartsOf reshapes received sparse updates into the dense exchange's
+// per-source hubMsg parts (Off is the hub id).
+func hubPartsOf(out [][]comm.SparseUpdate) [][]hubMsg {
+	parts := make([][]hubMsg, len(out))
+	for j, us := range out {
+		for _, u := range us {
+			parts[j] = append(parts[j], hubMsg{Hub: int32(u.Off), Parent: u.Val})
+		}
+	}
+	return parts
+}
+
+// flushRowSparse runs the batched row exchange carrying both the H2L and L2H
+// pushes' updates and applies them in the dense schedule's kernel order: all
+// H2L activations first, then all L2H delegate activations, each split by tag
+// with per-source order preserved. Deferring the H2L applies to this point is
+// safe because the kernels between generation and flush (L2E, L2H) read only
+// lFrontier and the hub bitmaps, never lNew or parentL. The batch buffer is
+// cleared before the exchange even on error: a retry re-enters at the top of
+// step 1 and regenerates every update.
+func (st *rankState) flushRowSparse() error {
+	ups := st.pendRow
+	st.pendRow = st.pendRow[:0]
+	out, err := comm.AllgatherSparse(st.r.RowC, ups)
+	if err != nil {
+		return err
+	}
+	lParts := make([][]lMsg, len(out))
+	hubParts := make([][]hubMsg, len(out))
+	for j, us := range out {
+		for _, u := range us {
+			if u.Tag == int32(partition.CompH2L) {
+				lParts[j] = append(lParts[j], lMsg{LIdx: int32(u.Off), Parent: u.Val})
+			} else {
+				hubParts[j] = append(hubParts[j], hubMsg{Hub: int32(u.Off), Parent: u.Val})
+			}
+		}
+	}
+	st.applyLMsgs(lParts)
+	st.applyHubMsgs(hubParts)
+	return nil
 }
 
 // l2hPull: unvisited H hubs in this rank's column block probe their L
@@ -522,6 +661,9 @@ func (st *rankState) l2lPush() (int64, error) {
 	mesh := st.e.Opt.Mesh
 	var edges int64
 	if !st.e.Opt.Hierarchical {
+		if st.sparse[partition.CompL2L] {
+			return st.l2lPushSparse()
+		}
 		send := make([][]l2lMsg, layout.P)
 		st.lFrontier.ForEach(func(li int) {
 			parent := layout.GlobalOf(st.r.ID, int32(li))
@@ -564,6 +706,37 @@ func (st *rankState) l2lPush() (int64, error) {
 	}
 	if rowErr != nil {
 		return edges, rowErr
+	}
+	st.applyL2L(recv)
+	return edges, nil
+}
+
+// l2lPushSparse is the sparse-triple form of the flat (non-hierarchical) L2L
+// push: one world allgather of (owner, vertex, parent) triples instead of a
+// world alltoallv of dense buffers. Off carries the original vertex id;
+// hierarchical mode never reaches here (pickSparse keeps it dense).
+func (st *rankState) l2lPushSparse() (int64, error) {
+	csr := &st.rg.L2L
+	layout := st.e.Part.Layout
+	var ups []comm.SparseUpdate
+	var edges int64
+	st.lFrontier.ForEach(func(li int) {
+		parent := layout.GlobalOf(st.r.ID, int32(li))
+		for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			ups = append(ups, comm.SparseUpdate{Dst: int32(layout.Owner(dst)),
+				Tag: int32(partition.CompL2L), Off: dst, Val: parent})
+		}
+	})
+	out, err := comm.AllgatherSparse(st.r.World, ups)
+	if err != nil {
+		return edges, err
+	}
+	recv := make([][]l2lMsg, len(out))
+	for j, us := range out {
+		for _, u := range us {
+			recv[j] = append(recv[j], l2lMsg{Dst: u.Off, Parent: u.Val})
+		}
 	}
 	st.applyL2L(recv)
 	return edges, nil

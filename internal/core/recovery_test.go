@@ -417,3 +417,83 @@ func TestEngineTornWriteFallsBackOneIteration(t *testing.T) {
 		t.Fatal("resume restored no bytes")
 	}
 }
+
+// TestKillAtTailIterationRecoversSparse kills a rank deep in the tail of a
+// long-path traversal — where every exchange is riding the sparse-update
+// allgather — and recovers from checkpoint. The replayed tail must take the
+// sparse path again (lastIterBytes resets to the unknown sentinel on resume,
+// which keeps the tiny frontiers eligible) and the final parent array must be
+// bit-identical to both the fault-free dense and the fault-free sparse runs.
+func TestKillAtTailIterationRecoversSparse(t *testing.T) {
+	const n = 256
+	edges := pathEdges(n)
+	base := Options{
+		Mesh:          topology.Mesh{Rows: 2, Cols: 2},
+		Thresholds:    partition.Thresholds{E: 256, H: 32},
+		Direction:     ModePushOnly,
+		MaxIterations: 300,
+	}
+	denseOpt := base
+	denseOpt.SparseTail = SparseOff
+	dense, err := NewEngine(n, edges, denseOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dense.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseRef, err := NewEngineFromPartition(dense.Part, base) // SparseAuto default
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sparseRef.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < n; v++ {
+		if dres.Parent[v] != sres.Parent[v] {
+			t.Fatalf("fault-free: parent[%d] dense %d, sparse %d", v, dres.Parent[v], sres.Parent[v])
+		}
+	}
+
+	const killIter = 100 // deep in the tail: iteration i has a 1-vertex frontier
+	for _, mode := range []RecoveryMode{RecoverShrink, RecoverRestore} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opt := base
+			opt.Transport = &chaosTransport{kills: []*killCall{{rank: 3, iter: killIter, tag: 0}}}
+			opt.CheckpointDir = t.TempDir()
+			opt.Recovery = mode
+			eng, err := NewEngineFromPartition(dense.Part, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run(0)
+			if err != nil {
+				t.Fatalf("recovered run failed: %v", err)
+			}
+			if res.Recovery.Epochs != 1 || res.Recovery.RanksLost != 1 {
+				t.Fatalf("recovery %+v: want 1 epoch, 1 rank lost", res.Recovery)
+			}
+			// The checkpoint must have carried the run back near the kill, not
+			// restarted the traversal from scratch.
+			if res.Recovery.LastResumeIter < killIter-2 {
+				t.Fatalf("resumed at iteration %d, want >= %d (tail checkpoint)", res.Recovery.LastResumeIter, killIter-2)
+			}
+			if sparseCalls(res) == 0 {
+				t.Fatal("recovered run never used the sparse exchange")
+			}
+			if frac := sparseIterFraction(res); frac < 0.7 {
+				t.Fatalf("only %.0f%% of recovered iterations went sparse", 100*frac)
+			}
+			if _, err := validate.BFS(n, edges, 0, res.Parent); err != nil {
+				t.Fatalf("validation after recovery: %v", err)
+			}
+			for v := int64(0); v < n; v++ {
+				if res.Parent[v] != dres.Parent[v] {
+					t.Fatalf("parent[%d] = %d after recovery, fault-free dense run %d", v, res.Parent[v], dres.Parent[v])
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,23 @@ type rankState struct {
 	activeL int64
 	visitL  int64
 
+	// Sparse-tail plumbing. sparse holds the iteration's per-component
+	// dense-vs-sparse choices and batchRow whether the H2L and L2H payloads
+	// ride one batched row exchange; both are set once per iteration by
+	// chooseDirections, so retries of the same iteration keep the same
+	// collective schedule. lastIterBytes is the previous iteration's
+	// globally summed data-plane bytes, fed back by the epilogue allreduce
+	// (-1 = unknown: the first iteration, and the first after a checkpoint
+	// resume — identically on every rank, which keeps the adaptive choice in
+	// lockstep). iterBytesBase is the recorder's byte total at iteration
+	// start; pendRow buffers batched updates between the H2L and L2H
+	// kernels.
+	sparse        [partition.NumComponents]bool
+	batchRow      bool
+	lastIterBytes int64
+	iterBytesBase int64
+	pendRow       []comm.SparseUpdate
+
 	// resilience bookkeeping (only exercised under a fault transport)
 	retries  int64
 	recovery time.Duration
@@ -163,6 +180,8 @@ func newRankState(e *Engine, r *comm.Rank) *rankState {
 		lNew:        bitmap.New(per),
 		parentL:     make([]int64, per),
 		resumeIter:  -2,
+
+		lastIterBytes: -1,
 	}
 	for i := range st.parentHub {
 		st.parentHub[i] = -1
@@ -288,6 +307,13 @@ func (st *rankState) vote(stepMask uint64, errs ...error) (uint64, []int) {
 	return agg[0], dead
 }
 
+// commBytes is the recorder's total observed data-plane traffic; deltas of it
+// across an iteration feed the sparse-tail byte ceiling.
+func commBytes(rec *stats.Recorder) int64 {
+	v := rec.CommBreakdown()
+	return v.TotalBytes()
+}
+
 func firstErr(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
@@ -408,12 +434,13 @@ func (st *rankState) bfs(root int64) ([]IterTrace, error) {
 		st.curIter = int64(iter)
 		st.curAttempt = attempt
 		attemptStart := time.Now()
+		st.iterBytesBase = commBytes(st.rec)
 		it := IterTrace{
 			ActiveE: int64(st.hubFrontier.CountRange(0, int(st.numE))),
 			ActiveH: int64(st.hubFrontier.CountRange(int(st.numE), st.k)),
 			ActiveL: st.activeL,
 		}
-		it.Directions = st.chooseDirections(it)
+		st.chooseDirections(&it)
 		var newHubs, al int64
 		g := 0
 		for {
@@ -613,6 +640,9 @@ func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Directio
 		}
 	case 1:
 		// E2L and H2L (hub -> L), then L2E and L2H (L -> hub), then sync.
+		// A retry re-enters here with a stale batch buffer from the failed
+		// attempt; the re-executed kernels regenerate every update.
+		st.pendRow = st.pendRow[:0]
 		run(partition.CompE2L, st.e2lPush, st.e2lPull)
 		run(partition.CompH2L, st.h2lPush, st.h2lPull)
 		run(partition.CompL2E, st.l2ePush, st.l2ePull)
@@ -642,11 +672,23 @@ func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Directio
 			st.r.SetTag(TagEpilogue)
 		}
 		*newHubs = int64(st.hubFrontier.Count())
-		a, err := comm.AllreduceSumInt64(st.r.World, int64(st.lFrontier.Count()))
+		// One pair-allreduce agrees on the global active-L count and the
+		// iteration's observed data-plane bytes (the recorder delta since
+		// iteration start, i.e. kernel + sync + reduce traffic; the epilogue
+		// collective itself is not recorder-observed). The byte total feeds
+		// the next iteration's dense-vs-sparse choice; summing it globally
+		// keeps the choice identical on every rank. Committed only on
+		// success, so a retried epilogue cannot leave ranks disagreeing.
+		iterBytes := commBytes(st.rec) - st.iterBytesBase
+		sums, err := comm.AllreduceSumInt64s(st.r.World,
+			[]int64{int64(st.lFrontier.Count()), iterBytes})
 		if firstErr == nil {
 			firstErr = err
 		}
-		*al = a
+		if err == nil {
+			*al = sums[0]
+			st.lastIterBytes = sums[1]
+		}
 	}
 	return firstErr
 }

@@ -68,6 +68,7 @@ type RunConfig struct {
 	Segmented    bool   `json:"segmented"`
 	Hierarchical bool   `json:"hierarchical"`
 	RankWorkers  int    `json:"rank_workers"`
+	Sparse       string `json:"sparse,omitempty"`
 	Faults       string `json:"faults,omitempty"`
 	Checkpoints  bool   `json:"checkpoints,omitempty"`
 }
