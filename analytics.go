@@ -1,6 +1,7 @@
 package graph500
 
 import (
+	"repro/internal/core"
 	"repro/internal/framework"
 	"repro/internal/sssp"
 )
@@ -14,9 +15,11 @@ import (
 // SSSPResult re-exports the SSSP run result (distances, parents, rounds).
 type SSSPResult = sssp.Result
 
-// SSSPRunner holds a weighted partitioned graph.
+// SSSPRunner holds a weighted partitioned graph. It runs delta-bucketed
+// relaxation on the core engine's 1.5D fast path (adaptive sparse tail,
+// retries, checkpointing), with the weight convention from internal/sssp.
 type SSSPRunner struct {
-	runner *sssp.Runner
+	engine *core.Engine
 	graph  Graph
 	seed   uint64
 }
@@ -25,25 +28,37 @@ type SSSPRunner struct {
 // Graph 500 weight convention: deterministic uniform [0,1) per edge, keyed
 // by weightSeed.
 func NewSSSP(g Graph, cfg Config, weightSeed uint64) (*SSSPRunner, error) {
-	r, err := sssp.New(g.NumVertices, g.Edges, sssp.Options{
+	eng, err := core.NewEngine(g.NumVertices, g.Edges, core.Options{
 		Mesh:       cfg.Mesh,
 		Ranks:      cfg.Ranks,
 		Thresholds: cfg.Thresholds,
-		WeightSeed: weightSeed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &SSSPRunner{runner: r, graph: g, seed: weightSeed}, nil
+	return &SSSPRunner{engine: eng, graph: g, seed: weightSeed}, nil
 }
 
 // Run computes shortest paths from root.
-func (s *SSSPRunner) Run(root int64) (*SSSPResult, error) { return s.runner.Run(root) }
+func (s *SSSPRunner) Run(root int64) (*SSSPResult, error) {
+	res, err := s.engine.RunSSSP(root, s.seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{
+		Root:        root,
+		Dist:        res.Dist,
+		Parent:      res.Parent,
+		Rounds:      res.Iterations,
+		Time:        res.Time,
+		Relaxations: res.Relaxations,
+	}, nil
+}
 
 // RunValidated computes shortest paths and checks the optimality conditions
 // (parent edges exist, distances are consistent, no edge can relax further).
 func (s *SSSPRunner) RunValidated(root int64) (*SSSPResult, error) {
-	res, err := s.runner.Run(root)
+	res, err := s.Run(root)
 	if err != nil {
 		return nil, err
 	}

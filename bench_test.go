@@ -20,7 +20,6 @@ import (
 	"repro/internal/partition"
 	"repro/internal/perfmodel"
 	"repro/internal/rmat"
-	"repro/internal/sssp"
 	"repro/internal/stats"
 	"repro/internal/sunway"
 	"repro/internal/topology"
@@ -328,13 +327,10 @@ func BenchmarkExperimentTable1(b *testing.B) {
 // partitioning (not a paper figure; Section 8 names SSSP as a beneficiary).
 func BenchmarkExtension_SSSP(b *testing.B) {
 	n, edges := benchGraph(b, 14)
-	r, err := sssp.New(n, edges, sssp.Options{Ranks: 4, WeightSeed: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
+	eng := benchEngine(b, n, edges, core.Options{Ranks: 4})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Run(0); err != nil {
+		if _, err := eng.RunSSSP(0, 1, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,21 +1,29 @@
 // Command benchcmp compares bfsbench JSON reports and fails when the
-// candidate's harmonic-mean GTEPS regressed more than the allowed fraction
-// below the baseline. To damp scheduler noise the candidate flag accepts
-// several reports (comma-separated and/or repeated); the gate compares the
-// MEDIAN of their harmonic means. CI runs it against the committed
-// BENCH_baseline.json over three fresh runs:
+// candidate regressed more than the allowed fraction below the baseline. To
+// damp scheduler noise the candidate flag accepts several reports
+// (comma-separated and/or repeated); the gate compares the MEDIAN of their
+// values. CI runs it against the committed BENCH_baseline.json over three
+// fresh runs:
 //
 //	benchcmp -baseline BENCH_baseline.json -candidate a.json,b.json,c.json -max-drop 0.15
 //
+// Two gates apply, both at -max-drop: the headline harmonic-mean GTEPS
+// (when the baseline carries one), and — for schema v2 documents — every
+// per-workload entry of the baseline, each compared by its own median GTEPS.
+// A workload present in the candidates but absent from the baseline (or vice
+// versa) is a usage error: the baseline must be regenerated before a new
+// workload can be gated.
+//
 // Exit status: 0 within budget, 1 regression, 2 usage or unreadable input.
-// Configurations must match (scale, mesh, roots, seed) — a faster machine
-// must not sneak a config change past the gate — and every candidate must
-// share one configuration.
+// Configurations must match (scale, mesh, roots, seed, workload list) — a
+// faster machine must not sneak a config change past the gate — and every
+// candidate must share one configuration.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -42,7 +50,7 @@ func main() {
 	var candidates candidateList
 	var (
 		baseline = flag.String("baseline", "", "baseline report JSON (required)")
-		maxDrop  = flag.Float64("max-drop", 0.15, "max allowed fractional drop of median harmonic-mean GTEPS")
+		maxDrop  = flag.Float64("max-drop", 0.15, "max allowed fractional drop of each gated median GTEPS")
 		skipCfg  = flag.Bool("skip-config-check", false, "compare even when run configurations differ")
 	)
 	flag.Var(&candidates, "candidate", "candidate report JSON; repeat or comma-separate for a median-of-N gate (required)")
@@ -52,43 +60,93 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *maxDrop < 0 || *maxDrop >= 1 {
-		fmt.Fprintf(os.Stderr, "benchcmp: -max-drop %v out of [0,1)\n", *maxDrop)
-		os.Exit(2)
+	os.Exit(run(*baseline, candidates, *maxDrop, *skipCfg, os.Stdout, os.Stderr))
+}
+
+// run executes the whole gate and returns the process exit code; main is a
+// flag-parsing shim around it so tests can drive every path.
+func run(baseline string, candidates []string, maxDrop float64, skipCfg bool, stdout, stderr io.Writer) int {
+	if maxDrop < 0 || maxDrop >= 1 {
+		fmt.Fprintf(stderr, "benchcmp: -max-drop %v out of [0,1)\n", maxDrop)
+		return 2
+	}
+	base, err := report.ReadFile(baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcmp:", err)
+		return 2
+	}
+	baseWL := make(map[string]report.WorkloadEntry, len(base.Workloads))
+	for _, e := range base.Workloads {
+		baseWL[e.Workload] = e
 	}
 
-	base, err := report.ReadFile(*baseline)
-	if err != nil {
-		fatal(err)
-	}
-	teps := make([]float64, 0, len(candidates))
+	headline := make([]float64, 0, len(candidates))
+	perWL := make(map[string][]float64, len(base.Workloads))
 	for _, path := range candidates {
 		cand, err := report.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "benchcmp:", err)
+			return 2
 		}
-		if base.Config != cand.Config && !*skipCfg {
-			fmt.Fprintf(os.Stderr, "benchcmp: run configurations differ:\n  baseline:  %+v\n  candidate %s: %+v\n", base.Config, path, cand.Config)
-			os.Exit(2)
+		if base.Config != cand.Config && !skipCfg {
+			fmt.Fprintf(stderr, "benchcmp: run configurations differ:\n  baseline:  %+v\n  candidate %s: %+v\n", base.Config, path, cand.Config)
+			return 2
 		}
-		teps = append(teps, cand.Summary.HarmonicMeanGTEPS)
+		seen := make(map[string]bool, len(cand.Workloads))
+		for _, e := range cand.Workloads {
+			if _, ok := baseWL[e.Workload]; !ok {
+				fmt.Fprintf(stderr, "benchcmp: workload %q in candidate %s is missing from the baseline %s — regenerate the baseline to gate it\n",
+					e.Workload, path, baseline)
+				return 2
+			}
+			seen[e.Workload] = true
+			perWL[e.Workload] = append(perWL[e.Workload], e.GTEPS)
+		}
+		for _, e := range base.Workloads {
+			if !seen[e.Workload] {
+				fmt.Fprintf(stderr, "benchcmp: candidate %s is missing baseline workload %q\n", path, e.Workload)
+				return 2
+			}
+		}
+		headline = append(headline, cand.Summary.HarmonicMeanGTEPS)
 	}
 
 	b := base.Summary.HarmonicMeanGTEPS
-	if b <= 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: baseline harmonic-mean GTEPS %v is not positive\n", b)
-		os.Exit(2)
+	if b <= 0 && len(base.Workloads) == 0 {
+		fmt.Fprintf(stderr, "benchcmp: baseline has neither a positive harmonic-mean GTEPS nor workload entries; nothing to gate\n")
+		return 2
 	}
-	c := median(teps)
-	change := (c - b) / b
-	fmt.Printf("harmonic-mean GTEPS: baseline %.4f, candidate median %.4f of %v (%+.1f%%), gate -%.0f%%\n",
-		b, c, formatTEPS(teps), 100*change, 100**maxDrop)
-	floor := b * (1 - *maxDrop)
-	if c < floor {
-		fmt.Printf("FAIL: candidate median %.4f below allowed floor %.4f\n", c, floor)
-		os.Exit(1)
+	failed := false
+	if b > 0 {
+		c := median(headline)
+		change := (c - b) / b
+		fmt.Fprintf(stdout, "harmonic-mean GTEPS: baseline %.4f, candidate median %.4f of %v (%+.1f%%), gate -%.0f%%\n",
+			b, c, formatTEPS(headline), 100*change, 100*maxDrop)
+		if floor := b * (1 - maxDrop); c < floor {
+			fmt.Fprintf(stdout, "FAIL: candidate median %.4f below allowed floor %.4f\n", c, floor)
+			failed = true
+		}
 	}
-	fmt.Println("OK")
+	for _, e := range base.Workloads {
+		if e.GTEPS <= 0 {
+			fmt.Fprintf(stderr, "benchcmp: baseline workload %q GTEPS %v is not positive\n", e.Workload, e.GTEPS)
+			return 2
+		}
+		teps := perWL[e.Workload]
+		c := median(teps)
+		change := (c - e.GTEPS) / e.GTEPS
+		fmt.Fprintf(stdout, "%-6s GTEPS: baseline %.4f, candidate median %.4f of %v (%+.1f%%), gate -%.0f%%\n",
+			e.Workload, e.GTEPS, c, formatTEPS(teps), 100*change, 100*maxDrop)
+		if floor := e.GTEPS * (1 - maxDrop); c < floor {
+			fmt.Fprintf(stdout, "FAIL: %s median %.4f below allowed floor %.4f\n", e.Workload, c, floor)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintln(stdout, "OK")
+	return 0
 }
 
 // median of a non-empty slice; the even case averages the middle pair.
@@ -108,9 +166,4 @@ func formatTEPS(v []float64) string {
 		parts[i] = fmt.Sprintf("%.4f", x)
 	}
 	return "[" + strings.Join(parts, " ") + "]"
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchcmp:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// writeDoc materializes a minimal report document for the gate: a headline
+// harmonic mean plus per-workload entries given as name→GTEPS pairs.
+func writeDoc(t *testing.T, dir, name string, headline float64, wl map[string]float64) string {
+	t.Helper()
+	r := &report.Report{
+		Schema:        report.Schema,
+		SchemaVersion: report.SchemaVersion,
+		Config:        report.RunConfig{Scale: 14, Ranks: 4, Roots: 8, Seed: 42},
+		Summary:       report.Summary{HarmonicMeanGTEPS: headline},
+	}
+	// Deterministic entry order so documents are reproducible.
+	for _, w := range []string{"bfs", "wcc", "kcore", "sssp"} {
+		if g, ok := wl[w]; ok {
+			r.Workloads = append(r.Workloads, report.WorkloadEntry{Workload: w, GTEPS: g})
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGate(t *testing.T, baseline string, candidates []string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(baseline, candidates, 0.15, false, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestMultiWorkloadGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	wl := map[string]float64{"bfs": 0.20, "wcc": 0.50, "sssp": 0.10}
+	base := writeDoc(t, dir, "base.json", 0.20, wl)
+	// Three candidates with jitter; every per-workload median stays within
+	// the 15% budget even though single runs dip below it.
+	c1 := writeDoc(t, dir, "c1.json", 0.19, map[string]float64{"bfs": 0.19, "wcc": 0.48, "sssp": 0.095})
+	c2 := writeDoc(t, dir, "c2.json", 0.15, map[string]float64{"bfs": 0.15, "wcc": 0.30, "sssp": 0.07})
+	c3 := writeDoc(t, dir, "c3.json", 0.21, map[string]float64{"bfs": 0.21, "wcc": 0.52, "sssp": 0.11})
+	code, out, errOut := runGate(t, base, []string{c1, c2, c3})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, w := range []string{"bfs", "wcc", "sssp"} {
+		if !strings.Contains(out, w+" ") {
+			t.Fatalf("output lacks a %s gate line:\n%s", w, out)
+		}
+	}
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("output lacks OK:\n%s", out)
+	}
+}
+
+func TestWorkloadRegressionFailsEvenWhenHeadlineHolds(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20, "wcc": 0.50})
+	// Headline and bfs hold; wcc's median drops 40%.
+	cands := []string{
+		writeDoc(t, dir, "c1.json", 0.20, map[string]float64{"bfs": 0.20, "wcc": 0.30}),
+		writeDoc(t, dir, "c2.json", 0.21, map[string]float64{"bfs": 0.21, "wcc": 0.29}),
+		writeDoc(t, dir, "c3.json", 0.19, map[string]float64{"bfs": 0.19, "wcc": 0.31}),
+	}
+	code, out, _ := runGate(t, base, cands)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL: wcc") {
+		t.Fatalf("failure not attributed to wcc:\n%s", out)
+	}
+}
+
+func TestMissingWorkloadInBaselineIsUsageError(t *testing.T) {
+	dir := t.TempDir()
+	// Candidate gained a kcore entry the baseline has never seen: the gate
+	// must demand a regenerated baseline, not silently skip the workload.
+	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20})
+	cand := writeDoc(t, dir, "cand.json", 0.20, map[string]float64{"bfs": 0.20, "kcore": 0.40})
+	code, _, errOut := runGate(t, base, []string{cand})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "kcore") || !strings.Contains(errOut, "missing from the baseline") {
+		t.Fatalf("error does not name the unbaselined workload:\n%s", errOut)
+	}
+}
+
+func TestCandidateMissingBaselineWorkloadIsUsageError(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20, "sssp": 0.10})
+	cand := writeDoc(t, dir, "cand.json", 0.20, map[string]float64{"bfs": 0.20})
+	code, _, errOut := runGate(t, base, []string{cand})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, `missing baseline workload "sssp"`) {
+		t.Fatalf("error does not name the dropped workload:\n%s", errOut)
+	}
+}
+
+func TestHeadlineOnlyV1BaselineStillGates(t *testing.T) {
+	dir := t.TempDir()
+	// A v1-era baseline (no workload entries) gates the headline alone.
+	base := writeDoc(t, dir, "base.json", 0.20, nil)
+	pass := writeDoc(t, dir, "pass.json", 0.19, nil)
+	fail := writeDoc(t, dir, "fail.json", 0.10, nil)
+	if code, out, _ := runGate(t, base, []string{pass}); code != 0 {
+		t.Fatalf("headline within budget: exit %d\n%s", code, out)
+	}
+	if code, out, _ := runGate(t, base, []string{fail}); code != 1 {
+		t.Fatalf("headline regression: exit %d\n%s", code, out)
+	}
+}
+
+func TestConfigMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20})
+	cand := writeDoc(t, dir, "cand.json", 0.20, map[string]float64{"bfs": 0.20})
+	// Tamper with the candidate's config by rewriting it at another scale.
+	doc, err := report.ReadFile(cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Config.Scale = 15
+	if err := doc.WriteFile(cand); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runGate(t, base, []string{cand}); code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, errOut)
+	}
+}

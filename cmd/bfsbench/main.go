@@ -1,15 +1,17 @@
 // Command bfsbench is the Graph 500 style end-to-end runner: generate (or
 // load) an R-MAT graph, partition it with 3-level degree-aware 1.5D
-// partitioning over the requested rank mesh, run the selected kernel (BFS or
-// SSSP) from sampled roots, validate every result, and report harmonic-mean
-// GTEPS plus the time breakdowns of the paper's evaluation.
+// partitioning over the requested rank mesh, run the selected workloads (BFS
+// from sampled roots, plus WCC, k-core and SSSP on the same fast path),
+// validate the results, and report harmonic-mean GTEPS plus the time
+// breakdowns of the paper's evaluation.
 //
 // Usage:
 //
 //	bfsbench -scale 18 -ranks 16 -roots 16
 //	bfsbench -scale 20 -ranks 64 -ethreshold 4096 -hthreshold 256 -segmented
 //	bfsbench -input edges.bin -informat bin -ranks 16
-//	bfsbench -scale 16 -kernel sssp -roots 8
+//	bfsbench -scale 16 -workload bfs,wcc,kcore,sssp -json bench.json
+//	bfsbench -scale 16 -workload kcore -kcore-k 4
 //	bfsbench -scale 16 -faults "seed=42,delay=0.01,fail=0.001" -deadline 5ms
 //	bfsbench -scale 14 -ranks 4 -json bench.json -trace spans.jsonl -trace-chrome trace.json
 package main
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -38,7 +41,9 @@ func main() {
 		cols      = flag.Int("cols", 0, "mesh cols (0 = squarest)")
 		roots     = flag.Int("roots", 16, "number of sampled roots (Graph 500 uses 64)")
 		seed      = flag.Uint64("seed", 42, "generator seed")
-		kernel    = flag.String("kernel", "bfs", "kernel: bfs or sssp")
+		kernel    = flag.String("kernel", "bfs", "kernel: bfs or sssp (legacy alias of -workload)")
+		workload  = flag.String("workload", "", "comma-separated workloads to run: bfs, wcc, kcore, sssp (default: the -kernel value)")
+		kcoreK    = flag.Int64("kcore-k", 2, "peeling threshold for the kcore workload")
 		eThresh   = flag.Int64("ethreshold", 0, "E degree threshold (0 = scale default)")
 		hThresh   = flag.Int64("hthreshold", 0, "H degree threshold (0 = scale default)")
 		segmented = flag.Bool("segmented", false, "enable CG-aware core subgraph segmenting")
@@ -155,15 +160,90 @@ func main() {
 		out.cfgReport.Scale, out.cfgReport.EdgeFactor = 0, 0
 	}
 
-	switch *kernel {
-	case "bfs":
-		runBFS(g, cfg, *roots, *seed, *breakdown, *official, time.Since(t0), out)
-	case "sssp":
-		runSSSP(g, cfg, *roots, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown kernel %q (want bfs or sssp)\n", *kernel)
+	// -workload supersedes -kernel; the legacy flag maps onto the one-element
+	// workload lists it used to select.
+	list := *workload
+	if list == "" {
+		switch *kernel {
+		case "bfs", "sssp":
+			list = *kernel
+		default:
+			fmt.Fprintf(os.Stderr, "unknown kernel %q (want bfs or sssp)\n", *kernel)
+			os.Exit(2)
+		}
+	}
+	names, err := graph500.ParseWorkloads(list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	out.cfgReport.Workload = strings.Join(names, ",")
+
+	t1 := time.Now()
+	r, err := graph500.New(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("partitioned in %v: %d E hubs, %d H hubs over %d ranks\n",
+		time.Since(t1).Round(time.Millisecond),
+		r.Engine.Part.Hubs.NumE, r.Engine.Part.Hubs.NumH, r.Engine.Opt.Ranks)
+	out.cfgReport.Ranks = r.Engine.Opt.Ranks
+	out.cfgReport.MeshRows = r.Engine.Opt.Mesh.Rows
+	out.cfgReport.MeshCols = r.Engine.Opt.Mesh.Cols
+
+	var entries []report.WorkloadEntry
+	var sum *graph500.BenchmarkSummary
+	for _, name := range names {
+		if name == "bfs" {
+			sum = runBFS(r, cfg, *roots, *seed, *breakdown, *official, time.Since(t0))
+			if sum == nil { // -official printed its block and owns the output
+				return
+			}
+			entries = append(entries, sum.WorkloadEntry())
+			continue
+		}
+		t2 := time.Now()
+		entry, err := r.BenchWorkload(name, *kcoreK, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("\n%s on the fast path (%v):\n", name, time.Since(t2).Round(time.Millisecond))
+		switch name {
+		case "wcc":
+			fmt.Printf("  %d components in %d label rounds\n", entry.Components, entry.Iterations)
+		case "kcore":
+			fmt.Printf("  %d-core holds %d vertices after %d peel rounds\n", entry.K, entry.CoreSize, entry.Iterations)
+		case "sssp":
+			fmt.Printf("  root %d: %d relaxations over %d rounds (validated against optimality conditions)\n",
+				entry.Root, entry.Relaxations, entry.Iterations)
+		}
+		fmt.Printf("  %.4f GTEPS (edges touched / second), %d collective bytes\n", entry.GTEPS, entry.CommBytes)
+		entries = append(entries, entry)
+	}
+
+	if out.json != "" {
+		in := report.Inputs{Config: out.cfgReport, Workloads: entries}
+		if sum != nil {
+			in.HarmonicTEPS = sum.HarmonicTEPS
+			in.MeanTEPS = sum.MeanTEPS
+			in.MinTEPS = sum.MinTEPS
+			in.MaxTEPS = sum.MaxTEPS
+			in.MeanSeconds = sum.MeanSeconds
+			in.Traversed = sum.TotalTraversed
+			in.Iterations = sum.Iterations
+			in.Recorder = &sum.Recorder
+			in.Directions = sum.Directions
+			in.Faults = sum.Faults
+			in.Retries = sum.Retries
+			in.RecoveryWall = sum.RecoveryTime
+			in.Recovery = sum.Recovery
+		}
+		if err := report.Build(in).WriteFile(out.json); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote benchmark report to %s\n", out.json)
+	}
+	writeTraces(cfg.Trace, out)
 }
 
 // outputs collects the machine-readable emission targets.
@@ -174,56 +254,22 @@ type outputs struct {
 	cfgReport report.RunConfig
 }
 
-func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, breakdown, official bool, genTime time.Duration, out outputs) {
-	t0 := time.Now()
-	r, err := graph500.New(g, cfg)
-	if err != nil {
-		fatal(err)
-	}
-	buildTime := time.Since(t0)
-	fmt.Printf("partitioned in %v: %d E hubs, %d H hubs over %d ranks\n",
-		buildTime.Round(time.Millisecond),
-		r.Engine.Part.Hubs.NumE, r.Engine.Part.Hubs.NumH, r.Engine.Opt.Ranks)
-
+// runBFS benchmarks BFS on the shared runner and returns the summary for the
+// report, or nil when -official printed the spec's statistics block instead.
+func runBFS(r *graph500.Runner, cfg graph500.Config, roots int, seed uint64, breakdown, official bool, setupTime time.Duration) *graph500.BenchmarkSummary {
 	if official {
-		st, err := r.OfficialRun(roots, seed+1, genTime+buildTime)
+		st, err := r.OfficialRun(roots, seed+1, setupTime)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(st)
-		return
+		return nil
 	}
 
 	sum, err := r.Benchmark(roots, seed+1)
 	if err != nil {
 		fatal(err)
 	}
-	out.cfgReport.Ranks = r.Engine.Opt.Ranks
-	out.cfgReport.MeshRows = r.Engine.Opt.Mesh.Rows
-	out.cfgReport.MeshCols = r.Engine.Opt.Mesh.Cols
-	if out.json != "" {
-		doc := report.Build(report.Inputs{
-			Config:       out.cfgReport,
-			HarmonicTEPS: sum.HarmonicTEPS,
-			MeanTEPS:     sum.MeanTEPS,
-			MinTEPS:      sum.MinTEPS,
-			MaxTEPS:      sum.MaxTEPS,
-			MeanSeconds:  sum.MeanSeconds,
-			Traversed:    sum.TotalTraversed,
-			Iterations:   sum.Iterations,
-			Recorder:     &sum.Recorder,
-			Directions:   sum.Directions,
-			Faults:       sum.Faults,
-			Retries:      sum.Retries,
-			RecoveryWall: sum.RecoveryTime,
-			Recovery:     sum.Recovery,
-		})
-		if err := doc.WriteFile(out.json); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote benchmark report to %s\n", out.json)
-	}
-	defer writeTraces(cfg.Trace, out)
 	fmt.Printf("\n%d validated BFS runs:\n", len(sum.Roots))
 	fmt.Printf("  harmonic mean: %10.4f GTEPS   (the Graph 500 statistic)\n", sum.GTEPS())
 	fmt.Printf("  mean:          %10.4f GTEPS\n", sum.MeanTEPS/1e9)
@@ -258,38 +304,7 @@ func runBFS(g graph500.Graph, cfg graph500.Config, roots int, seed uint64, break
 				rec.CheckpointSegments, rec.CheckpointBytes, rec.CheckpointDropped, rec.CheckpointErrors)
 		}
 	}
-}
-
-func runSSSP(g graph500.Graph, cfg graph500.Config, roots int, seed uint64) {
-	t0 := time.Now()
-	ss, err := graph500.NewSSSP(g, cfg, seed)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("partitioned for SSSP in %v\n", time.Since(t0).Round(time.Millisecond))
-
-	// Sample roots using a throwaway BFS runner's degree table.
-	br, err := graph500.New(g, cfg)
-	if err != nil {
-		fatal(err)
-	}
-	sampled, err := br.SampleRoots(roots, seed+1)
-	if err != nil {
-		fatal(err)
-	}
-	var totalTime time.Duration
-	var totalRelax int64
-	for _, root := range sampled {
-		res, err := ss.RunValidated(root)
-		if err != nil {
-			fatal(fmt.Errorf("root %d: %w", root, err))
-		}
-		totalTime += res.Time
-		totalRelax += res.Relaxations
-	}
-	fmt.Printf("\n%d validated SSSP runs:\n", len(sampled))
-	fmt.Printf("  mean time:        %8.2f ms\n", totalTime.Seconds()*1e3/float64(len(sampled)))
-	fmt.Printf("  mean relaxations: %8d\n", totalRelax/int64(len(sampled)))
+	return sum
 }
 
 // writeTraces dumps the recorded span timeline in the requested formats.

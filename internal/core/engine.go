@@ -461,54 +461,66 @@ func (e *Engine) ensureGraphTier(store *checkpoint.Store) (segs, bytes int64, er
 	return segs + 1, bytes + n, nil
 }
 
+// workloadFactory builds one rank's workload state for an epoch. The factory
+// runs once per rank per world epoch — a rebuilt world re-creates every
+// workload and replays it from checkpoint.
+type workloadFactory func(e *Engine, r *comm.Rank) workload
+
 // runEpoch executes one world epoch: every rank of the current world runs the
-// bfs loop, resuming from resumeIter when >= -1 (replaced marks rank slots
-// whose predecessor died last epoch). A fail-stop surfaces as *deadWorldError
-// in errs on every rank.
-func (e *Engine) runEpoch(root int64, store *checkpoint.Store, scope *checkpoint.RunScope,
-	resumeIter int64, replaced map[int]bool) ([]*rankState, [][]IterTrace, []error) {
-	states := make([]*rankState, e.Opt.Ranks)
+// shared driver loop over its workload, resuming from resumeIter when >= -1
+// (replaced marks rank slots whose predecessor died last epoch). A fail-stop
+// surfaces as *deadWorldError in errs on every rank.
+func (e *Engine) runEpoch(mk workloadFactory, store *checkpoint.Store, scope *checkpoint.RunScope,
+	resumeIter int64, replaced map[int]bool) ([]workload, [][]IterTrace, []error) {
+	states := make([]workload, e.Opt.Ranks)
 	traces := make([][]IterTrace, e.Opt.Ranks)
 	errs := make([]error, e.Opt.Ranks)
 	e.World.Run(func(r *comm.Rank) {
-		st := newRankState(e, r)
-		st.store, st.scope = store, scope
-		st.resumeIter = resumeIter
-		st.replaced = replaced[r.ID]
-		states[r.ID] = st
-		traces[r.ID], errs[r.ID] = st.bfs(root)
-		st.rec.Faults = r.Faults
-		st.rec.Retries = st.retries
-		st.rec.Recovery = st.recovery
+		wl := mk(e, r)
+		d := wl.drv()
+		d.store, d.scope = store, scope
+		d.resumeIter = resumeIter
+		d.replaced = replaced[r.ID]
+		states[r.ID] = wl
+		traces[r.ID], errs[r.ID] = d.runLoop(wl)
+		d.rec.Faults = r.Faults
+		d.rec.Retries = d.retries
+		d.rec.Recovery = d.recovery
 	})
 	return states, traces, errs
 }
 
-// Run executes one BFS from root and assembles the global result. Under a
-// fault transport the run may fail even after retries; the Result is still
-// returned alongside the error so callers can inspect the fault and retry
-// accounting of the doomed run.
-//
-// A fail-stop (a Kill fault) does not fail the run when CheckpointDir is set:
-// the engine detects the agreed-dead ranks, rebuilds the world as a new epoch
-// (Options.Recovery selects shrink vs restore), replays every rank from the
-// latest complete checkpoint and continues, recording the cost in
-// Result.Recovery. With checkpointing off, recovery degrades to a full
-// restart of the traversal under the new world.
-func (e *Engine) Run(root int64) (*Result, error) {
-	n := e.Part.Layout.N
-	if root < 0 || root >= n {
-		return nil, fmt.Errorf("core: root %d out of [0,%d)", root, n)
-	}
-	res := &Result{Root: root, Parent: make([]int64, n), Recorder: &stats.Recorder{}}
-	for i := range res.Parent {
-		res.Parent[i] = -1
-	}
-	res.Recovery.LastResumeIter = -2
+// runCommon is the workload-agnostic outcome of Engine.execute: everything a
+// public entry point (Run, RunWCC, RunKCore, RunSSSP) needs to assemble its
+// result type.
+type runCommon struct {
+	states       []workload
+	trace        []IterTrace
+	time         time.Duration
+	recorder     *stats.Recorder
+	perRank      []*stats.Recorder
+	faults       comm.FaultStats
+	retries      int64
+	recoveryTime time.Duration
+	recovery     stats.RecoveryStats
+	scopeName    string
+	err          error
+}
+
+// execute is the shared run skeleton behind every workload entry point:
+// checkpoint store/scope setup (scope named "run%03d-<suffix>"), the world
+// epoch loop with fail-stop detection, world rebuild and checkpoint resume,
+// trace stitching onto the absolute iteration axis, and the recovery/fault
+// accounting fold. A returned error means the run never started (store
+// setup failed); an error from the run itself lands in runCommon.err with
+// the partial accounting intact.
+func (e *Engine) execute(suffix string, spanArgs map[string]int64, mk workloadFactory) (*runCommon, error) {
+	rc := &runCommon{recorder: &stats.Recorder{}}
+	rc.recovery.LastResumeIter = -2
 
 	var store *checkpoint.Store
 	var scope *checkpoint.RunScope
-	resumeIter := int64(-2) // -2 = fresh start (plant the root)
+	resumeIter := int64(-2) // -2 = fresh start (bootstrap the workload)
 	if e.Opt.CheckpointDir != "" {
 		var err error
 		store, err = checkpoint.Open(e.Opt.CheckpointDir)
@@ -519,12 +531,12 @@ func (e *Engine) Run(root int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Recovery.CheckpointSegments += segs
-		res.Recovery.CheckpointBytes += bytes
+		rc.recovery.CheckpointSegments += segs
+		rc.recovery.CheckpointBytes += bytes
 		name, resuming := e.resumeFrom, e.resumeFrom != ""
 		e.resumeFrom = ""
 		if !resuming {
-			name = fmt.Sprintf("run%03d-root%d", e.runSeq, root)
+			name = fmt.Sprintf("run%03d-%s", e.runSeq, suffix)
 			e.runSeq++
 		}
 		scope, err = store.Scope(name)
@@ -543,30 +555,31 @@ func (e *Engine) Run(root int64) (*Result, error) {
 	if e.tr != nil {
 		runT0 = e.tr.Now()
 		e.tr.Emit(trace.Span{Kind: trace.KindEvent, Iter: -1, Step: -1,
-			Name: "run_start", Start: runT0, Args: map[string]int64{"root": root}})
+			Name: "run_start", Start: runT0, Args: spanArgs})
 	}
 	replaced := map[int]bool{}
 	var full []IterTrace
-	var states []*rankState
+	var states []workload
 	var runErr error
 	for {
 		if resumeIter >= -1 {
-			res.Recovery.LastResumeIter = resumeIter
+			rc.recovery.LastResumeIter = resumeIter
 		}
 		var traces [][]IterTrace
 		var errs []error
-		states, traces, errs = e.runEpoch(root, store, scope, resumeIter, replaced)
+		states, traces, errs = e.runEpoch(mk, store, scope, resumeIter, replaced)
 		var maxReplay time.Duration
-		for _, st := range states {
-			res.Recorder.Merge(st.rec)
-			if st.recovery > res.RecoveryTime {
-				res.RecoveryTime = st.recovery
+		for _, wl := range states {
+			d := wl.drv()
+			rc.recorder.Merge(d.rec)
+			if d.recovery > rc.recoveryTime {
+				rc.recoveryTime = d.recovery
 			}
-			if st.replayDur > maxReplay {
-				maxReplay = st.replayDur
+			if d.replayDur > maxReplay {
+				maxReplay = d.replayDur
 			}
 		}
-		res.Recovery.RecoveryTime += maxReplay
+		rc.recovery.RecoveryTime += maxReplay
 
 		// Stitch this epoch's trace onto the absolute iteration axis: the
 		// epoch re-executed everything past the checkpoint it resumed from.
@@ -591,11 +604,11 @@ func (e *Engine) Run(root int64) (*Result, error) {
 		if e.tr != nil {
 			recT0 = e.tr.Now()
 		}
-		res.Recovery.Epochs++
-		res.Recovery.RanksLost += int64(len(dead))
-		if res.Recovery.Epochs > int64(e.Opt.Ranks) {
+		rc.recovery.Epochs++
+		rc.recovery.RanksLost += int64(len(dead))
+		if rc.recovery.Epochs > int64(e.Opt.Ranks) {
 			runErr = fmt.Errorf("core: %d world epochs exhausted: %w: %w",
-				res.Recovery.Epochs, ErrNoConvergence, comm.ErrRankDead)
+				rc.recovery.Epochs, ErrNoConvergence, comm.ErrRankDead)
 			break
 		}
 		nw, err := e.World.NextEpoch(dead, e.Opt.Recovery.rebuild())
@@ -619,19 +632,19 @@ func (e *Engine) Run(root int64) (*Result, error) {
 			replayFrom = 0
 		}
 		if completed := int64(len(full)); completed > replayFrom {
-			res.Recovery.IterationsReplayed += completed - replayFrom
+			rc.recovery.IterationsReplayed += completed - replayFrom
 		}
-		res.Recovery.RecoveryTime += time.Since(recStart)
+		rc.recovery.RecoveryTime += time.Since(recStart)
 		if e.tr != nil {
 			e.tr.Emit(trace.Span{Kind: trace.KindRecovery,
-				Epoch: int(res.Recovery.Epochs), Iter: resumeIter, Step: -1,
+				Epoch: int(rc.recovery.Epochs), Iter: resumeIter, Step: -1,
 				Name: "world_rebuild", Start: recT0, Dur: e.tr.Now() - recT0,
 				Args: map[string]int64{"ranks_lost": int64(len(dead))}})
 		}
 	}
-	res.Time = time.Since(start)
+	rc.time = time.Since(start)
 	if e.tr != nil {
-		sp := trace.Span{Kind: trace.KindEvent, Epoch: int(res.Recovery.Epochs),
+		sp := trace.Span{Kind: trace.KindEvent, Epoch: int(rc.recovery.Epochs),
 			Iter: -1, Step: -1, Name: "run", Start: runT0, Dur: e.tr.Now() - runT0}
 		if runErr != nil {
 			sp.Err = 1
@@ -639,34 +652,78 @@ func (e *Engine) Run(root int64) (*Result, error) {
 		e.tr.Emit(sp)
 	}
 
-	res.Trace = full
-	res.Iterations = len(full)
-	for _, st := range states {
-		res.PerRank = append(res.PerRank, st.rec)
+	rc.states = states
+	rc.trace = full
+	for _, wl := range states {
+		rc.perRank = append(rc.perRank, wl.drv().rec)
 	}
-	res.Faults = res.Recorder.Faults
-	res.Retries = res.Recorder.Retries
+	rc.faults = rc.recorder.Faults
+	rc.retries = rc.recorder.Retries
 	// Fold the rank-side accounting (checkpoint writers, replay bytes) into
 	// the engine-side recovery record; Add leaves LastResumeIter alone.
-	res.Recovery.Add(&res.Recorder.FailStop)
-	res.Recorder.FailStop = res.Recovery
+	rc.recovery.Add(&rc.recorder.FailStop)
+	rc.recorder.FailStop = rc.recovery
+	rc.err = runErr
 	if runErr == nil {
-		for _, st := range states {
-			st.writeParents(res.Parent)
-		}
-		res.TraversedEdges = e.countTraversedEdges(res.Parent)
 		if scope != nil {
 			if e.Opt.KeepCheckpoints {
-				res.CheckpointScope = scope.Name()
+				rc.scopeName = scope.Name()
 			} else {
 				_ = scope.Remove()
 			}
 		}
 	} else if scope != nil {
 		// A failed run keeps its scope: it is the restart path (ResumeFrom).
-		res.CheckpointScope = scope.Name()
+		rc.scopeName = scope.Name()
 	}
-	return res, runErr
+	return rc, nil
+}
+
+// Run executes one BFS from root and assembles the global result. Under a
+// fault transport the run may fail even after retries; the Result is still
+// returned alongside the error so callers can inspect the fault and retry
+// accounting of the doomed run.
+//
+// A fail-stop (a Kill fault) does not fail the run when CheckpointDir is set:
+// the engine detects the agreed-dead ranks, rebuilds the world as a new epoch
+// (Options.Recovery selects shrink vs restore), replays every rank from the
+// latest complete checkpoint and continues, recording the cost in
+// Result.Recovery. With checkpointing off, recovery degrades to a full
+// restart of the traversal under the new world.
+func (e *Engine) Run(root int64) (*Result, error) {
+	n := e.Part.Layout.N
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("core: root %d out of [0,%d)", root, n)
+	}
+	rc, err := e.execute(fmt.Sprintf("root%d", root), map[string]int64{"root": root},
+		func(e *Engine, r *comm.Rank) workload { return newRankState(e, r, root) })
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Root:            root,
+		Parent:          make([]int64, n),
+		Iterations:      len(rc.trace),
+		Time:            rc.time,
+		Recorder:        rc.recorder,
+		PerRank:         rc.perRank,
+		Trace:           rc.trace,
+		Faults:          rc.faults,
+		Retries:         rc.retries,
+		RecoveryTime:    rc.recoveryTime,
+		Recovery:        rc.recovery,
+		CheckpointScope: rc.scopeName,
+	}
+	for i := range res.Parent {
+		res.Parent[i] = -1
+	}
+	if rc.err == nil {
+		for _, wl := range rc.states {
+			wl.(*rankState).writeParents(res.Parent)
+		}
+		res.TraversedEdges = e.countTraversedEdges(res.Parent)
+	}
+	return res, rc.err
 }
 
 // countTraversedEdges sums degrees of reachable vertices / 2 (each undirected

@@ -1,20 +1,15 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"math/bits"
-	"time"
-
 	"repro/internal/bitmap"
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/partition"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
-// rankState is the per-rank BFS working set.
+// rankState is the per-rank BFS working set: the workload implementation the
+// shared driver loop (workload.go) runs for Engine.Run.
 //
 // Hub (E and H) state is delegated: every rank holds full hubFrontier and
 // hubVisited bitmaps over the K hubs, kept coherent by column+row
@@ -23,17 +18,9 @@ import (
 // activated in the current iteration (the next hub frontier). L state is
 // owner-local only.
 type rankState struct {
-	e   *Engine
-	r   *comm.Rank
-	rg  *partition.RankGraph
-	rec *stats.Recorder
+	driver
 
-	// tr is the rank's span stream (nil when tracing is off); curIter,
-	// curStep and curAttempt are the coordinates stamped on emitted spans.
-	tr         *trace.Stream
-	curIter    int64
-	curStep    int
-	curAttempt int
+	root int64
 
 	k          int // hub count
 	numE, numL int64
@@ -57,35 +44,11 @@ type rankState struct {
 	activeL int64
 	visitL  int64
 
-	// Sparse-tail plumbing. sparse holds the iteration's per-component
-	// dense-vs-sparse choices and batchRow whether the H2L and L2H payloads
-	// ride one batched row exchange; both are set once per iteration by
-	// chooseDirections, so retries of the same iteration keep the same
-	// collective schedule. lastIterBytes is the previous iteration's
-	// globally summed data-plane bytes, fed back by the epilogue allreduce
-	// (-1 = unknown: the first iteration, and the first after a checkpoint
-	// resume — identically on every rank, which keeps the adaptive choice in
-	// lockstep). iterBytesBase is the recorder's byte total at iteration
-	// start; pendRow buffers batched updates between the H2L and L2H
-	// kernels.
-	sparse        [partition.NumComponents]bool
-	batchRow      bool
-	lastIterBytes int64
-	iterBytesBase int64
-	pendRow       []comm.SparseUpdate
+	// pendNewHubs/pendAL stage the epilogue's agreed global counts between
+	// step 3 and endIter (committed only after the iteration passes the vote).
+	pendNewHubs, pendAL int64
 
-	// resilience bookkeeping (only exercised under a fault transport)
-	retries  int64
-	recovery time.Duration
-
-	// Fail-stop recovery plumbing, set by the engine before bfs runs.
-	store       *checkpoint.Store    // nil when checkpointing is off
-	scope       *checkpoint.RunScope // nil when checkpointing is off
-	resumeIter  int64                // -2 fresh start; >= -1 replay the chain to here
-	replaced    bool                 // slot died last epoch: reload the graph tier
-	writer      *checkpoint.Writer
-	resumeState *checkpoint.State // replayed state, seeds the writer's shadow
-	replayDur   time.Duration     // wall clock spent replaying (engine takes the max)
+	snaps [numSteps]iterSnapshot
 }
 
 // One iteration is four steps, each ending at a consistent collective
@@ -107,18 +70,16 @@ const numSteps = 4
 // behind is either re-performed identically by the retry or is already a
 // correct parent for that vertex.
 //
-// The stats recorder IS captured (by value: it is all arrays and scalars).
-// A retry re-enters runStep mid-iteration and re-observes the re-executed
-// kernels; without rolling the recorder back to the step boundary, the
-// failed attempt's timings, traffic volumes and edge touches would stay in
-// the aggregates and double-count every re-entered span. Trace spans are
-// deliberately NOT rolled back — the timeline shows what actually ran, with
-// failed attempts distinguished by their Attempt field.
+// The stats recorder is captured by the driver alongside this snapshot
+// (driver.recSnaps): a retry re-enters mid-iteration and re-observes the
+// re-executed kernels, so the failed attempt's observations must not stay in
+// the aggregates. Trace spans are deliberately NOT rolled back — the timeline
+// shows what actually ran, with failed attempts distinguished by their
+// Attempt field.
 type iterSnapshot struct {
 	hubFrontier, hubVisited, hubNew, hubIter []uint64
 	lFrontier, lVisited, lNew                []uint64
 	activeL, visitL                          int64
-	rec                                      stats.Recorder
 }
 
 func snapWords(dst *[]uint64, src *bitmap.Bitmap) {
@@ -130,7 +91,8 @@ func snapWords(dst *[]uint64, src *bitmap.Bitmap) {
 	copy(*dst, w)
 }
 
-func (st *rankState) snapshot(s *iterSnapshot) {
+func (st *rankState) snapshot(g int) {
+	s := &st.snaps[g]
 	snapWords(&s.hubFrontier, st.hubFrontier)
 	snapWords(&s.hubVisited, st.hubVisited)
 	snapWords(&s.hubNew, st.hubNew)
@@ -140,10 +102,10 @@ func (st *rankState) snapshot(s *iterSnapshot) {
 	snapWords(&s.lNew, st.lNew)
 	s.activeL = st.activeL
 	s.visitL = st.visitL
-	s.rec = *st.rec
 }
 
-func (st *rankState) restore(s *iterSnapshot) {
+func (st *rankState) restore(g int) {
+	s := &st.snaps[g]
 	copy(st.hubFrontier.Words(), s.hubFrontier)
 	copy(st.hubVisited.Words(), s.hubVisited)
 	copy(st.hubNew.Words(), s.hubNew)
@@ -153,20 +115,14 @@ func (st *rankState) restore(s *iterSnapshot) {
 	copy(st.lNew.Words(), s.lNew)
 	st.activeL = s.activeL
 	st.visitL = s.visitL
-	*st.rec = s.rec
 }
 
-func newRankState(e *Engine, r *comm.Rank) *rankState {
+func newRankState(e *Engine, r *comm.Rank, root int64) *rankState {
 	per := int(e.Part.Layout.PerRank)
 	k := e.Part.Hubs.K()
 	st := &rankState{
-		e:           e,
-		r:           r,
-		rg:          e.Part.Ranks[r.ID],
-		rec:         &stats.Recorder{},
-		tr:          r.Trace(),
-		curIter:     -1,
-		curStep:     -1,
+		driver:      newDriver(e, r, e.Opt.MaxIterations),
+		root:        root,
 		k:           k,
 		numE:        int64(e.Part.Hubs.NumE),
 		numL:        e.Part.Layout.N - int64(k),
@@ -179,9 +135,6 @@ func newRankState(e *Engine, r *comm.Rank) *rankState {
 		lVisited:    bitmap.New(per),
 		lNew:        bitmap.New(per),
 		parentL:     make([]int64, per),
-		resumeIter:  -2,
-
-		lastIterBytes: -1,
 	}
 	for i := range st.parentHub {
 		st.parentHub[i] = -1
@@ -192,12 +145,15 @@ func newRankState(e *Engine, r *comm.Rank) *rankState {
 	return st
 }
 
-// plantRoot seeds the bootstrap state: the root in its frontier, then the
+func (st *rankState) drv() *driver { return &st.driver }
+
+// bootstrap seeds the fresh-start state: the root in its frontier, then the
 // global L counts for direction decisions. Bootstrap rides the control plane:
 // there is no prior consistent state to retry from.
-func (st *rankState) plantRoot(root int64) {
+func (st *rankState) bootstrap() error {
 	layout := st.e.Part.Layout
 	hubs := st.e.Part.Hubs
+	root := st.root
 	if h, ok := hubs.HubOf(root); ok {
 		st.hubFrontier.Set(int(h))
 		st.hubVisited.Set(int(h))
@@ -212,34 +168,22 @@ func (st *rankState) plantRoot(root int64) {
 	}
 	st.activeL = comm.ControlSumInt64(st.r.World, st.activeL)
 	st.visitL = comm.ControlSumInt64(st.r.World, st.visitL)
+	return nil
 }
 
-// loadCheckpoint rebuilds the rank's iteration state by replaying the delta
-// chain up to resumeIter. A replaced rank slot (its predecessor fail-stopped
-// last epoch) additionally reloads and verifies its graph-tier partition —
-// the read a rejoining replacement pays, and the bulk of BytesRestored.
-// Segments beyond the resume point are truncated: the re-executed iterations
-// rewrite them, and a stale or torn tail must not shadow the rewrite.
-func (st *rankState) loadCheckpoint() error {
-	hubWords := len(st.hubFrontier.Words())
-	lWords := len(st.lFrontier.Words())
-	cs, n, err := st.scope.Replay(st.r.ID, st.resumeIter, hubWords, lWords, len(st.parentHub), len(st.parentL))
-	st.rec.FailStop.BytesRestored += n
-	if err != nil {
-		return err
+// ckpt exposes the BFS checkpoint geometry: frontier/visited bitmaps plus
+// both parent arrays. hubNew/hubIter/lNew are all empty at every capture
+// point, so they are not part of the on-disk state.
+func (st *rankState) ckpt() ckptSlices {
+	return ckptSlices{
+		hubF: st.hubFrontier.Words(), hubV: st.hubVisited.Words(),
+		lF: st.lFrontier.Words(), lV: st.lVisited.Words(),
+		pHub: st.parentHub, pL: st.parentL,
+		activeL: st.activeL, visitL: st.visitL,
 	}
-	if st.replaced && st.store != nil {
-		var rg partition.RankGraph
-		gn, err := st.store.ReadRankGraph(st.r.ID, &rg)
-		st.rec.FailStop.BytesRestored += gn
-		if err != nil {
-			return err
-		}
-		if rg.LocalN != st.rg.LocalN {
-			return fmt.Errorf("core: graph tier for rank %d has LocalN %d, want %d",
-				st.r.ID, rg.LocalN, st.rg.LocalN)
-		}
-	}
+}
+
+func (st *rankState) loadState(cs *checkpoint.State) {
 	copy(st.hubFrontier.Words(), cs.HubFrontier)
 	copy(st.hubVisited.Words(), cs.HubVisited)
 	copy(st.lFrontier.Words(), cs.LFrontier)
@@ -248,348 +192,40 @@ func (st *rankState) loadCheckpoint() error {
 	copy(st.parentL, cs.ParentL)
 	st.activeL = cs.ActiveL
 	st.visitL = cs.VisitL
-	st.resumeState = cs
-	return st.scope.Truncate(st.r.ID, st.resumeIter)
 }
 
-// capture queues the state as of completing iteration iter to the async
-// checkpoint writer; the synchronous cost is one memcpy into a capture
-// buffer. must forces it through (the bootstrap segment, without which the
-// chain is useless) instead of dropping when both buffers are in flight.
-// hubNew/hubIter/lNew are all empty at every capture point, so they are not
-// part of the on-disk state.
-func (st *rankState) capture(iter int64, must bool) {
-	var s0 int64
-	if st.tr != nil {
-		s0 = st.tr.Now()
-	}
-	ok := st.writer.Checkpoint(iter, must,
-		st.hubFrontier.Words(), st.hubVisited.Words(),
-		st.lFrontier.Words(), st.lVisited.Words(),
-		st.parentHub, st.parentL, st.activeL, st.visitL)
-	if st.tr != nil {
-		sp := trace.Span{Kind: trace.KindCheckpoint, Epoch: st.r.Epoch(),
-			Iter: iter, Step: -1, Name: "capture", Start: s0, Dur: st.tr.Now() - s0}
-		if !ok {
-			sp.Args = map[string]int64{"dropped": 1}
-		}
-		st.tr.Emit(sp)
-	}
+// beginIter fills the frontier composition and latches the iteration's
+// direction and sparse choices (chooseDirections), which retries keep.
+func (st *rankState) beginIter(it *IterTrace) {
+	it.ActiveE = int64(st.hubFrontier.CountRange(0, int(st.numE)))
+	it.ActiveH = int64(st.hubFrontier.CountRange(int(st.numE), st.k))
+	it.ActiveL = st.activeL
+	st.chooseDirections(it)
+	st.pendNewHubs, st.pendAL = 0, 0
 }
 
-// vote is the retry-boundary agreement over the reliable control plane.
-// Word 0 ORs every rank's failed-step mask; the remaining words OR a
-// dead-rank bitmask assembled from typed collective errors plus the rank's
-// own death latch — a dead rank keeps participating in control collectives,
-// so the "zombie" acts as its own failure detector and no timeout is needed
-// for unanimous detection. Returns the global step mask and the agreed
-// dead-rank list.
-func (st *rankState) vote(stepMask uint64, errs ...error) (uint64, []int) {
-	ranks := st.e.Opt.Ranks
-	words := make([]uint64, 1+(ranks+63)/64)
-	words[0] = stepMask
-	for _, err := range errs {
-		var ce *comm.CollectiveError
-		if errors.As(err, &ce) && errors.Is(ce.Err, comm.ErrRankDead) {
-			words[1+ce.Rank/64] |= 1 << uint(ce.Rank%64)
-		}
-	}
-	if st.r.Dead() {
-		words[1+st.r.ID/64] |= 1 << uint(st.r.ID%64)
-	}
-	agg := comm.ControlOrWords(st.r.World, words)
-	var dead []int
-	for i := 0; i < ranks; i++ {
-		if agg[1+i/64]&(1<<uint(i%64)) != 0 {
-			dead = append(dead, i)
-		}
-	}
-	return agg[0], dead
+func (st *rankState) step(g int, it *IterTrace) error {
+	return st.runStep(g, it.Directions, &st.pendNewHubs, &st.pendAL)
 }
 
-// commBytes is the recorder's total observed data-plane traffic; deltas of it
-// across an iteration feed the sparse-tail byte ceiling.
-func commBytes(rec *stats.Recorder) int64 {
-	v := rec.CommBreakdown()
-	return v.TotalBytes()
+// endIter commits the epilogue's agreed counts; the run converges when no
+// hub and no L vertex was newly discovered.
+func (st *rankState) endIter(it *IterTrace) bool {
+	st.activeL = st.pendAL
+	st.visitL += st.pendAL
+	return st.pendNewHubs+st.pendAL == 0
 }
 
-func firstErr(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// bfs runs the main loop for one world epoch and returns the iteration trace.
-// All ranks execute it in lockstep; every collective below is reached by
-// every rank in the same order (direction choices derive from globally
-// consistent state).
-//
-// Under a fault transport the loop becomes a step-granular retry loop: each
-// of an iteration's four steps is snapshotted on entry, collective errors are
-// collected without breaking the collective schedule, and at the iteration
-// boundary all ranks vote over the reliable control plane. The vote carries a
-// failed-step mask — transient errors restore to the lowest globally failed
-// step and re-execute only from there, so components that completed cleanly
-// on every rank are not re-run — and a dead-rank bitmask. Death is the one
-// non-retryable verdict: every rank returns a *deadWorldError and the engine
-// rebuilds the world at the next epoch and resumes from checkpoint. Retry is
-// idempotent because visited/parent updates are monotone. MaxRetries
-// consecutive failed votes (or MaxIterations without an empty frontier) abort
-// with ErrNoConvergence.
-func (st *rankState) bfs(root int64) ([]IterTrace, error) {
-	faulty := st.r.Faulty()
-
-	// Epoch setup point: a rank can die before the traversal proper — the
-	// "failure during partitioning/setup" case — modeled as a tagged barrier
-	// at epoch start plus a death vote. Only run under a fault transport;
-	// a reliable world has nothing to detect.
-	if faulty {
-		st.r.SetIter(-1)
-		st.r.SetTag(TagSetup)
-		berr := st.r.World.Barrier()
-		if _, dead := st.vote(0, berr); len(dead) > 0 {
-			return nil, &deadWorldError{dead: dead}
-		}
-		// A transient setup-barrier error is harmless: the barrier carries
-		// no state and the vote just agreed nobody died.
-	}
-
-	startIter := 0
-	var initErr error
-	if st.scope != nil && st.resumeIter >= -1 {
-		t0 := time.Now()
-		var s0 int64
-		if st.tr != nil {
-			s0 = st.tr.Now()
-		}
-		initErr = st.loadCheckpoint()
-		st.replayDur = time.Since(t0)
-		if st.tr != nil {
-			sp := trace.Span{Kind: trace.KindRecovery, Iter: st.resumeIter, Step: -1,
-				Name: "replay", Start: s0, Dur: st.tr.Now() - s0,
-				Bytes: st.rec.FailStop.BytesRestored}
-			if initErr != nil {
-				sp.Err = 1
-			}
-			st.tr.Emit(sp)
-		}
-		startIter = int(st.resumeIter) + 1
-	} else {
-		st.plantRoot(root)
-		if st.scope != nil {
-			// A fresh start over an existing scope (e.g. a chain too torn to
-			// resume) must clear any stale tail before rewriting it.
-			initErr = st.scope.Truncate(st.r.ID, -1)
-		}
-	}
-	if st.scope != nil && initErr == nil {
-		// The async writer goroutine records on its own forked stream: a
-		// trace stream is single-writer and the rank goroutine keeps st.tr.
-		var wtr *trace.Stream
-		if st.tr != nil {
-			wtr = st.tr.Fork()
-		}
-		st.writer, initErr = checkpoint.NewWriter(st.scope, st.r.ID,
-			len(st.hubFrontier.Words()), len(st.lFrontier.Words()),
-			len(st.parentHub), len(st.parentL), st.resumeState, wtr)
-	}
-	if st.writer != nil {
-		defer func() {
-			ws := st.writer.Close()
-			st.rec.FailStop.CheckpointSegments += ws.Segments
-			st.rec.FailStop.CheckpointBytes += ws.Bytes
-			st.rec.FailStop.CheckpointDropped += ws.Dropped
-			st.rec.FailStop.CheckpointErrors += ws.Errors
-		}()
-	}
-	if st.scope != nil {
-		// Init vote: a rank aborting on a local replay/setup error must not
-		// leave the others stuck in the iteration loop's collectives. Rides
-		// the control plane, with or without a fault transport.
-		var bad int64
-		if initErr != nil {
-			bad = 1
-		}
-		if comm.ControlSumInt64(st.r.World, bad) > 0 {
-			if initErr == nil {
-				initErr = errRemoteRank
-			}
-			return nil, fmt.Errorf("core: checkpoint init failed: %w", initErr)
-		}
-		if st.resumeState == nil {
-			st.capture(-1, true)
-		}
-	}
-
-	var snaps [numSteps]iterSnapshot
-	var itrace []IterTrace
-	attempt := 0
-	converged := false
-	for iter := startIter; iter < st.e.Opt.MaxIterations; iter++ {
-		st.r.SetIter(int64(iter))
-		st.curIter = int64(iter)
-		st.curAttempt = attempt
-		attemptStart := time.Now()
-		st.iterBytesBase = commBytes(st.rec)
-		it := IterTrace{
-			ActiveE: int64(st.hubFrontier.CountRange(0, int(st.numE))),
-			ActiveH: int64(st.hubFrontier.CountRange(int(st.numE), st.k)),
-			ActiveL: st.activeL,
-		}
-		st.chooseDirections(&it)
-		var newHubs, al int64
-		g := 0
-		for {
-			st.curAttempt = attempt
-			var stepErrs [numSteps]error
-			var failMask uint64
-			for ; g < numSteps; g++ {
-				st.curStep = g
-				if faulty {
-					st.snapshot(&snaps[g])
-				}
-				if err := st.runStep(g, it.Directions, &newHubs, &al); err != nil {
-					stepErrs[g] = err
-					failMask |= 1 << uint(g)
-				}
-			}
-			if !faulty {
-				break // a reliable world's collectives cannot fail
-			}
-			// Agreement: which steps failed anywhere, and did anyone die?
-			gmask, dead := st.vote(failMask, stepErrs[:]...)
-			if len(dead) > 0 {
-				return itrace, &deadWorldError{dead: dead}
-			}
-			if gmask == 0 {
-				attempt = 0
-				break
-			}
-			attempt++
-			st.retries++
-			if attempt > st.e.Opt.MaxRetries {
-				err := firstErr(stepErrs[:])
-				if err == nil {
-					err = errRemoteRank
-				}
-				st.recovery += time.Since(attemptStart)
-				return itrace, fmt.Errorf("core: iteration %d still failing after %d retries: %w: %w",
-					iter, st.e.Opt.MaxRetries, ErrNoConvergence, err)
-			}
-			// Re-enter at the lowest step any rank failed: steps below it
-			// completed cleanly on every rank, so their work stands. Every
-			// rank restores the same step's snapshot, keeping the collective
-			// schedule from there identical.
-			g = bits.TrailingZeros64(gmask)
-			st.restore(&snaps[g])
-			if st.tr != nil {
-				st.tr.Emit(trace.Span{Kind: trace.KindRecovery, Iter: st.curIter,
-					Step: g, Attempt: attempt, Name: "retry", Start: st.tr.Now(),
-					Args: map[string]int64{"step_mask": int64(gmask)}})
-			}
-			time.Sleep(st.e.Opt.RetryBackoff << uint(attempt-1))
-			st.recovery += time.Since(attemptStart)
-			attemptStart = time.Now()
-		}
-		st.curStep = -1
-
-		itrace = append(itrace, it)
-		st.activeL = al
-		st.visitL += al
-		if newHubs+al == 0 {
-			converged = true
-			break
-		}
-		if st.writer != nil && iter%st.e.Opt.CheckpointEvery == 0 {
-			st.capture(int64(iter), false)
-		}
-	}
-	if !converged {
-		return itrace, fmt.Errorf("core: frontier still active after %d iterations: %w",
-			st.e.Opt.MaxIterations, ErrNoConvergence)
-	}
-
-	// Delayed reduction of the delegated parent array (Section 5): one
-	// world-wide max-reduce after the run instead of per-iteration traffic.
-	// The reduction is idempotent (element-wise max over monotone parents),
-	// so under faults it retries with the same vote protocol as iterations.
-	// A fail-stop here still aborts to the engine, which replays the final
-	// iteration from checkpoint and reduces under the new world.
-	st.r.SetTag(TagReduce)
-	for attempt := 0; ; attempt++ {
-		t0 := time.Now()
-		st.curAttempt = attempt
-		// Same rollback discipline as the step retry loop: a re-executed
-		// reduction re-observes PhaseReduce, so the failed attempt's
-		// observation must not stay in the aggregates.
-		var recSnap stats.Recorder
-		if faulty {
-			recSnap = *st.rec
-		}
-		err := st.reduceParents()
-		if !faulty {
-			return itrace, err
-		}
-		var bad uint64
-		if err != nil {
-			bad = 1
-		}
-		gmask, dead := st.vote(bad, err)
-		if len(dead) > 0 {
-			return itrace, &deadWorldError{dead: dead}
-		}
-		if gmask == 0 {
-			return itrace, nil
-		}
-		st.retries++
-		if attempt >= st.e.Opt.MaxRetries {
-			st.recovery += time.Since(t0)
-			if err == nil {
-				err = errRemoteRank
-			}
-			return itrace, fmt.Errorf("core: parent reduction still failing after %d retries: %w: %w",
-				st.e.Opt.MaxRetries, ErrNoConvergence, err)
-		}
-		*st.rec = recSnap
-		if st.tr != nil {
-			st.tr.Emit(trace.Span{Kind: trace.KindRecovery, Iter: st.curIter,
-				Step: -1, Attempt: attempt, Name: "retry_reduce", Start: st.tr.Now()})
-		}
-		time.Sleep(st.e.Opt.RetryBackoff << uint(attempt))
-		st.recovery += time.Since(t0)
-	}
+// finalize is the delayed reduction of the delegated parent array
+// (Section 5): one world-wide max-reduce after the run instead of
+// per-iteration traffic.
+func (st *rankState) finalize() error {
+	return st.reduceParents()
 }
 
 // reduceParents max-reduces the delegated parent array across all ranks.
 func (st *rankState) reduceParents() error {
-	t0 := time.Now()
-	var s0 int64
-	if st.tr != nil {
-		s0 = st.tr.Now()
-	}
-	base := st.r.Stats
-	var err error
-	if len(st.parentHub) > 0 {
-		err = comm.AllreduceMaxInt64(st.r.World, st.parentHub)
-	}
-	delta := st.r.Stats.Delta(&base)
-	st.rec.Observe(stats.PhaseReduce, stats.DirNone, time.Since(t0), delta, 0)
-	if st.tr != nil {
-		intra, inter := delta.Totals()
-		sp := trace.Span{Kind: trace.KindReduce, Epoch: st.r.Epoch(),
-			Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
-			Name: "reduce_parents", Start: s0, Dur: st.tr.Now() - s0,
-			IntraBytes: intra, InterBytes: inter}
-		if err != nil {
-			sp.Err = 1
-		}
-		st.tr.Emit(sp)
-	}
-	return err
+	return reduceMaxParents(&st.driver, st.parentHub)
 }
 
 // runStep executes one of the iteration's four steps. Kernels run in
@@ -606,19 +242,8 @@ func (st *rankState) reduceParents() error {
 func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Direction, newHubs, al *int64) error {
 	var firstErr error
 	run := func(c partition.Component, push, pull func() (int64, error)) {
-		st.r.SetTag(int(c))
-		d := dirs[c]
-		if d == stats.DirSkip {
-			st.rec.Observe(stats.PhaseOfComponent(c), d, 0, comm.VolumeStats{}, 0)
-			if st.tr != nil {
-				st.tr.Emit(trace.Span{Kind: trace.KindKernel, Epoch: st.r.Epoch(),
-					Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
-					Tag: int(c), Name: c.String(), Dir: "skip", Start: st.tr.Now()})
-			}
-			return
-		}
-		err := st.observe(c, d, func() (int64, error) {
-			if d == stats.DirPush {
+		err := st.runComp(c, dirs[c], func() (int64, error) {
+			if dirs[c] == stats.DirPush {
 				return push()
 			}
 			return pull()
@@ -693,53 +318,12 @@ func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Directio
 	return firstErr
 }
 
-// observe times a kernel and attributes its traffic delta and edge touches.
-func (st *rankState) observe(c partition.Component, d stats.Direction, fn func() (int64, error)) error {
-	t0 := time.Now()
-	var s0 int64
-	if st.tr != nil {
-		s0 = st.tr.Now()
-	}
-	base := st.r.Stats
-	edges, err := fn()
-	delta := st.r.Stats.Delta(&base)
-	st.rec.Observe(stats.PhaseOfComponent(c), d, time.Since(t0), delta, edges)
-	if st.tr != nil {
-		intra, inter := delta.Totals()
-		sp := trace.Span{Kind: trace.KindKernel, Epoch: st.r.Epoch(),
-			Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
-			Tag: int(c), Name: c.String(), Dir: d.String(),
-			Start: s0, Dur: st.tr.Now() - s0, Edges: edges,
-			IntraBytes: intra, InterBytes: inter}
-		if err != nil {
-			sp.Err = 1
-		}
-		st.tr.Emit(sp)
-	}
-	return err
-}
-
 // syncHubs merges local hub activations globally: allreduce-OR down the
 // column then across the row reproduces the paper's delegation traffic
 // pattern (E and H state moves only on column and row links), after which
 // hubNew's contents are globally agreed and folded into visited state.
 func (st *rankState) syncHubs() error {
-	t0 := time.Now()
-	var s0 int64
-	if st.tr != nil {
-		s0 = st.tr.Now()
-	}
-	base := st.r.Stats
-	words := st.hubNew.Words()
-	var err error
-	if len(words) > 0 {
-		// Both allreduces always run — even after the column one fails — so
-		// the row communicator's collective schedule matches on every rank.
-		err = comm.AllreduceOr(st.r.ColC, words)
-		if e2 := comm.AllreduceOr(st.r.RowC, words); err == nil {
-			err = e2
-		}
-	}
+	err := syncHubWords(&st.driver, st.hubNew.Words(), "hub_sync")
 	// hubNew now holds the union of all ranks' new activations (it may
 	// include hubs another rank also activated; visited filtering below is
 	// idempotent).
@@ -747,19 +331,6 @@ func (st *rankState) syncHubs() error {
 	st.hubIter.Or(st.hubNew)
 	st.hubVisited.Or(st.hubNew)
 	st.hubNew.Reset()
-	delta := st.r.Stats.Delta(&base)
-	st.rec.Observe(stats.PhaseOther, stats.DirNone, time.Since(t0), delta, 0)
-	if st.tr != nil {
-		intra, inter := delta.Totals()
-		sp := trace.Span{Kind: trace.KindSync, Epoch: st.r.Epoch(),
-			Iter: st.curIter, Step: st.curStep, Attempt: st.curAttempt,
-			Name: "hub_sync", Start: s0, Dur: st.tr.Now() - s0,
-			IntraBytes: intra, InterBytes: inter}
-		if err != nil {
-			sp.Err = 1
-		}
-		st.tr.Emit(sp)
-	}
 	return err
 }
 

@@ -396,7 +396,7 @@ func Capacity() Report {
 func Extensions(scale, ranks int) (Report, error) {
 	rep := Report{ID: "extensions", Title: "Beyond the paper: kernel 2 and the Section 8 framework direction"}
 	n, edges := genGraph(scale, 42)
-	ss, err := sssp.New(n, edges, sssp.Options{Ranks: ranks, WeightSeed: 7})
+	ss, err := core.NewEngine(n, edges, core.Options{Ranks: ranks})
 	if err != nil {
 		return rep, err
 	}
@@ -407,15 +407,17 @@ func Extensions(scale, ranks int) (Report, error) {
 			break
 		}
 	}
-	sres, err := ss.Run(root)
+	sres, err := ss.RunSSSP(root, 7, 0)
 	if err != nil {
 		return rep, err
 	}
-	if err := sssp.ValidateResult(n, edges, 7, sres); err != nil {
+	if err := sssp.ValidateResult(n, edges, 7, &sssp.Result{
+		Root: root, Dist: sres.Dist, Parent: sres.Parent,
+	}); err != nil {
 		return rep, err
 	}
 	rep.addf("SSSP (kernel 2): %d rounds, %d relaxations, %v (validated against optimality conditions)",
-		sres.Rounds, sres.Relaxations, sres.Time.Round(time.Millisecond))
+		sres.Iterations, sres.Relaxations, sres.Time.Round(time.Millisecond))
 	fw, err := framework.New(n, edges, framework.Options{Ranks: ranks})
 	if err != nil {
 		return rep, err

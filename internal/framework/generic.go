@@ -255,7 +255,7 @@ func (st *progState[V]) writeResult(out []V) {
 
 // minLabelProgram is connected components expressed as a Program: the
 // canonical demonstration of the generic API. Engine.ConnectedComponents
-// keeps its hand-optimized implementation; tests assert both agree.
+// delegates here, so there is a single propagation loop to keep correct.
 type minLabelProgram struct{}
 
 func (minLabelProgram) Init(v int64, deg int64) int64 { return v }

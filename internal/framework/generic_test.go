@@ -32,6 +32,45 @@ func TestGenericWCCMatchesHandRolled(t *testing.T) {
 	}
 }
 
+// TestWCCConvergenceCountsFinalRound pins the RunProgram convergence
+// accounting that the retired hand-rolled ConnectedComponents drifted from:
+// the zero-change round that proves convergence IS counted. On a path of n
+// vertices labels last change in round n-2 (zero-indexed), so the quiet round
+// n-1 brings Iterations to exactly n — and the delegating wrapper must report
+// the same count as the generic runner on any graph.
+func TestWCCConvergenceCountsFinalRound(t *testing.T) {
+	const n = int64(9)
+	edges := make([]rmat.Edge, 0, n-1)
+	for v := int64(0); v+1 < n; v++ {
+		edges = append(edges, rmat.Edge{U: v, V: v + 1})
+	}
+	for _, ranks := range []int{1, 4} {
+		eng, err := New(n, edges, Options{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hand, err := eng.ConnectedComponents()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := eng.ConnectedComponentsGeneric()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hand.Iterations != gen.Iterations {
+			t.Fatalf("ranks=%d: ConnectedComponents ran %d iterations, generic %d",
+				ranks, hand.Iterations, gen.Iterations)
+		}
+		if hand.Iterations != int(n) {
+			t.Fatalf("ranks=%d: path-%d WCC took %d iterations, want %d (final quiet round counts)",
+				ranks, n, hand.Iterations, n)
+		}
+		if hand.Components != 1 {
+			t.Fatalf("ranks=%d: components = %d, want 1", ranks, hand.Components)
+		}
+	}
+}
+
 func TestGenericWCCAgainstUnionFind(t *testing.T) {
 	cfg := rmat.Config{Scale: 10, Seed: 82}
 	edges := rmat.Generate(cfg)

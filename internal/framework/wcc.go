@@ -1,11 +1,6 @@
 package framework
 
-import (
-	"time"
-
-	"repro/internal/comm"
-	"repro/internal/partition"
-)
+import "time"
 
 // WCCResult labels every vertex with the smallest original vertex ID in its
 // connected component.
@@ -17,27 +12,19 @@ type WCCResult struct {
 }
 
 // ConnectedComponents runs min-label propagation over the six components
-// until no label changes. Hub labels are delegated (replicated, min-reduced
-// column-then-row); L labels are owner-local. Frontier filtering keeps the
-// late rounds cheap: only vertices whose label changed propagate.
+// until no label changes, via the generic Program API (minLabelProgram). An
+// earlier hand-rolled implementation drifted from RunProgram's convergence
+// accounting — it did not count the final zero-change round that proves
+// convergence, so its Iterations came up one short of every other workload's.
+// Delegating makes the semantics identical by construction.
 func (e *Engine) ConnectedComponents() (*WCCResult, error) {
-	n := e.Part.Layout.N
-	res := &WCCResult{Label: make([]int64, n)}
-	start := time.Now()
-	states := make([]*wccState, e.Opt.Ranks)
-	var iters int64
-	e.World.Run(func(r *comm.Rank) {
-		st := newWCCState(e, r)
-		states[r.ID] = st
-		it := st.run()
-		if r.ID == 0 {
-			iters = int64(it)
-		}
-		st.writeResult(res.Label)
-	})
-	res.Time = time.Since(start)
-	res.Iterations = int(iters)
+	rr, err := e.ConnectedComponentsGeneric()
+	if err != nil {
+		return nil, err
+	}
+	res := &WCCResult{Label: rr.Values, Iterations: rr.Iterations, Time: rr.Time}
 	// Count components among vertices with at least one edge.
+	n := e.Part.Layout.N
 	seen := map[int64]bool{}
 	for v := int64(0); v < n; v++ {
 		if e.Part.Degrees[v] > 0 {
@@ -46,174 +33,4 @@ func (e *Engine) ConnectedComponents() (*WCCResult, error) {
 	}
 	res.Components = int64(len(seen))
 	return res, nil
-}
-
-type wccState struct {
-	e  *Engine
-	r  *comm.Rank
-	rg *partition.RankGraph
-
-	k int
-
-	hubLabel []int64
-	hubDirty []bool
-	lLabel   []int64
-	lDirty   []bool
-}
-
-func newWCCState(e *Engine, r *comm.Rank) *wccState {
-	per := int(e.Part.Layout.PerRank)
-	k := e.Part.Hubs.K()
-	st := &wccState{
-		e: e, r: r, rg: e.Part.Ranks[r.ID], k: k,
-		hubLabel: make([]int64, k), hubDirty: make([]bool, k),
-		lLabel: make([]int64, per), lDirty: make([]bool, per),
-	}
-	for h := 0; h < k; h++ {
-		st.hubLabel[h] = e.Part.Hubs.Orig[h]
-		st.hubDirty[h] = true
-	}
-	layout := e.Part.Layout
-	for li := 0; li < st.rg.LocalN; li++ {
-		st.lLabel[li] = layout.GlobalOf(r.ID, int32(li))
-		st.lDirty[li] = true
-	}
-	return st
-}
-
-// labelMsg proposes a label for an owned L vertex.
-type labelMsg struct {
-	LIdx  int32
-	Label int64
-}
-
-func (st *wccState) run() int {
-	layout := st.e.Part.Layout
-	mesh := st.e.Opt.Mesh
-	iter := 0
-	for ; iter < 10000; iter++ {
-		var changed int64
-		lowerHub := func(h int32, label int64) {
-			if label < st.hubLabel[h] {
-				st.hubLabel[h] = label
-				st.hubDirty[h] = true
-				changed++
-			}
-		}
-		lowerL := func(li int32, label int64) {
-			if label < st.lLabel[li] {
-				st.lLabel[li] = label
-				st.lDirty[li] = true
-				changed++
-			}
-		}
-		// Snapshot the dirty sets for this round; new changes re-mark.
-		hubDirty := st.hubDirty
-		st.hubDirty = make([]bool, st.k)
-		lDirty := st.lDirty
-		st.lDirty = make([]bool, len(st.lLabel))
-
-		// EH2EH.
-		push := &st.rg.EHPush
-		for i, src := range push.IDs {
-			if !hubDirty[src] {
-				continue
-			}
-			for _, dst := range push.Adj[push.Ptr[i]:push.Ptr[i+1]] {
-				lowerHub(dst, st.hubLabel[src])
-			}
-		}
-		// E2L (local) and H2L (intra-row messages).
-		etol := &st.rg.EToL
-		for i, hub := range etol.IDs {
-			if !hubDirty[hub] {
-				continue
-			}
-			for _, li := range etol.Adj[etol.Ptr[i]:etol.Ptr[i+1]] {
-				lowerL(li, st.hubLabel[hub])
-			}
-		}
-		htol := &st.rg.HToL
-		send := make([][]labelMsg, mesh.Cols)
-		for i, hub := range htol.IDs {
-			if !hubDirty[hub] {
-				continue
-			}
-			for _, rem := range htol.Adj[htol.Ptr[i]:htol.Ptr[i+1]] {
-				send[rem.Col] = append(send[rem.Col], labelMsg{LIdx: rem.LIdx, Label: st.hubLabel[hub]})
-			}
-		}
-		for _, part := range comm.Must(comm.Alltoallv(st.r.RowC, send)) {
-			for _, m := range part {
-				lowerL(m.LIdx, m.Label)
-			}
-		}
-		// L2E / L2H (local into delegates) and L2L (alltoallv).
-		ltoe, ltoh, l2l := &st.rg.LToE, &st.rg.LToH, &st.rg.L2L
-		sendLL := make([][]labelMsg, layout.P)
-		for li := 0; li < st.rg.LocalN; li++ {
-			if !lDirty[li] {
-				continue
-			}
-			label := st.lLabel[li]
-			for _, hub := range ltoe.Adj[ltoe.Ptr[li]:ltoe.Ptr[li+1]] {
-				lowerHub(hub, label)
-			}
-			for _, hub := range ltoh.Adj[ltoh.Ptr[li]:ltoh.Ptr[li+1]] {
-				lowerHub(hub, label)
-			}
-			for _, dst := range l2l.Adj[l2l.Ptr[li]:l2l.Ptr[li+1]] {
-				owner := layout.Owner(dst)
-				sendLL[owner] = append(sendLL[owner], labelMsg{LIdx: layout.LocalIdx(dst), Label: label})
-			}
-		}
-		for _, part := range comm.Must(comm.Alltoallv(st.r.World, sendLL)) {
-			for _, m := range part {
-				lowerL(m.LIdx, m.Label)
-			}
-		}
-		// Delegated hub label reconciliation: min-reduce column then row
-		// (as max-reduce of negated labels, reusing the int64 collective).
-		if st.k > 0 {
-			st.syncHubLabels(&changed)
-		}
-		total := comm.Must(comm.AllreduceSumInt64(st.r.World, changed))
-		if total == 0 {
-			break
-		}
-	}
-	return iter
-}
-
-// syncHubLabels min-reduces replicated hub labels over column then row.
-func (st *wccState) syncHubLabels(changed *int64) {
-	neg := make([]int64, st.k)
-	for h := range neg {
-		neg[h] = -st.hubLabel[h]
-	}
-	comm.Must0(comm.AllreduceMaxInt64(st.r.ColC, neg))
-	comm.Must0(comm.AllreduceMaxInt64(st.r.RowC, neg))
-	for h := range neg {
-		if l := -neg[h]; l < st.hubLabel[h] {
-			st.hubLabel[h] = l
-			st.hubDirty[h] = true
-			*changed++
-		}
-	}
-}
-
-func (st *wccState) writeResult(out []int64) {
-	layout := st.e.Part.Layout
-	hubs := st.e.Part.Hubs
-	for li := 0; li < st.rg.LocalN; li++ {
-		v := layout.GlobalOf(st.r.ID, int32(li))
-		if _, isHub := hubs.HubOf(v); !isHub {
-			out[v] = st.lLabel[li]
-		}
-	}
-	for h, orig := range hubs.Orig {
-		if layout.Owner(orig) == st.r.ID {
-			out[orig] = st.hubLabel[h]
-		}
-	}
 }

@@ -26,9 +26,18 @@ import (
 )
 
 // Schema identifies the document type; SchemaVersion its revision.
+//
+// Version history:
+//
+//	v1: BFS-only document (summary, phases, collectives, directions,
+//	    resilience).
+//	v2: adds Config.Workload (the benchmarked workload list) and the
+//	    Workloads section (one per-workload summary entry each for wcc,
+//	    kcore, sssp and the bfs headline), all additive — v1 documents
+//	    still decode.
 const (
 	Schema        = "graph500-bench"
-	SchemaVersion = 1
+	SchemaVersion = 2
 )
 
 // Report is the top-level document.
@@ -48,6 +57,11 @@ type Report struct {
 	// Directions is the Figure 15 breakdown: per component, how many
 	// iterations chose push, pull or skip, in component order.
 	Directions []DirectionEntry `json:"directions"`
+
+	// Workloads (schema v2) holds one summary entry per benchmarked
+	// workload, in the order run. Absent in v1 documents and in BFS-only
+	// runs that predate the workload flag.
+	Workloads []WorkloadEntry `json:"workloads,omitempty"`
 
 	Resilience Resilience `json:"resilience"`
 }
@@ -71,6 +85,9 @@ type RunConfig struct {
 	Sparse       string `json:"sparse,omitempty"`
 	Faults       string `json:"faults,omitempty"`
 	Checkpoints  bool   `json:"checkpoints,omitempty"`
+	// Workload (schema v2) is the comma-joined workload list of the run
+	// ("bfs,wcc,kcore,sssp"); empty means a pre-v2 BFS-only document.
+	Workload string `json:"workload,omitempty"`
 }
 
 // Summary is the Graph 500 headline block.
@@ -84,6 +101,28 @@ type Summary struct {
 	MeanSeconds       float64 `json:"mean_seconds"`
 	TotalTraversed    int64   `json:"total_traversed_edges"`
 	Iterations        int64   `json:"iterations"`
+}
+
+// WorkloadEntry is one per-workload summary row (schema v2). GTEPS is the
+// workload's throughput — edges touched per second for the iterative
+// workloads, the harmonic-mean traversal rate for bfs — and is the statistic
+// the per-workload CI gate compares (cmd/benchcmp), so its definition may
+// only change together with a regenerated baseline.
+type WorkloadEntry struct {
+	Workload   string  `json:"workload"`
+	GTEPS      float64 `json:"gteps"`
+	Seconds    float64 `json:"seconds"`
+	Iterations int64   `json:"iterations"`
+	CommBytes  int64   `json:"comm_bytes"`
+	Retries    int64   `json:"retries"`
+
+	// Workload-specific headline outputs, for at-a-glance sanity checks of
+	// an archived document; zero values are omitted.
+	Components  int64 `json:"components,omitempty"`  // wcc
+	K           int64 `json:"k,omitempty"`           // kcore threshold
+	CoreSize    int64 `json:"core_size,omitempty"`   // kcore
+	Root        int64 `json:"root,omitempty"`        // sssp
+	Relaxations int64 `json:"relaxations,omitempty"` // sssp
 }
 
 // PhaseEntry is one Figure 10 bar: a phase's share of engine time, split by
@@ -158,6 +197,9 @@ type Inputs struct {
 	Retries      int64
 	RecoveryWall time.Duration
 	Recovery     stats.RecoveryStats
+
+	// Workloads passes through the per-workload summary rows (schema v2).
+	Workloads []WorkloadEntry
 }
 
 // Build assembles the versioned document from the benchmark's measurements.
@@ -215,6 +257,8 @@ func Build(in Inputs) *Report {
 			Skip:      in.Directions[c][stats.DirSkip],
 		})
 	}
+
+	r.Workloads = append(r.Workloads, in.Workloads...)
 
 	r.Resilience = Resilience{
 		FaultsInjected:     in.Faults.Injected(),

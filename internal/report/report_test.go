@@ -31,6 +31,7 @@ func syntheticInputs() Inputs {
 			Scale: 14, EdgeFactor: 16, NumVertices: 1 << 14, NumEdges: 16 << 14,
 			Ranks: 4, MeshRows: 2, MeshCols: 2, Roots: 8, Seed: 42,
 			Direction: "sub-iteration", Segmented: true, RankWorkers: 1,
+			Workload: "bfs,wcc,kcore,sssp",
 		},
 		HarmonicTEPS: 2.5e8,
 		MeanTEPS:     3e8,
@@ -47,6 +48,12 @@ func syntheticInputs() Inputs {
 			Epochs: 1, RanksLost: 1, IterationsReplayed: 3, BytesRestored: 4096,
 			RecoveryTime: 2 * time.Millisecond, CheckpointSegments: 7, CheckpointBytes: 9000,
 		},
+		Workloads: []WorkloadEntry{
+			{Workload: "bfs", GTEPS: 0.25, Seconds: 0.0125, Iterations: 48, CommBytes: 8192},
+			{Workload: "wcc", GTEPS: 0.8, Seconds: 0.02, Iterations: 9, CommBytes: 4096, Components: 3},
+			{Workload: "kcore", GTEPS: 0.6, Seconds: 0.015, Iterations: 12, CommBytes: 2048, K: 2, CoreSize: 900},
+			{Workload: "sssp", GTEPS: 0.1, Seconds: 0.04, Iterations: 33, CommBytes: 6144, Retries: 1, Root: 5, Relaxations: 70000},
+		},
 	}
 	for c := range in.Directions {
 		in.Directions[c][stats.DirPush] = int64(3 + c)
@@ -57,15 +64,17 @@ func syntheticInputs() Inputs {
 }
 
 // TestGoldenDocument pins the JSON encoding: any schema change shows up as a
-// reviewed diff of testdata/report_v1.golden (regenerate with
+// reviewed diff of testdata/report_v2.golden (regenerate with
 // `go test ./internal/report -run TestGoldenDocument -update-golden`), and a
-// meaning change must bump SchemaVersion.
+// meaning change must bump SchemaVersion. testdata/report_v1.golden stays
+// frozen — it is the compatibility fixture for TestReadAcceptsV1, never
+// regenerated.
 func TestGoldenDocument(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Build(syntheticInputs()).Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "report_v1.golden")
+	golden := filepath.Join("testdata", "report_v2.golden")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -100,6 +109,28 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if len(got.Phases) != int(stats.NumPhases) || len(got.Collectives) != int(comm.NumKinds) {
 		t.Fatalf("sections truncated: %d phases, %d collectives", len(got.Phases), len(got.Collectives))
+	}
+}
+
+// TestReadAcceptsV1 pins backward compatibility: a committed v1 document
+// (written before the workload sections existed) must still decode, with the
+// v2-only fields at their zero values.
+func TestReadAcceptsV1(t *testing.T) {
+	r, err := ReadFile(filepath.Join("testdata", "report_v1.golden"))
+	if err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	if r.SchemaVersion != 1 {
+		t.Fatalf("schema version = %d, want 1", r.SchemaVersion)
+	}
+	if r.Summary.HarmonicMeanGTEPS <= 0 {
+		t.Fatalf("v1 summary lost: %+v", r.Summary)
+	}
+	if len(r.Phases) == 0 || len(r.Collectives) == 0 {
+		t.Fatalf("v1 sections lost: %d phases, %d collectives", len(r.Phases), len(r.Collectives))
+	}
+	if len(r.Workloads) != 0 || r.Config.Workload != "" {
+		t.Fatalf("v1 document grew v2 fields: workloads=%v workload=%q", r.Workloads, r.Config.Workload)
 	}
 }
 

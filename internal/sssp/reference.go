@@ -8,9 +8,9 @@ import (
 	"repro/internal/rmat"
 )
 
-// Dijkstra is the sequential reference the distributed runner is validated
-// against: a binary-heap shortest path over the symmetrized edge list with
-// the same deterministic weights.
+// Dijkstra is the sequential reference the engine's distributed SSSP is
+// validated against: a binary-heap shortest path over the symmetrized edge
+// list with the same deterministic weights.
 func Dijkstra(n int64, edges []rmat.Edge, root int64, seed uint64) ([]float64, []int64) {
 	// Build adjacency.
 	type arc struct {

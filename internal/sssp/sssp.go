@@ -1,25 +1,16 @@
-// Package sssp implements the Graph 500 benchmark's second kernel —
-// single-source shortest path — on the same 3-level degree-aware 1.5D
-// partitioning as the BFS engine. The paper positions the partitioning as
-// algorithm-neutral (Section 8: "a graph partitioning method neutral to the
-// graph algorithm") and cites SSSP as a direct beneficiary of the push/pull
-// selection behind sub-iteration direction optimization; this package
-// demonstrates both claims with a distributed Bellman-Ford/delta-relaxation
-// hybrid over the six components.
+// Package sssp holds the Graph 500 SSSP conventions shared by the engine and
+// its tests: the deterministic edge-weight function, the run-result shape, and
+// sequential references (Dijkstra, optimality validation). The distributed
+// kernel itself runs on the core engine's 1.5D fast path — see
+// internal/core's RunSSSP — which this package's references check.
 //
 // Weights follow the Graph 500 SSSP specification: uniform in [0,1) drawn
 // deterministically per edge.
 package sssp
 
 import (
-	"fmt"
-	"math"
 	"time"
 
-	"repro/internal/comm"
-	"repro/internal/partition"
-	"repro/internal/rmat"
-	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
@@ -33,84 +24,6 @@ func WeightOf(u, v int64, seed uint64) float64 {
 	return float64(h>>11) / (1 << 53)
 }
 
-// Options configures a Runner.
-type Options struct {
-	Mesh       topology.Mesh
-	Ranks      int
-	Thresholds partition.Thresholds
-	WeightSeed uint64
-	// Delta is the bucket width of delta-stepping rounds; 0 picks 1/16
-	// (mean weight 0.5, mean degree 32 ⇒ light edges dominate).
-	Delta float64
-	// MaxRounds bounds the outer loop. 0 means 4096.
-	MaxRounds int
-	// PullThreshold switches a round to pull-style relaxation when the
-	// dirty fraction exceeds it — the push-pull selection the paper's
-	// Discussion says carries over to SSSP. 0 means 0.10; negative
-	// disables pull.
-	PullThreshold float64
-}
-
-func (o Options) withDefaults() (Options, error) {
-	if o.Mesh.Rows == 0 && o.Mesh.Cols == 0 {
-		if o.Ranks <= 0 {
-			return o, fmt.Errorf("sssp: Options needs Mesh or Ranks")
-		}
-		o.Mesh = topology.SquarestMesh(o.Ranks)
-	}
-	o.Ranks = o.Mesh.Size()
-	if o.Delta == 0 {
-		o.Delta = 1.0 / 16
-	}
-	if o.MaxRounds <= 0 {
-		o.MaxRounds = 4096
-	}
-	if o.PullThreshold == 0 {
-		o.PullThreshold = 0.10
-	}
-	return o, nil
-}
-
-// Runner executes SSSP over a partitioned weighted graph.
-type Runner struct {
-	Part  *partition.Partitioned
-	World *comm.World
-	Opt   Options
-}
-
-// New partitions the graph for SSSP. Thresholds default to H=64-ish via the
-// BFS engine's convention when zero; here a fixed conservative default keeps
-// the hub directory small.
-func New(n int64, edges []rmat.Edge, opt Options) (*Runner, error) {
-	opt, err := opt.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	th := opt.Thresholds
-	if th == (partition.Thresholds{}) {
-		scale := 0
-		for int64(1)<<uint(scale) < n {
-			scale++
-		}
-		e := int64(1) << uint(scale/2+2)
-		h := e / 16
-		if h < 2 {
-			h = 2
-		}
-		th = partition.Thresholds{E: e, H: h}
-		opt.Thresholds = th
-	}
-	part, err := partition.Build(n, edges, opt.Mesh, th, 0)
-	if err != nil {
-		return nil, err
-	}
-	world, err := comm.NewWorld(opt.Ranks, opt.Mesh, topology.NewSunway(opt.Ranks))
-	if err != nil {
-		return nil, err
-	}
-	return &Runner{Part: part, World: world, Opt: opt}, nil
-}
-
 // Result is one SSSP run's output.
 type Result struct {
 	Root   int64
@@ -120,478 +33,4 @@ type Result struct {
 	Time   time.Duration
 	// RelaxationsPerformed counts distance-improving updates.
 	Relaxations int64
-}
-
-// distMsg carries a tentative distance to a vertex's owner.
-type distMsg struct {
-	LIdx   int32
-	Dist   float64
-	Parent int64
-}
-
-// hubDistMsg carries a tentative distance to a hub delegate.
-type hubDistMsg struct {
-	Hub    int32
-	Dist   float64
-	Parent int64
-}
-
-// Run computes shortest paths from root. The algorithm is synchronous
-// rounds of relaxation: each round relaxes every vertex whose tentative
-// distance improved since the last round (a frontier), with hub distances
-// delegated exactly like BFS hub activations — a column+row min-reduce per
-// round — and L distances owner-local. Delta-stepping's bucket discipline is
-// applied to the frontier: only vertices within the current bucket relax,
-// which bounds wasted relaxations on heavy tails.
-func (r *Runner) Run(root int64) (*Result, error) {
-	n := r.Part.Layout.N
-	if root < 0 || root >= n {
-		return nil, fmt.Errorf("sssp: root %d out of range", root)
-	}
-	res := &Result{Root: root}
-	res.Dist = make([]float64, n)
-	res.Parent = make([]int64, n)
-	for i := range res.Dist {
-		res.Dist[i] = math.Inf(1)
-		res.Parent[i] = -1
-	}
-	states := make([]*rankState, r.Opt.Ranks)
-	start := time.Now()
-	var rounds int64
-	r.World.Run(func(rk *comm.Rank) {
-		st := newRankState(r, rk)
-		states[rk.ID] = st
-		rd := st.run(root)
-		if rk.ID == 0 {
-			rounds = int64(rd)
-		}
-		st.writeResult(res)
-	})
-	res.Time = time.Since(start)
-	res.Rounds = int(rounds)
-	for _, st := range states {
-		res.Relaxations += st.relaxations
-	}
-	return res, nil
-}
-
-// rankState is the per-rank SSSP working set: delegated hub distances
-// (replicated, min-reduced) and owner-local L distances.
-type rankState struct {
-	r  *Runner
-	rk *comm.Rank
-	rg *partition.RankGraph
-
-	k int
-
-	hubDist   []float64
-	hubParent []int64
-	hubDirty  []bool // improved since last sync/relaxation
-
-	lDist   []float64
-	lParent []int64
-	lDirty  []bool
-
-	relaxations int64
-}
-
-func newRankState(r *Runner, rk *comm.Rank) *rankState {
-	per := int(r.Part.Layout.PerRank)
-	k := r.Part.Hubs.K()
-	st := &rankState{
-		r: r, rk: rk, rg: r.Part.Ranks[rk.ID], k: k,
-		hubDist:   make([]float64, k),
-		hubParent: make([]int64, k),
-		hubDirty:  make([]bool, k),
-		lDist:     make([]float64, per),
-		lParent:   make([]int64, per),
-		lDirty:    make([]bool, per),
-	}
-	for i := range st.hubDist {
-		st.hubDist[i] = math.Inf(1)
-		st.hubParent[i] = -1
-	}
-	for i := range st.lDist {
-		st.lDist[i] = math.Inf(1)
-		st.lParent[i] = -1
-	}
-	return st
-}
-
-func (st *rankState) run(root int64) int {
-	layout := st.r.Part.Layout
-	hubs := st.r.Part.Hubs
-	if h, ok := hubs.HubOf(root); ok {
-		st.hubDist[h] = 0
-		st.hubParent[h] = root
-		st.hubDirty[h] = true
-	} else if layout.Owner(root) == st.rk.ID {
-		li := layout.LocalIdx(root)
-		st.lDist[li] = 0
-		st.lParent[li] = root
-		st.lDirty[li] = true
-	}
-	delta := st.r.Opt.Delta
-	round := 0
-	bucket := 0
-	n := st.r.Part.Layout.N
-	for ; round < st.r.Opt.MaxRounds; round++ {
-		// Push-pull selection (paper Section 8: the direction choice carries
-		// over to SSSP): when the dirty fraction is large, one dense pull
-		// sweep — every vertex re-minimizes over all neighbors against
-		// gathered distances — beats per-edge messaging.
-		var improved int64
-		dirty := comm.Must(comm.AllreduceSumInt64(st.rk.World, st.dirtyCount()))
-		pt := st.r.Opt.PullThreshold
-		if pt > 0 && float64(dirty) > pt*float64(n) {
-			improved = st.relaxRoundPull()
-		} else {
-			limit := float64(bucket+1) * delta
-			improved = st.relaxRound(limit)
-		}
-		// Advance the bucket once no vertex within it improves anywhere.
-		total := comm.Must(comm.AllreduceSumInt64(st.rk.World, improved))
-		if total == 0 {
-			// Find the lowest bucket with pending work anywhere: a global
-			// min-reduce, expressed as max over negated values.
-			neg := []int64{-int64(st.nextPending())}
-			comm.Must0(comm.AllreduceMaxInt64(st.rk.World, neg))
-			minNext := -neg[0]
-			if minNext == int64(^uint64(0)>>1) || minNext < 0 {
-				break // nothing pending anywhere
-			}
-			bucket = int(minNext)
-		}
-	}
-	// One final full relaxation sweep at infinity bound to settle any
-	// leftover dirty state (defensive; buckets should have drained).
-	st.relaxRound(math.Inf(1))
-	return round
-}
-
-// nextPending returns the lowest bucket index containing a dirty vertex, or
-// MaxInt if none.
-func (st *rankState) nextPending() int {
-	delta := st.r.Opt.Delta
-	best := int(^uint(0) >> 1)
-	for h := 0; h < st.k; h++ {
-		if st.hubDirty[h] {
-			b := int(st.hubDist[h] / delta)
-			if b < best {
-				best = b
-			}
-		}
-	}
-	for li := range st.lDist {
-		if st.lDirty[li] {
-			b := int(st.lDist[li] / delta)
-			if b < best {
-				best = b
-			}
-		}
-	}
-	return best
-}
-
-// relaxRound relaxes every dirty vertex with distance < limit across all six
-// components and returns the number of local improvements applied.
-func (st *rankState) relaxRound(limit float64) int64 {
-	layout := st.r.Part.Layout
-	hubs := st.r.Part.Hubs
-	mesh := st.r.Opt.Mesh
-	seed := st.r.Opt.WeightSeed
-	var improved int64
-
-	// Collect the round's relaxing sets, then clear their dirty flags (new
-	// improvements re-mark them for the next round).
-	relaxHub := make([]int32, 0)
-	for h := 0; h < st.k; h++ {
-		if st.hubDirty[h] && st.hubDist[h] < limit {
-			relaxHub = append(relaxHub, int32(h))
-			st.hubDirty[h] = false
-		}
-	}
-	relaxL := make([]int32, 0)
-	for li := range st.lDist {
-		if st.lDirty[li] && st.lDist[li] < limit {
-			relaxL = append(relaxL, int32(li))
-			st.lDirty[li] = false
-		}
-	}
-	inHubSet := make(map[int32]bool, len(relaxHub))
-	for _, h := range relaxHub {
-		inHubSet[h] = true
-	}
-
-	relaxLocalHub := func(hub int32, dist float64, parentOrig int64) {
-		if dist < st.hubDist[hub] {
-			st.hubDist[hub] = dist
-			st.hubParent[hub] = parentOrig
-			st.hubDirty[hub] = true
-			improved++
-			st.relaxations++
-		}
-	}
-	relaxLocalL := func(li int32, dist float64, parentOrig int64) {
-		if dist < st.lDist[li] {
-			st.lDist[li] = dist
-			st.lParent[li] = parentOrig
-			st.lDirty[li] = true
-			improved++
-			st.relaxations++
-		}
-	}
-
-	// EH2EH: relax hub->hub edges stored in my 2D block whose source is
-	// relaxing. Every rank relaxes its block; the min-reduce reconciles.
-	push := &st.rg.EHPush
-	for i, src := range push.IDs {
-		if !inHubSet[src] {
-			continue
-		}
-		du := st.hubDist[src]
-		uOrig := hubs.Orig[src]
-		for _, dst := range push.Adj[push.Ptr[i]:push.Ptr[i+1]] {
-			w := WeightOf(uOrig, hubs.Orig[dst], seed)
-			relaxLocalHub(dst, du+w, uOrig)
-		}
-	}
-	// E2L: E hubs relax their local L neighbors (local; E delegated
-	// everywhere).
-	etol := &st.rg.EToL
-	for i, hub := range etol.IDs {
-		if !inHubSet[hub] {
-			continue
-		}
-		du := st.hubDist[hub]
-		uOrig := hubs.Orig[hub]
-		for _, li := range etol.Adj[etol.Ptr[i]:etol.Ptr[i+1]] {
-			w := WeightOf(uOrig, layout.GlobalOf(st.rk.ID, li), seed)
-			relaxLocalL(li, du+w, uOrig)
-		}
-	}
-	// H2L: relax along the row with messages, as in BFS.
-	htol := &st.rg.HToL
-	sendL := make([][]distMsg, mesh.Cols)
-	for i, hub := range htol.IDs {
-		if !inHubSet[hub] {
-			continue
-		}
-		du := st.hubDist[hub]
-		uOrig := hubs.Orig[hub]
-		for _, rem := range htol.Adj[htol.Ptr[i]:htol.Ptr[i+1]] {
-			owner := mesh.RankAt(st.rk.Row, int(rem.Col))
-			w := WeightOf(uOrig, layout.GlobalOf(owner, rem.LIdx), seed)
-			sendL[rem.Col] = append(sendL[rem.Col], distMsg{LIdx: rem.LIdx, Dist: du + w, Parent: uOrig})
-		}
-	}
-	// L-sourced relaxations.
-	ltoe := &st.rg.LToE
-	ltoh := &st.rg.LToH
-	l2l := &st.rg.L2L
-	sendHub := make([][]hubDistMsg, mesh.Cols)
-	sendLL := make([][]distMsg, layout.P)
-	for _, li := range relaxL {
-		du := st.lDist[li]
-		uOrig := layout.GlobalOf(st.rk.ID, li)
-		// L2E: E delegates are local.
-		for _, hub := range ltoe.Adj[ltoe.Ptr[li]:ltoe.Ptr[li+1]] {
-			w := WeightOf(uOrig, hubs.Orig[hub], seed)
-			relaxLocalHub(hub, du+w, uOrig)
-		}
-		// L2H: message the row delegate.
-		for _, hub := range ltoh.Adj[ltoh.Ptr[li]:ltoh.Ptr[li+1]] {
-			w := WeightOf(uOrig, hubs.Orig[hub], seed)
-			col := hubs.ColBlockOf(hub, mesh)
-			sendHub[col] = append(sendHub[col], hubDistMsg{Hub: hub, Dist: du + w, Parent: uOrig})
-		}
-		// L2L: message the owner.
-		for _, dst := range l2l.Adj[l2l.Ptr[li]:l2l.Ptr[li+1]] {
-			w := WeightOf(uOrig, dst, seed)
-			sendLL[layout.Owner(dst)] = append(sendLL[layout.Owner(dst)],
-				distMsg{LIdx: layout.LocalIdx(dst), Dist: du + w, Parent: uOrig})
-		}
-	}
-
-	// Exchange and apply. The collective sequence is identical on every rank.
-	for _, part := range comm.Must(comm.Alltoallv(st.rk.RowC, sendL)) {
-		for _, m := range part {
-			relaxLocalL(m.LIdx, m.Dist, m.Parent)
-		}
-	}
-	for _, part := range comm.Must(comm.Alltoallv(st.rk.RowC, sendHub)) {
-		for _, m := range part {
-			relaxLocalHub(m.Hub, m.Dist, m.Parent)
-		}
-	}
-	for _, part := range comm.Must(comm.Alltoallv(st.rk.World, sendLL)) {
-		for _, m := range part {
-			relaxLocalL(m.LIdx, m.Dist, m.Parent)
-		}
-	}
-
-	// Delegated hub distance reconciliation: a column+row min-reduce, the
-	// SSSP analogue of the BFS hub activation sync. Distances and parents
-	// travel together; ties resolve toward the larger parent for
-	// determinism.
-	st.syncHubDists()
-	return improved
-}
-
-// syncHubDists min-reduces the replicated hub distance array over column
-// then row, keeping parent assignments consistent with the winning distance.
-func (st *rankState) syncHubDists() {
-	if st.k == 0 {
-		return
-	}
-	// Pack (dist, parent) so the reduction is atomic per hub: compare by
-	// dist, tie-break by parent. Encode into two int64 lanes and reduce with
-	// max over the negated ordering... simpler and explicit: gather both
-	// arrays and reduce locally.
-	reduce := func(c *comm.Comm) {
-		distParts := comm.Must(comm.Allgatherv(c, st.hubDist))
-		parentParts := comm.Must(comm.Allgatherv(c, st.hubParent))
-		for j := range distParts {
-			dp, pp := distParts[j], parentParts[j]
-			for h := 0; h < st.k; h++ {
-				if dp[h] < st.hubDist[h] || (dp[h] == st.hubDist[h] && pp[h] > st.hubParent[h]) {
-					if dp[h] < st.hubDist[h] {
-						st.hubDirty[h] = true
-					}
-					st.hubDist[h] = dp[h]
-					st.hubParent[h] = pp[h]
-				}
-			}
-		}
-	}
-	reduce(st.rk.ColC)
-	reduce(st.rk.RowC)
-}
-
-// writeResult assembles this rank's owned share of the global arrays.
-func (st *rankState) writeResult(res *Result) {
-	layout := st.r.Part.Layout
-	for li := 0; li < st.rg.LocalN; li++ {
-		v := layout.GlobalOf(st.rk.ID, int32(li))
-		if !math.IsInf(st.lDist[li], 1) {
-			res.Dist[v] = st.lDist[li]
-			res.Parent[v] = st.lParent[li]
-		}
-	}
-	for h, orig := range st.r.Part.Hubs.Orig {
-		if layout.Owner(orig) == st.rk.ID && !math.IsInf(st.hubDist[h], 1) {
-			res.Dist[orig] = st.hubDist[h]
-			res.Parent[orig] = st.hubParent[h]
-		}
-	}
-}
-
-// dirtyCount returns the number of locally dirty vertices.
-func (st *rankState) dirtyCount() int64 {
-	var c int64
-	for h := 0; h < st.k; h++ {
-		if st.hubDirty[h] {
-			c++
-		}
-	}
-	for li := range st.lDirty {
-		if st.lDirty[li] {
-			c++
-		}
-	}
-	return c
-}
-
-// relaxRoundPull is one dense Bellman-Ford sweep: every vertex re-minimizes
-// over all its neighbors against a gathered global distance view. No
-// per-edge messages — one allgather of the owner-local distance arrays (hub
-// distances are already replicated), then purely local scans. Correct for
-// any dirty state because relaxation is monotone; used when the frontier is
-// dense enough that gathering beats messaging.
-func (st *rankState) relaxRoundPull() int64 {
-	layout := st.r.Part.Layout
-	hubs := st.r.Part.Hubs
-	seed := st.r.Opt.WeightSeed
-	per := int(layout.PerRank)
-	var improved int64
-
-	// Gather every rank's L distances into a world view indexed by original
-	// vertex ID (the padded block layout makes offsets line up).
-	parts := comm.Must(comm.Allgatherv(st.rk.World, st.lDist))
-	worldDist := make([]float64, per*layout.P)
-	for m, p := range parts {
-		copy(worldDist[m*per:(m+1)*per], p)
-	}
-	// All vertices are rescanned; dirty state resets to just the improved.
-	for h := range st.hubDirty {
-		st.hubDirty[h] = false
-	}
-	for li := range st.lDirty {
-		st.lDirty[li] = false
-	}
-
-	improveHub := func(h int32, d float64, parent int64) {
-		if d < st.hubDist[h] {
-			st.hubDist[h] = d
-			st.hubParent[h] = parent
-			st.hubDirty[h] = true
-			improved++
-			st.relaxations++
-		}
-	}
-	// Hubs pull from their incoming column hubs (EHPull) and from owned L
-	// vertices (the L2E/L2H structures at this rank).
-	pull := &st.rg.EHPull
-	for i, dst := range pull.IDs {
-		dOrig := hubs.Orig[dst]
-		for _, src := range pull.Adj[pull.Ptr[i]:pull.Ptr[i+1]] {
-			if d := st.hubDist[src] + WeightOf(hubs.Orig[src], dOrig, seed); d < st.hubDist[dst] {
-				improveHub(dst, d, hubs.Orig[src])
-			}
-		}
-	}
-	// L vertices pull from hubs (LToE, LToH) and L neighbors (L2L).
-	ltoe, ltoh, l2l := &st.rg.LToE, &st.rg.LToH, &st.rg.L2L
-	for li := 0; li < st.rg.LocalN; li++ {
-		vOrig := layout.GlobalOf(st.rk.ID, int32(li))
-		best := st.lDist[li]
-		bestParent := int64(-1)
-		for _, hub := range ltoe.Adj[ltoe.Ptr[li]:ltoe.Ptr[li+1]] {
-			u := hubs.Orig[hub]
-			if d := st.hubDist[hub] + WeightOf(u, vOrig, seed); d < best {
-				best, bestParent = d, u
-			}
-		}
-		for _, hub := range ltoh.Adj[ltoh.Ptr[li]:ltoh.Ptr[li+1]] {
-			u := hubs.Orig[hub]
-			if d := st.hubDist[hub] + WeightOf(u, vOrig, seed); d < best {
-				best, bestParent = d, u
-			}
-		}
-		for _, u := range l2l.Adj[l2l.Ptr[li]:l2l.Ptr[li+1]] {
-			if d := worldDist[u] + WeightOf(u, vOrig, seed); d < best {
-				best, bestParent = d, u
-			}
-		}
-		if bestParent >= 0 {
-			st.lDist[li] = best
-			st.lParent[li] = bestParent
-			st.lDirty[li] = true
-			improved++
-			st.relaxations++
-		}
-		// And the reverse: owned L vertices relax their hub neighbors
-		// locally (E is delegated here; H reconciles in the min-reduce).
-		if !math.IsInf(st.lDist[li], 1) {
-			dl := st.lDist[li]
-			for _, hub := range ltoe.Adj[ltoe.Ptr[li]:ltoe.Ptr[li+1]] {
-				improveHub(hub, dl+WeightOf(vOrig, hubs.Orig[hub], seed), vOrig)
-			}
-			for _, hub := range ltoh.Adj[ltoh.Ptr[li]:ltoh.Ptr[li+1]] {
-				improveHub(hub, dl+WeightOf(vOrig, hubs.Orig[hub], seed), vOrig)
-			}
-		}
-	}
-	st.syncHubDists()
-	return improved
 }

@@ -1,13 +1,10 @@
 package sssp
 
 import (
-	"fmt"
 	"math"
 	"testing"
 
-	"repro/internal/partition"
 	"repro/internal/rmat"
-	"repro/internal/topology"
 )
 
 func TestWeightProperties(t *testing.T) {
@@ -37,98 +34,49 @@ func TestWeightProperties(t *testing.T) {
 	}
 }
 
-func checkAgainstDijkstra(t *testing.T, scale int, seed uint64, opt Options, roots []int64) {
-	t.Helper()
-	cfg := rmat.Config{Scale: scale, Seed: seed}
+// dijkstraResult wraps the sequential reference's output in the Result shape
+// so ValidateResult can check it (and, in the corruption tests, reject
+// perturbations of it).
+func dijkstraResult(n int64, edges []rmat.Edge, root int64, seed uint64) *Result {
+	dist, parent := Dijkstra(n, edges, root, seed)
+	return &Result{Root: root, Dist: dist, Parent: parent}
+}
+
+func TestDijkstraPathExact(t *testing.T) {
+	// On a path graph distances are prefix sums of the edge weights.
+	const n = int64(64)
+	edges := make([]rmat.Edge, 0, n-1)
+	for v := int64(0); v+1 < n; v++ {
+		edges = append(edges, rmat.Edge{U: v, V: v + 1})
+	}
+	const seed = 5
+	res := dijkstraResult(n, edges, 0, seed)
+	want := 0.0
+	for v := int64(0); v < n; v++ {
+		if math.Abs(res.Dist[v]-want) > 1e-12 {
+			t.Fatalf("dist[%d] = %g, want %g", v, res.Dist[v], want)
+		}
+		if v > 0 && res.Parent[v] != v-1 {
+			t.Fatalf("parent[%d] = %d, want %d", v, res.Parent[v], v-1)
+		}
+		if v+1 < n {
+			want += WeightOf(v, v+1, seed)
+		}
+	}
+	if res.Parent[0] != 0 {
+		t.Fatalf("root parent = %d, want itself", res.Parent[0])
+	}
+}
+
+func TestValidateResultAcceptsReference(t *testing.T) {
+	cfg := rmat.Config{Scale: 8, Seed: 2}
 	edges := rmat.Generate(cfg)
 	n := cfg.NumVertices()
-	r, err := New(n, edges, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, root := range roots {
-		res, err := r.Run(root)
-		if err != nil {
-			t.Fatalf("root %d: %v", root, err)
+	for _, root := range []int64{0, 1, 100} {
+		res := dijkstraResult(n, edges, root, 3)
+		if err := ValidateResult(n, edges, 3, res); err != nil {
+			t.Fatalf("root %d: reference rejected: %v", root, err)
 		}
-		if err := ValidateResult(n, edges, opt.WeightSeed, res); err != nil {
-			t.Fatalf("root %d: %v", root, err)
-		}
-		refDist, _ := Dijkstra(n, edges, root, opt.WeightSeed)
-		for v := int64(0); v < n; v++ {
-			if math.IsInf(refDist[v], 1) != math.IsInf(res.Dist[v], 1) {
-				t.Fatalf("root %d: reachability of %d differs", root, v)
-			}
-			if !math.IsInf(refDist[v], 1) && math.Abs(refDist[v]-res.Dist[v]) > 1e-9 {
-				t.Fatalf("root %d: dist[%d] = %g, reference %g", root, v, res.Dist[v], refDist[v])
-			}
-		}
-	}
-}
-
-func TestSSSPMatchesDijkstra(t *testing.T) {
-	checkAgainstDijkstra(t, 9, 31, Options{Ranks: 4, WeightSeed: 5}, []int64{0, 3, 100})
-}
-
-func TestSSSPMeshShapes(t *testing.T) {
-	for _, mesh := range []topology.Mesh{{Rows: 1, Cols: 1}, {Rows: 1, Cols: 4}, {Rows: 2, Cols: 4}} {
-		t.Run(fmt.Sprintf("%dx%d", mesh.Rows, mesh.Cols), func(t *testing.T) {
-			checkAgainstDijkstra(t, 8, 32, Options{Mesh: mesh, WeightSeed: 6}, []int64{1})
-		})
-	}
-}
-
-func TestSSSPThresholdExtremes(t *testing.T) {
-	for i, th := range []partition.Thresholds{
-		{E: 64, H: 64},
-		{E: 1 << 30, H: 1},
-		{E: 1 << 30, H: 1 << 29},
-	} {
-		t.Run(fmt.Sprintf("case%d", i), func(t *testing.T) {
-			checkAgainstDijkstra(t, 8, 33, Options{Ranks: 4, Thresholds: th, WeightSeed: 7}, []int64{2})
-		})
-	}
-}
-
-func TestSSSPDeltaVariants(t *testing.T) {
-	for _, delta := range []float64{1.0 / 4, 1.0 / 64, 2.0} {
-		checkAgainstDijkstra(t, 8, 34, Options{Ranks: 4, WeightSeed: 8, Delta: delta}, []int64{0})
-	}
-}
-
-func TestSSSPIsolatedRoot(t *testing.T) {
-	n := int64(256)
-	edges := []rmat.Edge{{U: 0, V: 1}}
-	r, err := New(n, edges, Options{Ranks: 4, Thresholds: partition.Thresholds{E: 16, H: 4}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := r.Run(100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Dist[100] != 0 {
-		t.Fatal("root dist wrong")
-	}
-	reached := 0
-	for _, p := range res.Parent {
-		if p >= 0 {
-			reached++
-		}
-	}
-	if reached != 1 {
-		t.Fatalf("reached %d from isolated root", reached)
-	}
-}
-
-func TestSSSPRejectsBadRoot(t *testing.T) {
-	cfg := rmat.Config{Scale: 6, Seed: 1}
-	r, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := r.Run(-1); err == nil {
-		t.Fatal("negative root accepted")
 	}
 }
 
@@ -136,104 +84,48 @@ func TestValidateResultCatchesCorruption(t *testing.T) {
 	cfg := rmat.Config{Scale: 7, Seed: 2}
 	edges := rmat.Generate(cfg)
 	n := cfg.NumVertices()
-	r, err := New(n, edges, Options{Ranks: 4, WeightSeed: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := r.Run(1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	const seed = 3
+
 	// Inflate one reachable distance: the relaxation check must fire.
+	res := dijkstraResult(n, edges, 1, seed)
 	for v := int64(0); v < n; v++ {
 		if v != 1 && res.Parent[v] >= 0 {
 			res.Dist[v] += 0.5
 			break
 		}
 	}
-	if err := ValidateResult(n, edges, 3, res); err == nil {
+	if err := ValidateResult(n, edges, seed, res); err == nil {
 		t.Fatal("corrupted distances accepted")
 	}
-}
 
-func TestRelaxationCountPositive(t *testing.T) {
-	cfg := rmat.Config{Scale: 8, Seed: 3}
-	r, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 4, WeightSeed: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := r.Run(0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Relaxations == 0 || res.Rounds == 0 {
-		t.Fatalf("relaxations=%d rounds=%d", res.Relaxations, res.Rounds)
-	}
-}
-
-func BenchmarkSSSPScale12(b *testing.B) {
-	cfg := rmat.Config{Scale: 12, Seed: 4}
-	r, err := New(cfg.NumVertices(), rmat.Generate(cfg), Options{Ranks: 4, WeightSeed: 5})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := r.Run(0); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func TestSSSPPullDirectionMatchesDijkstra(t *testing.T) {
-	// Force pull rounds aggressively and verify exact distances.
-	checkAgainstDijkstra(t, 9, 35, Options{Ranks: 4, WeightSeed: 9, PullThreshold: 0.01}, []int64{0, 9})
-}
-
-func TestSSSPPushOnlyStillWorks(t *testing.T) {
-	checkAgainstDijkstra(t, 9, 36, Options{Ranks: 4, WeightSeed: 10, PullThreshold: -1}, []int64{0})
-}
-
-func TestSSSPPullReducesRounds(t *testing.T) {
-	// Dense pull sweeps settle dense phases in fewer rounds than bucketed
-	// pushing on a small-world graph.
-	cfg := rmat.Config{Scale: 11, Seed: 37}
-	edges := rmat.Generate(cfg)
-	n := cfg.NumVertices()
-	push, err := New(n, edges, Options{Ranks: 4, WeightSeed: 11, PullThreshold: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	pull, err := New(n, edges, Options{Ranks: 4, WeightSeed: 11, PullThreshold: 0.05})
-	if err != nil {
-		t.Fatal(err)
-	}
-	root := int64(-1)
-	for v, d := range push.Part.Degrees {
-		if d > 16 {
-			root = int64(v)
+	// Point a parent at a non-neighbor: the edge-existence check must fire.
+	res = dijkstraResult(n, edges, 1, seed)
+	for v := int64(0); v < n; v++ {
+		if v != 1 && res.Parent[v] >= 0 {
+			res.Parent[v] = v // self-parenting non-root is never an input edge
 			break
 		}
 	}
-	if root < 0 {
-		t.Fatal("no connected root")
+	if err := ValidateResult(n, edges, seed, res); err == nil {
+		t.Fatal("bogus parent edge accepted")
 	}
-	rPush, err := push.Run(root)
-	if err != nil {
-		t.Fatal(err)
+
+	// Break the root invariant.
+	res = dijkstraResult(n, edges, 1, seed)
+	res.Dist[1] = 0.25
+	if err := ValidateResult(n, edges, seed, res); err == nil {
+		t.Fatal("nonzero root distance accepted")
 	}
-	rPull, err := pull.Run(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rPull.Rounds >= rPush.Rounds {
-		t.Fatalf("pull rounds %d not below push rounds %d", rPull.Rounds, rPush.Rounds)
-	}
-	// Distances identical either way.
+
+	// A finite distance with no parent is inconsistent.
+	res = dijkstraResult(n, edges, 1, seed)
 	for v := int64(0); v < n; v++ {
-		a, b := rPush.Dist[v], rPull.Dist[v]
-		if math.IsInf(a, 1) != math.IsInf(b, 1) || (!math.IsInf(a, 1) && math.Abs(a-b) > 1e-9) {
-			t.Fatalf("dist[%d] differs: %g vs %g", v, a, b)
+		if v != 1 && res.Parent[v] >= 0 {
+			res.Parent[v] = -1
+			break
 		}
+	}
+	if err := ValidateResult(n, edges, seed, res); err == nil {
+		t.Fatal("finite distance without parent accepted")
 	}
 }
