@@ -14,6 +14,14 @@
 //	bfsbench -scale 16 -workload kcore -kcore-k 4
 //	bfsbench -scale 16 -faults "seed=42,delay=0.01,fail=0.001" -deadline 5ms
 //	bfsbench -scale 14 -ranks 4 -json bench.json -trace spans.jsonl -trace-chrome trace.json
+//
+// Multi-process mode (one process per supernode, framed socket
+// collectives between them — see DESIGN.md §12): start one bfsbench per
+// process, identical flags except -listen, with -join listing every
+// process's address in process order:
+//
+//	bfsbench -scale 16 -ranks 4 -ranks-per-proc 2 -checkpoint-dir /shared/ckpt \
+//	    -listen unix:/tmp/g0.sock -join unix:/tmp/g0.sock,unix:/tmp/g1.sock
 package main
 
 import (
@@ -24,11 +32,13 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/comm"
 	"repro/internal/edgeio"
 	"repro/internal/faultinject"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -58,11 +68,34 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint store directory (empty = checkpointing off)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "iterations between traversal checkpoints")
 		recovery  = flag.String("recovery", "shrink", "world rebuild after a fail-stop: shrink or restore")
+		rpp       = flag.Int("ranks-per-proc", 0, "hybrid mode: ranks this process hosts in a -join world (0 = ranks/processes)")
+		listen    = flag.String("listen", "", "this process's socket address, unix:PATH or tcp:HOST:PORT (requires -join)")
+		join      = flag.String("join", "", "comma-separated addresses of every process in the world, in process order (must contain -listen)")
 		jsonOut   = flag.String("json", "", "write the machine-readable benchmark report (JSON) to this file (bfs only)")
 		traceOut  = flag.String("trace", "", "record per-iteration spans and write the merged timeline (JSONL) to this file (bfs only)")
 		chromeOut = flag.String("trace-chrome", "", "record spans and write a Chrome trace_event file for chrome://tracing (bfs only)")
 	)
 	flag.Parse()
+
+	dist, err := joinWorld(*listen, *join, *ranks, *rpp)
+	if err != nil {
+		fatal(err)
+	}
+	if dist != nil {
+		defer dist.group.Close()
+		if dist.group.Proc() != 0 {
+			// Follower processes run the identical SPMD schedule but stay
+			// quiet: the leader owns the human output and every artifact.
+			null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout = null
+			*jsonOut, *traceOut, *chromeOut = "", "", ""
+		}
+		fmt.Printf("joined socket world: process %d of %d, %d ranks each\n",
+			dist.group.Proc(), dist.procs, dist.rpp)
+	}
 
 	var g graph500.Graph
 	t0 := time.Now()
@@ -131,6 +164,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -recovery %q (want shrink or restore)\n", *recovery)
 		os.Exit(2)
+	}
+	if dist != nil {
+		cfg.Dist = dist.cfg
 	}
 
 	out := outputs{json: *jsonOut, trace: *traceOut, chrome: *chromeOut}
@@ -221,8 +257,34 @@ func main() {
 		entries = append(entries, entry)
 	}
 
+	if dist != nil {
+		ws := dist.group.WireStats()
+		fmt.Printf("\nwire transport (process %d of %d):\n", dist.group.Proc(), dist.procs)
+		fmt.Printf("  heartbeats:  %d sent, %d received\n", ws.HeartbeatsSent, ws.HeartbeatsRecv)
+		fmt.Printf("  reconnects:  %d  (%d frames resent)\n", ws.Reconnects, ws.FramesResent)
+		fmt.Printf("  peers lost:  %d\n", ws.PeersLost)
+		fmt.Printf("  traffic:     %d bytes sent, %d bytes received\n", ws.BytesSent, ws.BytesRecv)
+		if dead := dist.group.DeadProcs(); len(dead) > 0 {
+			fmt.Printf("  dead procs:  %v\n", dead)
+		}
+	}
+
 	if out.json != "" {
 		in := report.Inputs{Config: out.cfgReport, Workloads: entries}
+		if dist != nil {
+			ws := dist.group.WireStats()
+			in.Wire = &report.WireResilience{
+				Procs:          dist.procs,
+				RanksPerProc:   dist.rpp,
+				HeartbeatsSent: ws.HeartbeatsSent,
+				HeartbeatsRecv: ws.HeartbeatsRecv,
+				Reconnects:     ws.Reconnects,
+				PeersLost:      ws.PeersLost,
+				FramesResent:   ws.FramesResent,
+				BytesSent:      ws.BytesSent,
+				BytesRecv:      ws.BytesRecv,
+			}
+		}
 		if sum != nil {
 			in.HarmonicTEPS = sum.HarmonicTEPS
 			in.MeanTEPS = sum.MeanTEPS
@@ -244,6 +306,64 @@ func main() {
 		fmt.Printf("wrote benchmark report to %s\n", out.json)
 	}
 	writeTraces(cfg.Trace, out)
+}
+
+// distWorld is the socket world this process joined: the comm group plus
+// the hybrid split it was derived from.
+type distWorld struct {
+	group *comm.Group
+	cfg   *comm.DistConfig
+	procs int
+	rpp   int
+}
+
+// joinWorld binds this process into the multi-process socket world named by
+// -listen/-join, or returns nil when both are empty (the in-process
+// backend). Every process of the world runs the identical bfsbench command
+// line except for -listen; the process index is the position of -listen in
+// the -join list, and process p hosts ranks [p*rpp, (p+1)*rpp).
+func joinWorld(listen, join string, ranks, rpp int) (*distWorld, error) {
+	if listen == "" && join == "" {
+		if rpp != 0 {
+			return nil, fmt.Errorf("-ranks-per-proc needs a socket world (-listen and -join)")
+		}
+		return nil, nil
+	}
+	if listen == "" || join == "" {
+		return nil, fmt.Errorf("-listen and -join must be set together")
+	}
+	addrs := strings.Split(join, ",")
+	proc := -1
+	for i, a := range addrs {
+		if a == listen {
+			proc = i
+			break
+		}
+	}
+	if proc < 0 {
+		return nil, fmt.Errorf("-listen %s does not appear in -join %s", listen, join)
+	}
+	procs := len(addrs)
+	if rpp == 0 {
+		if ranks%procs != 0 {
+			return nil, fmt.Errorf("%d ranks do not divide over %d processes; set -ranks-per-proc", ranks, procs)
+		}
+		rpp = ranks / procs
+	}
+	if (ranks+rpp-1)/rpp != procs {
+		return nil, fmt.Errorf("%d ranks at %d per process need %d processes, -join names %d",
+			ranks, rpp, (ranks+rpp-1)/rpp, procs)
+	}
+	g, err := comm.NewGroup(wire.Config{Proc: proc, Addrs: addrs})
+	if err != nil {
+		return nil, err
+	}
+	return &distWorld{
+		group: g,
+		cfg:   &comm.DistConfig{Group: g, ProcOf: comm.ContiguousProcOf(ranks, rpp)},
+		procs: procs,
+		rpp:   rpp,
+	}, nil
 }
 
 // outputs collects the machine-readable emission targets.

@@ -138,6 +138,15 @@ type Config struct {
 	// Faults injects collective faults (see internal/faultinject); nil means
 	// a perfectly reliable transport.
 	Faults comm.Transport
+	// Dist attaches the cross-process socket backend (internal/comm over
+	// internal/wire): this process hosts only the ranks DistConfig.ProcOf
+	// maps to it, collectives that span processes travel as framed
+	// contributions over the Group's sockets, and a real peer death is
+	// detected by heartbeat silence and surfaced as rank death with epoch
+	// rebuild. Every process of the group must run the same calls with the
+	// same Config (SPMD), and CheckpointDir — if set — must name storage
+	// all processes share. nil keeps the in-process backend.
+	Dist *comm.DistConfig
 	// CollectiveDeadline fails collectives whose slowest contribution was
 	// delayed past it. 0 disables the watchdog.
 	CollectiveDeadline time.Duration
@@ -191,6 +200,7 @@ func New(g Graph, cfg Config) (*Runner, error) {
 		Hierarchical:       cfg.Hierarchical,
 		SparseTail:         cfg.SparseTail,
 		Transport:          cfg.Faults,
+		Dist:               cfg.Dist,
 		CollectiveDeadline: cfg.CollectiveDeadline,
 		MaxRetries:         cfg.MaxRetries,
 		RetryBackoff:       cfg.RetryBackoff,

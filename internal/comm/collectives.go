@@ -11,7 +11,9 @@ func elemSize[T any]() int64 {
 // sumSlice folds a slice's raw bytes into an FNV-1a checksum. The element
 // types exchanged by the collectives are plain data (integers, floats, small
 // structs), so the byte view is well defined; sender and receivers hash the
-// same memory, which is all checksum agreement needs.
+// same memory, which is all checksum agreement needs. On the socket backend
+// the wire ships exactly these bytes, so a receiver hashing the raw frame
+// payload computes the same sum the sender declared.
 func sumSlice[T any](h uint64, s []T) uint64 {
 	if len(s) == 0 {
 		return h
@@ -29,6 +31,78 @@ func sumSlice[T any](h uint64, s []T) uint64 {
 
 const fnvOffset = 14695981039346656037
 
+// sliceBytes returns the native-endian byte view of s (nil for empty or
+// zero-sized elements). The view aliases s; the wire layer copies at
+// enqueue, so the alias never outlives the collective call.
+func sliceBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	es := int(unsafe.Sizeof(s[0]))
+	if es == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*es)
+}
+
+// bytesToSlice reassembles received raw parts into a fresh []T.
+func bytesToSlice[T any](parts [][]byte) []T {
+	es := int(elemSize[T]())
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if es == 0 || total == 0 {
+		return nil
+	}
+	out := make([]T, total/es)
+	dst := unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), total)
+	off := 0
+	for _, p := range parts {
+		copy(dst[off:], p)
+		off += len(p)
+	}
+	return out
+}
+
+// slotSlice reads member j's posted single-buffer payload: a direct type
+// assertion for local members, a byte decode for remote ones. Returns nil
+// when nothing was posted (withheld, dead, or synthesized-dead slots).
+func slotSlice[T any](c *Comm, j int) []T {
+	p := c.sh.slots[j].payload
+	if p == nil {
+		return nil
+	}
+	if rp, ok := p.(remoteParts); ok {
+		return bytesToSlice[T](rp.parts)
+	}
+	return p.([]T)
+}
+
+// slotPart reads buffer i of member j's posted per-destination buffer list.
+func slotPart[T any](c *Comm, j, i int) []T {
+	p := c.sh.slots[j].payload
+	if p == nil {
+		return nil
+	}
+	if rp, ok := p.(remoteParts); ok {
+		if i >= len(rp.parts) {
+			return nil
+		}
+		return bytesToSlice[T](rp.parts[i : i+1])
+	}
+	return p.([][]T)[i]
+}
+
+// controlParts builds the wire parts for a control payload (nil on the
+// in-process backend, where nothing is serialized).
+func controlParts[T any](c *Comm, s []T) [][]byte {
+	if c.sh.dist == nil {
+		return nil
+	}
+	return [][]byte{sliceBytes(s)}
+}
+
 // corruptCopy returns a copy of s with one bit flipped in its first element,
 // or ok=false when there is nothing to corrupt. The input is never modified:
 // a retry resends the caller's clean buffer.
@@ -44,11 +118,13 @@ func corruptCopy[T any](s []T) ([]T, bool) {
 
 // contribute1 runs the transport protocol for a single-buffer payload: it
 // consults the transport (sleeping any injected delay), checksums and
-// possibly corrupts the posted copy, and posts the envelope. Must be followed
-// by bar.wait + verify + payload read + bar.wait.
-func contribute1[T any](c *Comm, kind Kind, send []T) {
+// possibly corrupts the posted copy, posts the envelope, and (socket
+// backend) ships it to the remote processes. Must be followed by
+// rendezvous + verify + payload read + complete.
+func contribute1[T any](c *Comm, kind Kind, seq uint64, send []T) {
 	act := c.rank.intercept(kind, c.Size())
 	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
+	var parts [][]byte
 	if !ctr.failed && !ctr.withheld && !ctr.dead {
 		post := send
 		if c.faulty() {
@@ -63,15 +139,20 @@ func contribute1[T any](c *Comm, kind Kind, send []T) {
 			ctr.resum = func() uint64 { return sumSlice[T](fnvOffset, p) }
 		}
 		ctr.payload = post
+		if c.sh.dist != nil {
+			parts = [][]byte{sliceBytes(post)}
+		}
 	}
 	c.sh.slots[c.me] = ctr
+	c.distSend(seq, wireData, &ctr, parts)
 }
 
 // contribute2 is contribute1 for per-destination buffer lists (alltoallv).
 // Corruption flips a bit in a copy of the first non-empty destination buffer.
-func contribute2[T any](c *Comm, kind Kind, send [][]T) {
+func contribute2[T any](c *Comm, kind Kind, seq uint64, send [][]T) {
 	act := c.rank.intercept(kind, c.Size())
 	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
+	var parts [][]byte
 	if !ctr.failed && !ctr.withheld && !ctr.dead {
 		post := send
 		if c.faulty() {
@@ -100,8 +181,15 @@ func contribute2[T any](c *Comm, kind Kind, send [][]T) {
 			}
 		}
 		ctr.payload = post
+		if c.sh.dist != nil {
+			parts = make([][]byte, len(post))
+			for j, buf := range post {
+				parts[j] = sliceBytes(buf)
+			}
+		}
 	}
 	c.sh.slots[c.me] = ctr
+	c.distSend(seq, wireData, &ctr, parts)
 }
 
 // Alltoallv exchanges per-destination buffers: send[j] goes to member j.
@@ -116,6 +204,7 @@ func Alltoallv[T any](c *Comm, send [][]T) ([][]T, error) {
 	if len(send) != k {
 		panic("comm: Alltoallv needs one buffer per member")
 	}
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	es := elemSize[T]()
 	c.rank.Stats.Calls[KindAlltoallv]++
@@ -124,20 +213,19 @@ func Alltoallv[T any](c *Comm, send [][]T) ([][]T, error) {
 			c.account(KindAlltoallv, j, int64(len(buf))*es)
 		}
 	}
-	contribute2(c, KindAlltoallv, send)
-	c.sh.bar.wait()
+	contribute2(c, KindAlltoallv, seq, send)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindAlltoallv, nil)
 	var recv [][]T
 	if err == nil {
 		recv = make([][]T, k)
 		for j := 0; j < k; j++ {
-			posted := c.sh.slots[j].payload.([][]T)
-			if len(posted[c.me]) > 0 {
-				recv[j] = append([]T(nil), posted[c.me]...)
+			if mine := slotPart[T](c, j, c.me); len(mine) > 0 {
+				recv[j] = append([]T(nil), mine...)
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	c.traceExit("alltoallv", tok, err)
 	return recv, err
 }
@@ -164,6 +252,7 @@ func AlltoallvFlat[T any](c *Comm, send [][]T) ([]T, error) {
 // a sender mutating its buffer right after the call cannot corrupt any
 // receiver's view (MPI value semantics).
 func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	k := c.Size()
 	es := elemSize[T]()
@@ -173,20 +262,19 @@ func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
 			c.account(KindAllgather, j, int64(len(send))*es)
 		}
 	}
-	contribute1(c, KindAllgather, send)
-	c.sh.bar.wait()
+	contribute1(c, KindAllgather, seq, send)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindAllgather, nil)
 	var out [][]T
 	if err == nil {
 		out = make([][]T, k)
 		for j := 0; j < k; j++ {
-			posted := c.sh.slots[j].payload.([]T)
-			if len(posted) > 0 {
+			if posted := slotSlice[T](c, j); len(posted) > 0 {
 				out[j] = append([]T(nil), posted...)
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	c.traceExit("allgatherv", tok, err)
 	return out, err
 }
@@ -197,6 +285,7 @@ func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
 // pass equal-length slices. Traffic accounting follows the pairwise-exchange
 // algorithm: each member sends every other member that member's segment.
 func ReduceScatterOr(c *Comm, words []uint64) ([]uint64, error) {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
@@ -208,20 +297,20 @@ func ReduceScatterOr(c *Comm, words []uint64) ([]uint64, error) {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	contribute1(c, KindReduceScatter, words)
-	c.sh.bar.wait()
+	contribute1(c, KindReduceScatter, seq, words)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindReduceScatter, nil)
 	var seg []uint64
 	if err == nil {
 		seg = make([]uint64, hi-lo)
 		for j := 0; j < k; j++ {
-			other := c.sh.slots[j].payload.([]uint64)
+			other := slotSlice[uint64](c, j)
 			for i := range seg {
 				seg[i] |= other[lo+i]
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	c.traceExit("reduce_scatter_or", tok, err)
 	return seg, err
 }
@@ -280,6 +369,7 @@ func AllreduceOr(c *Comm, words []uint64) error {
 // valid parents (≥ 0) win over the -1 sentinel. On error vals is untouched,
 // which makes retrying the (idempotent, monotone) reduction safe.
 func AllreduceMaxInt64(c *Comm, vals []int64) error {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
@@ -290,8 +380,8 @@ func AllreduceMaxInt64(c *Comm, vals []int64) error {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	contribute1(c, KindReduceScatter, vals)
-	c.sh.bar.wait()
+	contribute1(c, KindReduceScatter, seq, vals)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindReduceScatter, nil)
 	lo, hi := segBounds(n, k, c.me)
 	var seg []int64
@@ -302,7 +392,7 @@ func AllreduceMaxInt64(c *Comm, vals []int64) error {
 			if j == c.me {
 				continue
 			}
-			other := c.sh.slots[j].payload.([]int64)
+			other := slotSlice[int64](c, j)
 			for i := range seg {
 				if other[lo+i] > seg[i] {
 					seg[i] = other[lo+i]
@@ -310,7 +400,7 @@ func AllreduceMaxInt64(c *Comm, vals []int64) error {
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	parts, err2 := Allgatherv(c, seg)
 	if err == nil {
 		err = err2
@@ -344,6 +434,7 @@ func AllreduceSumInt64(c *Comm, v int64) (int64, error) {
 // iteration's observed bytes in a single collective, keeping the epilogue's
 // schedule position identical whether or not the byte feedback is consumed.
 func AllreduceSumInt64s(c *Comm, vals []int64) ([]int64, error) {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	c.rank.Stats.Calls[KindReduceScatter]++
 	for j := 0; j < c.Size(); j++ {
@@ -351,20 +442,20 @@ func AllreduceSumInt64s(c *Comm, vals []int64) ([]int64, error) {
 			c.account(KindReduceScatter, j, 8*int64(len(vals)))
 		}
 	}
-	contribute1(c, KindReduceScatter, vals)
-	c.sh.bar.wait()
+	contribute1(c, KindReduceScatter, seq, vals)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindReduceScatter, nil)
 	var sums []int64
 	if err == nil {
 		sums = make([]int64, len(vals))
 		for j := 0; j < c.Size(); j++ {
-			other := c.sh.slots[j].payload.([]int64)
+			other := slotSlice[int64](c, j)
 			for i := range sums {
 				sums[i] += other[i]
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	c.traceExit("allreduce_sum", tok, err)
 	return sums, err
 }
@@ -374,15 +465,22 @@ func AllreduceSumInt64s(c *Comm, vals []int64) ([]int64, error) {
 // cannot fail. The resilient engine uses it to vote on whether any rank saw a
 // collective error in an iteration — real systems run exactly this kind of
 // agreement on a reliable out-of-band channel (and so it is also exempt from
-// data-plane traffic accounting).
+// data-plane traffic accounting). On the socket backend a dead process's
+// contribution is synthesized as zero.
 func ControlSumInt64(c *Comm, v int64) int64 {
-	c.sh.slots[c.me] = contribution{payload: []int64{v}}
-	c.sh.bar.wait()
+	seq := c.nextSeq()
+	vals := []int64{v}
+	ctr := contribution{payload: vals}
+	c.sh.slots[c.me] = ctr
+	c.distSend(seq, wireControl, &ctr, controlParts(c, vals))
+	c.rendezvous(seq, nil)
 	var sum int64
 	for j := 0; j < c.Size(); j++ {
-		sum += c.sh.slots[j].payload.([]int64)[0]
+		if s := slotSlice[int64](c, j); len(s) > 0 {
+			sum += s[0]
+		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	return sum
 }
 
@@ -392,23 +490,59 @@ func ControlSumInt64(c *Comm, v int64) int64 {
 // what the membership protocol needs (the zombie's goroutine doubles as its
 // failure detector and contributes its own death bit). All members must pass
 // equal-length vectors. The engine's per-iteration vote rides this: word 0
-// carries the step-failure mask, the rest a dead-rank bitmask.
+// carries the step-failure mask, the rest a dead-rank bitmask. On the socket
+// backend a dead PROCESS has no zombie to vote; the comm layer synthesizes
+// the vote its ranks would have cast, setting their dead-rank bits.
 func ControlOrWords(c *Comm, words []uint64) []uint64 {
-	c.sh.slots[c.me] = contribution{payload: append([]uint64(nil), words...)}
-	c.sh.bar.wait()
+	seq := c.nextSeq()
+	cp := append([]uint64(nil), words...)
+	ctr := contribution{payload: cp}
+	c.sh.slots[c.me] = ctr
+	c.distSend(seq, wireControl, &ctr, controlParts(c, cp))
+	c.rendezvous(seq, nil)
 	out := make([]uint64, len(words))
 	for j := 0; j < c.Size(); j++ {
-		other := c.sh.slots[j].payload.([]uint64)
+		other := slotSlice[uint64](c, j)
+		if other == nil {
+			if c.sh.slots[j].dead {
+				markDeadRank(out, c.sh.members[j])
+			}
+			continue
+		}
 		for i := range out {
 			out[i] |= other[i]
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
+	return out
+}
+
+// ControlGatherSlices gathers every member's slice on every member over the
+// control plane: like ControlSumInt64 it is never intercepted by the fault
+// transport and cannot fail. The distributed engine's result assembly rides
+// it — after a run succeeds each process holds only its local ranks' owned
+// segments of the global result arrays, and one control gather ships the rest
+// without re-opening the data-plane schedule to injected faults. out[j] is
+// member j's slice; a dead process's members contribute nil. Local members'
+// slices alias the sender's buffer (nothing is copied in-process); callers
+// must copy before mutating.
+func ControlGatherSlices[T any](c *Comm, send []T) [][]T {
+	seq := c.nextSeq()
+	ctr := contribution{payload: send}
+	c.sh.slots[c.me] = ctr
+	c.distSend(seq, wireControl, &ctr, controlParts(c, send))
+	c.rendezvous(seq, nil)
+	out := make([][]T, c.Size())
+	for j := range out {
+		out[j] = slotSlice[T](c, j)
+	}
+	c.complete(seq)
 	return out
 }
 
 // Bcast distributes root's value to every member.
 func Bcast[T any](c *Comm, v T, root int) (T, error) {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	c.rank.Stats.Calls[KindAllgather]++
 	if c.me == root {
@@ -417,18 +551,18 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 				c.account(KindAllgather, j, elemSize[T]())
 			}
 		}
-		contribute1(c, KindAllgather, []T{v})
+		contribute1(c, KindAllgather, seq, []T{v})
 	} else {
 		// Non-root members only receive; they are not intercepted (a stalled
 		// receiver cannot lose anyone else's data).
 	}
-	c.sh.bar.wait()
+	c.rendezvous(seq, []int{root})
 	err := c.verify(KindAllgather, []int{root})
 	var out T
 	if err == nil {
-		out = c.sh.slots[root].payload.([]T)[0]
+		out = slotSlice[T](c, root)[0]
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	c.traceExit("bcast", tok, err)
 	return out, err
 }
@@ -439,6 +573,7 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 // on to keep replicated hub values consistent without re-broadcasting.
 // On error vals is left untouched.
 func AllreduceSumFloat64(c *Comm, vals []float64) error {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
@@ -449,21 +584,21 @@ func AllreduceSumFloat64(c *Comm, vals []float64) error {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	contribute1(c, KindReduceScatter, vals)
-	c.sh.bar.wait()
+	contribute1(c, KindReduceScatter, seq, vals)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindReduceScatter, nil)
 	lo, hi := segBounds(n, k, c.me)
 	var seg []float64
 	if err == nil {
 		seg = make([]float64, hi-lo)
 		for j := 0; j < k; j++ {
-			other := c.sh.slots[j].payload.([]float64)
+			other := slotSlice[float64](c, j)
 			for i := range seg {
 				seg[i] += other[lo+i]
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	parts, err2 := Allgatherv(c, seg)
 	if err == nil {
 		err = err2
@@ -483,6 +618,7 @@ func AllreduceSumFloat64(c *Comm, vals []float64) error {
 // reductions). Used by distributed preprocessing to combine per-rank degree
 // histograms. On error vals is left untouched.
 func AllreduceSumInt64Vec(c *Comm, vals []int64) error {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	k := c.Size()
 	c.rank.Stats.Calls[KindReduceScatter]++
@@ -493,21 +629,21 @@ func AllreduceSumInt64Vec(c *Comm, vals []int64) error {
 			c.account(KindReduceScatter, j, int64(jhi-jlo)*8)
 		}
 	}
-	contribute1(c, KindReduceScatter, vals)
-	c.sh.bar.wait()
+	contribute1(c, KindReduceScatter, seq, vals)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindReduceScatter, nil)
 	lo, hi := segBounds(n, k, c.me)
 	var seg []int64
 	if err == nil {
 		seg = make([]int64, hi-lo)
 		for j := 0; j < k; j++ {
-			other := c.sh.slots[j].payload.([]int64)
+			other := slotSlice[int64](c, j)
 			for i := range seg {
 				seg[i] += other[lo+i]
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	parts, err2 := Allgatherv(c, seg)
 	if err == nil {
 		err = err2

@@ -148,11 +148,16 @@ type contribution struct {
 	dead     bool          // fail-stop: the rank is permanently gone
 }
 
-// shared is the state one communicator's members rendezvous through.
+// shared is the state one communicator's members rendezvous through. On the
+// in-process backend every member is local and bar spans them all; on the
+// socket backend bar spans only the local members and dist carries the
+// cross-process geometry (remote contributions arrive via the Group router
+// and are gathered into slots by the local leader).
 type shared struct {
 	members []int          // world ranks, in member order
 	slots   []contribution // one posting slot per member
-	bar     *barrier
+	bar     *barrier       // rendezvous over the local members
+	dist    *distComm      // nil on the in-process backend
 }
 
 // World owns the ranks and their communicators.
@@ -171,6 +176,13 @@ type World struct {
 	opt     WorldOptions
 	epoch   int
 	nodeOf  []int // rank -> hosting machine node
+
+	// Socket backend (nil dist = in-process). procOf maps each rank to its
+	// hosting process; gen is the run generation stamped on wire frames,
+	// assigned at each Run from the group's counter.
+	dist   *DistConfig
+	procOf []int
+	gen    uint32
 
 	world *shared
 	rows  []*shared // one per mesh row
@@ -199,28 +211,26 @@ func NewWorldOpts(n int, mesh topology.Mesh, machine topology.Machine, opt World
 		return nil, fmt.Errorf("comm: machine has %d nodes for %d ranks", machine.Nodes, n)
 	}
 	w := &World{size: n, mesh: mesh, machine: machine, opt: opt, nodeOf: make([]int, n)}
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
+	for i := 0; i < n; i++ {
 		w.nodeOf[i] = i
 	}
-	w.world = &shared{members: all, slots: make([]contribution, n), bar: newBarrier(n)}
-	w.rows = make([]*shared, mesh.Rows)
-	for r := 0; r < mesh.Rows; r++ {
-		m := make([]int, mesh.Cols)
-		for c := 0; c < mesh.Cols; c++ {
-			m[c] = mesh.RankAt(r, c)
+	if opt.Dist != nil {
+		if opt.Dist.Group == nil {
+			return nil, fmt.Errorf("comm: DistConfig without a Group")
 		}
-		w.rows[r] = &shared{members: m, slots: make([]contribution, len(m)), bar: newBarrier(len(m))}
-	}
-	w.cols = make([]*shared, mesh.Cols)
-	for c := 0; c < mesh.Cols; c++ {
-		m := make([]int, mesh.Rows)
-		for r := 0; r < mesh.Rows; r++ {
-			m[r] = mesh.RankAt(r, c)
+		if len(opt.Dist.ProcOf) != n {
+			return nil, fmt.Errorf("comm: DistConfig.ProcOf has %d entries for %d ranks", len(opt.Dist.ProcOf), n)
 		}
-		w.cols[c] = &shared{members: m, slots: make([]contribution, len(m)), bar: newBarrier(len(m))}
+		procs := opt.Dist.Group.Procs()
+		for r, p := range opt.Dist.ProcOf {
+			if p < 0 || p >= procs {
+				return nil, fmt.Errorf("comm: rank %d mapped to process %d of %d", r, p, procs)
+			}
+		}
+		w.dist = opt.Dist
+		w.procOf = append([]int(nil), opt.Dist.ProcOf...)
 	}
+	w.initComms()
 	if opt.Trace != nil {
 		w.streams = make([]*trace.Stream, n)
 		for i := range w.streams {
@@ -230,8 +240,102 @@ func NewWorldOpts(n int, mesh topology.Mesh, machine topology.Machine, opt World
 	return w, nil
 }
 
+// initComms (re)builds the world/row/column communicators from the current
+// rank→process map. Called once at construction and again by NextEpoch after
+// the dead slots are re-homed, since re-homing changes which members are
+// local to each process.
+func (w *World) initComms() {
+	build := func(members []int, id uint32) *shared {
+		sh := &shared{members: members, slots: make([]contribution, len(members))}
+		if w.dist == nil {
+			sh.bar = newBarrier(len(members))
+			return sh
+		}
+		me := w.dist.Group.Proc()
+		d := &distComm{w: w, id: id, leader: -1}
+		seen := make(map[int]bool)
+		for m, r := range members {
+			if w.procOf[r] == me {
+				d.local = append(d.local, m)
+				if d.leader < 0 {
+					d.leader = m
+				}
+			} else {
+				d.remote = append(d.remote, m)
+				if !seen[w.procOf[r]] {
+					seen[w.procOf[r]] = true
+					d.remoteProcs = append(d.remoteProcs, w.procOf[r])
+				}
+			}
+		}
+		sh.bar = newBarrier(len(d.local))
+		d.gbar = newBarrier(len(d.local))
+		sh.dist = d
+		return sh
+	}
+	all := make([]int, w.size)
+	for i := range all {
+		all[i] = i
+	}
+	w.world = build(all, 0)
+	w.rows = make([]*shared, w.mesh.Rows)
+	for r := 0; r < w.mesh.Rows; r++ {
+		m := make([]int, w.mesh.Cols)
+		for c := 0; c < w.mesh.Cols; c++ {
+			m[c] = w.mesh.RankAt(r, c)
+		}
+		w.rows[r] = build(m, uint32(1+r))
+	}
+	w.cols = make([]*shared, w.mesh.Cols)
+	for c := 0; c < w.mesh.Cols; c++ {
+		m := make([]int, w.mesh.Rows)
+		for r := 0; r < w.mesh.Rows; r++ {
+			m[r] = w.mesh.RankAt(r, c)
+		}
+		w.cols[c] = build(m, uint32(1+w.mesh.Rows+c))
+	}
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// Distributed reports whether this world spans multiple processes.
+func (w *World) Distributed() bool { return w.dist != nil }
+
+// Group returns the process group backing a distributed world (nil on the
+// in-process backend).
+func (w *World) Group() *Group {
+	if w.dist == nil {
+		return nil
+	}
+	return w.dist.Group
+}
+
+// ProcOf returns the process hosting rank r (0 on the in-process backend,
+// where everything is process 0).
+func (w *World) ProcOf(r int) int {
+	if w.procOf == nil {
+		return 0
+	}
+	return w.procOf[r]
+}
+
+// IsLocal reports whether rank r runs as a goroutine in this process.
+func (w *World) IsLocal(r int) bool {
+	return w.procOf == nil || w.procOf[r] == w.dist.Group.Proc()
+}
+
+// LocalRanks lists the ranks this process hosts, ascending. On the
+// in-process backend that is every rank.
+func (w *World) LocalRanks() []int {
+	out := make([]int, 0, w.size)
+	for r := 0; r < w.size; r++ {
+		if w.IsLocal(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // Mesh returns the process mesh.
 func (w *World) Mesh() topology.Mesh { return w.mesh }
@@ -305,61 +409,84 @@ func (w *World) NextEpoch(dead []int, mode RebuildMode) (*World, error) {
 	}
 	nw.epoch = w.epoch + 1
 	copy(nw.nodeOf, w.nodeOf)
+	if w.procOf != nil {
+		copy(nw.procOf, w.procOf)
+	}
 	ds := make([]int, 0, len(isDead))
 	for d := range isDead {
 		ds = append(ds, d)
 	}
 	sort.Ints(ds)
 	for _, d := range ds {
+		// The hosting survivor: nearest surviving rank in the dead slot's
+		// mesh row (wrapping), falling back to the lowest survivor.
+		host := -1
+		row, col := w.mesh.RowOf(d), w.mesh.ColOf(d)
+		for off := 1; off < w.mesh.Cols; off++ {
+			cand := w.mesh.RankAt(row, (col+off)%w.mesh.Cols)
+			if !isDead[cand] {
+				host = cand
+				break
+			}
+		}
+		if host < 0 { // whole row dead: lowest surviving rank
+			for r := 0; r < w.size; r++ {
+				if !isDead[r] {
+					host = r
+					break
+				}
+			}
+		}
 		switch mode {
 		case RebuildRestore:
 			nw.nodeOf[d] = nw.machine.Nodes
 			nw.machine.Nodes++
 		default: // RebuildShrink
-			host := -1
-			row, col := w.mesh.RowOf(d), w.mesh.ColOf(d)
-			for off := 1; off < w.mesh.Cols; off++ {
-				cand := w.mesh.RankAt(row, (col+off)%w.mesh.Cols)
-				if !isDead[cand] {
-					host = cand
-					break
-				}
-			}
-			if host < 0 { // whole row dead: lowest surviving rank
-				for r := 0; r < w.size; r++ {
-					if !isDead[r] {
-						host = r
-						break
-					}
-				}
-			}
 			nw.nodeOf[d] = nw.nodeOf[host]
 		}
+		// Across processes both modes re-home the slot's goroutine onto the
+		// host's process: a restore gets a fresh modeled node for pricing,
+		// but there is no fresh OS process to adopt it.
+		if nw.procOf != nil {
+			nw.procOf[d] = nw.procOf[host]
+		}
+	}
+	if nw.dist != nil {
+		// Re-homing changed which members are local; rebuild the
+		// communicator geometry (barrier sizes, leaders, remote targets).
+		nw.initComms()
 	}
 	return nw, nil
 }
 
-// Run executes fn once per rank, each on its own goroutine, and returns when
-// all complete. Panics in any rank are re-raised after all goroutines stop.
+// Run executes fn once per locally hosted rank, each on its own goroutine,
+// and returns when all complete. On the in-process backend every rank is
+// local; on the socket backend the remote ranks run inside their own
+// processes' concurrent Run calls, with contributions exchanged over the
+// wire. Panics in any local rank are re-raised after all goroutines stop.
 func (w *World) Run(fn func(*Rank)) {
+	if w.dist != nil {
+		w.gen = w.dist.Group.beginRun(w.epoch)
+	}
+	local := w.LocalRanks()
 	var wg sync.WaitGroup
-	panics := make([]any, w.size)
-	for i := 0; i < w.size; i++ {
+	panics := make([]any, len(local))
+	for idx, id := range local {
 		wg.Add(1)
-		go func(i int) {
+		go func(idx, id int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[i] = p
+					panics[idx] = p
 				}
 			}()
-			fn(w.newRank(i))
-		}(i)
+			fn(w.newRank(id))
+		}(idx, id)
 	}
 	wg.Wait()
-	for i, p := range panics {
+	for idx, p := range panics {
 		if p != nil {
-			panic(fmt.Sprintf("comm: rank %d panicked: %v", i, p))
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", local[idx], p))
 		}
 	}
 }
@@ -384,9 +511,11 @@ type Rank struct {
 	tag  int           // engine-declared schedule-position label (-1 untagged)
 }
 
-// Faulty reports whether a fault transport is installed, i.e. whether
-// collectives on this rank's world can return errors at all.
-func (r *Rank) Faulty() bool { return r.w.opt.Transport != nil }
+// Faulty reports whether collectives on this rank's world can return errors
+// at all: a fault transport is installed, or the world spans processes over
+// the socket backend (where a peer can genuinely die mid-collective). The
+// resilient engine keys its votes, snapshots and retries off this.
+func (r *Rank) Faulty() bool { return r.w.opt.Transport != nil || r.w.dist != nil }
 
 // Trace returns the rank's span stream, or nil when tracing is off. The
 // stream is single-writer: only the goroutine occupying the rank slot may
@@ -472,6 +601,7 @@ type Comm struct {
 	me    int // my member index
 	rank  *Rank
 	scope string // "world", "row" or "col" (trace span labeling)
+	seq   uint64 // collectives entered on this communicator this Run (wire keying)
 }
 
 // Size returns the number of members.
@@ -487,13 +617,16 @@ func (c *Comm) WorldRank(i int) int { return c.sh.members[i] }
 // the other collectives: a failed or withheld arrival surfaces as a typed
 // error on every member (there is no payload, so corruption cannot occur).
 func (c *Comm) Barrier() error {
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	c.rank.Stats.Calls[KindBarrier]++
 	act := c.rank.intercept(KindBarrier, c.Size())
-	c.sh.slots[c.me] = contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
-	c.sh.bar.wait()
+	ctr := contribution{delay: act.Delay, withheld: act.Withhold, failed: act.Fail, dead: act.Kill}
+	c.sh.slots[c.me] = ctr
+	c.distSend(seq, wireData, &ctr, nil)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindBarrier, nil)
-	c.sh.bar.wait()
+	c.complete(seq)
 	c.traceExit("barrier", tok, err)
 	return err
 }
@@ -546,8 +679,14 @@ func (c *Comm) traceExit(name string, tok traceToken, err error) {
 	tr.Emit(sp)
 }
 
-// faulty reports whether envelope verification is needed at all.
-func (c *Comm) faulty() bool { return c.rank.w.opt.Transport != nil }
+// faulty reports whether envelope verification is needed at all: under an
+// injected-fault transport, and always on the socket backend — a real peer
+// process can die or corrupt a frame without any transport installed, and
+// the failure detector's dead-peer synthesis only surfaces as ErrRankDead
+// if verify runs.
+func (c *Comm) faulty() bool {
+	return c.rank.w.opt.Transport != nil || c.rank.w.dist != nil
+}
 
 // verify inspects the contributions posted for the current collective and
 // returns the agreed typed error, or nil. It must run between the opening and

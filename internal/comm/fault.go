@@ -128,6 +128,11 @@ type WorldOptions struct {
 	// Control-plane collectives (ControlSumInt64, ControlOrWords) are exempt,
 	// mirroring their exemption from traffic accounting.
 	Trace *trace.Tracer
+	// Dist spreads the world's ranks across the processes of a Group (the
+	// socket backend). nil keeps every rank in this process. NextEpoch
+	// carries the configuration into successor worlds, re-homing the dead
+	// slots' processes alongside their nodes.
+	Dist *DistConfig
 }
 
 // FaultStats counts one rank's injected faults and observed collective

@@ -111,6 +111,7 @@ func AllgatherSparse(c *Comm, ups []SparseUpdate) ([][]SparseUpdate, error) {
 			panic(fmt.Sprintf("comm: AllgatherSparse update Dst %d out of [0,%d)", u.Dst, k))
 		}
 	}
+	seq := c.nextSeq()
 	tok := c.traceEnter()
 	c.rank.Stats.Calls[KindAllgatherSparse]++
 	frame := EncodeSparseUpdates(nil, ups)
@@ -119,14 +120,14 @@ func AllgatherSparse(c *Comm, ups []SparseUpdate) ([][]SparseUpdate, error) {
 			c.account(KindAllgatherSparse, j, int64(len(frame)))
 		}
 	}
-	contribute1(c, KindAllgatherSparse, frame)
-	c.sh.bar.wait()
+	contribute1(c, KindAllgatherSparse, seq, frame)
+	c.rendezvous(seq, nil)
 	err := c.verify(KindAllgatherSparse, nil)
 	var out [][]SparseUpdate
 	if err == nil {
 		out = make([][]SparseUpdate, k)
 		for j := 0; j < k; j++ {
-			posted, derr := DecodeSparseUpdates(c.sh.slots[j].payload.([]byte))
+			posted, derr := DecodeSparseUpdates(slotSlice[byte](c, j))
 			if derr != nil {
 				panic(fmt.Sprintf("comm: AllgatherSparse: member %d posted a bad frame past checksum verification: %v", j, derr))
 			}
@@ -137,7 +138,7 @@ func AllgatherSparse(c *Comm, ups []SparseUpdate) ([][]SparseUpdate, error) {
 			}
 		}
 	}
-	c.sh.bar.wait()
+	c.complete(seq)
 	c.traceExit("allgather_sparse", tok, err)
 	return out, err
 }

@@ -121,6 +121,16 @@ type Options struct {
 	// internal/faultinject). nil means a perfectly reliable transport and
 	// zero resilience overhead: no snapshots, no votes, no checksums.
 	Transport comm.Transport
+	// Dist attaches the world to a cross-process socket group (see
+	// comm.DistConfig): this process then hosts only the ranks
+	// DistConfig.ProcOf maps to it, collectives between processes ride the
+	// wire transport, and result assembly gathers the remote ranks' owned
+	// segments over the control plane. Every process of the group must run
+	// the same engine calls with the same options (SPMD). When set,
+	// CheckpointDir must name a directory shared by all processes — it is
+	// the recovery protocol's shared truth. nil keeps the single-process
+	// goroutine backend.
+	Dist *comm.DistConfig
 	// CollectiveDeadline fails any collective whose slowest contribution was
 	// delayed past it (comm.ErrDeadlineExceeded). 0 disables the watchdog.
 	CollectiveDeadline time.Duration
@@ -317,6 +327,7 @@ func NewEngineFromPartition(part *partition.Partitioned, opt Options) (*Engine, 
 		Transport: opt.Transport,
 		Deadline:  opt.CollectiveDeadline,
 		Trace:     opt.Trace,
+		Dist:      opt.Dist,
 	})
 	if err != nil {
 		return nil, err
@@ -427,9 +438,20 @@ func deadRanks(errs []error) []int {
 	return dead
 }
 
+// distLeader reports whether this process should perform once-per-world side
+// effects (meta commits, scope pruning): the process hosting rank 0, which on
+// the in-process backend is everyone's answer.
+func (e *Engine) distLeader() bool {
+	return !e.World.Distributed() || e.World.ProcOf(0) == e.World.Group().Proc()
+}
+
 // ensureGraphTier writes the graph tier once per (store, partitioning): every
 // rank's partitioned graph first, the meta segment last as the commit marker,
-// so a crash mid-write reads back as "no valid tier" and is rewritten.
+// so a crash mid-write reads back as "no valid tier" and is rewritten. On a
+// distributed world each process writes only its local ranks' graphs into the
+// shared store, a fence makes them all durable, and the process hosting rank
+// 0 commits the meta segment; a second fence keeps anyone from trusting the
+// tier before the commit lands.
 func (e *Engine) ensureGraphTier(store *checkpoint.Store) (segs, bytes int64, err error) {
 	lay := e.Part.Layout
 	meta := checkpoint.GraphMeta{
@@ -444,9 +466,15 @@ func (e *Engine) ensureGraphTier(store *checkpoint.Store) (segs, bytes int64, er
 		ThreshH:  e.Opt.Thresholds.H,
 	}
 	if store.HasGraph(meta) {
+		// Every process sees the same committed tier (the meta segment is
+		// written strictly after all processes' HasGraph checks, behind a
+		// fence), so taking this branch is an SPMD-consistent decision.
 		return 0, 0, nil
 	}
 	for r, rg := range e.Part.Ranks {
+		if !e.World.IsLocal(r) {
+			continue
+		}
 		n, werr := store.WriteRankGraph(r, rg)
 		if werr != nil {
 			return segs, bytes, werr
@@ -454,11 +482,17 @@ func (e *Engine) ensureGraphTier(store *checkpoint.Store) (segs, bytes int64, er
 		segs++
 		bytes += n
 	}
-	n, werr := store.WriteGraphMeta(meta)
-	if werr != nil {
-		return segs, bytes, werr
+	e.World.Fence()
+	if e.distLeader() {
+		n, werr := store.WriteGraphMeta(meta)
+		if werr != nil {
+			return segs, bytes, werr
+		}
+		segs++
+		bytes += n
 	}
-	return segs + 1, bytes + n, nil
+	e.World.Fence()
+	return segs, bytes, nil
 }
 
 // workloadFactory builds one rank's workload state for an epoch. The factory
@@ -570,6 +604,9 @@ func (e *Engine) execute(suffix string, spanArgs map[string]int64, mk workloadFa
 		states, traces, errs = e.runEpoch(mk, store, scope, resumeIter, replaced)
 		var maxReplay time.Duration
 		for _, wl := range states {
+			if wl == nil { // remote rank on a distributed world
+				continue
+			}
 			d := wl.drv()
 			rc.recorder.Merge(d.rec)
 			if d.recovery > rc.recoveryTime {
@@ -590,7 +627,12 @@ func (e *Engine) execute(suffix string, spanArgs map[string]int64, mk workloadFa
 		if startAbs < len(full) {
 			full = full[:startAbs]
 		}
-		full = append(full, traces[0]...)
+		for _, tr := range traces { // first hosted rank's trace (identical on all)
+			if tr != nil {
+				full = append(full, tr...)
+				break
+			}
+		}
 
 		dead := deadRanks(errs)
 		if len(dead) == 0 {
@@ -622,6 +664,11 @@ func (e *Engine) execute(suffix string, spanArgs map[string]int64, mk workloadFa
 			replaced[d] = true
 		}
 		resumeIter = -2
+		// Every surviving process must have flushed and closed its checkpoint
+		// writers before any process picks the resume point, or two processes
+		// could disagree on the latest complete iteration and replay divergent
+		// prefixes. Dead processes count as arrived at the fence.
+		e.World.Fence()
 		if scope != nil {
 			if it, ok := scope.LatestComplete(e.Opt.Ranks); ok {
 				resumeIter = it
@@ -655,6 +702,9 @@ func (e *Engine) execute(suffix string, spanArgs map[string]int64, mk workloadFa
 	rc.states = states
 	rc.trace = full
 	for _, wl := range states {
+		if wl == nil {
+			continue
+		}
 		rc.perRank = append(rc.perRank, wl.drv().rec)
 	}
 	rc.faults = rc.recorder.Faults
@@ -669,7 +719,12 @@ func (e *Engine) execute(suffix string, spanArgs map[string]int64, mk workloadFa
 			if e.Opt.KeepCheckpoints {
 				rc.scopeName = scope.Name()
 			} else {
-				_ = scope.Remove()
+				// All processes' writers must be closed before the scope
+				// disappears, and only one process prunes the shared store.
+				e.World.Fence()
+				if e.distLeader() {
+					_ = scope.Remove()
+				}
 			}
 		}
 	} else if scope != nil {
@@ -719,8 +774,14 @@ func (e *Engine) Run(root int64) (*Result, error) {
 	}
 	if rc.err == nil {
 		for _, wl := range rc.states {
+			if wl == nil {
+				continue
+			}
 			wl.(*rankState).writeParents(res.Parent)
 		}
+		e.distAssemble(func(r *comm.Rank, lead bool) {
+			gatherOwned(e, r, lead, res.Parent)
+		})
 		res.TraversedEdges = e.countTraversedEdges(res.Parent)
 	}
 	return res, rc.err

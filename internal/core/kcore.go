@@ -48,9 +48,9 @@ type kcoreState struct {
 // degrees and decrements are additive (not monotone across a failed partial
 // sum-reduce), and the peel marks drive which edges decrement.
 type kcoreSnapshot struct {
-	hubDeg, lDeg, hubDec, lDec             []int64
-	hubRemoved, hubPeel, lRemoved, lPeel   []uint64
-	peeledOwn, peeledL                     int64
+	hubDeg, lDeg, hubDec, lDec           []int64
+	hubRemoved, hubPeel, lRemoved, lPeel []uint64
+	peeledOwn, peeledL                   int64
 }
 
 func newKCoreState(e *Engine, r *comm.Rank, kth int64) *kcoreState {

@@ -40,15 +40,15 @@ type WorkloadResult struct {
 	Parent      []int64
 	Relaxations int64
 
-	Iterations int
-	Time       time.Duration
-	Recorder   *stats.Recorder
-	PerRank    []*stats.Recorder
-	Trace      []IterTrace
-	Faults     comm.FaultStats
-	Retries    int64
-	RecoveryTime time.Duration
-	Recovery     stats.RecoveryStats
+	Iterations      int
+	Time            time.Duration
+	Recorder        *stats.Recorder
+	PerRank         []*stats.Recorder
+	Trace           []IterTrace
+	Faults          comm.FaultStats
+	Retries         int64
+	RecoveryTime    time.Duration
+	Recovery        stats.RecoveryStats
 	CheckpointScope string
 }
 
@@ -87,8 +87,14 @@ func (e *Engine) RunWCC() (*WorkloadResult, error) {
 	}
 	if rc.err == nil {
 		for _, wl := range rc.states {
+			if wl == nil {
+				continue
+			}
 			wl.(*wccState).writeResult(res.Label)
 		}
+		e.distAssemble(func(r *comm.Rank, lead bool) {
+			gatherOwned(e, r, lead, res.Label)
+		})
 		seen := make(map[int64]struct{})
 		for v, l := range res.Label {
 			if e.Part.Degrees[v] > 0 {
@@ -119,8 +125,14 @@ func (e *Engine) RunKCore(k int64) (*WorkloadResult, error) {
 	res.InCore = make([]bool, e.Part.Layout.N)
 	if rc.err == nil {
 		for _, wl := range rc.states {
+			if wl == nil {
+				continue
+			}
 			wl.(*kcoreState).writeResult(res.InCore)
 		}
+		e.distAssemble(func(r *comm.Rank, lead bool) {
+			gatherOwned(e, r, lead, res.InCore)
+		})
 		for _, in := range res.InCore {
 			if in {
 				res.CoreSize++
@@ -161,9 +173,30 @@ func (e *Engine) RunSSSP(root int64, weightSeed uint64, delta float64) (*Workloa
 	}
 	if rc.err == nil {
 		for _, wl := range rc.states {
+			if wl == nil {
+				continue
+			}
 			st := wl.(*ssspState)
 			st.writeResult(res.Dist, res.Parent)
 			res.Relaxations += st.relaxations
+		}
+		if e.World.Distributed() {
+			// Gather the remote segments of both arrays and replace the
+			// process-local relaxation count with the global sum.
+			var total int64
+			e.distAssemble(func(r *comm.Rank, lead bool) {
+				gatherOwned(e, r, lead, res.Dist)
+				gatherOwned(e, r, lead, res.Parent)
+				var mine int64
+				if wl := rc.states[r.ID]; wl != nil {
+					mine = wl.(*ssspState).relaxations
+				}
+				sum := comm.ControlSumInt64(r.World, mine)
+				if lead {
+					total = sum
+				}
+			})
+			res.Relaxations = total
 		}
 	}
 	return res, rc.err

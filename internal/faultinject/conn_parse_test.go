@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDropConnClause(t *testing.T) {
+	p, err := Parse("drop@conn=0-1,frame=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Conns) != 1 {
+		t.Fatalf("got %d conn specs, want 1", len(p.Conns))
+	}
+	cf := p.Conns[0]
+	if cf.From != 0 || cf.To != 1 || cf.Frame != 7 || cf.Hang != 0 {
+		t.Fatalf("conn spec %+v, want drop 0->1 frame 7", cf)
+	}
+	if got := p.String(); got != "drop@conn=0-1,frame=7" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseHangConnClause(t *testing.T) {
+	p, err := Parse("hang@conn=1-0,frame=3,dur=200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := p.Conns[0]
+	if cf.From != 1 || cf.To != 0 || cf.Frame != 3 || cf.Hang != 200*time.Millisecond {
+		t.Fatalf("conn spec %+v", cf)
+	}
+	// A bare hang clause gets a default stall.
+	p, err = Parse("hang@conn=0-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Conns[0].Hang <= 0 {
+		t.Fatalf("bare hang clause got no default duration: %+v", p.Conns[0])
+	}
+}
+
+func TestParseConnClausesRoundTrip(t *testing.T) {
+	spec := "seed=4,kill@rank=1,iter=2,drop@conn=0-1,frame=7,hang@conn=1-0,frame=3,dur=50ms"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kills) != 1 || len(p.Conns) != 2 {
+		t.Fatalf("plan has %d kills, %d conns", len(p.Kills), len(p.Conns))
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *q.Conns[0] != *p.Conns[0] || *q.Conns[1] != *p.Conns[1] {
+		t.Fatalf("re-parsed conns %+v / %+v differ from %+v / %+v",
+			q.Conns[0], q.Conns[1], p.Conns[0], p.Conns[1])
+	}
+}
+
+func TestParseConnClauseErrors(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"drop@rank=3", "must open with drop@conn=A-B"},
+		{"drop@conn=3", "is not A-B"},
+		{"drop@conn=1-1", "distinct process ids"},
+		{"drop@conn=a-b", "bad connection"},
+		{"frame=3", "only applies inside"},
+		{"dur=5ms", "only applies inside a hang@conn clause"},
+		{"drop@conn=0-1,dur=5ms", "only applies inside a hang@conn clause"},
+		{"hang@conn=0-1,dur=-5ms", "must be positive"},
+		{"kill@rank=2,frame=3", "only applies inside a drop@conn or hang@conn clause"},
+		// Opening a conn clause closes the kill clause.
+		{"kill@rank=2,drop@conn=0-1,iter=3", "only applies inside a kill@rank=N clause"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): no error, want %q", c.spec, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want message containing %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestOnConnSendMatchesDirectedFrames(t *testing.T) {
+	p, err := Parse("drop@conn=0-1,frame=2,hang@conn=1-0,frame=5,dur=30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.OnConnSend(0, 1, 2); !f.Drop || f.Hang != 0 {
+		t.Fatalf("0->1 frame 2: %+v, want drop", f)
+	}
+	if f := p.OnConnSend(1, 0, 2); f.Drop || f.Hang != 0 {
+		t.Fatalf("reverse direction matched: %+v", f)
+	}
+	if f := p.OnConnSend(0, 1, 3); f.Drop || f.Hang != 0 {
+		t.Fatalf("wrong frame matched: %+v", f)
+	}
+	if f := p.OnConnSend(1, 0, 5); f.Drop || f.Hang != 30*time.Millisecond {
+		t.Fatalf("1->0 frame 5: %+v, want 30ms hang", f)
+	}
+}

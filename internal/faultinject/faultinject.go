@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -59,7 +60,45 @@ type Plan struct {
 	// iteration after recovery is not re-killed, modeling a real fail-stop
 	// (the node died once; its successor is healthy hardware).
 	Kills []*KillSpec
+
+	// Conns injects network faults below the collective layer: a Plan doubles
+	// as a wire.FaultHook, so the same spec string that kills ranks can also
+	// drop or hang individual connections of the socket backend. These faults
+	// are transient by design — the wire layer's reconnect and replay absorb
+	// them — which is exactly what they test.
+	Conns []*ConnFaultSpec
 }
+
+// ConnFaultSpec faults one data frame on one directed process connection.
+// Frame counts the data-plane frames sent from From to To (0-based, resends
+// included), so the counter is monotone and each spec fires exactly once.
+type ConnFaultSpec struct {
+	// From, To are the sending and receiving process ids.
+	From, To int
+	// Frame is the 0-based index of the data frame to fault.
+	Frame uint64
+	// Hang pauses the connection's write pump that long before the frame is
+	// written (a network stall: the receiver's read deadline trips and the
+	// connection is torn down and redialed). Zero means drop: the connection
+	// is cut with the frame unsent, forcing a reconnect and replay.
+	Hang time.Duration
+}
+
+// OnConnSend implements wire.FaultHook: a Plan can be installed directly as
+// the socket backend's connection fault hook.
+func (p *Plan) OnConnSend(local, peer int, idx uint64) wire.ConnFault {
+	for _, cs := range p.Conns {
+		if cs.From == local && cs.To == peer && cs.Frame == idx {
+			if cs.Hang > 0 {
+				return wire.ConnFault{Hang: cs.Hang}
+			}
+			return wire.ConnFault{Drop: true}
+		}
+	}
+	return wire.ConnFault{}
+}
+
+var _ wire.FaultHook = (*Plan)(nil)
 
 // KillSpec fail-stops one rank. The zero trigger fields mean "the rank's
 // first intercepted collective"; Iter and Seq narrow the trigger.
@@ -177,11 +216,20 @@ func lineCol(spec string, off int) (int, int) {
 // and seq=S (fire at the rank's first collective with sequence >= S) bind to
 // the most recent kill clause. Multiple kill clauses are allowed.
 //
+// Fields of the form drop@conn=A-B and hang@conn=A-B open connection-fault
+// clauses for the socket backend (A and B are process ids; the fault hits
+// frames sent from A to B). Clause-scoped keys: frame=N selects the 0-based
+// data-frame index to fault (default 0), and dur=D (hang clauses only) sets
+// how long the write pump stalls. Connection faults are transient — the wire
+// layer reconnects and replays — unlike kill clauses, which are permanent.
+//
 // Examples:
 //
 //	"seed=42,delay=0.01,fail=0.001"
 //	"kill@rank=3,iter=2"
 //	"kill@rank=3,iter=2,kill@rank=7,iter=2,seed=9"
+//	"drop@conn=0-1,frame=7"
+//	"hang@conn=1-0,frame=3,dur=200ms"
 //
 // A malformed spec returns a *ParseError with the offending line and column;
 // it never yields a silently empty plan.
@@ -190,7 +238,9 @@ func Parse(spec string) (*Plan, error) {
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
-	var kill *KillSpec // open kill clause, nil at top level
+	var kill *KillSpec       // open kill clause, nil at top level
+	var connf *ConnFaultSpec // open connection-fault clause, nil at top level
+	var connHang bool        // the open conn clause is hang@ (dur= allowed)
 	perr := func(off int, format string, args ...any) error {
 		line, col := lineCol(spec, off)
 		return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
@@ -229,7 +279,34 @@ func Parse(spec string) (*Plan, error) {
 				return nil, perr(fieldOff+len("kill@rank="), "bad kill rank %q: %v", val, err)
 			}
 			kill = &KillSpec{Rank: rank, Iter: -1}
+			connf = nil
 			p.Kills = append(p.Kills, kill)
+			if end == len(spec) {
+				break
+			}
+			continue
+		}
+		if verb, rest, found := cutConnClause(field); found {
+			key, val, ok := strings.Cut(rest, "=")
+			if !ok || key != "conn" {
+				return nil, perr(fieldOff, "%s clause must open with %s@conn=A-B, got %q", verb, verb, field)
+			}
+			a, b, ok := strings.Cut(val, "-")
+			if !ok {
+				return nil, perr(fieldOff+len(verb)+len("@conn="), "connection %q is not A-B", val)
+			}
+			from, err1 := strconv.Atoi(a)
+			to, err2 := strconv.Atoi(b)
+			if err1 != nil || err2 != nil || from < 0 || to < 0 || from == to {
+				return nil, perr(fieldOff+len(verb)+len("@conn="), "bad connection %q: want two distinct process ids A-B", val)
+			}
+			connf = &ConnFaultSpec{From: from, To: to}
+			connHang = verb == "hang"
+			if connHang {
+				connf.Hang = 100 * time.Millisecond // default stall; dur= overrides
+			}
+			kill = nil
+			p.Conns = append(p.Conns, connf)
 			if end == len(spec) {
 				break
 			}
@@ -255,6 +332,19 @@ func Parse(spec string) (*Plan, error) {
 				return nil, perr(fieldOff, "key %q only applies inside a kill@rank=N clause", key)
 			}
 			kill.Seq, err = strconv.ParseInt(val, 10, 64)
+		case "frame":
+			if connf == nil {
+				return nil, perr(fieldOff, "key %q only applies inside a drop@conn or hang@conn clause", key)
+			}
+			connf.Frame, err = strconv.ParseUint(val, 10, 64)
+		case "dur":
+			if connf == nil || !connHang {
+				return nil, perr(fieldOff, "key %q only applies inside a hang@conn clause", key)
+			}
+			connf.Hang, err = time.ParseDuration(val)
+			if err == nil && connf.Hang <= 0 {
+				return nil, perr(valOff, "hang duration %q must be positive", val)
+			}
 		case "seed":
 			p.Seed, err = strconv.ParseUint(val, 0, 64)
 		case "delay":
@@ -286,6 +376,28 @@ func Parse(spec string) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// MustParse is Parse for specs known good at authoring time (tests, fixed
+// scenario tables); it panics on error.
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// cutConnClause splits a "drop@..." or "hang@..." field into its verb and
+// remainder.
+func cutConnClause(field string) (verb, rest string, ok bool) {
+	if r, found := strings.CutPrefix(field, "drop@"); found {
+		return "drop", r, true
+	}
+	if r, found := strings.CutPrefix(field, "hang@"); found {
+		return "hang", r, true
+	}
+	return "", "", false
 }
 
 // String renders the plan in Parse's format (only non-default fields).
@@ -333,6 +445,16 @@ func (p *Plan) String() string {
 		}
 		if k.Seq > 0 {
 			s += ",seq=" + strconv.FormatInt(k.Seq, 10)
+		}
+		parts = append(parts, s)
+	}
+	for _, cf := range p.Conns {
+		conn := strconv.Itoa(cf.From) + "-" + strconv.Itoa(cf.To)
+		var s string
+		if cf.Hang > 0 {
+			s = "hang@conn=" + conn + ",frame=" + strconv.FormatUint(cf.Frame, 10) + ",dur=" + cf.Hang.String()
+		} else {
+			s = "drop@conn=" + conn + ",frame=" + strconv.FormatUint(cf.Frame, 10)
 		}
 		parts = append(parts, s)
 	}

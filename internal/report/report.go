@@ -34,7 +34,9 @@ import (
 //	v2: adds Config.Workload (the benchmarked workload list) and the
 //	    Workloads section (one per-workload summary entry each for wcc,
 //	    kcore, sssp and the bfs headline), all additive — v1 documents
-//	    still decode.
+//	    still decode. Later additions within v2 (also additive):
+//	    Resilience.Wire, the socket backend's transport counters, absent
+//	    for in-process runs.
 const (
 	Schema        = "graph500-bench"
 	SchemaVersion = 2
@@ -172,6 +174,28 @@ type Resilience struct {
 	CheckpointBytes    int64   `json:"checkpoint_bytes"`
 	CheckpointDropped  int64   `json:"checkpoint_dropped"`
 	CheckpointErrors   int64   `json:"checkpoint_errors"`
+
+	// Wire (schema v2, additive) snapshots the socket transport when the run
+	// used the cross-process backend: heartbeat traffic, reconnects and
+	// peers declared dead become a committed artifact next to the epoch
+	// counts they triggered. Absent for in-process runs, so v2 documents
+	// from either backend decode identically.
+	Wire *WireResilience `json:"wire,omitempty"`
+}
+
+// WireResilience is the socket backend's transport accounting, reported by
+// the leader process's endpoint (every process keeps its own counters; the
+// leader's view is the one archived).
+type WireResilience struct {
+	Procs          int    `json:"procs"`
+	RanksPerProc   int    `json:"ranks_per_proc"`
+	HeartbeatsSent uint64 `json:"heartbeats_sent"`
+	HeartbeatsRecv uint64 `json:"heartbeats_recv"`
+	Reconnects     uint64 `json:"reconnects"`
+	PeersLost      uint64 `json:"peers_lost"`
+	FramesResent   uint64 `json:"frames_resent"`
+	BytesSent      uint64 `json:"bytes_sent"`
+	BytesRecv      uint64 `json:"bytes_recv"`
 }
 
 // Inputs is everything Build needs, decoupled from the root package so the
@@ -197,6 +221,10 @@ type Inputs struct {
 	Retries      int64
 	RecoveryWall time.Duration
 	Recovery     stats.RecoveryStats
+
+	// Wire carries the socket backend's transport counters; nil for
+	// in-process runs.
+	Wire *WireResilience
 
 	// Workloads passes through the per-workload summary rows (schema v2).
 	Workloads []WorkloadEntry
@@ -274,6 +302,7 @@ func Build(in Inputs) *Report {
 		CheckpointBytes:    in.Recovery.CheckpointBytes,
 		CheckpointDropped:  in.Recovery.CheckpointDropped,
 		CheckpointErrors:   in.Recovery.CheckpointErrors,
+		Wire:               in.Wire,
 	}
 	return r
 }

@@ -1,0 +1,750 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPeerDead is returned by Send once the failure detector has declared the
+// peer process dead. The verdict is final for the endpoint's lifetime: a dead
+// peer's ranks are re-homed by a world epoch rebuild, never resumed.
+var ErrPeerDead = errors.New("wire: peer process dead")
+
+// FaultHook lets the fault-injection layer perturb the socket transport.
+// OnConnSend is consulted before each outbound data-plane frame on a peer
+// session, with idx counting data frames sent to that peer (0-based).
+// Control-plane and session-internal frames are never faulted.
+type FaultHook interface {
+	OnConnSend(local, peer int, idx uint64) ConnFault
+}
+
+// ConnFault is a network fault verdict: Hang pauses the sender's write pump
+// for the duration (missed heartbeats, peer suspects and redials); Drop
+// closes the connection before the frame is written (the frame stays in the
+// replay buffer and is retransmitted after reconnect).
+type ConnFault struct {
+	Hang time.Duration
+	Drop bool
+}
+
+// Stats is a snapshot of the endpoint's transport counters, surfaced into
+// the report's resilience section.
+type Stats struct {
+	HeartbeatsSent uint64
+	HeartbeatsRecv uint64
+	Reconnects     uint64
+	PeersLost      uint64
+	FramesResent   uint64
+	BytesSent      uint64
+	BytesRecv      uint64
+}
+
+// Config wires up an Endpoint. Proc indexes Addrs; Addrs holds every
+// process's listen address ("unix:/path" or "tcp:host:port"), identical
+// across the group. Zero durations take the defaults noted per field.
+type Config struct {
+	Proc    int
+	Addrs   []string
+	Cluster string
+
+	// OnFrame delivers each in-order, deduplicated data/control/fence frame.
+	// Called from the session's reader goroutine; the frame does not alias
+	// any internal buffer and may be retained.
+	OnFrame func(peer int, f *Frame)
+	// OnPeerDead fires exactly once per peer when the failure detector
+	// declares it dead (no contact for PeerDeadAfter despite reconnects).
+	OnPeerDead func(peer int)
+	Fault      FaultHook
+
+	HeartbeatEvery time.Duration // ping cadence; default 250ms
+	PeerDeadAfter  time.Duration // silence budget before a dead verdict; default 3s
+	DialTimeout    time.Duration // per dial attempt; default 1s
+	WriteTimeout   time.Duration // per frame write; default 2s
+	BackoffBase    time.Duration // first redial delay; default 25ms
+	BackoffCap     time.Duration // redial delay ceiling; default 500ms
+}
+
+func (c *Config) fillDefaults() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.PeerDeadAfter <= 0 {
+		c.PeerDeadAfter = 3 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 500 * time.Millisecond
+	}
+}
+
+// SplitAddr parses "unix:/path" or "tcp:host:port" into a net network and
+// address pair.
+func SplitAddr(addr string) (network, address string, err error) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", addr[len("unix:"):], nil
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", addr[len("tcp:"):], nil
+	default:
+		return "", "", fmt.Errorf("wire: address %q: want unix:PATH or tcp:HOST:PORT", addr)
+	}
+}
+
+// Endpoint is one process's presence in the group: a listener plus one
+// session per peer. The pair (i, j) keeps a single connection, dialed by the
+// higher-numbered process; the dialer owns redial, the acceptor re-adopts
+// incoming connections into the existing session, so replay state survives
+// any number of reconnects on either side.
+type Endpoint struct {
+	cfg      Config
+	listener net.Listener
+	sessions []*session // indexed by peer proc; nil at Proc
+	epoch    atomic.Uint32
+	closing  atomic.Bool // shutdown entered (guards double Close/Abort)
+	closed   atomic.Bool // teardown begun: pumps and monitors stop
+	wg       sync.WaitGroup
+
+	heartbeatsSent atomic.Uint64
+	heartbeatsRecv atomic.Uint64
+	reconnects     atomic.Uint64
+	peersLost      atomic.Uint64
+	framesResent   atomic.Uint64
+	bytesSent      atomic.Uint64
+	bytesRecv      atomic.Uint64
+}
+
+// outFrame is a numbered frame parked in the replay buffer until acked.
+type outFrame struct {
+	seq   uint64
+	epoch uint32
+	buf   []byte
+}
+
+type session struct {
+	ep     *Endpoint
+	peer   int
+	dialer bool
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	conn        net.Conn
+	connected   bool // conn non-nil and past the hello exchange
+	everConn    bool
+	pending     []uint64 // netseqs queued for (re)transmission, in order
+	frames      map[uint64]*outFrame
+	nextNetSeq  uint64
+	lastDeliv   uint64 // highest in-order NetSeq delivered to OnFrame
+	peerAcked   uint64
+	lastContact time.Time
+	dead        bool
+	peerClosed  bool // received Bye: graceful exit, not a failure
+	dataSent    uint64
+
+	writeMu sync.Mutex // serializes writes to conn (pump vs heartbeats)
+}
+
+// Listen binds cfg.Addrs[cfg.Proc], starts the accept loop, and begins
+// dialing lower-numbered peers. It returns immediately; sessions connect in
+// the background (Send queues until they do).
+func Listen(cfg Config) (*Endpoint, error) {
+	cfg.fillDefaults()
+	if cfg.Proc < 0 || cfg.Proc >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("wire: proc %d out of range for %d addrs", cfg.Proc, len(cfg.Addrs))
+	}
+	network, address, err := SplitAddr(cfg.Addrs[cfg.Proc])
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", cfg.Addrs[cfg.Proc], err)
+	}
+	ep := &Endpoint{cfg: cfg, listener: ln}
+	ep.sessions = make([]*session, len(cfg.Addrs))
+	for p := range cfg.Addrs {
+		if p == cfg.Proc {
+			continue
+		}
+		s := &session{
+			ep:          ep,
+			peer:        p,
+			dialer:      cfg.Proc > p,
+			frames:      make(map[uint64]*outFrame),
+			lastContact: time.Now(),
+		}
+		s.cond = sync.NewCond(&s.mu)
+		ep.sessions[p] = s
+		ep.wg.Add(2)
+		go s.sendLoop()
+		go s.monitor()
+		if s.dialer {
+			ep.wg.Add(1)
+			go s.dialLoop()
+		}
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Proc returns this endpoint's process index.
+func (ep *Endpoint) Proc() int { return ep.cfg.Proc }
+
+// Procs returns the process-group size.
+func (ep *Endpoint) Procs() int { return len(ep.cfg.Addrs) }
+
+// SetEpoch stamps subsequent frames with the new world epoch and discards
+// queued frames from older epochs — after a rebuild they address collectives
+// that no longer exist, so retransmitting them is pure waste.
+func (ep *Endpoint) SetEpoch(e uint32) {
+	ep.epoch.Store(e)
+	for _, s := range ep.sessions {
+		if s == nil {
+			continue
+		}
+		s.mu.Lock()
+		live := s.pending[:0]
+		for _, seq := range s.pending {
+			if of := s.frames[seq]; of != nil && of.epoch >= e {
+				live = append(live, seq)
+			} else {
+				delete(s.frames, seq)
+			}
+		}
+		s.pending = live
+		for seq, of := range s.frames {
+			if of.epoch < e {
+				delete(s.frames, seq)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the transport counters.
+func (ep *Endpoint) Stats() Stats {
+	return Stats{
+		HeartbeatsSent: ep.heartbeatsSent.Load(),
+		HeartbeatsRecv: ep.heartbeatsRecv.Load(),
+		Reconnects:     ep.reconnects.Load(),
+		PeersLost:      ep.peersLost.Load(),
+		FramesResent:   ep.framesResent.Load(),
+		BytesSent:      ep.bytesSent.Load(),
+		BytesRecv:      ep.bytesRecv.Load(),
+	}
+}
+
+// Send queues a data/control/fence frame to peer, assigning its NetSeq. The
+// caller stamps Epoch (a fence may legitimately carry an epoch the endpoint's
+// replay-pruning counter has not advanced to yet). The frame is retained in
+// the replay buffer until the peer acks it, surviving reconnects. Returns
+// ErrPeerDead once the peer is declared dead.
+func (ep *Endpoint) Send(peer int, f *Frame) error {
+	s := ep.sessions[peer]
+	if s == nil {
+		return fmt.Errorf("wire: send to self (proc %d)", peer)
+	}
+	if f.Type != TypeData && f.Type != TypeControl && f.Type != TypeFence {
+		return fmt.Errorf("wire: Send only carries data/control/fence frames, got type %d", f.Type)
+	}
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return fmt.Errorf("%w (proc %d)", ErrPeerDead, peer)
+	}
+	s.nextNetSeq++
+	f.NetSeq = s.nextNetSeq
+	of := &outFrame{seq: f.NetSeq, epoch: f.Epoch, buf: AppendFrame(nil, f)}
+	s.frames[of.seq] = of
+	s.pending = append(s.pending, of.seq)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return nil
+}
+
+// PeerDead reports whether the failure detector has declared peer dead.
+func (ep *Endpoint) PeerDead(peer int) bool {
+	s := ep.sessions[peer]
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// Close drains queued frames to the peers that can still receive them,
+// sends Bye, shuts the listener and all sessions down, and waits for the
+// pumps to exit.
+func (ep *Endpoint) Close() error { return ep.shutdown(true) }
+
+// Abort tears the endpoint down without the Bye courtesy — the peers see a
+// silent disappearance, exactly as if the process had been SIGKILLed. Used
+// by the in-test socket worlds to exercise the failure detector without
+// spawning real processes.
+func (ep *Endpoint) Abort() error { return ep.shutdown(false) }
+
+func (ep *Endpoint) shutdown(sayBye bool) error {
+	if !ep.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	if sayBye {
+		// Drain before closing anything: a process can finish its own
+		// schedule (it has every peer's contributions) while its final
+		// frames still sit in the send queues or ride the wire unacked.
+		// Tearing the connections down now would destroy them, and the
+		// slower peers would wait forever for contributions that no longer
+		// exist anywhere. The pumps and heartbeats are still running here
+		// (closed is not yet set), so queued frames flush and the peers'
+		// acks retire them; the wait is bounded for peers that are gone.
+		ep.drain(time.Now().Add(drainTimeout))
+	}
+	ep.closed.Store(true)
+	if sayBye {
+		bye := AppendFrame(nil, &Frame{Type: TypeBye})
+		for _, s := range ep.sessions {
+			if s == nil {
+				continue
+			}
+			s.mu.Lock()
+			c := s.conn
+			s.mu.Unlock()
+			if c != nil {
+				s.writeMu.Lock()
+				c.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+				c.Write(bye)
+				s.writeMu.Unlock()
+			}
+		}
+	}
+	ep.listener.Close()
+	for _, s := range ep.sessions {
+		if s == nil {
+			continue
+		}
+		s.mu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	ep.wg.Wait()
+	return nil
+}
+
+// drainTimeout bounds how long Close waits for peers to acknowledge every
+// queued frame. The normal cost is one heartbeat interval (acks ride pings);
+// the ceiling is only hit when a peer vanished without a verdict yet.
+const drainTimeout = 2 * time.Second
+
+// drain waits until every reachable peer has acknowledged every frame this
+// endpoint ever queued for it (the replay buffer is empty), or the deadline
+// passes. Peers that are dead, said Bye, or never connected cannot make
+// progress and are not waited for.
+func (ep *Endpoint) drain(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		busy := false
+		for _, s := range ep.sessions {
+			if s == nil {
+				continue
+			}
+			s.mu.Lock()
+			if len(s.frames) > 0 && s.everConn && !s.dead && !s.peerClosed {
+				busy = true
+			}
+			s.mu.Unlock()
+			if busy {
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// helloPayload encodes proc id + cluster id for the handshake frame.
+func helloPayload(proc int, cluster string) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(proc))
+	return append(b, cluster...)
+}
+
+func parseHello(f *Frame) (proc int, cluster string, err error) {
+	if f.Type != TypeHello || len(f.Payload) < 4 {
+		return 0, "", fmt.Errorf("%w: malformed hello", ErrFrame)
+	}
+	return int(binary.LittleEndian.Uint32(f.Payload[:4])), string(f.Payload[4:]), nil
+}
+
+// acceptLoop adopts incoming connections: the first frame must be a Hello
+// naming the peer proc; the conn is then installed into that session.
+func (ep *Endpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		c, err := ep.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.wg.Add(1)
+		go func(c net.Conn) {
+			defer ep.wg.Done()
+			c.SetReadDeadline(time.Now().Add(ep.cfg.DialTimeout))
+			hello, err := ReadFrame(c)
+			if err != nil {
+				c.Close()
+				return
+			}
+			peer, cluster, err := parseHello(hello)
+			if err != nil || cluster != ep.cfg.Cluster ||
+				peer < 0 || peer >= len(ep.sessions) || ep.sessions[peer] == nil {
+				c.Close()
+				return
+			}
+			ep.sessions[peer].adopt(c, hello)
+		}(c)
+	}
+}
+
+// dialLoop (dialer side only) keeps the session connected: dial with capped
+// exponential backoff whenever the conn is down, exchange hellos, adopt.
+func (s *session) dialLoop() {
+	defer s.ep.wg.Done()
+	network, address, err := SplitAddr(s.ep.cfg.Addrs[s.peer])
+	if err != nil {
+		return
+	}
+	backoff := s.ep.cfg.BackoffBase
+	for {
+		s.mu.Lock()
+		for s.connected && !s.dead && !s.peerClosed && !s.ep.closed.Load() {
+			backoff = s.ep.cfg.BackoffBase // healthy conn resets the ladder
+			s.cond.Wait()
+		}
+		stop := s.dead || s.peerClosed || s.ep.closed.Load()
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+		c, err := net.DialTimeout(network, address, s.ep.cfg.DialTimeout)
+		if err != nil {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > s.ep.cfg.BackoffCap {
+				backoff = s.ep.cfg.BackoffCap
+			}
+			continue
+		}
+		// Handshake: our hello first (it identifies us to the acceptor),
+		// then wait for the peer's hello naming its resume point.
+		s.mu.Lock()
+		acked := s.lastDeliv
+		s.mu.Unlock()
+		my := &Frame{Type: TypeHello, Epoch: s.ep.epoch.Load(), Seq: acked,
+			Payload: helloPayload(s.ep.cfg.Proc, s.ep.cfg.Cluster)}
+		c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
+		if _, err := c.Write(AppendFrame(nil, my)); err != nil {
+			c.Close()
+			continue
+		}
+		c.SetReadDeadline(time.Now().Add(s.ep.cfg.DialTimeout))
+		theirs, err := ReadFrame(c)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		if _, cluster, err := parseHello(theirs); err != nil || cluster != s.ep.cfg.Cluster {
+			c.Close()
+			continue
+		}
+		s.install(c, theirs, false)
+	}
+}
+
+// adopt installs an accepted connection (acceptor side): reply with our own
+// hello, then hand off to install.
+func (s *session) adopt(c net.Conn, theirHello *Frame) {
+	s.mu.Lock()
+	acked := s.lastDeliv
+	dead := s.dead
+	s.mu.Unlock()
+	if dead || s.ep.closed.Load() {
+		c.Close()
+		return
+	}
+	my := &Frame{Type: TypeHello, Epoch: s.ep.epoch.Load(), Seq: acked,
+		Payload: helloPayload(s.ep.cfg.Proc, s.ep.cfg.Cluster)}
+	c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
+	if _, err := c.Write(AppendFrame(nil, my)); err != nil {
+		c.Close()
+		return
+	}
+	s.install(c, theirHello, true)
+}
+
+// install makes c the session's live connection: prune acked replay entries,
+// re-enqueue everything the peer has not seen, spawn the reader.
+func (s *session) install(c net.Conn, theirHello *Frame, accepted bool) {
+	s.mu.Lock()
+	if s.dead || s.ep.closed.Load() {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.conn = c
+	s.connected = true
+	s.lastContact = time.Now()
+	if s.everConn {
+		s.ep.reconnects.Add(1)
+	}
+	s.everConn = true
+	s.ackTo(theirHello.Seq)
+	// Session resumption: rebuild the pending queue as every unacked frame,
+	// oldest first. The receiver dedupes on NetSeq, so frames that were
+	// in flight when the old conn died are retransmitted harmlessly.
+	resent := uint64(0)
+	inPending := make(map[uint64]bool, len(s.pending))
+	for _, seq := range s.pending {
+		inPending[seq] = true
+	}
+	for seq := range s.frames {
+		if !inPending[seq] {
+			s.pending = append(s.pending, seq)
+			resent++
+		}
+	}
+	if resent > 0 {
+		sortSeqs(s.pending)
+		s.ep.framesResent.Add(resent)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.ep.wg.Add(1)
+	go s.readLoop(c)
+}
+
+// ackTo prunes replay state the peer has confirmed. Caller holds s.mu.
+func (s *session) ackTo(acked uint64) {
+	if acked <= s.peerAcked {
+		return
+	}
+	s.peerAcked = acked
+	for seq := range s.frames {
+		if seq <= acked {
+			delete(s.frames, seq)
+		}
+	}
+	live := s.pending[:0]
+	for _, seq := range s.pending {
+		if seq > acked {
+			live = append(live, seq)
+		}
+	}
+	s.pending = live
+}
+
+func sortSeqs(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// sendLoop is the session's write pump: pop the next pending netseq, apply
+// the fault hook, write with a deadline. A write failure tears the conn down
+// (the dial loop or the peer's redial recovers it) and leaves the frame in
+// the replay buffer for retransmission.
+func (s *session) sendLoop() {
+	defer s.ep.wg.Done()
+	for {
+		s.mu.Lock()
+		for (len(s.pending) == 0 || !s.connected) && !s.dead && !s.ep.closed.Load() {
+			s.cond.Wait()
+		}
+		if s.dead || s.ep.closed.Load() {
+			s.mu.Unlock()
+			return
+		}
+		seq := s.pending[0]
+		s.pending = s.pending[1:]
+		of := s.frames[seq]
+		c := s.conn
+		var fault ConnFault
+		if of != nil && s.ep.cfg.Fault != nil && of.buf[4] == TypeData {
+			idx := s.dataSent
+			s.dataSent++
+			fault = s.ep.cfg.Fault.OnConnSend(s.ep.cfg.Proc, s.peer, idx)
+		}
+		s.mu.Unlock()
+		if of == nil { // acked while queued
+			continue
+		}
+		if fault.Hang > 0 {
+			time.Sleep(fault.Hang)
+		}
+		if fault.Drop {
+			s.teardown(c)
+			// The frame stays unacked; requeue it for after reconnect.
+			s.mu.Lock()
+			if _, live := s.frames[seq]; live {
+				s.pending = append([]uint64{seq}, s.pending...)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		s.writeMu.Lock()
+		c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
+		_, err := c.Write(of.buf)
+		s.writeMu.Unlock()
+		if err != nil {
+			s.teardown(c)
+			s.mu.Lock()
+			if _, live := s.frames[seq]; live {
+				s.pending = append([]uint64{seq}, s.pending...)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		s.ep.bytesSent.Add(uint64(len(of.buf)))
+	}
+}
+
+// teardown drops c if it is still the session's live conn and wakes the
+// dial loop.
+func (s *session) teardown(c net.Conn) {
+	c.Close()
+	s.mu.Lock()
+	if s.conn == c {
+		s.conn = nil
+		s.connected = false
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// readLoop drains one connection: heartbeat acks, Bye, and in-order
+// deduplicated delivery of numbered frames. The read deadline doubles as the
+// per-connection liveness check — a healthy peer pings every HeartbeatEvery,
+// so three silent intervals mean the conn is suspect and gets torn down
+// (reconnect, not death; the monitor issues dead verdicts on total silence).
+func (s *session) readLoop(c net.Conn) {
+	defer s.ep.wg.Done()
+	readTO := 3 * s.ep.cfg.HeartbeatEvery
+	for {
+		c.SetReadDeadline(time.Now().Add(readTO))
+		f, err := ReadFrame(c)
+		if err != nil {
+			s.teardown(c)
+			return
+		}
+		s.ep.bytesRecv.Add(uint64(headerLen + len(f.Payload)))
+		switch f.Type {
+		case TypePing:
+			s.ep.heartbeatsRecv.Add(1)
+			s.mu.Lock()
+			s.lastContact = time.Now()
+			s.ackTo(f.Seq)
+			s.mu.Unlock()
+		case TypeBye:
+			s.mu.Lock()
+			s.peerClosed = true
+			s.lastContact = time.Now()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			s.teardown(c)
+			return
+		case TypeData, TypeControl, TypeFence:
+			s.mu.Lock()
+			s.lastContact = time.Now()
+			fresh := f.NetSeq > s.lastDeliv
+			if fresh {
+				s.lastDeliv = f.NetSeq
+			}
+			s.mu.Unlock()
+			if fresh && s.ep.cfg.OnFrame != nil {
+				s.ep.cfg.OnFrame(s.peer, f)
+			}
+		case TypeHello:
+			// Mid-stream hello: treat as an ack refresh.
+			s.mu.Lock()
+			s.lastContact = time.Now()
+			s.ackTo(f.Seq)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// monitor is the session's heartbeat pump and failure detector: ping every
+// interval (carrying our delivery ack), and declare the peer dead after
+// PeerDeadAfter of total silence — redials included, so a transient drop
+// that reconnects in time never escalates to a dead verdict.
+func (s *session) monitor() {
+	defer s.ep.wg.Done()
+	t := time.NewTicker(s.ep.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for range t.C {
+		if s.ep.closed.Load() {
+			return
+		}
+		s.mu.Lock()
+		if s.dead {
+			s.mu.Unlock()
+			return
+		}
+		// A peer that said Bye stops being pinged (its conn is gone) but the
+		// silence clock keeps running: if this process still needs its
+		// contributions — the peer exited early, or Close raced a straggler
+		// past the drain window — the verdict below converts the graceful
+		// exit into the same dead-peer signal a crash would have produced,
+		// instead of an unbounded wait.
+		silent := time.Since(s.lastContact)
+		c := s.conn
+		acked := s.lastDeliv
+		if silent > s.ep.cfg.PeerDeadAfter {
+			s.dead = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			if c != nil {
+				c.Close()
+			}
+			s.ep.peersLost.Add(1)
+			if s.ep.cfg.OnPeerDead != nil {
+				s.ep.cfg.OnPeerDead(s.peer)
+			}
+			return
+		}
+		s.mu.Unlock()
+		if c == nil {
+			continue
+		}
+		ping := AppendFrame(nil, &Frame{Type: TypePing, Epoch: s.ep.epoch.Load(), Seq: acked})
+		s.writeMu.Lock()
+		c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
+		_, err := c.Write(ping)
+		s.writeMu.Unlock()
+		if err != nil {
+			s.teardown(c)
+			continue
+		}
+		s.ep.heartbeatsSent.Add(1)
+	}
+}

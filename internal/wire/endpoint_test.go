@@ -1,0 +1,309 @@
+package wire
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testTimings are aggressive so failure-detector tests finish in tens of
+// milliseconds instead of seconds.
+func testConfig(proc int, addrs []string) Config {
+	return Config{
+		Proc:           proc,
+		Addrs:          addrs,
+		Cluster:        "t",
+		HeartbeatEvery: 10 * time.Millisecond,
+		PeerDeadAfter:  300 * time.Millisecond,
+		DialTimeout:    200 * time.Millisecond,
+		WriteTimeout:   200 * time.Millisecond,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffCap:     20 * time.Millisecond,
+	}
+}
+
+func unixAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("p%d.sock", i))
+	}
+	return addrs
+}
+
+// sink collects delivered frames per peer, in arrival order.
+type sink struct {
+	mu     sync.Mutex
+	frames map[int][]*Frame
+	dead   map[int]bool
+	notify chan struct{}
+}
+
+func newSink() *sink {
+	return &sink{frames: make(map[int][]*Frame), dead: make(map[int]bool), notify: make(chan struct{}, 1)}
+}
+
+func (s *sink) onFrame(peer int, f *Frame) {
+	s.mu.Lock()
+	s.frames[peer] = append(s.frames[peer], f)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *sink) onDead(peer int) {
+	s.mu.Lock()
+	s.dead[peer] = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *sink) waitFrames(t *testing.T, peer, n int, timeout time.Duration) []*Frame {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		s.mu.Lock()
+		got := len(s.frames[peer])
+		s.mu.Unlock()
+		if got >= n {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.frames[peer]
+		}
+		select {
+		case <-s.notify:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d frames from peer %d (have %d)", n, peer, got)
+		}
+	}
+}
+
+func (s *sink) waitDead(t *testing.T, peer int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		s.mu.Lock()
+		d := s.dead[peer]
+		s.mu.Unlock()
+		if d {
+			return
+		}
+		select {
+		case <-s.notify:
+		case <-deadline:
+			t.Fatalf("timed out waiting for peer %d dead verdict", peer)
+		}
+	}
+}
+
+func startGroup(t *testing.T, n int, mutate func(proc int, cfg *Config)) ([]*Endpoint, []*sink) {
+	t.Helper()
+	addrs := unixAddrs(t, n)
+	eps := make([]*Endpoint, n)
+	sinks := make([]*sink, n)
+	for i := 0; i < n; i++ {
+		sinks[i] = newSink()
+		cfg := testConfig(i, addrs)
+		cfg.OnFrame = sinks[i].onFrame
+		cfg.OnPeerDead = sinks[i].onDead
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		ep, err := Listen(cfg)
+		if err != nil {
+			t.Fatalf("listen proc %d: %v", i, err)
+		}
+		eps[i] = ep
+		t.Cleanup(func() { ep.Close() })
+	}
+	return eps, sinks
+}
+
+func TestEndpointAllToAllDelivery(t *testing.T) {
+	const procs, msgs = 3, 20
+	eps, sinks := startGroup(t, procs, nil)
+	for i := 0; i < procs; i++ {
+		for j := 0; j < procs; j++ {
+			if i == j {
+				continue
+			}
+			for k := 0; k < msgs; k++ {
+				f := &Frame{Type: TypeData, Comm: uint32(i), Seq: uint64(k),
+					Payload: []byte(fmt.Sprintf("p%d->p%d #%d", i, j, k))}
+				if err := eps[i].Send(j, f); err != nil {
+					t.Fatalf("send %d->%d: %v", i, j, err)
+				}
+			}
+		}
+	}
+	for j := 0; j < procs; j++ {
+		for i := 0; i < procs; i++ {
+			if i == j {
+				continue
+			}
+			got := sinks[j].waitFrames(t, i, msgs, 5*time.Second)
+			for k, f := range got[:msgs] {
+				if f.Seq != uint64(k) || string(f.Payload) != fmt.Sprintf("p%d->p%d #%d", i, j, k) {
+					t.Fatalf("proc %d from %d frame %d: out of order or corrupt: %+v", j, i, k, f)
+				}
+			}
+		}
+	}
+}
+
+// dropNth closes the connection right before the Nth data frame is written.
+type dropNth struct {
+	n    uint64
+	hits atomic.Uint64
+}
+
+func (d *dropNth) OnConnSend(local, peer int, idx uint64) ConnFault {
+	if idx == d.n && d.hits.CompareAndSwap(0, 1) {
+		return ConnFault{Drop: true}
+	}
+	return ConnFault{}
+}
+
+func TestEndpointReconnectResumesStream(t *testing.T) {
+	const msgs = 40
+	drop := &dropNth{n: 7}
+	eps, sinks := startGroup(t, 2, func(proc int, cfg *Config) {
+		if proc == 1 {
+			cfg.Fault = drop
+		}
+	})
+	for k := 0; k < msgs; k++ {
+		if err := eps[1].Send(0, &Frame{Type: TypeData, Seq: uint64(k)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	got := sinks[0].waitFrames(t, 1, msgs, 5*time.Second)
+	for k, f := range got[:msgs] {
+		if f.Seq != uint64(k) {
+			t.Fatalf("frame %d: got seq %d (duplicate or reorder after reconnect)", k, f.Seq)
+		}
+	}
+	if drop.hits.Load() == 0 {
+		t.Fatal("drop fault never fired")
+	}
+	// The drop must have healed via redial, not a dead verdict.
+	if eps[0].PeerDead(1) || eps[1].PeerDead(0) {
+		t.Fatal("transient drop escalated to a dead verdict")
+	}
+	if s := eps[1].Stats(); s.Reconnects == 0 {
+		t.Fatalf("expected a reconnect after the drop, stats=%+v", s)
+	}
+}
+
+// hangNth pauses the write pump long enough to trip the read-deadline
+// suspicion on the peer, but far short of the dead budget.
+type hangNth struct {
+	n    uint64
+	dur  time.Duration
+	hits atomic.Uint64
+}
+
+func (h *hangNth) OnConnSend(local, peer int, idx uint64) ConnFault {
+	if idx == h.n && h.hits.CompareAndSwap(0, 1) {
+		return ConnFault{Hang: h.dur}
+	}
+	return ConnFault{}
+}
+
+func TestEndpointHangRecoversWithoutDeath(t *testing.T) {
+	const msgs = 10
+	hang := &hangNth{n: 3, dur: 60 * time.Millisecond} // > 3 heartbeats, << dead budget
+	eps, sinks := startGroup(t, 2, func(proc int, cfg *Config) {
+		if proc == 1 {
+			cfg.Fault = hang
+		}
+	})
+	for k := 0; k < msgs; k++ {
+		if err := eps[1].Send(0, &Frame{Type: TypeData, Seq: uint64(k)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	got := sinks[0].waitFrames(t, 1, msgs, 5*time.Second)
+	for k, f := range got[:msgs] {
+		if f.Seq != uint64(k) {
+			t.Fatalf("frame %d: got seq %d", k, f.Seq)
+		}
+	}
+	if hang.hits.Load() == 0 {
+		t.Fatal("hang fault never fired")
+	}
+	if eps[0].PeerDead(1) || eps[1].PeerDead(0) {
+		t.Fatal("hang shorter than the dead budget escalated to a dead verdict")
+	}
+}
+
+func TestEndpointAbortTriggersDeadVerdict(t *testing.T) {
+	eps, sinks := startGroup(t, 2, nil)
+	// Establish traffic both ways first.
+	Must0(eps[0].Send(1, &Frame{Type: TypeData, Seq: 1}))
+	Must0(eps[1].Send(0, &Frame{Type: TypeData, Seq: 1}))
+	sinks[0].waitFrames(t, 1, 1, 5*time.Second)
+	sinks[1].waitFrames(t, 0, 1, 5*time.Second)
+
+	eps[1].Abort() // silent disappearance: no Bye
+	sinks[0].waitDead(t, 1, 5*time.Second)
+	if !eps[0].PeerDead(1) {
+		t.Fatal("PeerDead(1) false after dead verdict")
+	}
+	if err := eps[0].Send(1, &Frame{Type: TypeData, Seq: 2}); err == nil {
+		t.Fatal("Send to dead peer succeeded")
+	}
+	if s := eps[0].Stats(); s.PeersLost != 1 {
+		t.Fatalf("PeersLost = %d, want 1", s.PeersLost)
+	}
+}
+
+func TestEndpointGracefulCloseDefersDeadVerdict(t *testing.T) {
+	eps, sinks := startGroup(t, 2, nil)
+	Must0(eps[1].Send(0, &Frame{Type: TypeData, Seq: 1}))
+	sinks[0].waitFrames(t, 1, 1, 5*time.Second)
+
+	eps[1].Close() // polite Bye
+	// Within the silence budget a Bye is a graceful exit, not a failure:
+	// SPMD peers that finish their schedules within it part without any
+	// dead verdict.
+	time.Sleep(150 * time.Millisecond)
+	sinks[0].mu.Lock()
+	dead := sinks[0].dead[1]
+	sinks[0].mu.Unlock()
+	if dead {
+		t.Fatal("dead verdict inside the silence budget of a graceful Close")
+	}
+	// Past the budget the verdict fires anyway: a departed peer that is
+	// still needed — it exited early, or its Bye raced a straggler past the
+	// drain window — must surface as dead, never as an unbounded wait.
+	sinks[0].waitDead(t, 1, 5*time.Second)
+}
+
+func TestEndpointStatsCounters(t *testing.T) {
+	eps, sinks := startGroup(t, 2, nil)
+	Must0(eps[0].Send(1, &Frame{Type: TypeData, Payload: []byte("x")}))
+	sinks[1].waitFrames(t, 0, 1, 5*time.Second)
+	time.Sleep(50 * time.Millisecond) // a few heartbeat intervals
+	s := eps[0].Stats()
+	if s.BytesSent == 0 || s.HeartbeatsSent == 0 {
+		t.Fatalf("counters not advancing: %+v", s)
+	}
+}
+
+// Must0 fails the calling test indirectly by panicking; endpoint tests use
+// it for sends that cannot legitimately fail.
+func Must0(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
