@@ -7,12 +7,18 @@
 //
 //	benchcmp -baseline BENCH_baseline.json -candidate a.json,b.json,c.json -max-drop 0.15
 //
-// Two gates apply, both at -max-drop: the headline harmonic-mean GTEPS
+// Two gates apply at -max-drop: the headline harmonic-mean GTEPS
 // (when the baseline carries one), and — for schema v2 documents — every
 // per-workload entry of the baseline, each compared by its own median GTEPS.
 // A workload present in the candidates but absent from the baseline (or vice
 // versa) is a usage error: the baseline must be regenerated before a new
 // workload can be gated.
+//
+// A third gate watches setup time: when the baseline carries a setup block,
+// the median candidate setup_seconds must not exceed the baseline by more
+// than -max-setup-grow (a fractional growth budget, so 0.5 allows +50%).
+// A baseline without a setup block skips the gate with a note; a candidate
+// without one while the baseline has it is a usage error.
 //
 // Exit status: 0 within budget, 1 regression, 2 usage or unreadable input.
 // Configurations must match (scale, mesh, roots, seed, workload list) — a
@@ -49,9 +55,10 @@ func (c *candidateList) Set(v string) error {
 func main() {
 	var candidates candidateList
 	var (
-		baseline = flag.String("baseline", "", "baseline report JSON (required)")
-		maxDrop  = flag.Float64("max-drop", 0.15, "max allowed fractional drop of each gated median GTEPS")
-		skipCfg  = flag.Bool("skip-config-check", false, "compare even when run configurations differ")
+		baseline  = flag.String("baseline", "", "baseline report JSON (required)")
+		maxDrop   = flag.Float64("max-drop", 0.15, "max allowed fractional drop of each gated median GTEPS")
+		setupGrow = flag.Float64("max-setup-grow", 0.5, "max allowed fractional growth of the median setup_seconds over the baseline's setup block")
+		skipCfg   = flag.Bool("skip-config-check", false, "compare even when run configurations differ")
 	)
 	flag.Var(&candidates, "candidate", "candidate report JSON; repeat or comma-separate for a median-of-N gate (required)")
 	flag.Parse()
@@ -60,14 +67,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(run(*baseline, candidates, *maxDrop, *skipCfg, os.Stdout, os.Stderr))
+	os.Exit(run(*baseline, candidates, *maxDrop, *setupGrow, *skipCfg, os.Stdout, os.Stderr))
 }
 
 // run executes the whole gate and returns the process exit code; main is a
 // flag-parsing shim around it so tests can drive every path.
-func run(baseline string, candidates []string, maxDrop float64, skipCfg bool, stdout, stderr io.Writer) int {
+func run(baseline string, candidates []string, maxDrop, setupGrow float64, skipCfg bool, stdout, stderr io.Writer) int {
 	if maxDrop < 0 || maxDrop >= 1 {
 		fmt.Fprintf(stderr, "benchcmp: -max-drop %v out of [0,1)\n", maxDrop)
+		return 2
+	}
+	if setupGrow < 0 {
+		fmt.Fprintf(stderr, "benchcmp: -max-setup-grow %v is negative\n", setupGrow)
 		return 2
 	}
 	base, err := report.ReadFile(baseline)
@@ -81,6 +92,7 @@ func run(baseline string, candidates []string, maxDrop float64, skipCfg bool, st
 	}
 
 	headline := make([]float64, 0, len(candidates))
+	setup := make([]float64, 0, len(candidates))
 	perWL := make(map[string][]float64, len(base.Workloads))
 	for _, path := range candidates {
 		cand, err := report.ReadFile(path)
@@ -107,6 +119,13 @@ func run(baseline string, candidates []string, maxDrop float64, skipCfg bool, st
 				fmt.Fprintf(stderr, "benchcmp: candidate %s is missing baseline workload %q\n", path, e.Workload)
 				return 2
 			}
+		}
+		if base.Setup != nil && base.Setup.Seconds > 0 {
+			if cand.Setup == nil {
+				fmt.Fprintf(stderr, "benchcmp: baseline carries a setup block but candidate %s has none — regenerate the candidate with a bfsbench that reports setup\n", path)
+				return 2
+			}
+			setup = append(setup, cand.Setup.Seconds)
 		}
 		headline = append(headline, cand.Summary.HarmonicMeanGTEPS)
 	}
@@ -139,6 +158,19 @@ func run(baseline string, candidates []string, maxDrop float64, skipCfg bool, st
 			e.Workload, e.GTEPS, c, formatTEPS(teps), 100*change, 100*maxDrop)
 		if floor := e.GTEPS * (1 - maxDrop); c < floor {
 			fmt.Fprintf(stdout, "FAIL: %s median %.4f below allowed floor %.4f\n", e.Workload, c, floor)
+			failed = true
+		}
+	}
+	if base.Setup == nil || base.Setup.Seconds <= 0 {
+		fmt.Fprintln(stdout, "setup_seconds: baseline has no setup block; gate skipped (regenerate the baseline to enable it)")
+	} else {
+		bs := base.Setup.Seconds
+		c := median(setup)
+		change := (c - bs) / bs
+		fmt.Fprintf(stdout, "setup_seconds: baseline %.4f, candidate median %.4f of %v (%+.1f%%), gate +%.0f%%\n",
+			bs, c, formatTEPS(setup), 100*change, 100*setupGrow)
+		if ceiling := bs * (1 + setupGrow); c > ceiling {
+			fmt.Fprintf(stdout, "FAIL: setup_seconds median %.4f above allowed ceiling %.4f\n", c, ceiling)
 			failed = true
 		}
 	}

@@ -35,8 +35,23 @@ func writeDoc(t *testing.T, dir, name string, headline float64, wl map[string]fl
 func runGate(t *testing.T, baseline string, candidates []string) (int, string, string) {
 	t.Helper()
 	var stdout, stderr bytes.Buffer
-	code := run(baseline, candidates, 0.15, false, &stdout, &stderr)
+	code := run(baseline, candidates, 0.15, 0.5, false, &stdout, &stderr)
 	return code, stdout.String(), stderr.String()
+}
+
+// writeSetupDoc is writeDoc plus a setup block with the given setup_seconds.
+func writeSetupDoc(t *testing.T, dir, name string, headline, setupSec float64, wl map[string]float64) string {
+	t.Helper()
+	path := writeDoc(t, dir, name, headline, wl)
+	doc, err := report.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Setup = &report.SetupReport{Seconds: setupSec, PartitionSeconds: setupSec * 0.8, EngineSeconds: setupSec * 0.2}
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }
 
 func TestMultiWorkloadGatePasses(t *testing.T) {
@@ -119,6 +134,61 @@ func TestHeadlineOnlyV1BaselineStillGates(t *testing.T) {
 	}
 	if code, out, _ := runGate(t, base, []string{fail}); code != 1 {
 		t.Fatalf("headline regression: exit %d\n%s", code, out)
+	}
+}
+
+func TestSetupGateSkippedWithoutBaselineBlock(t *testing.T) {
+	dir := t.TempDir()
+	// Pre-setup-era baseline: candidates may carry a setup block, but with
+	// nothing to compare against the gate must be skipped loudly, not failed.
+	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20})
+	cand := writeSetupDoc(t, dir, "cand.json", 0.20, 99.0, map[string]float64{"bfs": 0.20})
+	code, out, _ := runGate(t, base, []string{cand})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "gate skipped") {
+		t.Fatalf("skip not announced:\n%s", out)
+	}
+}
+
+func TestSetupGateUsesMedianAndFailsOnGrowth(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSetupDoc(t, dir, "base.json", 0.20, 1.0, map[string]float64{"bfs": 0.20})
+	// Median 1.2 sits inside the +50% budget even though one run blew it.
+	pass := []string{
+		writeSetupDoc(t, dir, "p1.json", 0.20, 1.1, map[string]float64{"bfs": 0.20}),
+		writeSetupDoc(t, dir, "p2.json", 0.20, 1.2, map[string]float64{"bfs": 0.20}),
+		writeSetupDoc(t, dir, "p3.json", 0.20, 2.0, map[string]float64{"bfs": 0.20}),
+	}
+	if code, out, _ := runGate(t, base, pass); code != 0 {
+		t.Fatalf("median within budget: exit %d\n%s", code, out)
+	}
+	// Median 1.8 exceeds the 1.5 ceiling: setup regression, GTEPS fine.
+	fail := []string{
+		writeSetupDoc(t, dir, "f1.json", 0.20, 1.7, map[string]float64{"bfs": 0.20}),
+		writeSetupDoc(t, dir, "f2.json", 0.20, 1.8, map[string]float64{"bfs": 0.20}),
+		writeSetupDoc(t, dir, "f3.json", 0.20, 1.9, map[string]float64{"bfs": 0.20}),
+	}
+	code, out, _ := runGate(t, base, fail)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL: setup_seconds") {
+		t.Fatalf("failure not attributed to setup_seconds:\n%s", out)
+	}
+}
+
+func TestSetupGateRequiresCandidateBlock(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSetupDoc(t, dir, "base.json", 0.20, 1.0, map[string]float64{"bfs": 0.20})
+	cand := writeDoc(t, dir, "cand.json", 0.20, map[string]float64{"bfs": 0.20})
+	code, _, errOut := runGate(t, base, []string{cand})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "has none") {
+		t.Fatalf("error does not explain the missing setup block:\n%s", errOut)
 	}
 }
 

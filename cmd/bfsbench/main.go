@@ -57,6 +57,7 @@ func main() {
 		eThresh   = flag.Int64("ethreshold", 0, "E degree threshold (0 = scale default)")
 		hThresh   = flag.Int64("hthreshold", 0, "H degree threshold (0 = scale default)")
 		segmented = flag.Bool("segmented", false, "enable CG-aware core subgraph segmenting")
+		segAdapt  = flag.Bool("seg-adaptive", false, "pick flat vs segmented core-subgraph pull per iteration from measured kernel durations (overrides -segmented)")
 		hier      = flag.Bool("hierarchical", false, "forward L2L messages via mesh intersections")
 		sparse    = flag.String("sparse", "auto", "sparse tail collective policy: auto, off or always")
 		workers   = flag.Int("rankworkers", 1, "intra-rank kernel workers (edge-aware vertex cut)")
@@ -117,12 +118,14 @@ func main() {
 		g = graph500.Generate(graph500.GenConfig{Scale: *scale, Seed: *seed})
 		fmt.Printf("  generated in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
+	genSeconds := time.Since(t0).Seconds()
 
 	cfg := graph500.Config{
-		Ranks:        *ranks,
-		Segmented:    *segmented,
-		Hierarchical: *hier,
-		RankWorkers:  *workers,
+		Ranks:           *ranks,
+		Segmented:       *segmented,
+		SegmentAdaptive: *segAdapt,
+		Hierarchical:    *hier,
+		RankWorkers:     *workers,
 	}
 	if *rows > 0 && *cols > 0 {
 		cfg.Mesh = graph500.Mesh{Rows: *rows, Cols: *cols}
@@ -182,6 +185,7 @@ func main() {
 		Seed:         *seed,
 		Direction:    "sub-iteration",
 		Segmented:    *segmented,
+		SegAdaptive:  *segAdapt,
 		Hierarchical: *hier,
 		RankWorkers:  *workers,
 		Faults:       *faults,
@@ -215,14 +219,18 @@ func main() {
 	}
 	out.cfgReport.Workload = strings.Join(names, ",")
 
-	t1 := time.Now()
 	r, err := graph500.New(g, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("partitioned in %v: %d E hubs, %d H hubs over %d ranks\n",
-		time.Since(t1).Round(time.Millisecond),
+		time.Duration(r.Engine.PartitionSeconds*float64(time.Second)).Round(time.Millisecond),
 		r.Engine.Part.Hubs.NumE, r.Engine.Part.Hubs.NumH, r.Engine.Opt.Ranks)
+	ps := r.Engine.Part.Stats
+	fmt.Printf("  setup %.3fs: degrees %.3fs, hubdir %.3fs, distribute %.3fs, assemble %.3fs (sort %.3fs), engine %.3fs\n",
+		r.Engine.PartitionSeconds+r.Engine.ConstructSeconds,
+		ps.DegreesSeconds, ps.HubDirSeconds, ps.DistributeSeconds,
+		ps.AssembleSeconds, ps.SortSeconds, r.Engine.ConstructSeconds)
 	out.cfgReport.Ranks = r.Engine.Opt.Ranks
 	out.cfgReport.MeshRows = r.Engine.Opt.Mesh.Rows
 	out.cfgReport.MeshCols = r.Engine.Opt.Mesh.Cols
@@ -270,7 +278,8 @@ func main() {
 	}
 
 	if out.json != "" {
-		in := report.Inputs{Config: out.cfgReport, Workloads: entries}
+		in := report.Inputs{Config: out.cfgReport, Workloads: entries,
+			Setup: setupReport(genSeconds, r, cfg.Trace)}
 		if dist != nil {
 			ws := dist.group.WireStats()
 			in.Wire = &report.WireResilience{
@@ -425,6 +434,47 @@ func runBFS(r *graph500.Runner, cfg graph500.Config, roots int, seed uint64, bre
 		}
 	}
 	return sum
+}
+
+// setupReport assembles the report's setup block: the wall time paid before
+// the first traversal edge, split into graph generation (harness cost, not
+// gated), partitioning with the partitioner's per-stage and sort breakdown,
+// and engine construction. The gated Seconds is partition + engine.
+func setupReport(genSeconds float64, r *graph500.Runner, tr *trace.Tracer) *report.SetupReport {
+	st := r.Engine.Part.Stats
+	s := &report.SetupReport{
+		Seconds:           r.Engine.PartitionSeconds + r.Engine.ConstructSeconds,
+		GenerateSeconds:   genSeconds,
+		PartitionSeconds:  r.Engine.PartitionSeconds,
+		DegreesSeconds:    st.DegreesSeconds,
+		HubDirSeconds:     st.HubDirSeconds,
+		DistributeSeconds: st.DistributeSeconds,
+		AssembleSeconds:   st.AssembleSeconds,
+		SortSeconds:       st.SortSeconds,
+		EngineSeconds:     r.Engine.ConstructSeconds,
+	}
+	if tr != nil {
+		s.FirstKernelGapSeconds = firstKernelGap(tr.Spans())
+	}
+	return s
+}
+
+// firstKernelGap measures the first run's bootstrap cost from the trace: the
+// gap between its run_start event and the first kernel span that follows.
+func firstKernelGap(spans []trace.Span) float64 {
+	runStart := int64(-1)
+	for _, sp := range spans {
+		if runStart < 0 {
+			if sp.Kind == trace.KindEvent && sp.Name == "run_start" {
+				runStart = sp.Start
+			}
+			continue
+		}
+		if sp.Kind == trace.KindKernel && sp.Start >= runStart {
+			return float64(sp.Start-runStart) / 1e9
+		}
+	}
+	return 0
 }
 
 // writeTraces dumps the recorded span timeline in the requested formats.

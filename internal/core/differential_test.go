@@ -394,3 +394,109 @@ func TestDifferentialSparseTail(t *testing.T) {
 		})
 	}
 }
+
+// --- Sort-adversarial key-stream corpus -----------------------------------
+//
+// The partitioning sort (LSD radix with a comparison fallback) has two
+// classic adversaries: key streams that are almost entirely duplicates
+// (every radix pass funnels through a handful of buckets, so the stable
+// cursor bookkeeping carries nearly all the ordering) and key streams that
+// arrive already sorted (every pass degenerates to a pure copy, where an
+// off-by-one in bucket cursors shows up as a misplaced run boundary). The
+// cases below build graphs that feed exactly those streams into the
+// partitioner and demand that a faulted run with retries and checkpointing
+// bit-matches the clean run of the same configuration: the scatter must stay
+// stable under replay, not just correct once.
+
+// dupHeavyEdges threads a binary tree through every vertex (log-diameter
+// connectivity) and then piles m edges onto an 8x64 endpoint window, so the
+// partitioning sort sees key streams where almost every key repeats hundreds
+// of times and the eight window rows classify as delegated hubs.
+func dupHeavyEdges(n int64, m int) []rmat.Edge {
+	edges := make([]rmat.Edge, 0, int(n)+m)
+	for i := int64(1); i < n; i++ {
+		edges = append(edges, rmat.Edge{U: i / 2, V: i})
+	}
+	for i := 0; i < m; i++ {
+		edges = append(edges, rmat.Edge{U: int64(i % 8), V: int64(i % 64)})
+	}
+	return edges
+}
+
+// sortedEdges emits every edge in ascending (U, V) order: the sort's input
+// streams arrive already sorted, the worst case for wasted radix passes and
+// the best detector for cursor off-by-ones.
+func sortedEdges(n int64) []rmat.Edge {
+	var edges []rmat.Edge
+	for u := int64(0); u < n; u++ {
+		for _, d := range []int64{1, 2, 5, 11} {
+			if u+d < n {
+				edges = append(edges, rmat.Edge{U: u, V: u + d})
+			}
+		}
+	}
+	return edges
+}
+
+func TestDifferentialSortKeyStreamsUnderFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int64
+		edges []rmat.Edge
+	}{
+		{"duplicate_heavy", 1 << 10, dupHeavyEdges(1<<10, 8<<10)},
+		{"already_sorted", 1 << 10, sortedEdges(1 << 10)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opt := Options{
+				Mesh:       topology.Mesh{Rows: 2, Cols: 2},
+				Thresholds: partition.Thresholds{E: 256, H: 32},
+				Direction:  ModeSubIteration,
+			}
+			clean, err := NewEngine(tc.n, tc.edges, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root := firstConnectedRootOf(clean)
+			cres, err := clean.Run(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := validate.BFS(tc.n, tc.edges, root, cres.Parent); err != nil {
+				t.Fatalf("clean run: validation: %v", err)
+			}
+
+			fopt := opt
+			plan := faultinject.New(7)
+			plan.DelayProb = 0.05
+			plan.FailProb = 0.005
+			fopt.Transport = plan
+			fopt.CollectiveDeadline = 120 * time.Microsecond
+			fopt.MaxRetries = 8
+			fopt.CheckpointDir = t.TempDir()
+			fopt.CheckpointEvery = 1
+			faulted, err := NewEngine(tc.n, tc.edges, fopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fres, err := faulted.Run(root)
+			if err != nil {
+				t.Fatalf("faulted run: %v", err)
+			}
+			if _, err := validate.BFS(tc.n, tc.edges, root, fres.Parent); err != nil {
+				t.Fatalf("faulted run: validation: %v", err)
+			}
+			if fres.Faults.Injected() == 0 && fres.Retries == 0 {
+				t.Fatalf("fault plan drew nothing (seed 7, delay=0.05, fail=0.005); raise the rates so the retry path is actually exercised")
+			}
+			for v := int64(0); v < tc.n; v++ {
+				if cres.Parent[v] != fres.Parent[v] {
+					t.Fatalf("parent[%d]: clean %d, faulted %d — retry/checkpoint replay diverged", v, cres.Parent[v], fres.Parent[v])
+				}
+			}
+		})
+	}
+}

@@ -72,6 +72,17 @@ type Options struct {
 	Segmented bool
 	// Segments is the segment count (the chip has 6 CGs). 0 means 6.
 	Segments int
+	// SegmentAdaptive chooses between the flat and the segmented EH2EH pull
+	// per iteration from measured kernel durations instead of statically:
+	// each rank keeps per-frontier-size-bucket duration averages of both
+	// variants and runs whichever measures faster, re-exploring the loser
+	// periodically so a drifting crossover is re-found. Every choice is
+	// emitted as a "segment_choice" decision span, auditable in the Chrome
+	// trace. Implies building the segmented adjacency (Segments controls the
+	// count); overrides Segmented. Off by default: the two pull variants may
+	// discover different (equally valid) BFS parents, so timing-driven
+	// switching makes repeated runs nondeterministic.
+	SegmentAdaptive bool
 	// RankWorkers is intra-rank kernel parallelism; the EH2EH push uses
 	// edge-aware vertex-cut chunking across these workers. 0 means 1.
 	RankWorkers int
@@ -280,11 +291,20 @@ type Engine struct {
 	World *comm.World
 	Opt   Options
 
-	segPull [][]partition.SparseCSR // [rank][segment], built when Segmented
+	segPull  [][]partition.SparseCSR // [rank][segment], built when Segmented or SegmentAdaptive
+	segAdapt []*segAdapter           // [rank] measured flat-vs-segmented state, when SegmentAdaptive
 
 	tr         *trace.Stream // engine-level span stream; nil when tracing is off
 	runSeq     int           // run-scope counter for checkpoint naming
 	resumeFrom string        // pending Opt.ResumeFrom, consumed by the first Run
+
+	// PartitionSeconds and ConstructSeconds split NewEngine's wall time into
+	// the partitioning phase (with the stage breakdown in Part.Stats) and the
+	// rank-world/adjacency construction that follows — the setup cost a
+	// benchmark report surfaces next to traversal throughput. Both are zero
+	// for engines built via NewEngineFromPartition with pre-partitioned input.
+	PartitionSeconds float64
+	ConstructSeconds float64
 }
 
 // NewEngine partitions the graph (n vertices, undirected edge list) and sets
@@ -303,11 +323,19 @@ func NewEngine(n int64, edges []Edge, opt Options) (*Engine, error) {
 		th = DefaultThresholds(s)
 		opt.Thresholds = th
 	}
+	t0 := time.Now()
 	part, err := partition.Build(n, edges, opt.Mesh, th, opt.BuildWorkers)
 	if err != nil {
 		return nil, err
 	}
-	return NewEngineFromPartition(part, opt)
+	t1 := time.Now()
+	e, err := NewEngineFromPartition(part, opt)
+	if err != nil {
+		return nil, err
+	}
+	e.PartitionSeconds = t1.Sub(t0).Seconds()
+	e.ConstructSeconds = time.Since(t1).Seconds()
+	return e, nil
 }
 
 // Edge aliases the generator's edge type so callers of the core package do
@@ -336,10 +364,16 @@ func NewEngineFromPartition(part *partition.Partitioned, opt Options) (*Engine, 
 	if opt.Trace != nil {
 		e.tr = opt.Trace.NewStream(-1)
 	}
-	if opt.Segmented {
+	if opt.Segmented || opt.SegmentAdaptive {
 		e.segPull = make([][]partition.SparseCSR, opt.Ranks)
 		for r, rg := range part.Ranks {
 			e.segPull[r] = rg.SegmentedPull(opt.Segments, part.Hubs.K())
+		}
+	}
+	if opt.SegmentAdaptive {
+		e.segAdapt = make([]*segAdapter, opt.Ranks)
+		for r := range e.segAdapt {
+			e.segAdapt[r] = &segAdapter{}
 		}
 	}
 	return e, nil

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Adaptive EH2EH segmenting (the measured replacement for the static
+// Options.Segmented switch): whether the CG-aware segmented pull beats the
+// flat pull depends on the frontier size — with many active hubs the
+// segmented scan's cache locality wins, with few the flat scan's early exit
+// does — and the crossover moves with scale and degree thresholds. Instead
+// of hardcoding it, each rank buckets its measured EH2EH pull durations by
+// log2(active hubs) and runs whichever variant measures faster for the
+// current bucket, re-measuring the losing variant periodically so a
+// drifting crossover is re-found. Neither pull variant performs
+// collectives, so ranks are free to choose different arms without breaking
+// collective lockstep, and a retried step may re-measure without changing
+// the collective schedule.
+
+const (
+	segArmFlat = 0
+	segArmSeg  = 1
+	// segBuckets covers log2(active hubs) for any int32-indexed hub set.
+	segBuckets = 32
+	// segExploreEvery forces a measurement of the losing arm once per this
+	// many pulls in a bucket.
+	segExploreEvery = 16
+	// segEWMA is the smoothing factor folding a new duration sample into a
+	// bucket's running average.
+	segEWMA = 0.25
+)
+
+type segBucket struct {
+	ns    [2]float64 // EWMA of kernel nanoseconds per arm; valid when n > 0
+	n     [2]int64   // observations per arm
+	trial int64      // pulls routed through this bucket, drives exploration
+}
+
+// segAdapter is one rank's learned flat-vs-segmented state. It lives on the
+// Engine and persists across runs, so later traversals start from the
+// crossover the earlier ones measured.
+type segAdapter struct {
+	buckets [segBuckets]segBucket
+}
+
+func segBucketOf(activeHubs int64) int {
+	if activeHubs < 1 {
+		activeHubs = 1
+	}
+	return bits.Len64(uint64(activeHubs)) - 1
+}
+
+// choose picks the arm for the next pull at this frontier size: unexplored
+// arms first (alternating), then the measured winner, with the loser
+// re-measured every segExploreEvery pulls.
+func (a *segAdapter) choose(activeHubs int64) (arm int, explore bool) {
+	b := &a.buckets[segBucketOf(activeHubs)]
+	b.trial++
+	switch {
+	case b.n[segArmFlat] == 0 && b.n[segArmSeg] == 0:
+		return int(b.trial % 2), true
+	case b.n[segArmFlat] == 0:
+		return segArmFlat, true
+	case b.n[segArmSeg] == 0:
+		return segArmSeg, true
+	}
+	winner := segArmFlat
+	if b.ns[segArmSeg] < b.ns[segArmFlat] {
+		winner = segArmSeg
+	}
+	if b.trial%segExploreEvery == 0 {
+		return 1 - winner, true
+	}
+	return winner, false
+}
+
+// observe folds a measured kernel duration into the chosen arm's average.
+func (a *segAdapter) observe(activeHubs int64, arm int, ns int64) {
+	b := &a.buckets[segBucketOf(activeHubs)]
+	if b.n[arm] == 0 {
+		b.ns[arm] = float64(ns)
+	} else {
+		b.ns[arm] += segEWMA * (float64(ns) - b.ns[arm])
+	}
+	b.n[arm]++
+}
+
+// measured returns the bucket's current averages in nanoseconds (0 =
+// unexplored arm).
+func (a *segAdapter) measured(activeHubs int64) (flatNS, segNS int64) {
+	b := &a.buckets[segBucketOf(activeHubs)]
+	return int64(b.ns[segArmFlat]), int64(b.ns[segArmSeg])
+}
+
+// crossover reports the measured threshold: the smallest frontier size
+// (bucket lower bound, in active hubs) at which the segmented pull wins
+// among buckets with both arms explored, or -1 while none does.
+func (a *segAdapter) crossover() int64 {
+	for i := range a.buckets {
+		b := &a.buckets[i]
+		if b.n[segArmFlat] > 0 && b.n[segArmSeg] > 0 && b.ns[segArmSeg] < b.ns[segArmFlat] {
+			return int64(1) << uint(i)
+		}
+	}
+	return -1
+}
+
+// ehPullAdaptive is the EH2EH pull under Options.SegmentAdaptive: ask the
+// rank's adapter for the arm, run it, feed the measured duration back, and
+// record the whole decision as a span so the choice and the averages it
+// derived from are auditable in the Chrome trace.
+func (st *rankState) ehPullAdaptive() (int64, error) {
+	active := int64(st.hubFrontier.Count())
+	a := st.e.segAdapt[st.r.ID]
+	arm, explore := a.choose(active)
+	var s0 int64
+	if st.tr != nil {
+		s0 = st.tr.Now()
+	}
+	t0 := time.Now()
+	var edges int64
+	var err error
+	if arm == segArmSeg {
+		edges, err = st.ehPullSegmented()
+	} else {
+		edges, err = st.ehPull()
+	}
+	ns := time.Since(t0).Nanoseconds()
+	a.observe(active, arm, ns)
+	if st.tr != nil {
+		flatNS, segNS := a.measured(active)
+		var ex int64
+		if explore {
+			ex = 1
+		}
+		st.tr.Emit(trace.Span{Kind: trace.KindDecision, Epoch: st.r.Epoch(),
+			Iter: st.curIter, Step: 0, Name: "segment_choice",
+			Start: s0, Dur: st.tr.Now() - s0,
+			Args: map[string]int64{
+				"active_hubs":    active,
+				"bucket":         int64(segBucketOf(active)),
+				"arm":            int64(arm),
+				"explore":        ex,
+				"kernel_ns":      ns,
+				"flat_ns":        flatNS,
+				"seg_ns":         segNS,
+				"crossover_hubs": a.crossover(),
+			}})
+	}
+	return edges, err
+}

@@ -256,12 +256,22 @@ func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Directio
 	case 0:
 		// EH2EH (hub -> hub), then sync.
 		ehPull := st.ehPull
-		if st.e.Opt.Segmented {
+		switch {
+		case st.e.Opt.SegmentAdaptive:
+			ehPull = st.ehPullAdaptive
+		case st.e.Opt.Segmented:
 			ehPull = st.ehPullSegmented
 		}
 		run(partition.CompEH2EH, st.ehPush, ehPull)
-		if err := st.syncHubs(); firstErr == nil {
-			firstErr = err
+		// EH2EH is the only kernel of this step that can set hubNew, and the
+		// previous sync left hubNew empty — when it was skipped the allreduce
+		// pair would carry all-zero words, so elide it too. The skip derives
+		// from the same globally consistent counts as the direction choice,
+		// so every rank elides the same collectives.
+		if dirs[partition.CompEH2EH] != stats.DirSkip {
+			if err := st.syncHubs(); firstErr == nil {
+				firstErr = err
+			}
 		}
 	case 1:
 		// E2L and H2L (hub -> L), then L2E and L2H (L -> hub), then sync.
@@ -272,8 +282,13 @@ func (st *rankState) runStep(g int, dirs [partition.NumComponents]stats.Directio
 		run(partition.CompH2L, st.h2lPush, st.h2lPull)
 		run(partition.CompL2E, st.l2ePush, st.l2ePull)
 		run(partition.CompL2H, st.l2hPush, st.l2hPull)
-		if err := st.syncHubs(); firstErr == nil {
-			firstErr = err
+		// Only the L->hub kernels (L2E, L2H) set hubNew here — E2L and H2L
+		// write lNew. When both were skipped the hub sync is an all-zero
+		// exchange; elide it, same globally consistent reasoning as step 0.
+		if dirs[partition.CompL2E] != stats.DirSkip || dirs[partition.CompL2H] != stats.DirSkip {
+			if err := st.syncHubs(); firstErr == nil {
+				firstErr = err
+			}
 		}
 	case 2:
 		run(partition.CompL2L, st.l2lPush, st.l2lPull)

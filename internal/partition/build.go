@@ -2,9 +2,11 @@ package partition
 
 import (
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/psort"
 	"repro/internal/rmat"
 	"repro/internal/topology"
 )
@@ -84,6 +86,20 @@ type Partitioned struct {
 	Ranks  []*RankGraph
 	// Degrees of every original vertex (kept for root sampling and checks).
 	Degrees []int64
+	// Stats breaks down where Build spent its wall time, feeding the
+	// report's setup block.
+	Stats BuildStats
+}
+
+// BuildStats is the wall-time breakdown of Build. SortSeconds is the
+// aggregate time inside the per-component grouping sorts summed across the
+// concurrently assembled ranks, so it can exceed AssembleSeconds wall time.
+type BuildStats struct {
+	DegreesSeconds    float64
+	HubDirSeconds     float64
+	DistributeSeconds float64
+	AssembleSeconds   float64
+	SortSeconds       float64
 }
 
 // edge placement record types, accumulated per destination rank during the
@@ -117,11 +133,14 @@ func Build(n int64, edges []rmat.Edge, mesh topology.Mesh, th Thresholds, worker
 		workers = runtime.GOMAXPROCS(0)
 	}
 	layout := NewLayout(n, mesh)
+	t0 := time.Now()
 	degrees := computeDegrees(n, edges, workers)
+	t1 := time.Now()
 	hubs, err := BuildHubDir(degrees, th)
 	if err != nil {
 		return nil, err
 	}
+	t2 := time.Now()
 	p := mesh.Size()
 
 	// Distribution pass: workers scan disjoint edge chunks, appending
@@ -153,11 +172,13 @@ func Build(n int64, edges []rmat.Edge, mesh topology.Mesh, th Thresholds, worker
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	t3 := time.Now()
 
 	// Assembly pass: one goroutine per rank builds its CSRs from all
 	// workers' buffers for that rank.
 	ranks := make([]*RankGraph, p)
 	sem := make(chan struct{}, workers)
+	var sortNanos int64
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -170,11 +191,18 @@ func Build(n int64, edges []rmat.Edge, mesh topology.Mesh, th Thresholds, worker
 					parts = append(parts, bufs[w][r])
 				}
 			}
-			ranks[r] = assembleRank(r, layout, parts)
+			ranks[r] = assembleRank(r, layout, parts, &sortNanos)
 		}(r)
 	}
 	wg.Wait()
-	return &Partitioned{Layout: layout, Hubs: hubs, Ranks: ranks, Degrees: degrees}, nil
+	t4 := time.Now()
+	return &Partitioned{Layout: layout, Hubs: hubs, Ranks: ranks, Degrees: degrees, Stats: BuildStats{
+		DegreesSeconds:    t1.Sub(t0).Seconds(),
+		HubDirSeconds:     t2.Sub(t1).Seconds(),
+		DistributeSeconds: t3.Sub(t2).Seconds(),
+		AssembleSeconds:   t4.Sub(t3).Seconds(),
+		SortSeconds:       float64(atomic.LoadInt64(&sortNanos)) / 1e9,
+	}}, nil
 }
 
 func computeDegrees(n int64, edges []rmat.Edge, workers int) []int64 {
@@ -249,29 +277,29 @@ func placeDirected(src, dst int64, layout Layout, hubs *HubDir, rb []rankBuf) {
 	}
 }
 
-func assembleRank(r int, layout Layout, parts []rankBuf) *RankGraph {
+func assembleRank(r int, layout Layout, parts []rankBuf, sortNanos *int64) *RankGraph {
 	g := &RankGraph{Rank: r, LocalN: layout.LocalCount(r)}
 	// EH2EH: the same record set oriented both ways.
 	var eh []hubHubRec
 	for _, p := range parts {
 		eh = append(eh, p.eh...)
 	}
-	g.EHPush = buildSparse(eh, func(x hubHubRec) (int32, int32) { return x.src, x.dst })
-	g.EHPull = buildSparse(eh, func(x hubHubRec) (int32, int32) { return x.dst, x.src })
+	g.EHPush = buildSparse(eh, sortNanos, func(x hubHubRec) (int32, int32) { return x.src, x.dst })
+	g.EHPull = buildSparse(eh, sortNanos, func(x hubHubRec) (int32, int32) { return x.dst, x.src })
 	g.CompEdges[CompEH2EH] = int64(len(eh))
 
 	var e2l []hubLocRec
 	for _, p := range parts {
 		e2l = append(e2l, p.e2l...)
 	}
-	g.EToL = buildSparse(e2l, func(x hubLocRec) (int32, int32) { return x.hub, x.lidx })
+	g.EToL = buildSparse(e2l, sortNanos, func(x hubLocRec) (int32, int32) { return x.hub, x.lidx })
 	g.CompEdges[CompE2L] = int64(len(e2l))
 
 	var h2l []hubRemRec
 	for _, p := range parts {
 		h2l = append(h2l, p.h2l...)
 	}
-	g.HToL = buildHubRemote(h2l)
+	g.HToL = buildHubRemote(h2l, sortNanos)
 	g.CompEdges[CompH2L] = int64(len(h2l))
 
 	var l2e, l2h []locHubRec
@@ -293,16 +321,22 @@ func assembleRank(r int, layout Layout, parts []rankBuf) *RankGraph {
 	return g
 }
 
-// buildSparse groups records by key into a SparseCSR with sorted IDs.
-func buildSparse[T any](recs []T, kv func(T) (key, val int32)) SparseCSR {
+// buildSparse groups records by key into a SparseCSR with sorted IDs. The
+// grouping sort is the LSD radix path in psort (hub IDs and local indices
+// are dense small integers, so one or two scatter passes group them);
+// single-worker because the assembly pass already runs one goroutine per
+// rank. The stable sort keeps adjacency in distribution order within each
+// group, so the build is deterministic for a fixed worker count.
+func buildSparse[T any](recs []T, sortNanos *int64, kv func(T) (key, val int32)) SparseCSR {
 	if len(recs) == 0 {
 		return SparseCSR{Ptr: []int64{0}}
 	}
-	sort.Slice(recs, func(i, j int) bool {
-		ki, _ := kv(recs[i])
-		kj, _ := kv(recs[j])
-		return ki < kj
-	})
+	st := time.Now()
+	psort.Sorter[T]{Key: func(x T) uint64 {
+		k, _ := kv(x)
+		return uint64(uint32(k))
+	}}.Sort(recs, 1)
+	atomic.AddInt64(sortNanos, time.Since(st).Nanoseconds())
 	var csr SparseCSR
 	csr.Adj = make([]int32, len(recs))
 	last := int32(-1)
@@ -319,11 +353,15 @@ func buildSparse[T any](recs []T, kv func(T) (key, val int32)) SparseCSR {
 	return csr
 }
 
-func buildHubRemote(recs []hubRemRec) HubToRemoteCSR {
+func buildHubRemote(recs []hubRemRec, sortNanos *int64) HubToRemoteCSR {
 	if len(recs) == 0 {
 		return HubToRemoteCSR{Ptr: []int64{0}}
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].hub < recs[j].hub })
+	st := time.Now()
+	psort.Sorter[hubRemRec]{Key: func(x hubRemRec) uint64 {
+		return uint64(uint32(x.hub))
+	}}.Sort(recs, 1)
+	atomic.AddInt64(sortNanos, time.Since(st).Nanoseconds())
 	var csr HubToRemoteCSR
 	csr.Adj = make([]RemoteL, len(recs))
 	last := int32(-1)

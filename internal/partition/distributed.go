@@ -67,7 +67,7 @@ func BuildDistributed(world *comm.World, n int64, shard func(rank int) []rmat.Ed
 		mine := exchangeRecords(r, rb, p)
 		// Phase 4: assemble this rank's CSRs from its received records.
 		if errs[r.ID] == nil {
-			ranks[r.ID] = assembleRank(r.ID, layout, []rankBuf{mine})
+			ranks[r.ID] = assembleRank(r.ID, layout, []rankBuf{mine}, new(int64))
 		}
 	})
 	for _, err := range errs {

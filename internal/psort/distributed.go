@@ -23,13 +23,20 @@ import (
 // Every rank must call it collectively with its local share.
 func DistributedSortUint64(c *comm.Comm, local []uint64) []uint64 {
 	p := c.Size()
-	// Phase 1: local sort (the node-local PARADIS stand-in).
-	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	// Phase 1: local sort (the node-local PARADIS stand-in). Single-worker
+	// radix/comparison hybrid: each rank is already one goroutine of a
+	// shared-memory world, so the parallelism budget is spent at the rank
+	// level, not inside the local kernel.
+	localSortUint64(local)
 	if p == 1 {
 		return local
 	}
 	// Phase 2: regular sampling. Each rank contributes p samples; everyone
-	// computes identical pivots from the gathered sample set.
+	// computes identical pivots from the gathered sample set. The sample
+	// positions are the standard PSRS (s+1)·n/(p+1) interior points — they
+	// divide the sorted run into p+1 equal strides, never re-sample index 0
+	// for every rank and never skip the tail, so small ranks are no longer
+	// over-weighted in the pivot pool.
 	samples := make([]uint64, 0, p)
 	for s := 0; s < p; s++ {
 		if len(local) == 0 {
@@ -37,7 +44,7 @@ func DistributedSortUint64(c *comm.Comm, local []uint64) []uint64 {
 			// works from the others' samples.
 			break
 		}
-		samples = append(samples, local[len(local)*s/p])
+		samples = append(samples, local[psrsSampleIdx(len(local), p, s)])
 	}
 	gathered := comm.Must(comm.Allgatherv(c, samples))
 	var pool []uint64
@@ -91,13 +98,14 @@ func nonEmpty(parts [][]uint64) [][]uint64 {
 // with the same PSRS structure as DistributedSortUint64.
 func DistributedSortBy[T any](c *comm.Comm, local []T, key func(T) uint64) []T {
 	p := c.Size()
-	sort.SliceStable(local, func(i, j int) bool { return key(local[i]) < key(local[j]) })
+	srt := Sorter[T]{Key: key}
+	srt.Sort(local, 1)
 	if p == 1 {
 		return local
 	}
 	samples := make([]uint64, 0, p)
 	for s := 0; s < p && len(local) > 0; s++ {
-		samples = append(samples, key(local[len(local)*s/p]))
+		samples = append(samples, key(local[psrsSampleIdx(len(local), p, s)]))
 	}
 	gathered := comm.Must(comm.Allgatherv(c, samples))
 	var pool []uint64
@@ -134,6 +142,26 @@ func DistributedSortBy[T any](c *comm.Comm, local []T, key func(T) uint64) []T {
 	for _, part := range parts {
 		out = append(out, part...)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	srt.Sort(out, 1)
 	return out
+}
+
+// psrsSampleIdx is the s-th (of p) regular sample position in a sorted run
+// of n elements: the (s+1)·n/(p+1) interior quantile. Unlike the former
+// s·n/p rule it never re-samples index 0 and approaches (not skips) the
+// tail, so equal-size runs yield pivots at the true i/p quantiles.
+func psrsSampleIdx(n, p, s int) int {
+	return (s + 1) * n / (p + 1)
+}
+
+// localSortUint64 is the node-local kernel of the distributed PSRS: LSD
+// radix when the digit plan is profitable, comparison sort otherwise.
+func localSortUint64(keys []uint64) {
+	if len(keys) >= 4096 {
+		if active := radixActiveDigits(keys, 1); radixWorthwhile(len(keys), len(active)) {
+			radixSortUint64(keys, active, 1)
+			return
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 }

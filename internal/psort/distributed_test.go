@@ -86,6 +86,73 @@ func TestDistributedSortBalance(t *testing.T) {
 	}
 }
 
+func TestPSRSSampleIndicesRegular(t *testing.T) {
+	// The sample positions must be the interior (s+1)·n/(p+1) quantiles:
+	// strictly inside the run when n >> p (index 0 and the very tail are
+	// biased order statistics), evenly spaced within rounding, and
+	// monotone. The former s·n/p rule sampled index 0 from every rank and
+	// never looked past (p-1)/p of the run.
+	for _, tc := range []struct{ n, p int }{{9000, 8}, {4096, 4}, {100, 8}, {40000, 16}} {
+		stride := tc.n / (tc.p + 1)
+		prev := -1
+		for s := 0; s < tc.p; s++ {
+			idx := psrsSampleIdx(tc.n, tc.p, s)
+			if idx <= 0 || idx >= tc.n {
+				t.Fatalf("n=%d p=%d s=%d: index %d not interior", tc.n, tc.p, s, idx)
+			}
+			if idx <= prev {
+				t.Fatalf("n=%d p=%d s=%d: index %d not increasing past %d", tc.n, tc.p, s, idx, prev)
+			}
+			if prev >= 0 {
+				if gap := idx - prev; gap < stride-1 || gap > stride+1 {
+					t.Fatalf("n=%d p=%d s=%d: stride %d, want %d±1", tc.n, tc.p, s, gap, stride)
+				}
+			}
+			prev = idx
+		}
+		if tail := tc.n - prev; tail > stride+1 {
+			t.Fatalf("n=%d p=%d: last sample %d leaves tail %d unsampled (stride %d)", tc.n, tc.p, prev, tail, stride)
+		}
+	}
+}
+
+func TestDistributedSortPivotBalanceSkewedRanks(t *testing.T) {
+	// Regression for the sampling rule: the old local[len*s/p] positions
+	// always re-sampled index 0 and never the tail, so a heavily skewed
+	// size distribution (one huge rank, several tiny ones) produced a
+	// pivot pool dominated by the tiny ranks' low keys and piled most of
+	// the data onto a single output rank. The standard (s+1)·n/(p+1)
+	// interior samples keep every output rank within the PSRS 2n/p bound
+	// even under this skew.
+	rng := rand.New(rand.NewSource(5))
+	const ranks = 8
+	data := make([][]uint64, ranks)
+	total := 0
+	for r := range data {
+		n := 64
+		if r == 0 {
+			n = 40000
+		}
+		data[r] = make([]uint64, n)
+		for i := range data[r] {
+			data[r][i] = rng.Uint64() % 100000
+		}
+		total += n
+	}
+	out := runDistributed(t, ranks, data)
+	bound := 2*total/ranks + ranks
+	got := 0
+	for r, part := range out {
+		if len(part) > bound {
+			t.Fatalf("rank %d holds %d of %d keys (bound %d): pivots skewed", r, len(part), total, bound)
+		}
+		got += len(part)
+	}
+	if got != total {
+		t.Fatalf("kept %d keys, want %d", got, total)
+	}
+}
+
 func TestDistributedSortEmptyRanks(t *testing.T) {
 	data := [][]uint64{{5, 3, 1}, {}, {9, 2}, {}}
 	out := runDistributed(t, 4, data)

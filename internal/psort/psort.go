@@ -12,12 +12,27 @@ import (
 	"sync"
 )
 
-// Uint64s sorts keys ascending using PSRS across workers (0 = GOMAXPROCS).
-func Uint64s(keys []uint64, workers int) {
+func defaultWorkers(workers int) int {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		return runtime.GOMAXPROCS(0)
 	}
-	if len(keys) < 4096 || workers == 1 {
+	return workers
+}
+
+// Uint64s sorts keys ascending across workers (0 = GOMAXPROCS): LSD radix
+// partitioning when the key distribution makes it profitable (dense keys
+// with few live digits), PSRS with comparison kernels otherwise.
+func Uint64s(keys []uint64, workers int) {
+	workers = defaultWorkers(workers)
+	if len(keys) < 4096 {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return
+	}
+	if active := radixActiveDigits(keys, workers); radixWorthwhile(len(keys), len(active)) {
+		radixSortUint64(keys, active, workers)
+		return
+	}
+	if workers == 1 {
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		return
 	}
@@ -144,16 +159,43 @@ type Sorter[T any] struct {
 	Key func(T) uint64
 }
 
-// Sort sorts items ascending by key using PSRS on an index array.
+// Sort stably sorts items ascending by key: keyed LSD radix when the
+// extracted key distribution is profitable, parallel stable merge sort
+// otherwise. Both paths preserve equal-key input order.
 func (s Sorter[T]) Sort(items []T, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if len(items) < 4096 || workers == 1 {
+	workers = defaultWorkers(workers)
+	if len(items) < 4096 {
 		sort.SliceStable(items, func(i, j int) bool { return s.Key(items[i]) < s.Key(items[j]) })
 		return
 	}
-	// Sort chunks in parallel, then iteratively merge pairs.
+	// Extract keys once, in parallel; the radix passes then never call
+	// s.Key again (the merge fallback still does).
+	keys := make([]uint64, len(items))
+	var kw sync.WaitGroup
+	for _, b := range radixChunks(len(items), workers) {
+		kw.Add(1)
+		go func(lo, hi int) {
+			defer kw.Done()
+			for i := lo; i < hi; i++ {
+				keys[i] = s.Key(items[i])
+			}
+		}(b[0], b[1])
+	}
+	kw.Wait()
+	if active := radixActiveDigits(keys, workers); radixWorthwhile(len(items), len(active)) {
+		radixSortKeyed(items, keys, active, workers)
+		return
+	}
+	if workers == 1 {
+		sort.SliceStable(items, func(i, j int) bool { return s.Key(items[i]) < s.Key(items[j]) })
+		return
+	}
+	s.mergeSort(items, workers)
+}
+
+// mergeSort is the comparison fallback: sort chunks in parallel, then
+// iteratively merge pairs.
+func (s Sorter[T]) mergeSort(items []T, workers int) {
 	n := len(items)
 	chunk := (n + workers - 1) / workers
 	type seg struct{ lo, hi int }

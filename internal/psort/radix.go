@@ -1,0 +1,226 @@
+package psort
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// LSD radix partitioning sort, specialized for the dense uint64 keys the
+// preprocessing produces ((component, vertex) composites, hub IDs, local
+// indices). Each pass is a stable counting-sort on one 8-bit digit:
+// histogram, prefix sum, scatter — all three parallel across the existing
+// worker chunking, with per-chunk write cursors so concurrent scatters stay
+// stable and never share a destination slot. Digits that are constant across
+// the whole input (the common case for dense keys, whose high bytes are all
+// zero) cost one histogram scan and no scatter, which is where radix beats
+// the comparison sorts outright.
+//
+// Radix is not a universal win: with few keys spread over the full 64-bit
+// range, every digit is live and 8 scatter rounds lose to an O(n log n)
+// comparison sort. radixWorthwhile is that gate; Uint64s and Sorter.Sort
+// fall back to the PSRS/merge path (the PARADIS-flavoured kernels) when it
+// says no.
+
+const (
+	radixBits    = 8
+	radixBuckets = 1 << radixBits
+	radixDigits  = 64 / radixBits
+)
+
+// radixChunks splits n elements into per-worker [lo, hi) ranges.
+func radixChunks(n, workers int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// radixActiveDigits scans keys once (in parallel) and returns the digit
+// positions that actually vary. A digit whose 256-way histogram has a single
+// occupied bucket orders nothing and is skipped entirely.
+func radixActiveDigits(keys []uint64, workers int) []int {
+	chunks := radixChunks(len(keys), workers)
+	hists := make([][radixDigits][radixBuckets]int64, len(chunks))
+	var wg sync.WaitGroup
+	for c, b := range chunks {
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			h := &hists[c]
+			for _, k := range keys[lo:hi] {
+				for d := 0; d < radixDigits; d++ {
+					h[d][(k>>(uint(d)*radixBits))&(radixBuckets-1)]++
+				}
+			}
+		}(c, b[0], b[1])
+	}
+	wg.Wait()
+	var active []int
+	for d := 0; d < radixDigits; d++ {
+		occupied := 0
+		for b := 0; b < radixBuckets; b++ {
+			var total int64
+			for c := range hists {
+				total += hists[c][d][b]
+			}
+			if total > 0 {
+				occupied++
+				if occupied > 1 {
+					active = append(active, d)
+					break
+				}
+			}
+		}
+	}
+	return active
+}
+
+// radixWorthwhile is the fallback rule: a scatter round touches every key
+// twice (count + permute), so radix wins while the live pass count stays
+// under about half the comparison sort's log2(n) depth — dense keys need 2–3
+// passes and win at any size, while full-width random keys at small n defeat
+// it and fall back to PSRS/merge.
+func radixWorthwhile(n, passes int) bool {
+	return passes*2 <= bits.Len(uint(n))
+}
+
+// radixCursors computes, for one digit, the per-chunk stable write cursors:
+// chunk c's bucket b starts at the global bucket offset plus everything
+// earlier chunks put in that bucket. hists[c][b] is chunk c's count of
+// digit value b in the current src layout.
+func radixCursors(hists [][radixBuckets]int64) {
+	var gstart [radixBuckets]int64
+	var acc int64
+	for b := 0; b < radixBuckets; b++ {
+		gstart[b] = acc
+		for c := range hists {
+			acc += hists[c][b]
+		}
+	}
+	var run [radixBuckets]int64
+	for c := range hists {
+		for b := 0; b < radixBuckets; b++ {
+			cnt := hists[c][b]
+			hists[c][b] = gstart[b] + run[b]
+			run[b] += cnt
+		}
+	}
+}
+
+// radixSortUint64 sorts keys by the given live digit passes (least
+// significant first), ping-ponging through one scratch buffer.
+func radixSortUint64(keys []uint64, active []int, workers int) {
+	if len(active) == 0 || len(keys) < 2 {
+		return
+	}
+	chunks := radixChunks(len(keys), workers)
+	hists := make([][radixBuckets]int64, len(chunks))
+	scratch := make([]uint64, len(keys))
+	src, dst := keys, scratch
+	for _, d := range active {
+		shift := uint(d) * radixBits
+		var wg sync.WaitGroup
+		for c, b := range chunks {
+			wg.Add(1)
+			go func(c, lo, hi int) {
+				defer wg.Done()
+				h := &hists[c]
+				*h = [radixBuckets]int64{}
+				for _, k := range src[lo:hi] {
+					h[(k>>shift)&(radixBuckets-1)]++
+				}
+			}(c, b[0], b[1])
+		}
+		wg.Wait()
+		radixCursors(hists)
+		for c, b := range chunks {
+			wg.Add(1)
+			go func(c, lo, hi int) {
+				defer wg.Done()
+				cur := &hists[c]
+				for _, k := range src[lo:hi] {
+					b := (k >> shift) & (radixBuckets - 1)
+					dst[cur[b]] = k
+					cur[b]++
+				}
+			}(c, b[0], b[1])
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// RadixSortUint64 sorts keys ascending with the parallel LSD radix kernel,
+// unconditionally — no comparison fallback. This is the raw kernel behind
+// Uint64s, exported so the differential fuzz target and benchmarks can pin
+// its output bit-for-bit against the stdlib sort. 0 workers means
+// GOMAXPROCS.
+func RadixSortUint64(keys []uint64, workers int) {
+	workers = defaultWorkers(workers)
+	radixSortUint64(keys, radixActiveDigits(keys, workers), workers)
+}
+
+// radixSortKeyed stably sorts items by their pre-extracted keys, carrying
+// both arrays through the scatter passes in lockstep. LSD radix is stable by
+// construction, so Sorter's equal-key order is preserved.
+func radixSortKeyed[T any](items []T, keys []uint64, active []int, workers int) {
+	if len(active) == 0 || len(items) < 2 {
+		return
+	}
+	chunks := radixChunks(len(items), workers)
+	hists := make([][radixBuckets]int64, len(chunks))
+	keyScratch := make([]uint64, len(keys))
+	itemScratch := make([]T, len(items))
+	ksrc, kdst := keys, keyScratch
+	isrc, idst := items, itemScratch
+	for _, d := range active {
+		shift := uint(d) * radixBits
+		var wg sync.WaitGroup
+		for c, b := range chunks {
+			wg.Add(1)
+			go func(c, lo, hi int) {
+				defer wg.Done()
+				h := &hists[c]
+				*h = [radixBuckets]int64{}
+				for _, k := range ksrc[lo:hi] {
+					h[(k>>shift)&(radixBuckets-1)]++
+				}
+			}(c, b[0], b[1])
+		}
+		wg.Wait()
+		radixCursors(hists)
+		for c, b := range chunks {
+			wg.Add(1)
+			go func(c, lo, hi int) {
+				defer wg.Done()
+				cur := &hists[c]
+				for i := lo; i < hi; i++ {
+					k := ksrc[i]
+					b := (k >> shift) & (radixBuckets - 1)
+					kdst[cur[b]] = k
+					idst[cur[b]] = isrc[i]
+					cur[b]++
+				}
+			}(c, b[0], b[1])
+		}
+		wg.Wait()
+		ksrc, kdst = kdst, ksrc
+		isrc, idst = idst, isrc
+	}
+	if &isrc[0] != &items[0] {
+		copy(items, isrc)
+		copy(keys, ksrc)
+	}
+}

@@ -1,0 +1,170 @@
+package psort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func radixRef(keys []uint64) []uint64 {
+	ref := append([]uint64(nil), keys...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	return ref
+}
+
+func TestRadixSortUint64MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func(n int) []uint64{
+		"dense": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(rng.Intn(1000))
+			}
+			return out
+		},
+		"full-width": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = rng.Uint64()
+			}
+			return out
+		},
+		"high-bit-skewed": func(n int) []uint64 {
+			// Only the top byte varies: the low seven digit histograms all
+			// collapse to one bucket and must be skipped, the top one must
+			// still order correctly.
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(rng.Intn(256)) << 56
+			}
+			return out
+		},
+		"duplicates": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(i % 3)
+			}
+			return out
+		},
+		"already-sorted": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(i)
+			}
+			return out
+		},
+		"reverse-sorted": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(n - i)
+			}
+			return out
+		},
+		"all-equal": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = 42
+			}
+			return out
+		},
+	}
+	for name, gen := range dists {
+		for _, n := range []int{0, 1, 2, 4095, 4096, 30000} {
+			for _, workers := range []int{1, 2, 7} {
+				keys := gen(n)
+				want := radixRef(keys)
+				RadixSortUint64(keys, workers)
+				for i := range keys {
+					if keys[i] != want[i] {
+						t.Fatalf("%s n=%d workers=%d: mismatch at %d: got %d want %d",
+							name, n, workers, i, keys[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRadixWorthwhileGate(t *testing.T) {
+	// Dense keys (2-3 live digits) are worthwhile at any realistic size;
+	// full-width keys (8 live digits) at small n are not and must fall back.
+	if !radixWorthwhile(4096, 2) {
+		t.Fatal("dense keys at n=4096 should take the radix path")
+	}
+	if radixWorthwhile(4096, 8) {
+		t.Fatal("full-width keys at n=4096 should fall back to PSRS")
+	}
+	if !radixWorthwhile(1<<20, 8) {
+		t.Fatal("full-width keys at n=1M should take the radix path")
+	}
+	if !radixWorthwhile(2, 0) {
+		t.Fatal("zero live passes is a no-op and always worthwhile")
+	}
+}
+
+func TestRadixActiveDigitsSkipsConstant(t *testing.T) {
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = uint64(i%512) << 16 // digits 2 and 3 vary, all others constant
+	}
+	active := radixActiveDigits(keys, 4)
+	if len(active) != 2 || active[0] != 2 || active[1] != 3 {
+		t.Fatalf("active digits = %v, want [2 3]", active)
+	}
+}
+
+func TestUint64sFallbackFullWidthKeys(t *testing.T) {
+	// Small-n full-width keys defeat the radix gate; Uint64s must still
+	// sort them correctly through the PSRS fallback.
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	want := radixRef(keys)
+	Uint64s(keys, 4)
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSorterRadixStability(t *testing.T) {
+	// Dense keys force the keyed radix path (n >= 4096, one live digit);
+	// records with equal keys must keep their input order.
+	type rec struct {
+		key uint64
+		seq int
+	}
+	n := 8192
+	items := make([]rec, n)
+	rng := rand.New(rand.NewSource(13))
+	for i := range items {
+		items[i] = rec{key: uint64(rng.Intn(16)), seq: i}
+	}
+	s := Sorter[rec]{Key: func(r rec) uint64 { return r.key }}
+	s.Sort(items, 4)
+	for i := 1; i < n; i++ {
+		if items[i-1].key > items[i].key {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if items[i-1].key == items[i].key && items[i-1].seq > items[i].seq {
+			t.Fatalf("stability violated at %d: seq %d before %d", i, items[i-1].seq, items[i].seq)
+		}
+	}
+}
+
+func BenchmarkRadixSortUint64Dense1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]uint64, 1<<20)
+	for i := range base {
+		base[i] = uint64(rng.Intn(1 << 20))
+	}
+	keys := make([]uint64, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, base)
+		RadixSortUint64(keys, 0)
+	}
+}

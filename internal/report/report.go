@@ -36,7 +36,9 @@ import (
 //	    kcore, sssp and the bfs headline), all additive — v1 documents
 //	    still decode. Later additions within v2 (also additive):
 //	    Resilience.Wire, the socket backend's transport counters, absent
-//	    for in-process runs.
+//	    for in-process runs; the Setup block (run_start→first-kernel gap
+//	    plus the partitioning sort breakdown) and Config.SegAdaptive,
+//	    absent in older documents.
 const (
 	Schema        = "graph500-bench"
 	SchemaVersion = 2
@@ -65,7 +67,36 @@ type Report struct {
 	// runs that predate the workload flag.
 	Workloads []WorkloadEntry `json:"workloads,omitempty"`
 
+	// Setup (schema v2, additive) surfaces setup time as a first-class
+	// metric: where the wall time before the first kernel went. Absent in
+	// documents from before the block existed; benchcmp treats absence as
+	// "no setup gate possible".
+	Setup *SetupReport `json:"setup,omitempty"`
+
 	Resilience Resilience `json:"resilience"`
+}
+
+// SetupReport breaks down the time between process start and the first
+// traversal kernel. Seconds (the gated total) is partitioning plus engine
+// construction — the preprocessing the paper's Section 5 treats as a
+// first-class scaling problem; graph generation is reported alongside but
+// excluded from the gate because it is benchmark harness cost, not setup the
+// system controls. The partition sub-fields come from partition.BuildStats;
+// SortSeconds sums the grouping sorts across concurrently assembled ranks,
+// so it can exceed AssembleSeconds wall time. FirstKernelGapSeconds is
+// measured from the trace: the gap between the first run's run_start event
+// and its first kernel span (0 when the run was not traced).
+type SetupReport struct {
+	Seconds               float64 `json:"setup_seconds"`
+	GenerateSeconds       float64 `json:"generate_seconds"`
+	PartitionSeconds      float64 `json:"partition_seconds"`
+	DegreesSeconds        float64 `json:"degrees_seconds"`
+	HubDirSeconds         float64 `json:"hubdir_seconds"`
+	DistributeSeconds     float64 `json:"distribute_seconds"`
+	AssembleSeconds       float64 `json:"assemble_seconds"`
+	SortSeconds           float64 `json:"sort_seconds"`
+	EngineSeconds         float64 `json:"engine_seconds"`
+	FirstKernelGapSeconds float64 `json:"first_kernel_gap_seconds"`
 }
 
 // RunConfig records the benchmarked configuration, enough to reproduce the
@@ -90,6 +121,9 @@ type RunConfig struct {
 	// Workload (schema v2) is the comma-joined workload list of the run
 	// ("bfs,wcc,kcore,sssp"); empty means a pre-v2 BFS-only document.
 	Workload string `json:"workload,omitempty"`
+	// SegAdaptive (schema v2, additive) marks runs with the measured
+	// flat-vs-segmented EH2EH pull switch enabled.
+	SegAdaptive bool `json:"seg_adaptive,omitempty"`
 }
 
 // Summary is the Graph 500 headline block.
@@ -228,6 +262,9 @@ type Inputs struct {
 
 	// Workloads passes through the per-workload summary rows (schema v2).
 	Workloads []WorkloadEntry
+
+	// Setup passes through the setup-time block; nil omits it.
+	Setup *SetupReport
 }
 
 // Build assembles the versioned document from the benchmark's measurements.
@@ -287,6 +324,7 @@ func Build(in Inputs) *Report {
 	}
 
 	r.Workloads = append(r.Workloads, in.Workloads...)
+	r.Setup = in.Setup
 
 	r.Resilience = Resilience{
 		FaultsInjected:     in.Faults.Injected(),

@@ -48,6 +48,12 @@ func syntheticInputs() Inputs {
 			Epochs: 1, RanksLost: 1, IterationsReplayed: 3, BytesRestored: 4096,
 			RecoveryTime: 2 * time.Millisecond, CheckpointSegments: 7, CheckpointBytes: 9000,
 		},
+		Setup: &SetupReport{
+			Seconds: 0.5, GenerateSeconds: 0.3, PartitionSeconds: 0.4,
+			DegreesSeconds: 0.05, HubDirSeconds: 0.02, DistributeSeconds: 0.08,
+			AssembleSeconds: 0.25, SortSeconds: 0.2, EngineSeconds: 0.1,
+			FirstKernelGapSeconds: 0.6,
+		},
 		Workloads: []WorkloadEntry{
 			{Workload: "bfs", GTEPS: 0.25, Seconds: 0.0125, Iterations: 48, CommBytes: 8192},
 			{Workload: "wcc", GTEPS: 0.8, Seconds: 0.02, Iterations: 9, CommBytes: 4096, Components: 3},
@@ -110,6 +116,9 @@ func TestRoundTrip(t *testing.T) {
 	if len(got.Phases) != int(stats.NumPhases) || len(got.Collectives) != int(comm.NumKinds) {
 		t.Fatalf("sections truncated: %d phases, %d collectives", len(got.Phases), len(got.Collectives))
 	}
+	if got.Setup == nil || *got.Setup != *r.Setup {
+		t.Fatalf("setup block lost in round trip: %+v vs %+v", got.Setup, r.Setup)
+	}
 }
 
 // TestReadAcceptsV1 pins backward compatibility: a committed v1 document
@@ -131,6 +140,9 @@ func TestReadAcceptsV1(t *testing.T) {
 	}
 	if len(r.Workloads) != 0 || r.Config.Workload != "" {
 		t.Fatalf("v1 document grew v2 fields: workloads=%v workload=%q", r.Workloads, r.Config.Workload)
+	}
+	if r.Setup != nil {
+		t.Fatalf("v1 document grew a setup block: %+v", r.Setup)
 	}
 }
 
