@@ -20,6 +20,10 @@
 // A baseline without a setup block skips the gate with a note; a candidate
 // without one while the baseline has it is a usage error.
 //
+// A candidate whose resilience block records a supervisor crash-loop
+// give-up is rejected as a usage error: its numbers come from a world that
+// was abandoned and relaunched mid-benchmark, so they are not comparable.
+//
 // Exit status: 0 within budget, 1 regression, 2 usage or unreadable input.
 // Configurations must match (scale, mesh, roots, seed, workload list) — a
 // faster machine must not sneak a config change past the gate — and every
@@ -102,6 +106,11 @@ func run(baseline string, candidates []string, maxDrop, setupGrow float64, skipC
 		}
 		if base.Config != cand.Config && !skipCfg {
 			fmt.Fprintf(stderr, "benchcmp: run configurations differ:\n  baseline:  %+v\n  candidate %s: %+v\n", base.Config, path, cand.Config)
+			return 2
+		}
+		if s := cand.Resilience.Supervisor; s != nil && s.CrashLoopGiveUps > 0 {
+			fmt.Fprintf(stderr, "benchcmp: candidate %s records %d crash-loop give-up(s): its numbers come from a world the supervisor abandoned and relaunched, not a comparable run\n",
+				path, s.CrashLoopGiveUps)
 			return 2
 		}
 		seen := make(map[string]bool, len(cand.Workloads))

@@ -192,6 +192,41 @@ func TestSetupGateRequiresCandidateBlock(t *testing.T) {
 	}
 }
 
+func TestCrashLoopGiveUpRejected(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20})
+	cand := writeDoc(t, dir, "cand.json", 0.20, map[string]float64{"bfs": 0.20})
+	// A supervised run that needed a crash-loop give-up got its numbers from
+	// a relaunched world: the gate must refuse to compare it at all, even
+	// though every GTEPS figure is within budget.
+	doc, err := report.ReadFile(cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Resilience.Supervisor = &report.SupervisorResilience{Workers: 3, Spares: 2, Generations: 2, CrashLoopGiveUps: 1}
+	if err := doc.WriteFile(cand); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runGate(t, base, []string{cand})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "crash-loop give-up") {
+		t.Fatalf("error does not name the crash loop:\n%s", errOut)
+	}
+
+	// A clean supervised run (supervisor block present, zero give-ups) must
+	// still pass: the gate rejects abandoned worlds, not supervision itself.
+	doc.Resilience.Supervisor.CrashLoopGiveUps = 0
+	doc.Resilience.Supervisor.Generations = 1
+	if err := doc.WriteFile(cand); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, _ := runGate(t, base, []string{cand}); code != 0 {
+		t.Fatalf("clean supervised candidate: exit %d, want 0\n%s", code, out)
+	}
+}
+
 func TestConfigMismatchRejected(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20})

@@ -72,13 +72,17 @@ func main() {
 		rpp       = flag.Int("ranks-per-proc", 0, "hybrid mode: ranks this process hosts in a -join world (0 = ranks/processes)")
 		listen    = flag.String("listen", "", "this process's socket address, unix:PATH or tcp:HOST:PORT (requires -join)")
 		join      = flag.String("join", "", "comma-separated addresses of every process in the world, in process order (must contain -listen)")
+		secret    = flag.String("secret", "", "shared world secret authenticating the socket handshake (or BFS_WORLD_SECRET; empty = unauthenticated)")
 		jsonOut   = flag.String("json", "", "write the machine-readable benchmark report (JSON) to this file (bfs only)")
 		traceOut  = flag.String("trace", "", "record per-iteration spans and write the merged timeline (JSONL) to this file (bfs only)")
 		chromeOut = flag.String("trace-chrome", "", "record spans and write a Chrome trace_event file for chrome://tracing (bfs only)")
 	)
 	flag.Parse()
 
-	dist, err := joinWorld(*listen, *join, *ranks, *rpp)
+	if *secret == "" {
+		*secret = os.Getenv("BFS_WORLD_SECRET")
+	}
+	dist, err := joinWorld(*listen, *join, *ranks, *rpp, *secret)
 	if err != nil {
 		fatal(err)
 	}
@@ -271,6 +275,10 @@ func main() {
 		fmt.Printf("  heartbeats:  %d sent, %d received\n", ws.HeartbeatsSent, ws.HeartbeatsRecv)
 		fmt.Printf("  reconnects:  %d  (%d frames resent)\n", ws.Reconnects, ws.FramesResent)
 		fmt.Printf("  peers lost:  %d\n", ws.PeersLost)
+		if ws.AuthRejects > 0 || ws.HandshakeTimeouts > 0 {
+			fmt.Printf("  handshakes:  %d auth rejects, %d deadline drops\n",
+				ws.AuthRejects, ws.HandshakeTimeouts)
+		}
 		fmt.Printf("  traffic:     %d bytes sent, %d bytes received\n", ws.BytesSent, ws.BytesRecv)
 		if dead := dist.group.DeadProcs(); len(dead) > 0 {
 			fmt.Printf("  dead procs:  %v\n", dead)
@@ -283,15 +291,17 @@ func main() {
 		if dist != nil {
 			ws := dist.group.WireStats()
 			in.Wire = &report.WireResilience{
-				Procs:          dist.procs,
-				RanksPerProc:   dist.rpp,
-				HeartbeatsSent: ws.HeartbeatsSent,
-				HeartbeatsRecv: ws.HeartbeatsRecv,
-				Reconnects:     ws.Reconnects,
-				PeersLost:      ws.PeersLost,
-				FramesResent:   ws.FramesResent,
-				BytesSent:      ws.BytesSent,
-				BytesRecv:      ws.BytesRecv,
+				Procs:             dist.procs,
+				RanksPerProc:      dist.rpp,
+				HeartbeatsSent:    ws.HeartbeatsSent,
+				HeartbeatsRecv:    ws.HeartbeatsRecv,
+				Reconnects:        ws.Reconnects,
+				PeersLost:         ws.PeersLost,
+				FramesResent:      ws.FramesResent,
+				BytesSent:         ws.BytesSent,
+				BytesRecv:         ws.BytesRecv,
+				AuthRejects:       ws.AuthRejects,
+				HandshakeTimeouts: ws.HandshakeTimeouts,
 			}
 		}
 		if sum != nil {
@@ -331,7 +341,7 @@ type distWorld struct {
 // backend). Every process of the world runs the identical bfsbench command
 // line except for -listen; the process index is the position of -listen in
 // the -join list, and process p hosts ranks [p*rpp, (p+1)*rpp).
-func joinWorld(listen, join string, ranks, rpp int) (*distWorld, error) {
+func joinWorld(listen, join string, ranks, rpp int, secret string) (*distWorld, error) {
 	if listen == "" && join == "" {
 		if rpp != 0 {
 			return nil, fmt.Errorf("-ranks-per-proc needs a socket world (-listen and -join)")
@@ -363,7 +373,7 @@ func joinWorld(listen, join string, ranks, rpp int) (*distWorld, error) {
 		return nil, fmt.Errorf("%d ranks at %d per process need %d processes, -join names %d",
 			ranks, rpp, (ranks+rpp-1)/rpp, procs)
 	}
-	g, err := comm.NewGroup(wire.Config{Proc: proc, Addrs: addrs})
+	g, err := comm.NewGroup(wire.Config{Proc: proc, Addrs: addrs, Secret: secret})
 	if err != nil {
 		return nil, err
 	}

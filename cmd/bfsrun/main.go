@@ -1,0 +1,711 @@
+// Command bfsrun materializes a whole multi-process BFS world from one
+// command line. Where bfsbench in socket mode needs one hand-started process
+// per world member (DESIGN.md §12), bfsrun is the cluster supervisor: it
+// spawns N rank-hosting workers plus a pool of spares, wires them into an
+// authenticated socket world, and babysits them — restarting crashes with
+// capped exponential backoff, breaking out of crash loops with a typed
+// post-mortem, re-admitting lost capacity through the spare + checkpoint
+// restore path, and draining the fleet gracefully on SIGTERM.
+//
+//	bfsrun -procs 3 -spares 2 -scale 16 -roots 4 -json run.json
+//	bfsrun -procs 3 -scale 16 -fault-plan "sigkill@proc=1,iter=2"
+//
+// The worker side is this same binary re-executed with BFSRUN_WORKER=1: each
+// worker joins the wire world with the per-run shared secret, runs the SPMD
+// BFS schedule, and reports liveness over the supervise control pipe. A
+// worker SIGKILLed by the fault plan is replaced by a spare that replays the
+// shared checkpoint store; the killed slot's restarted process learns from
+// the sealed handshake verdict that the world moved on and parks (exit 3).
+// An authentication failure is reported, not retried (exit 4). A drained
+// worker commits a checkpoint and exits 5; rerunning with the same
+// -checkpoint-dir resumes where the drain stopped.
+package main
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/comm"
+	"repro/internal/faultinject"
+	"repro/internal/report"
+	"repro/internal/supervise"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Worker exit codes, classified by the parent's OnExit hook.
+const (
+	exitOK      = 0 // all roots traversed, artifacts written
+	exitFatal   = 1 // unrecoverable worker error: restart
+	exitSealed  = 3 // a peer holds a final dead verdict for this proc id: park
+	exitAuth    = 4 // handshake authentication failed: give up, do not retry
+	exitDrained = 5 // graceful drain completed with a committed checkpoint
+)
+
+// The parent→worker environment protocol. BFSRUN_WORKER selects worker mode
+// in the re-executed binary; the rest carries the world spec so every worker
+// derives the identical graph, partition and root schedule.
+const (
+	envWorker   = "BFSRUN_WORKER"
+	envProc     = "BFSRUN_PROC"
+	envAddrs    = "BFSRUN_ADDRS"
+	envSecret   = "BFSRUN_SECRET"
+	envScale    = "BFSRUN_SCALE"
+	envSeed     = "BFSRUN_SEED"
+	envRanks    = "BFSRUN_RANKS"
+	envRPP      = "BFSRUN_RPP"
+	envRoots    = "BFSRUN_ROOTS"
+	envCkpt     = "BFSRUN_CKPT"
+	envOut      = "BFSRUN_OUT"
+	envPlan     = "BFSRUN_PLAN"
+	envRecovery = "BFSRUN_RECOVERY"
+	envPeerDead = "BFSRUN_PEER_DEAD"
+	envGen      = "BFSRUN_GEN"
+)
+
+func main() {
+	if os.Getenv(envWorker) == "1" {
+		os.Exit(workerMain())
+	}
+	os.Exit(parentMain(os.Args[1:]))
+}
+
+// ---------------------------------------------------------------------------
+// Parent: spawn, babysit, re-admit.
+
+func parentMain(args []string) int {
+	fs := flag.NewFlagSet("bfsrun", flag.ContinueOnError)
+	var (
+		procs    = fs.Int("procs", 2, "rank-hosting worker processes")
+		spares   = fs.Int("spares", 1, "spare worker processes (zero ranks until they adopt a dead process's)")
+		scale    = fs.Int("scale", 14, "graph SCALE: 2^scale vertices, 16*2^scale edges")
+		seed     = fs.Uint64("seed", 42, "generator seed")
+		rpp      = fs.Int("ranks-per-proc", 2, "ranks each rank-hosting process serves")
+		ranks    = fs.Int("ranks", 0, "total simulated node count (0 = procs * ranks-per-proc)")
+		roots    = fs.Int("roots", 4, "number of sampled BFS roots")
+		ckptDir  = fs.String("checkpoint-dir", "", "shared durable checkpoint store (empty = fresh temp dir)")
+		outDir   = fs.String("out", "", "artifact directory for parents files and per-worker reports (empty = fresh temp dir)")
+		sockDir  = fs.String("sock-dir", "", "directory for the world's unix sockets (empty = fresh temp dir)")
+		secret   = fs.String("secret", "", "shared world secret authenticating every wire handshake (empty = fresh random secret; or BFS_WORLD_SECRET)")
+		plan     = fs.String("fault-plan", "", "fault-injection plan, e.g. \"sigkill@proc=1,iter=2\" (see internal/faultinject)")
+		recovery = fs.String("recovery", "restore", "world rebuild after a fail-stop: shrink or restore")
+		jsonOut  = fs.String("json", "", "write the merged machine-readable report (worker run + supervisor resilience) here")
+		traceOut = fs.String("trace", "", "write the supervisor's lifecycle event timeline (JSONL) here")
+		peerDead = fs.Duration("peer-dead", 2*time.Second, "wire silence budget before a peer is declared dead")
+		backoff  = fs.Duration("restart-backoff", 0, "base restart backoff (0 = 2*peer-dead + 1s, so a restarted proc always meets the sealed verdict, never a stale session)")
+		backCap  = fs.Duration("backoff-cap", 10*time.Second, "restart backoff cap")
+		loopK    = fs.Int("crashloop-k", 4, "crash-loop breaker: give up on a slot after K failures inside -crashloop-window")
+		loopWin  = fs.Duration("crashloop-window", time.Minute, "crash-loop breaker sliding window")
+		hangTO   = fs.Duration("hang-timeout", 0, "SIGKILL a worker whose control pipe is silent this long (0 = off)")
+		drainTO  = fs.Duration("drain-timeout", 20*time.Second, "graceful drain budget before escalating to SIGKILL")
+		drainAt  = fs.Duration("drain-after", 0, "drain the world after this long (soak runs; 0 = only on SIGTERM)")
+		maxGen   = fs.Int("max-generations", 3, "whole-world relaunches after a crash-loop verdict before giving up")
+		verbose  = fs.Bool("verbose", false, "forward worker stderr to the parent's stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ranks == 0 {
+		*ranks = *procs * *rpp
+	}
+	if *procs < 1 || *spares < 0 || *ranks%*rpp != 0 || *ranks / *rpp != *procs {
+		fmt.Fprintf(os.Stderr, "bfsrun: %d ranks at %d per process need exactly %d rank-hosting processes\n",
+			*ranks, *rpp, (*ranks + *rpp - 1) / *rpp)
+		return 2
+	}
+	if *secret == "" {
+		*secret = os.Getenv("BFS_WORLD_SECRET")
+	}
+	if *secret == "" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			return 1
+		}
+		*secret = hex.EncodeToString(b[:])
+	}
+	var retired *faultinject.Plan
+	if *plan != "" {
+		p, err := faultinject.Parse(*plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			return 2
+		}
+		retired = p
+	}
+	for _, d := range []*string{ckptDir, outDir, sockDir} {
+		if *d == "" {
+			t, err := os.MkdirTemp("", "bfsrun-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bfsrun:", err)
+				return 1
+			}
+			*d = t
+		} else if err := os.MkdirAll(*d, 0o777); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			return 1
+		}
+	}
+	if *backoff <= 0 {
+		// The restart must land after every survivor latched the dead
+		// verdict: jitter halves the delay, so base = 2*(peerDead + margin)
+		// keeps even the earliest restart behind the verdict. A too-early
+		// restart would resume the old session with reset frame sequence
+		// numbers instead of meeting the sealed reject.
+		*backoff = 2**peerDead + time.Second
+	}
+
+	world := *procs + *spares
+	addrs := make([]string, world)
+	for i := range addrs {
+		addrs[i] = "unix:" + filepath.Join(*sockDir, fmt.Sprintf("w%d.sock", i))
+	}
+	fmt.Printf("bfsrun: %d workers + %d spares, scale %d, %d ranks (%d per process)\n",
+		*procs, *spares, *scale, *ranks, *rpp)
+	fmt.Printf("bfsrun: checkpoints %s, artifacts %s\n", *ckptDir, *outDir)
+
+	var tr *trace.Tracer
+	var spans *trace.Stream
+	if *traceOut != "" {
+		tr = trace.New()
+		spans = tr.NewStream(-1)
+	}
+
+	// consumed counts, per slot, the sigkill clauses a previous incarnation
+	// or generation already executed; Start retires them from the plan each
+	// spawn so a restarted or relaunched world makes progress instead of
+	// re-shooting itself at the same iteration.
+	var planMu sync.Mutex
+	consumed := map[int]int{}
+	worldGen := 0
+
+	start := func(slot, gen int) (*exec.Cmd, error) {
+		if p := strings.TrimPrefix(addrs[slot], "unix:"); p != addrs[slot] {
+			os.Remove(p) // stale socket from the previous incarnation
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		planMu.Lock()
+		spec := ""
+		if retired != nil {
+			spec = retired.DropSigKills(consumed).String()
+		}
+		planMu.Unlock()
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			envWorker+"=1",
+			envProc+"="+strconv.Itoa(slot),
+			envAddrs+"="+strings.Join(addrs, ","),
+			envSecret+"="+*secret,
+			envScale+"="+strconv.Itoa(*scale),
+			envSeed+"="+strconv.FormatUint(*seed, 10),
+			envRanks+"="+strconv.Itoa(*ranks),
+			envRPP+"="+strconv.Itoa(*rpp),
+			envRoots+"="+strconv.Itoa(*roots),
+			envCkpt+"="+*ckptDir,
+			envOut+"="+*outDir,
+			envPlan+"="+spec,
+			envRecovery+"="+*recovery,
+			envPeerDead+"="+peerDead.String(),
+			envGen+"="+strconv.Itoa(worldGen),
+		)
+		if *verbose {
+			cmd.Stderr = os.Stderr
+		}
+		return cmd, nil
+	}
+
+	onExit := func(x supervise.Exit) supervise.Decision {
+		if x.Signal == "killed" {
+			// SIGKILL: the fault plan (or the hang detector) shot it. Retire
+			// one sigkill clause for the slot and respawn; the world's spare
+			// pool is the real re-admission path, the respawn will meet the
+			// sealed verdict and park.
+			planMu.Lock()
+			consumed[x.Slot]++
+			planMu.Unlock()
+			return supervise.DecideRestart
+		}
+		switch x.Code {
+		case exitOK, exitDrained:
+			return supervise.DecideDone
+		case exitSealed:
+			return supervise.DecidePark
+		case exitAuth:
+			return supervise.DecideGiveUp
+		}
+		return supervise.DecideRestart
+	}
+
+	onEvent := func(ev supervise.Event) {
+		fmt.Fprintf(os.Stderr, "bfsrun: [w%d g%d] %s %s\n", ev.Slot, ev.Gen, ev.Kind, ev.Detail)
+		if spans != nil {
+			spans.Emit(trace.Span{
+				Kind: trace.KindEvent, Rank: -1, Iter: -1, Step: -1, Tag: -1,
+				Name:  "supervisor_" + string(ev.Kind),
+				Start: tr.Now(),
+				Args:  map[string]int64{"slot": int64(ev.Slot), "gen": int64(ev.Gen)},
+			})
+		}
+	}
+
+	// One forwarder delivers SIGTERM/SIGINT (and the -drain-after timer) to
+	// whichever supervisor generation is current.
+	var cur atomic.Pointer[supervise.Supervisor]
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+	stopFwd := make(chan struct{})
+	defer close(stopFwd)
+	var drainc <-chan time.Time
+	if *drainAt > 0 {
+		t := time.NewTimer(*drainAt)
+		defer t.Stop()
+		drainc = t.C
+	}
+	go func() {
+		for {
+			select {
+			case <-sigc:
+			case <-drainc:
+			case <-stopFwd:
+				return
+			}
+			if s := cur.Load(); s != nil {
+				fmt.Fprintln(os.Stderr, "bfsrun: draining the world")
+				s.Drain()
+			}
+		}
+	}()
+
+	var total supervise.Stats
+	var crashLoopGiveUps int64
+	generations := 0
+	for gen := 1; ; gen++ {
+		generations = gen
+		worldGen = gen
+		sup, err := supervise.New(supervise.Config{
+			Workers:          world,
+			Start:            start,
+			OnExit:           onExit,
+			OnEvent:          onEvent,
+			BackoffBase:      *backoff,
+			BackoffCap:       *backCap,
+			CrashLoopK:       *loopK,
+			CrashLoopWindow:  *loopWin,
+			HeartbeatTimeout: *hangTO,
+			DrainTimeout:     *drainTO,
+			// Concurrently-restarted workers hold no dead verdicts for each
+			// other and would form a rump world re-running the fleet's work
+			// against live checkpoint scopes; one at a time, each meets the
+			// real world's verdict (sealed, orphaned, or re-admitted) alone.
+			SerializeRestarts: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			return 2
+		}
+		cur.Store(sup)
+		runErr := sup.Run()
+		cur.Store(nil)
+		st := sup.Stats()
+		total.Spawns += st.Spawns
+		total.Restarts += st.Restarts
+		total.Crashes += st.Crashes
+		total.Hangs += st.Hangs
+		total.Parked += st.Parked
+		total.Done += st.Done
+		total.Drained += st.Drained
+		if runErr == nil {
+			break
+		}
+		var cl *supervise.CrashLoopError
+		if errors.As(runErr, &cl) && gen < *maxGen {
+			crashLoopGiveUps++
+			fmt.Fprintf(os.Stderr, "bfsrun: generation %d crash-looped (%v); relaunching the world\n", gen, cl)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, "bfsrun:", runErr)
+		writeParentTrace(tr, *traceOut)
+		return 1
+	}
+
+	fmt.Printf("bfsrun: world retired after %d generation(s): %d spawns, %d restarts, %d crashes, %d parked, %d drained\n",
+		generations, total.Spawns, total.Restarts, total.Crashes, total.Parked, total.Drained)
+
+	chosen := -1
+	for p := 0; p < world; p++ {
+		if _, err := os.Stat(parentsPath(*outDir, p)); err == nil {
+			chosen = p
+			break
+		}
+	}
+	writeParentTrace(tr, *traceOut)
+	if chosen < 0 {
+		if total.Drained > 0 {
+			fmt.Printf("bfsrun: drained before completion; rerun with -checkpoint-dir %s to resume\n", *ckptDir)
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "bfsrun: no worker produced a complete parents artifact")
+		return 1
+	}
+	fmt.Printf("bfsrun: parents artifact %s\n", parentsPath(*outDir, chosen))
+
+	if *jsonOut != "" {
+		sr := &report.SupervisorResilience{
+			Workers:          *procs,
+			Spares:           *spares,
+			Generations:      generations,
+			Spawns:           total.Spawns,
+			Restarts:         total.Restarts,
+			Crashes:          total.Crashes,
+			Hangs:            total.Hangs,
+			Parked:           total.Parked,
+			Drained:          total.Drained,
+			CrashLoopGiveUps: crashLoopGiveUps,
+		}
+		if err := mergeReport(reportPath(*outDir, chosen), *jsonOut, sr); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			return 1
+		}
+		fmt.Printf("bfsrun: wrote merged report to %s\n", *jsonOut)
+	}
+	return 0
+}
+
+// mergeReport loads the chosen worker's run report and republishes it with
+// the parent's supervisor-resilience block attached.
+func mergeReport(workerReport, dst string, sr *report.SupervisorResilience) error {
+	f, err := os.Open(workerReport)
+	if err != nil {
+		return err
+	}
+	r, err := report.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	r.Resilience.Supervisor = sr
+	return r.WriteFile(dst)
+}
+
+func writeParentTrace(tr *trace.Tracer, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = tr.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun: trace:", err)
+	}
+}
+
+func parentsPath(dir string, proc int) string {
+	return filepath.Join(dir, fmt.Sprintf("parents-w%d.bin", proc))
+}
+
+func reportPath(dir string, proc int) string {
+	return filepath.Join(dir, fmt.Sprintf("report-w%d.json", proc))
+}
+
+// ---------------------------------------------------------------------------
+// Worker: join, traverse, report.
+
+// sigkillTransport wraps the fault plan as a comm.Transport that executes the
+// plan's process-suicide clauses: Intercept never returns for a matching
+// (proc, iter), so the kill looks to the rest of the world exactly like the
+// fail-stop it models.
+type sigkillTransport struct {
+	plan *faultinject.Plan
+	proc int
+}
+
+func (t *sigkillTransport) Intercept(c comm.Call) comm.FaultAction {
+	if t.plan.SigKillFor(t.proc, c.Iter) {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // the signal is asynchronous; never proceed past it
+	}
+	return t.plan.Intercept(c)
+}
+
+func workerMain() int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bfsrun-worker: "+format+"\n", args...)
+	}
+	rep := supervise.NewReporter()
+	stopHB := rep.StartHeartbeat(500 * time.Millisecond)
+	defer stopHB()
+
+	proc, err := strconv.Atoi(os.Getenv(envProc))
+	if err != nil {
+		logf("bad %s: %v", envProc, err)
+		return exitFatal
+	}
+	addrs := strings.Split(os.Getenv(envAddrs), ",")
+	scale := envInt(envScale, 14)
+	seed := envUint(envSeed, 42)
+	ranks := envInt(envRanks, 4)
+	rpp := envInt(envRPP, 2)
+	roots := envInt(envRoots, 4)
+	outDir := os.Getenv(envOut)
+	peerDead, _ := time.ParseDuration(os.Getenv(envPeerDead))
+
+	var draining atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		draining.Store(true)
+		rep.Send("draining", "")
+	}()
+
+	// Handshake verdicts are final: a sealed proc id parks, a failed
+	// authentication gives up. Both exit from the session goroutine the
+	// moment the verdict arrives, before any collective can hang on it.
+	onReject := func(peer int, err error) {
+		switch {
+		case errors.Is(err, wire.ErrSealed):
+			rep.Sendf("sealed", "peer=%d", peer)
+			logf("proc %d: world moved on while we were dead (peer %d): parking", proc, peer)
+			os.Exit(exitSealed)
+		case errors.Is(err, wire.ErrAuth):
+			rep.Sendf("auth", "peer=%d", peer)
+			logf("proc %d: handshake authentication failed (peer %d): %v", proc, peer, err)
+			os.Exit(exitAuth)
+		}
+	}
+
+	g, err := comm.NewGroup(wire.Config{
+		Proc:          proc,
+		Addrs:         addrs,
+		Secret:        os.Getenv(envSecret),
+		PeerDeadAfter: peerDead,
+		OnReject:      onReject,
+	})
+	if err != nil {
+		logf("join: %v", err)
+		return exitFatal
+	}
+	defer g.Close()
+	rep.Sendf("joined", "proc=%d of %d gen=%s", proc, len(addrs), os.Getenv(envGen))
+
+	graph := graph500.Generate(graph500.GenConfig{Scale: scale, Seed: seed})
+	cfg := graph500.Config{
+		Ranks:           ranks,
+		Dist:            &comm.DistConfig{Group: g, ProcOf: comm.ContiguousProcOf(ranks, rpp)},
+		CheckpointDir:   os.Getenv(envCkpt),
+		CheckpointEvery: 1,
+		Recovery:        graph500.RestoreRecovery,
+		Drain:           draining.Load,
+	}
+	if os.Getenv(envRecovery) == "shrink" {
+		cfg.Recovery = graph500.ShrinkRecovery
+	}
+	if spec := os.Getenv(envPlan); spec != "" {
+		plan, err := faultinject.Parse(spec)
+		if err != nil {
+			logf("fault plan: %v", err)
+			return exitFatal
+		}
+		cfg.Faults = &sigkillTransport{plan: plan, proc: proc}
+	}
+	r, err := graph500.New(graph, cfg)
+	if err != nil {
+		logf("partition: %v", err)
+		return exitFatal
+	}
+	rootList, err := r.SampleRoots(roots, seed+1)
+	if err != nil {
+		logf("roots: %v", err)
+		return exitFatal
+	}
+
+	results := make([]*graph500.Result, len(rootList))
+	for i, root := range rootList {
+		// Deterministic per-root scope names survive the process: a relaunched
+		// generation resumes each root from the checkpoints the failed world
+		// left behind instead of starting over.
+		r.Engine.SetResumeFrom(fmt.Sprintf("bfsrun-root%03d", i))
+		rep.Sendf("run", "root=%d (%d/%d)", root, i+1, len(rootList))
+		res, err := r.Run(root)
+		if ws := g.WireStats(); len(addrs) > 1 && ws.BytesRecv == 0 {
+			// Not one frame ever arrived: the world finished (or moved on)
+			// before this restarted process came up, and there was no live
+			// peer left to hand us the sealed verdict. Whether the solo run
+			// "succeeded" (every peer voted dead, all ranks re-homed onto us)
+			// or exhausted its epochs, it was never part of the real world —
+			// park instead of crash-looping or redoing the fleet's work alone.
+			rep.Send("orphaned", "")
+			logf("proc %d: no peer ever spoke to us; the world moved on: parking", proc)
+			return exitSealed
+		}
+		if err != nil {
+			if errors.Is(err, graph500.ErrDrained) {
+				rep.Send("drained", "")
+				logf("proc %d: drained at root %d/%d; checkpoints retained", proc, i+1, len(rootList))
+				return exitDrained
+			}
+			logf("proc %d: root %d: %v", proc, root, err)
+			return exitFatal
+		}
+		results[i] = res
+	}
+
+	// Only a process whose final epoch hosts ranks assembles real parent
+	// arrays; a spare that never adopted (or a process evacuated mid-run)
+	// keeps the -1 fill and must not publish an artifact.
+	complete := true
+	for i, root := range rootList {
+		if results[i].Parent[root] != root {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		if err := writeParents(parentsPath(outDir, proc), scale, seed, rootList, results); err != nil {
+			logf("artifact: %v", err)
+			return exitFatal
+		}
+		if err := writeWorkerReport(reportPath(outDir, proc), g, graph, scale, seed, ranks, rpp, len(addrs), rootList, results, r); err != nil {
+			logf("report: %v", err)
+			return exitFatal
+		}
+		rep.Send("artifact", parentsPath(outDir, proc))
+	}
+	rep.Send("finished", "")
+	return exitOK
+}
+
+// writeParents publishes the worker's parent arrays as one deterministic
+// binary artifact (header, then root + parents per root, little endian).
+// tmp+rename keeps readers from ever seeing a partial file.
+func writeParents(path string, scale int, seed uint64, roots []int64, results []*graph500.Result) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	hdr := []uint64{0x42465350, 1, uint64(scale), seed, uint64(len(roots))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		f.Close()
+		return err
+	}
+	for i, root := range roots {
+		if err := binary.Write(w, binary.LittleEndian, root); err != nil {
+			f.Close()
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, results[i].Parent); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeWorkerReport emits this process's machine-readable run report; the
+// parent merges the chosen one with its supervisor-resilience block.
+func writeWorkerReport(path string, g *comm.Group, graph graph500.Graph, scale int, seed uint64, ranks, rpp, procs int, roots []int64, results []*graph500.Result, r *graph500.Runner) error {
+	in := report.Inputs{Config: report.RunConfig{
+		Scale:       scale,
+		EdgeFactor:  16,
+		NumVertices: graph.NumVertices,
+		NumEdges:    int64(len(graph.Edges)),
+		Ranks:       r.Engine.Opt.Ranks,
+		MeshRows:    r.Engine.Opt.Mesh.Rows,
+		MeshCols:    r.Engine.Opt.Mesh.Cols,
+		Roots:       len(roots),
+		Seed:        seed,
+		Direction:   "sub-iteration",
+		Workload:    "bfs",
+		Faults:      os.Getenv(envPlan),
+		Checkpoints: true,
+	}}
+	in.Recovery.LastResumeIter = -2
+	var invSum float64
+	for _, res := range results {
+		teps := float64(res.TraversedEdges) / res.Time.Seconds()
+		in.MeanTEPS += teps
+		invSum += 1 / teps
+		in.MeanSeconds += res.Time.Seconds()
+		in.Traversed += res.TraversedEdges
+		in.Iterations += int64(res.Iterations)
+		if in.MinTEPS == 0 || teps < in.MinTEPS {
+			in.MinTEPS = teps
+		}
+		if teps > in.MaxTEPS {
+			in.MaxTEPS = teps
+		}
+		in.Faults.Add(&res.Faults)
+		in.Recovery.Add(&res.Recovery)
+		if res.Recovery.LastResumeIter != -2 {
+			in.Recovery.LastResumeIter = res.Recovery.LastResumeIter
+		}
+		in.Retries += res.Retries
+		in.RecoveryWall += res.RecoveryTime
+	}
+	n := float64(len(results))
+	in.MeanTEPS /= n
+	in.MeanSeconds /= n
+	in.HarmonicTEPS = n / invSum
+	ws := g.WireStats()
+	in.Wire = &report.WireResilience{
+		Procs:             procs,
+		RanksPerProc:      rpp,
+		HeartbeatsSent:    ws.HeartbeatsSent,
+		HeartbeatsRecv:    ws.HeartbeatsRecv,
+		Reconnects:        ws.Reconnects,
+		PeersLost:         ws.PeersLost,
+		FramesResent:      ws.FramesResent,
+		BytesSent:         ws.BytesSent,
+		BytesRecv:         ws.BytesRecv,
+		AuthRejects:       ws.AuthRejects,
+		HandshakeTimeouts: ws.HandshakeTimeouts,
+	}
+	return report.Build(in).WriteFile(path)
+}
+
+func envInt(key string, def int) int {
+	if v, err := strconv.Atoi(os.Getenv(key)); err == nil {
+		return v
+	}
+	return def
+}
+
+func envUint(key string, def uint64) uint64 {
+	if v, err := strconv.ParseUint(os.Getenv(key), 10, 64); err == nil {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+// TestMain doubles as the worker entry point: the supervisor under test
+// re-executes this test binary with BFSRUN_WORKER=1, which must behave
+// exactly like the installed bfsrun worker.
+func TestMain(m *testing.M) {
+	if os.Getenv(envWorker) == "1" {
+		os.Exit(workerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// runWorld drives a full supervised world in-process (workers are real child
+// processes) and returns the chosen parents artifact.
+func runWorld(t *testing.T, dir string, extra ...string) []byte {
+	t.Helper()
+	args := append([]string{
+		"-procs", "3", "-spares", "2",
+		"-scale", "10", "-ranks-per-proc", "2", "-roots", "2", "-seed", "42",
+		"-peer-dead", "1s",
+		"-checkpoint-dir", filepath.Join(dir, "ckpt"),
+		"-out", filepath.Join(dir, "out"),
+		"-sock-dir", filepath.Join(dir, "sock"),
+	}, extra...)
+	if code := parentMain(args); code != 0 {
+		t.Fatalf("bfsrun %v = exit %d", args, code)
+	}
+	// The chosen artifact is the lowest-numbered complete worker's — worker 0
+	// fault-free, but a spare's when the storm killed worker 0 itself. Every
+	// complete worker writes identical bytes, so the lexical minimum is it.
+	paths, err := filepath.Glob(filepath.Join(dir, "out", "parents-w*.bin"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("parents artifact: %v (found %v)", err, paths)
+	}
+	sort.Strings(paths)
+	b, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatalf("parents artifact: %v", err)
+	}
+	return b
+}
+
+// TestBFSRunKillStormBitIdentical is the chaos acceptance test: the fault
+// plan SIGKILLs each of the three rank-hosting workers once (iterations 1, 2
+// and 3 — a rolling storm with two corpses in flight at once), the spares
+// adopt the first two victims' ranks from the shared checkpoint store, the
+// third victim's ranks fall back onto a live adopter, the restarted
+// processes meet the sealed handshake verdict (or the orphan gate) and park —
+// and the retired world's parent arrays are bit-identical to a fault-free
+// world's.
+func TestBFSRunKillStormBitIdentical(t *testing.T) {
+	refDir, stormDir := t.TempDir(), t.TempDir()
+	ref := runWorld(t, refDir, "-json", filepath.Join(refDir, "run.json"))
+	storm := runWorld(t, stormDir,
+		"-fault-plan", "sigkill@proc=0,iter=3,sigkill@proc=1,iter=1,sigkill@proc=2,iter=2",
+		"-json", filepath.Join(stormDir, "run.json"))
+	if !bytes.Equal(ref, storm) {
+		t.Fatalf("parents diverged under the SIGKILL storm: %d vs %d bytes", len(ref), len(storm))
+	}
+
+	refRep := readReport(t, filepath.Join(refDir, "run.json"))
+	if s := refRep.Resilience.Supervisor; s == nil ||
+		s.Spawns != 5 || s.Restarts != 0 || s.Generations != 1 {
+		t.Fatalf("fault-free supervisor block %+v", refRep.Resilience.Supervisor)
+	}
+	if w := refRep.Resilience.Wire; w == nil || w.AuthRejects != 0 {
+		t.Fatalf("fault-free wire block %+v", refRep.Resilience.Wire)
+	}
+
+	sr := readReport(t, filepath.Join(stormDir, "run.json")).Resilience.Supervisor
+	if sr == nil {
+		t.Fatal("storm report lost the supervisor block")
+	}
+	// Parked is not asserted: a restarted worker parks on the sealed verdict
+	// (world alive) or the orphan gate (world already gone), but if its exec
+	// raced the supervisor's drain reap it may be counted Drained instead —
+	// either way it never rejoins, which is what Crashes/Restarts prove.
+	if sr.Crashes < 3 || sr.Restarts < 1 {
+		t.Fatalf("storm supervisor block %+v, want 3 crashes and a restart", sr)
+	}
+	if sr.CrashLoopGiveUps != 0 || sr.Generations != 1 {
+		t.Fatalf("storm world needed relaunching: %+v", sr)
+	}
+}
+
+// TestBFSRunDrainThenResume drains the world mid-run (the -drain-after soak
+// hook stands in for SIGTERM, which would stop the test process itself);
+// workers commit a checkpoint and exit 5. Rerunning against the same
+// checkpoint and artifact directories completes the traversal with parents
+// bit-identical to an undisturbed world.
+func TestBFSRunDrainThenResume(t *testing.T) {
+	refDir, dir := t.TempDir(), t.TempDir()
+	ref := runWorld(t, refDir)
+
+	args := []string{
+		"-procs", "3", "-spares", "2",
+		"-scale", "10", "-ranks-per-proc", "2", "-roots", "2", "-seed", "42",
+		"-peer-dead", "1s",
+		"-checkpoint-dir", filepath.Join(dir, "ckpt"),
+		"-out", filepath.Join(dir, "out"),
+		"-sock-dir", filepath.Join(dir, "sock"),
+	}
+	if code := parentMain(append(args, "-drain-after", "300ms")); code != 0 {
+		t.Fatalf("drained run = exit %d", code)
+	}
+	resumed := runWorld(t, dir)
+	if !bytes.Equal(ref, resumed) {
+		t.Fatalf("parents diverged across drain + resume: %d vs %d bytes", len(ref), len(resumed))
+	}
+}
+
+// TestBFSRunWrongSecretExitsAuth spawns two workers whose world secrets
+// disagree: the handshake must fail with the typed auth verdict (exit 4)
+// before either joins, with no retry loop.
+func TestBFSRunWrongSecretExitsAuth(t *testing.T) {
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := "unix:" + filepath.Join(dir, "w0.sock") + ",unix:" + filepath.Join(dir, "w1.sock")
+	spawn := func(proc int, secret string) *exec.Cmd {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			envWorker+"=1",
+			envProc+"="+strconv.Itoa(proc),
+			envAddrs+"="+addrs,
+			envSecret+"="+secret,
+			envScale+"=8", envSeed+"=42", envRanks+"=4", envRPP+"=2", envRoots+"=1",
+			envCkpt+"="+filepath.Join(dir, "ckpt"),
+			envOut+"="+filepath.Join(dir, "out"),
+			envRecovery+"=restore",
+			envPeerDead+"=30s", // only the auth verdict may take these workers down
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "out"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	workers := []*exec.Cmd{spawn(0, "alpha"), spawn(1, "beta")}
+	type exitRes struct{ proc, code int }
+	exits := make(chan exitRes, len(workers))
+	for i, w := range workers {
+		go func(i int, w *exec.Cmd) {
+			w.Wait()
+			exits <- exitRes{i, w.ProcessState.ExitCode()}
+		}(i, w)
+	}
+	// Whichever side completes the proof exchange first detects the mismatch
+	// and must die on the typed verdict; its peer only sees a vanished
+	// connection (the failure detector's job, not the handshake's), so the
+	// test reaps it rather than asserting its exit.
+	select {
+	case r := <-exits:
+		if r.code != exitAuth {
+			t.Fatalf("worker %d exit = %d, want %d (typed auth rejection)", r.proc, r.code, exitAuth)
+		}
+	case <-time.After(60 * time.Second):
+		for _, w := range workers {
+			w.Process.Kill()
+		}
+		t.Fatal("no worker exited on the auth verdict")
+	}
+	for _, w := range workers {
+		w.Process.Kill()
+	}
+	<-exits
+}
+
+func readReport(t *testing.T, path string) *report.Report {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := report.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -38,6 +38,12 @@ import (
 // error satisfying errors.Is(err, ErrNoConvergence).
 var ErrNoConvergence = core.ErrNoConvergence
 
+// ErrDrained re-exports the engine's graceful-drain sentinel: a run stopped
+// by Config.Drain returns an error satisfying errors.Is(err, ErrDrained),
+// with its checkpoint scope retained for a later resume (Result.
+// CheckpointScope / Config.ResumeFrom).
+var ErrDrained = core.ErrDrained
+
 // Edge is one undirected edge. Self loops and duplicates are permitted, as
 // in the Graph 500 generator output.
 type Edge = rmat.Edge
@@ -181,6 +187,11 @@ type Config struct {
 	// ResumeFrom names an existing checkpoint scope under CheckpointDir to
 	// resume instead of starting fresh.
 	ResumeFrom string
+	// Drain, when non-nil, is polled at every iteration boundary; once it
+	// returns true the whole world finishes the current iteration, commits a
+	// checkpoint and returns ErrDrained — the supervised graceful-shutdown
+	// path (SIGTERM under cmd/bfsrun).
+	Drain func() bool
 	// Trace, when non-nil, records every run's span timeline (kernels,
 	// collectives, decisions, checkpoints, recovery) for the -trace output.
 	Trace *trace.Tracer
@@ -217,6 +228,7 @@ func New(g Graph, cfg Config) (*Runner, error) {
 		Recovery:           cfg.Recovery,
 		KeepCheckpoints:    cfg.KeepCheckpoints,
 		ResumeFrom:         cfg.ResumeFrom,
+		Drain:              cfg.Drain,
 		Trace:              cfg.Trace,
 	}
 	eng, err := core.NewEngine(g.NumVertices, g.Edges, opt)

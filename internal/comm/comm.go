@@ -183,6 +183,12 @@ type World struct {
 	dist   *DistConfig
 	procOf []int
 	gen    uint32
+	// evacProc marks processes an earlier epoch already evacuated ranks
+	// from: they are dead capacity and must never be picked as spares again,
+	// or a double fail-stop would bounce ranks between corpses until the
+	// epoch budget runs out. Carried forward by NextEpoch; nil until the
+	// first evacuation.
+	evacProc map[int]bool
 
 	world *shared
 	rows  []*shared // one per mesh row
@@ -412,11 +418,42 @@ func (w *World) NextEpoch(dead []int, mode RebuildMode) (*World, error) {
 	if w.procOf != nil {
 		copy(nw.procOf, w.procOf)
 	}
+	if len(w.evacProc) > 0 {
+		nw.evacProc = make(map[int]bool, len(w.evacProc))
+		for p := range w.evacProc {
+			nw.evacProc[p] = true
+		}
+	}
 	ds := make([]int, 0, len(isDead))
 	for d := range isDead {
 		ds = append(ds, d)
 	}
 	sort.Ints(ds)
+	// Restore mode prefers spare processes: a process that hosted no ranks in
+	// the outgoing world is idle capacity, so each dead process's ranks are
+	// re-homed onto one spare (ascending process order — a pure function of
+	// the old mapping and the dead list, so every process picks the same
+	// spares without an exchange). When spares run out, the dead slot folds
+	// onto its hosting survivor's process as before. A spare that itself died
+	// silently may be picked — its adopted ranks are then voted dead next
+	// epoch, the spare joins the evacuated set, and the next spare takes
+	// over, so progress is still bounded by the spare count. Processes an
+	// earlier epoch evacuated host no ranks either, but they are corpses,
+	// not capacity: evacProc keeps them out of the pool.
+	var spares []int
+	var spareOf map[int]int
+	if mode == RebuildRestore && w.procOf != nil && w.dist != nil {
+		hasRank := make([]bool, w.dist.Group.Procs())
+		for _, p := range w.procOf {
+			hasRank[p] = true
+		}
+		for p := range hasRank {
+			if !hasRank[p] && !w.evacProc[p] {
+				spares = append(spares, p)
+			}
+		}
+		spareOf = make(map[int]int)
+	}
 	for _, d := range ds {
 		// The hosting survivor: nearest surviving rank in the dead slot's
 		// mesh row (wrapping), falling back to the lowest survivor.
@@ -444,11 +481,29 @@ func (w *World) NextEpoch(dead []int, mode RebuildMode) (*World, error) {
 		default: // RebuildShrink
 			nw.nodeOf[d] = nw.nodeOf[host]
 		}
-		// Across processes both modes re-home the slot's goroutine onto the
-		// host's process: a restore gets a fresh modeled node for pricing,
-		// but there is no fresh OS process to adopt it.
+		// Across processes: restore adopts a spare process when one is
+		// available (all of a dead process's ranks move to the same spare);
+		// otherwise — and always in shrink mode — the slot's goroutine folds
+		// onto the host's process.
 		if nw.procOf != nil {
-			nw.procOf[d] = nw.procOf[host]
+			// The process that hosted the dead rank is a corpse from here on:
+			// record it so no later epoch mistakes it for an idle spare.
+			if nw.evacProc == nil {
+				nw.evacProc = make(map[int]bool)
+			}
+			nw.evacProc[w.procOf[d]] = true
+			target := nw.procOf[host]
+			if mode == RebuildRestore && spareOf != nil {
+				oldProc := w.procOf[d]
+				if sp, ok := spareOf[oldProc]; ok {
+					target = sp
+				} else if len(spares) > 0 {
+					target = spares[0]
+					spareOf[oldProc] = target
+					spares = spares[1:]
+				}
+			}
+			nw.procOf[d] = target
 		}
 	}
 	if nw.dist != nil {

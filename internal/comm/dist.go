@@ -36,6 +36,10 @@ import (
 // fenceComm is the reserved communicator id for process-level fences.
 const fenceComm = ^uint32(0)
 
+// outcomeComm is the reserved communicator id for the per-epoch outcome
+// exchange (ExchangeOutcome): fence-shaped frames that carry a payload.
+const outcomeComm = ^uint32(0) - 1
+
 // Frame-type aliases so the collectives don't import wire directly.
 const (
 	wireData    = wire.TypeData
@@ -71,6 +75,12 @@ type wmKey struct {
 	epoch, gen, comm uint32
 }
 
+// runKey addresses one run generation of one world epoch — the scope of an
+// outcome revoke (see Group.departed).
+type runKey struct {
+	epoch, gen uint32
+}
+
 // arrival buffers remote contributions for one collective until the local
 // leader consumes them. update is closed and replaced on every change so
 // waiters can block without polling.
@@ -85,12 +95,25 @@ type arrival struct {
 type Group struct {
 	ep *wire.Endpoint
 
-	mu        sync.Mutex
-	arrivals  map[arrKey]*arrival
-	marks     map[wmKey]uint64
-	deadProcs map[int]bool
-	gen       uint32
-	fenceSeq  uint64
+	mu         sync.Mutex
+	arrivals   map[arrKey]*arrival
+	marks      map[wmKey]uint64
+	deadProcs  map[int]bool
+	// departed records, per (epoch, run generation), the processes whose
+	// epoch-outcome announcement has arrived. An outcome frame doubles as an
+	// epoch revoke: its sender has left that epoch's collective schedule for
+	// good, and because sessions deliver in order, any contribution of its
+	// that was not delivered before the announcement never will be. Failure
+	// detection is asynchronous, so two survivors of a process kill can
+	// disagree on which collective first surfaces the death — one leaves the
+	// epoch while the other, having received the victim's last in-flight
+	// frames, sails past the vote and blocks on the leaver's next
+	// contribution. The revoke converts that wait into dead-envelope
+	// synthesis (fill), re-joining the verdicts at the outcome exchange.
+	departed   map[runKey]map[int]bool
+	gen        uint32
+	fenceSeq   uint64
+	outcomeSeq uint64
 }
 
 // NewGroup binds a wire endpoint for this process and starts routing frames.
@@ -101,6 +124,7 @@ func NewGroup(cfg wire.Config) (*Group, error) {
 		arrivals:  make(map[arrKey]*arrival),
 		marks:     make(map[wmKey]uint64),
 		deadProcs: make(map[int]bool),
+		departed:  make(map[runKey]map[int]bool),
 	}
 	cfg.OnFrame = g.deliver
 	cfg.OnPeerDead = g.peerDead
@@ -158,6 +182,11 @@ func (g *Group) beginRun(epoch int) uint32 {
 			delete(g.marks, k)
 		}
 	}
+	for k := range g.departed {
+		if k.epoch < e {
+			delete(g.departed, k)
+		}
+	}
 	g.mu.Unlock()
 	g.ep.SetEpoch(e)
 	return gen
@@ -199,11 +228,33 @@ func (g *Group) deliver(peer int, f *wire.Frame) {
 		bumpLocked(arr)
 		g.mu.Unlock()
 	case wire.TypeFence:
-		key := arrKey{f.Epoch, 0, fenceComm, f.Seq}
+		// Fence-shaped frames key by their reserved communicator id so the
+		// plain fence and the payload-carrying outcome exchange don't alias.
+		key := arrKey{f.Epoch, 0, f.Comm, f.Seq}
 		g.mu.Lock()
 		arr := g.arrivalLocked(key)
-		arr.ctrs[peer] = &contribution{}
-		bumpLocked(arr)
+		ctr := &contribution{}
+		if len(f.Payload) > 0 {
+			ctr.payload = remoteParts{parts: [][]byte{f.Payload}}
+		}
+		arr.ctrs[peer] = ctr
+		if f.Comm == outcomeComm {
+			// The sender has left this (epoch, run): latch the revoke and
+			// wake every waiter, not just this key's — a fill blocked on a
+			// contribution the sender will never make must re-check.
+			rk := runKey{f.Epoch, f.Gen}
+			dep := g.departed[rk]
+			if dep == nil {
+				dep = make(map[int]bool)
+				g.departed[rk] = dep
+			}
+			dep[peer] = true
+			for _, a := range g.arrivals {
+				bumpLocked(a)
+			}
+		} else {
+			bumpLocked(arr)
+		}
 		g.mu.Unlock()
 	}
 }
@@ -264,11 +315,13 @@ func (sh *shared) fill(seq uint64, members []int) {
 		return
 	}
 	key := arrKey{uint32(d.w.epoch), d.w.gen, d.id, seq}
+	rk := runKey{uint32(d.w.epoch), d.w.gen}
 	filled := make([]bool, len(need))
 	done := 0
 	for {
 		g.mu.Lock()
 		arr := g.arrivalLocked(key)
+		dep := g.departed[rk]
 		for i, m := range need {
 			if filled[i] {
 				continue
@@ -278,7 +331,12 @@ func (sh *shared) fill(seq uint64, members []int) {
 				sh.slots[m] = *ctr
 				filled[i] = true
 				done++
-			} else if g.deadProcs[d.w.procOf[wr]] {
+			} else if p := d.w.procOf[wr]; g.deadProcs[p] || dep[p] {
+				// Hosting process dead, or it announced this epoch's outcome
+				// and so will contribute nothing more (delivery is in-order:
+				// anything it sent first has already arrived). Either way
+				// this contribution cannot come — synthesize the dead
+				// envelope so the collective fails typed instead of hanging.
 				sh.slots[m] = contribution{dead: true}
 				filled[i] = true
 				done++
@@ -491,6 +549,126 @@ func (w *World) Fence() {
 		}
 		g.mu.Unlock()
 		<-ch
+	}
+}
+
+// ExchangeOutcome is a process-level allgather of one epoch's verdict: every
+// process (rank-hosting or spare) announces the dead ranks its vote surfaced
+// and a small outcome code, and receives the union of dead ranks and the
+// maximum code across live processes. It exists for the processes that host
+// no running ranks — spares waiting for adoption, and processes whose local
+// ranks all died — which never see the in-band membership vote yet must
+// follow the same epoch transitions in lockstep. Dead processes contribute
+// nothing; their ranks are already in the survivors' lists. No-op on the
+// in-process backend.
+//
+// The announcement is also this (epoch, run)'s revoke on every receiver: a
+// peer still blocked in one of the epoch's collectives stops waiting for this
+// process's contributions and synthesizes dead envelopes instead (see
+// Group.departed) — without it, survivors whose failure detectors fired on
+// different collectives deadlock, one side parked here and the other waiting
+// for a contribution the parked side will never send.
+func (w *World) ExchangeOutcome(dead []int, code uint8) ([]int, uint8) {
+	if w.dist == nil {
+		return dead, code
+	}
+	g := w.dist.Group
+	g.mu.Lock()
+	g.outcomeSeq++
+	seq := g.outcomeSeq
+	g.mu.Unlock()
+	payload := encodeOutcome(dead, code)
+	me := g.Proc()
+	for p := 0; p < g.Procs(); p++ {
+		if p == me {
+			continue
+		}
+		// Gen scopes the revoke this frame doubles as: receivers still inside
+		// this (epoch, run)'s collectives stop waiting for our contributions.
+		_ = g.ep.Send(p, &wire.Frame{
+			Type: wire.TypeFence, Epoch: uint32(w.epoch), Gen: w.gen,
+			Comm: outcomeComm, Seq: seq, Rank: int32(me), Payload: payload,
+		})
+	}
+	deadSet := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		deadSet[d] = true
+	}
+	maxCode := code
+	key := arrKey{uint32(w.epoch), 0, outcomeComm, seq}
+	arrived := make([]bool, g.Procs())
+	arrived[me] = true
+	n := 1
+	for {
+		g.mu.Lock()
+		arr := g.arrivalLocked(key)
+		for p := 0; p < g.Procs(); p++ {
+			if arrived[p] {
+				continue
+			}
+			if ctr := arr.ctrs[p]; ctr != nil {
+				if rp, ok := ctr.payload.(remoteParts); ok && len(rp.parts) == 1 {
+					theirDead, theirCode := decodeOutcome(rp.parts[0])
+					for _, d := range theirDead {
+						deadSet[d] = true
+					}
+					if theirCode > maxCode {
+						maxCode = theirCode
+					}
+				}
+				arrived[p] = true
+				n++
+			} else if g.deadProcs[p] {
+				arrived[p] = true
+				n++
+			}
+		}
+		ch := arr.update
+		if n == g.Procs() {
+			delete(g.arrivals, key)
+			g.mu.Unlock()
+			merged := make([]int, 0, len(deadSet))
+			for d := range deadSet {
+				merged = append(merged, d)
+			}
+			sortInts(merged)
+			return merged, maxCode
+		}
+		g.mu.Unlock()
+		<-ch
+	}
+}
+
+// encodeOutcome packs an outcome payload: code, dead-rank count, ranks.
+func encodeOutcome(dead []int, code uint8) []byte {
+	b := []byte{code}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(dead)))
+	for _, d := range dead {
+		b = binary.LittleEndian.AppendUint32(b, uint32(d))
+	}
+	return b
+}
+
+func decodeOutcome(b []byte) (dead []int, code uint8) {
+	if len(b) < 5 {
+		return nil, 0
+	}
+	code = b[0]
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	if len(b) < 5+4*n {
+		return nil, code
+	}
+	for i := 0; i < n; i++ {
+		dead = append(dead, int(binary.LittleEndian.Uint32(b[5+4*i:9+4*i])))
+	}
+	return dead, code
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }
 

@@ -331,6 +331,78 @@ func TestDistFence(t *testing.T) {
 	}
 }
 
+// TestDistOutcomeRevokesEpoch reproduces the divergent-verdict wedge: failure
+// detection is asynchronous, so after a real kill one survivor can leave the
+// epoch with a dead verdict while another — having received the victim's last
+// in-flight frames — sails past the same vote clean and blocks on the
+// leaver's next contribution, which will never come. The leaver's outcome
+// announcement must revoke the epoch on the stragglers: their collective
+// surfaces ErrRankDead for the departed process's rank instead of hanging,
+// and the outcome exchange then unions the verdicts on every process.
+func TestDistOutcomeRevokesEpoch(t *testing.T) {
+	mesh := topology.Mesh{Rows: 1, Cols: 3}
+	ws, _ := distWorlds(t, 3, mesh, nil)
+	var mu sync.Mutex
+	unions := make(map[int][]int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		// Process 0's rank abandons the schedule (its epoch ended early with
+		// verdict dead=[0]); the process announces the outcome and waits.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws[0].Run(func(r *Rank) {})
+			time.Sleep(50 * time.Millisecond) // let the stragglers block first
+			dead, code := ws[0].ExchangeOutcome([]int{0}, 0)
+			mu.Lock()
+			unions[0] = dead
+			mu.Unlock()
+			if code != 0 {
+				t.Errorf("proc 0: outcome code %d, want 0", code)
+			}
+		}()
+		// Processes 1 and 2 are still mid-epoch: their allreduce needs rank
+		// 0's contribution. Pre-revoke this waited forever — process 0 is
+		// alive and heartbeating, so no failure-detector verdict ever fires.
+		for _, i := range []int{1, 2} {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var observed []int
+				ws[i].Run(func(r *Rank) {
+					err := AllreduceOr(r.World, []uint64{1 << uint(r.ID)})
+					if !errors.Is(err, ErrRankDead) {
+						t.Errorf("proc %d: got %v, want ErrRankDead", i, err)
+						return
+					}
+					var ce *CollectiveError
+					if errors.As(err, &ce) && ce.Rank != 0 {
+						t.Errorf("proc %d: error names rank %d, want 0", i, ce.Rank)
+					}
+					observed = []int{0}
+				})
+				dead, _ := ws[i].ExchangeOutcome(observed, 0)
+				mu.Lock()
+				unions[i] = dead
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("epoch never revoked: stragglers still blocked on the departed process")
+	}
+	for i := 0; i < 3; i++ {
+		if d := unions[i]; len(d) != 1 || d[0] != 0 {
+			t.Fatalf("proc %d: outcome union %v, want [0]", i, d)
+		}
+	}
+}
+
 // TestDistNextEpochRehomesDeadSlots kills a rank via fault injection on a
 // two-process world, has both processes vote and rebuild, and checks the
 // successor world re-homes the dead slot's goroutine onto its host's process

@@ -29,6 +29,14 @@ func distCoreOpts(t *testing.T, procs int, base Options) []Options {
 	if ranks%procs != 0 {
 		t.Fatalf("mesh size %d not divisible by %d procs", ranks, procs)
 	}
+	return distCoreOptsProcOf(t, procs, comm.ContiguousProcOf(ranks, ranks/procs), base)
+}
+
+// distCoreOptsProcOf is distCoreOpts with an explicit rank→process map, for
+// worlds where the split is not an even contiguous share — in particular
+// spare processes, which appear in the group but host no ranks.
+func distCoreOptsProcOf(t *testing.T, procs int, procOf []int, base Options) []Options {
+	t.Helper()
 	dir := t.TempDir()
 	addrs := make([]string, procs)
 	for i := range addrs {
@@ -54,7 +62,7 @@ func distCoreOpts(t *testing.T, procs int, base Options) []Options {
 		}
 		t.Cleanup(func() { g.Close() })
 		o := base
-		o.Dist = &comm.DistConfig{Group: g, ProcOf: comm.ContiguousProcOf(ranks, ranks/procs)}
+		o.Dist = &comm.DistConfig{Group: g, ProcOf: procOf}
 		opts[i] = o
 	}
 	return opts

@@ -184,6 +184,13 @@ type Options struct {
 	// absolute iteration axis starts past the checkpoint), so Iterations
 	// undercounts the traversal's logical depth by LastResumeIter+1.
 	ResumeFrom string
+	// Drain, when non-nil, is polled once per iteration vote; when it starts
+	// returning true (a supervisor forwarding SIGTERM), every rank finishes
+	// the current iteration, commits a must-write checkpoint, and the run
+	// returns an error wrapping ErrDrained with its scope retained — the
+	// resumable graceful-shutdown path. The decision is voted like a fault,
+	// so one process's drain request stops the whole world consistently.
+	Drain func() bool
 }
 
 // RecoveryMode selects the world-rebuild strategy after a fail-stop.
@@ -281,6 +288,23 @@ func (o Options) withDefaults() (Options, error) {
 // also wraps the comm sentinel that kept firing, e.g. comm.ErrRankStalled).
 var ErrNoConvergence = errors.New("core: BFS did not converge")
 
+// ErrDrained marks a run stopped by a graceful drain request (Options.Drain):
+// the workload state was checkpointed at the stop iteration and the run scope
+// retained, so a later engine resumes it via ResumeFrom.
+var ErrDrained = errors.New("core: run drained")
+
+// errRemoteFatal is the verdict a process adopts when the epoch outcome
+// exchange reports a fatal error on a peer that its own ranks never saw.
+var errRemoteFatal = errors.New("core: remote process reported a fatal error")
+
+// Epoch outcome codes carried by comm.World.ExchangeOutcome; the merge keeps
+// the maximum, so any process reporting drained/fatal overrides ok everywhere.
+const (
+	outcomeOK      uint8 = 0
+	outcomeFatal   uint8 = 1
+	outcomeDrained uint8 = 2
+)
+
 // errRemoteRank stands in for the collective error when the local rank's
 // iteration succeeded but the global vote said another rank's failed.
 var errRemoteRank = errors.New("core: collective error on a remote rank")
@@ -296,7 +320,7 @@ type Engine struct {
 
 	tr         *trace.Stream // engine-level span stream; nil when tracing is off
 	runSeq     int           // run-scope counter for checkpoint naming
-	resumeFrom string        // pending Opt.ResumeFrom, consumed by the first Run
+	resumeFrom string        // pending Opt.ResumeFrom, consumed by the next Run
 
 	// PartitionSeconds and ConstructSeconds split NewEngine's wall time into
 	// the partitioning phase (with the stage breakdown in Part.Stats) and the
@@ -378,6 +402,14 @@ func NewEngineFromPartition(part *partition.Partitioned, opt Options) (*Engine, 
 	}
 	return e, nil
 }
+
+// SetResumeFrom arms the next Run call to execute under the named checkpoint
+// scope, resuming its latest complete iteration when the scope holds one and
+// bootstrapping fresh under that name otherwise. Callers that run a root list
+// across process restarts (cmd/bfsrun) use it to give every root a
+// deterministic scope name: a root interrupted by a world crash is resumed,
+// a finished root (its scope pruned) is simply re-run under the same name.
+func (e *Engine) SetResumeFrom(name string) { e.resumeFrom = name }
 
 // Result is one BFS run's output.
 type Result struct {
@@ -669,8 +701,37 @@ func (e *Engine) execute(suffix string, spanArgs map[string]int64, mk workloadFa
 		}
 
 		dead := deadRanks(errs)
-		if len(dead) == 0 {
-			runErr = firstErr(errs)
+		localErr := firstErr(errs)
+		code := outcomeOK
+		if len(dead) == 0 && localErr != nil {
+			code = outcomeFatal
+			if errors.Is(localErr, ErrDrained) {
+				code = outcomeDrained
+			}
+		}
+		if e.World.Distributed() {
+			// Agree on this epoch's verdict across every process, spares
+			// included: a spare hosts no ranks, so its local errs say nothing
+			// — without the exchange it would spin into the next epoch while
+			// survivors stop, or stop while survivors rebuild. The exchange
+			// also propagates process-local fatal errors (and drain verdicts)
+			// that the per-iteration vote cannot carry, so one process's
+			// failure ends the run everywhere instead of hanging its peers.
+			dead, code = e.World.ExchangeOutcome(dead, code)
+			switch {
+			case code == outcomeDrained && !errors.Is(localErr, ErrDrained):
+				localErr = fmt.Errorf("core: drained by a remote process: %w", ErrDrained)
+			case code == outcomeFatal && localErr == nil:
+				localErr = fmt.Errorf("core: run failed on a remote process: %w", errRemoteFatal)
+			}
+		}
+		if len(dead) == 0 || code != outcomeOK {
+			// A drained or fatal verdict ends the run even when ranks died in
+			// the same epoch: the process that raised it has already left the
+			// epoch loop (its outcome frame revoked the epoch on every peer),
+			// so rebuilding would wedge waiting for it. The code is agreed by
+			// the exchange, so every process breaks here together.
+			runErr = localErr
 			break
 		}
 

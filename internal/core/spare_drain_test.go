@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+)
+
+// runDistOutcomes is runDistEngines without the fail-on-error policy: the
+// drain scenarios expect every process to return an error, so the (result,
+// error) pairs come back for the test to judge.
+func runDistOutcomes(t *testing.T, n int64, edges []rmat.Edge, opts []Options,
+	body func(e *Engine) (*Result, error)) ([]*Result, []error) {
+	t.Helper()
+	engines := make([]*Engine, len(opts))
+	for i, o := range opts {
+		eng, err := NewEngine(n, edges, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	out := make([]*Result, len(engines))
+	errs := make([]error, len(engines))
+	var wg sync.WaitGroup
+	for i, eng := range engines {
+		wg.Add(1)
+		go func(i int, eng *Engine) {
+			defer wg.Done()
+			out[i], errs[i] = body(eng)
+		}(i, eng)
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// TestDrainCheckpointAndResume exercises the graceful-drain contract on the
+// in-process backend: a run whose Drain hook fires must stop at an iteration
+// boundary with ErrDrained, leave a resumable scope behind, and a successor
+// engine pointed at that scope via SetResumeFrom must finish the traversal
+// bit-identical to an undrained run.
+func TestDrainCheckpointAndResume(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 11}
+	n, edges := cfg.NumVertices(), rmat.Generate(cfg)
+	base := Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: DefaultThresholds(9)}
+	ref, err := NewEngine(n, edges, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnectedRootOf(ref)
+	refRes, err := ref.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Iterations < 2 {
+		t.Fatalf("reference converged in %d iterations; a drain at iteration 0 would not interrupt anything", refRes.Iterations)
+	}
+
+	opt := base
+	opt.CheckpointDir = t.TempDir()
+	opt.Drain = func() bool { return true }
+	eng, err := NewEngine(n, edges, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(root)
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("drained run returned %v, want ErrDrained", err)
+	}
+	if res == nil || res.CheckpointScope == "" {
+		t.Fatal("drained run kept no checkpoint scope to resume from")
+	}
+	if res.Iterations < 1 {
+		t.Fatalf("drain stopped after %d committed iterations, want at least the first", res.Iterations)
+	}
+
+	opt.Drain = nil
+	eng2, err := NewEngine(n, edges, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.SetResumeFrom(res.CheckpointScope)
+	res2, err := eng2.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Recovery.LastResumeIter < 0 {
+		t.Errorf("resumed run reports LastResumeIter=%d, want the drained iteration", res2.Recovery.LastResumeIter)
+	}
+	if !slices.Equal(res2.Parent, refRes.Parent) {
+		t.Error("resumed parent array differs from the undrained run")
+	}
+}
+
+// TestDistDrainSpareFollows drains a three-process socket world where the
+// third process is a spare hosting no ranks. The drain request is raised on
+// one process only; the iteration vote must spread it to every rank, and the
+// epoch outcome exchange must carry the drained verdict to the spare — which
+// sees no vote at all — so all three processes return ErrDrained together
+// instead of the spare spinning or hanging. A second world then resumes the
+// drained scope and must finish bit-identical to a fault-free run.
+func TestDistDrainSpareFollows(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 11}
+	n, edges := cfg.NumVertices(), rmat.Generate(cfg)
+	base := Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: DefaultThresholds(9)}
+	ref, err := NewEngine(n, edges, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnectedRootOf(ref)
+	refRes, err := ref.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	procOf := []int{0, 0, 1, 1} // proc 2 is a spare
+	ckpt := t.TempDir()
+	opts := distCoreOptsProcOf(t, 3, procOf, base)
+	for i := range opts {
+		opts[i].CheckpointDir = ckpt
+	}
+	opts[0].Drain = func() bool { return true }
+	results, errs := runDistOutcomes(t, n, edges, opts,
+		func(e *Engine) (*Result, error) { return e.Run(root) })
+	for proc, err := range errs {
+		if !errors.Is(err, ErrDrained) {
+			t.Fatalf("proc %d returned %v, want ErrDrained", proc, err)
+		}
+	}
+	scope := results[0].CheckpointScope
+	if scope == "" {
+		t.Fatal("drained run kept no checkpoint scope")
+	}
+
+	opts2 := distCoreOptsProcOf(t, 3, procOf, base)
+	for i := range opts2 {
+		opts2[i].CheckpointDir = ckpt
+	}
+	results2, errs2 := runDistOutcomes(t, n, edges, opts2,
+		func(e *Engine) (*Result, error) {
+			e.SetResumeFrom(scope)
+			return e.Run(root)
+		})
+	for proc, err := range errs2 {
+		if err != nil {
+			t.Fatalf("proc %d failed to resume the drained run: %v", proc, err)
+		}
+	}
+	for _, proc := range []int{0, 1} {
+		if !slices.Equal(results2[proc].Parent, refRes.Parent) {
+			t.Errorf("proc %d: resumed parent array differs from fault-free", proc)
+		}
+	}
+}
+
+// TestDistSpareAdoptionAfterProcessLoss is the re-admission core: a
+// three-process socket world runs a 2x2 mesh with both of process 1's ranks
+// killed mid-run while process 2 idles as a spare. Restore-mode recovery must
+// re-home the dead ranks onto the spare — not back onto a rank-hosting
+// survivor — replay them from the shared checkpoint store, and finish with a
+// parent tree bit-identical to a fault-free run. The evacuated process ends
+// the run hosting nothing, so its result array keeps only fill values; the
+// spare's result must be complete.
+func TestDistSpareAdoptionAfterProcessLoss(t *testing.T) {
+	cfg := rmat.Config{Scale: 9, Seed: 11}
+	n, edges := cfg.NumVertices(), rmat.Generate(cfg)
+	base := Options{Mesh: topology.Mesh{Rows: 2, Cols: 2}, Thresholds: DefaultThresholds(9)}
+	ref, err := NewEngine(n, edges, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnectedRootOf(ref)
+	refLvl := referenceLevels(t, n, edges, root)
+
+	procOf := []int{0, 0, 1, 1} // proc 2 is a spare
+	ckpt := t.TempDir()
+	opts := distCoreOptsProcOf(t, 3, procOf, base)
+	for i := range opts {
+		opts[i].CheckpointDir = ckpt
+		opts[i].Recovery = RecoverRestore
+	}
+	// Only the doomed process carries a fault plan: the spare must replay the
+	// adopted ranks clean, not re-trigger the kill on its own plan instance.
+	opts[1].Transport = faultinject.MustParse("kill@rank=2,iter=2,kill@rank=3,iter=2")
+	results := runDistEngines(t, n, edges, opts,
+		func(e *Engine) (*Result, error) { return e.Run(root) })
+	for proc, res := range results {
+		if res.Recovery.Epochs != 1 {
+			t.Errorf("proc %d: %d epochs, want 1", proc, res.Recovery.Epochs)
+		}
+		if res.Recovery.RanksLost != 2 {
+			t.Errorf("proc %d: %d ranks lost, want 2", proc, res.Recovery.RanksLost)
+		}
+	}
+	for _, proc := range []int{0, 2} {
+		checkRecovered(t, n, edges, root, results[proc].Parent, refLvl,
+			fmt.Sprintf("spare-adoption/proc%d", proc))
+	}
+	// The adopted ranks landed on the spare: the evacuated process gathered
+	// nothing, so every slot still holds the -1 fill.
+	for v, p := range results[1].Parent {
+		if p != -1 {
+			t.Fatalf("evacuated proc still holds parent[%d]=%d; dead ranks re-homed onto it instead of the spare", v, p)
+		}
+	}
+}

@@ -62,6 +62,11 @@ type rankState struct {
 //	        reduction, and the global active-L allreduce
 const numSteps = 4
 
+// drainBit is the iteration vote's graceful-drain flag, carried in the same
+// OR-word as the failed-step mask (word 0). Bit 63 can never collide with a
+// step index, and the vote strips it before any step-mask inspection.
+const drainBit uint64 = 1 << 63
+
 // iterSnapshot captures the state a step needs to be re-executed after a
 // collective failure: every frontier/visited bitmap plus the cached global
 // counts. The parent arrays are deliberately NOT captured — parent updates are

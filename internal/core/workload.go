@@ -612,6 +612,7 @@ func (d *driver) runLoop(wl workload) ([]IterTrace, error) {
 		d.iterBytesBase = commBytes(d.rec)
 		var it IterTrace
 		wl.beginIter(&it)
+		drainAgreed := false
 		g := 0
 		for {
 			d.curAttempt = attempt
@@ -629,12 +630,39 @@ func (d *driver) runLoop(wl workload) ([]IterTrace, error) {
 				}
 			}
 			if !faulty {
-				break // a reliable world's collectives cannot fail
+				// A reliable world's collectives cannot fail, but a drain
+				// request must still be agreed: the closure may flip between
+				// two ranks' polls, and a rank leaving the loop alone would
+				// strand the others in the next iteration's collectives.
+				if d.e.Opt.Drain != nil {
+					var req uint64
+					if d.e.Opt.Drain() {
+						req = drainBit
+					}
+					if comm.ControlOrWords(d.r.World, []uint64{req})[0]&drainBit != 0 {
+						drainAgreed = true
+					}
+				}
+				break
+			}
+			// A drain request rides the vote's step-mask word: it needs the
+			// same any-rank-wins agreement as a failed step, and the bit is
+			// far above any real step index.
+			if d.e.Opt.Drain != nil && d.e.Opt.Drain() {
+				failMask |= drainBit
 			}
 			// Agreement: which steps failed anywhere, and did anyone die?
 			gmask, dead := d.vote(failMask, stepErrs[:]...)
 			if len(dead) > 0 {
 				return itrace, &deadWorldError{dead: dead}
+			}
+			if gmask&drainBit != 0 {
+				// Strip the drain verdict before the failed-step checks below:
+				// drain is not a failure and must not trigger a retry, and
+				// TrailingZeros on a mask holding only drainBit would index a
+				// nonexistent step.
+				drainAgreed = true
+				gmask &^= drainBit
 			}
 			if gmask == 0 {
 				attempt = 0
@@ -673,6 +701,16 @@ func (d *driver) runLoop(wl workload) ([]IterTrace, error) {
 		if wl.endIter(&it) {
 			converged = true
 			break
+		}
+		if drainAgreed {
+			// Graceful drain: the iteration committed on every rank, so a
+			// must-write checkpoint here is a clean resume point. The engine
+			// keeps the run scope on this error, and a successor run replays
+			// from exactly this iteration via ResumeFrom.
+			if d.writer != nil {
+				d.capture(wl, int64(iter), true)
+			}
+			return itrace, fmt.Errorf("core: drain requested at iteration %d: %w", iter, ErrDrained)
 		}
 		if d.writer != nil && iter%d.e.Opt.CheckpointEvery == 0 {
 			d.capture(wl, int64(iter), false)

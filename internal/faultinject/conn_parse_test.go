@@ -78,7 +78,7 @@ func TestParseConnClauseErrors(t *testing.T) {
 		{"hang@conn=0-1,dur=-5ms", "must be positive"},
 		{"kill@rank=2,frame=3", "only applies inside a drop@conn or hang@conn clause"},
 		// Opening a conn clause closes the kill clause.
-		{"kill@rank=2,drop@conn=0-1,iter=3", "only applies inside a kill@rank=N clause"},
+		{"kill@rank=2,drop@conn=0-1,iter=3", "only applies inside a kill@rank=N or sigkill@proc=N clause"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)

@@ -67,6 +67,54 @@ type Plan struct {
 	// are transient by design — the wire layer's reconnect and replay absorb
 	// them — which is exactly what they test.
 	Conns []*ConnFaultSpec
+
+	// SigKills fail-stop whole worker processes: each spec names a real OS
+	// process of a supervised socket world (cmd/bfsrun), which SIGKILLs
+	// itself when one of its hosted ranks reaches the trigger iteration.
+	// Intercept never fires these — the worker consults SigKillFor itself —
+	// and the supervisor retires consumed specs between world generations
+	// (DropSigKills) so a relaunched world is not re-killed forever.
+	SigKills []*SigKillSpec
+}
+
+// SigKillSpec SIGKILLs one worker process. Unlike KillSpec (a modeled rank
+// fail-stop inside a surviving process), this removes the entire process:
+// the supervisor restarts it, and the world recovers via epoch rebuild plus
+// shared-checkpoint replay.
+type SigKillSpec struct {
+	// Proc is the worker process id to SIGKILL. Required.
+	Proc int
+	// Iter, when >= 0, fires when a rank hosted by Proc enters that engine
+	// iteration; -1 fires at the process's first intercepted collective.
+	Iter int64
+}
+
+// SigKillFor reports whether the plan orders process proc to SIGKILL itself
+// at engine iteration iter (a -1 spec iteration matches any).
+func (p *Plan) SigKillFor(proc int, iter int64) bool {
+	for _, s := range p.SigKills {
+		if s.Proc == proc && (s.Iter < 0 || s.Iter == iter) {
+			return true
+		}
+	}
+	return false
+}
+
+// DropSigKills returns a copy of the plan with, per process, the first
+// skip[proc] sigkill clauses removed — how the supervisor retires sigkills a
+// previous world generation already executed, so a relaunch makes progress.
+func (p *Plan) DropSigKills(skip map[int]int) *Plan {
+	q := *p
+	q.SigKills = nil
+	seen := make(map[int]int)
+	for _, s := range p.SigKills {
+		if seen[s.Proc] < skip[s.Proc] {
+			seen[s.Proc]++
+			continue
+		}
+		q.SigKills = append(q.SigKills, s)
+	}
+	return &q
 }
 
 // ConnFaultSpec faults one data frame on one directed process connection.
@@ -216,6 +264,11 @@ func lineCol(spec string, off int) (int, int) {
 // and seq=S (fire at the rank's first collective with sequence >= S) bind to
 // the most recent kill clause. Multiple kill clauses are allowed.
 //
+// A field of the form sigkill@proc=P opens a sigkill clause that SIGKILLs
+// worker process P of a supervised socket world (cmd/bfsrun); the
+// clause-scoped key iter=K fires it when a rank hosted by P enters engine
+// iteration K. Repeat the clause for a double kill of the same process.
+//
 // Fields of the form drop@conn=A-B and hang@conn=A-B open connection-fault
 // clauses for the socket backend (A and B are process ids; the fault hits
 // frames sent from A to B). Clause-scoped keys: frame=N selects the 0-based
@@ -241,6 +294,7 @@ func Parse(spec string) (*Plan, error) {
 	var kill *KillSpec       // open kill clause, nil at top level
 	var connf *ConnFaultSpec // open connection-fault clause, nil at top level
 	var connHang bool        // the open conn clause is hang@ (dur= allowed)
+	var sigk *SigKillSpec    // open sigkill clause, nil at top level
 	perr := func(off int, format string, args ...any) error {
 		line, col := lineCol(spec, off)
 		return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
@@ -279,8 +333,25 @@ func Parse(spec string) (*Plan, error) {
 				return nil, perr(fieldOff+len("kill@rank="), "bad kill rank %q: %v", val, err)
 			}
 			kill = &KillSpec{Rank: rank, Iter: -1}
-			connf = nil
+			connf, sigk = nil, nil
 			p.Kills = append(p.Kills, kill)
+			if end == len(spec) {
+				break
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(field, "sigkill@"); ok {
+			key, val, ok := strings.Cut(rest, "=")
+			if !ok || key != "proc" {
+				return nil, perr(fieldOff, "sigkill clause must open with sigkill@proc=N, got %q", field)
+			}
+			proc, err := strconv.Atoi(val)
+			if err != nil || proc < 0 {
+				return nil, perr(fieldOff+len("sigkill@proc="), "bad sigkill proc %q", val)
+			}
+			sigk = &SigKillSpec{Proc: proc, Iter: -1}
+			kill, connf = nil, nil
+			p.SigKills = append(p.SigKills, sigk)
 			if end == len(spec) {
 				break
 			}
@@ -305,7 +376,7 @@ func Parse(spec string) (*Plan, error) {
 			if connHang {
 				connf.Hang = 100 * time.Millisecond // default stall; dur= overrides
 			}
-			kill = nil
+			kill, sigk = nil, nil
 			p.Conns = append(p.Conns, connf)
 			if end == len(spec) {
 				break
@@ -323,10 +394,14 @@ func Parse(spec string) (*Plan, error) {
 		var err error
 		switch key {
 		case "iter":
-			if kill == nil {
-				return nil, perr(fieldOff, "key %q only applies inside a kill@rank=N clause", key)
+			switch {
+			case kill != nil:
+				kill.Iter, err = strconv.ParseInt(val, 10, 64)
+			case sigk != nil:
+				sigk.Iter, err = strconv.ParseInt(val, 10, 64)
+			default:
+				return nil, perr(fieldOff, "key %q only applies inside a kill@rank=N or sigkill@proc=N clause", key)
 			}
-			kill.Iter, err = strconv.ParseInt(val, 10, 64)
 		case "seq":
 			if kill == nil {
 				return nil, perr(fieldOff, "key %q only applies inside a kill@rank=N clause", key)
@@ -455,6 +530,13 @@ func (p *Plan) String() string {
 			s = "hang@conn=" + conn + ",frame=" + strconv.FormatUint(cf.Frame, 10) + ",dur=" + cf.Hang.String()
 		} else {
 			s = "drop@conn=" + conn + ",frame=" + strconv.FormatUint(cf.Frame, 10)
+		}
+		parts = append(parts, s)
+	}
+	for _, sk := range p.SigKills {
+		s := "sigkill@proc=" + strconv.Itoa(sk.Proc)
+		if sk.Iter >= 0 {
+			s += ",iter=" + strconv.FormatInt(sk.Iter, 10)
 		}
 		parts = append(parts, s)
 	}

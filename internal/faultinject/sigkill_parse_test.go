@@ -1,0 +1,71 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+func TestParseSigKillClause(t *testing.T) {
+	p, err := Parse("sigkill@proc=2,iter=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SigKills) != 1 || p.SigKills[0].Proc != 2 || p.SigKills[0].Iter != 3 {
+		t.Fatalf("parsed %+v", p.SigKills)
+	}
+	if !p.SigKillFor(2, 3) || p.SigKillFor(2, 4) || p.SigKillFor(1, 3) {
+		t.Fatal("SigKillFor trigger wrong")
+	}
+}
+
+func TestParseSigKillMixedWithKillAndConn(t *testing.T) {
+	p, err := Parse("kill@rank=1,iter=2,sigkill@proc=0,iter=4,drop@conn=0-1,frame=7,sigkill@proc=0,iter=9,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 5 || len(p.Kills) != 1 || len(p.Conns) != 1 || len(p.SigKills) != 2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Kills[0].Iter != 2 || p.SigKills[0].Iter != 4 || p.SigKills[1].Iter != 9 {
+		t.Fatal("iter bound to the wrong clause")
+	}
+}
+
+func TestParseSigKillRoundTrip(t *testing.T) {
+	spec := "sigkill@proc=0,iter=2,sigkill@proc=1"
+	p := MustParse(spec)
+	back := MustParse(p.String())
+	if len(back.SigKills) != 2 || back.SigKills[0].Proc != 0 || back.SigKills[0].Iter != 2 ||
+		back.SigKills[1].Proc != 1 || back.SigKills[1].Iter != -1 {
+		t.Fatalf("round trip lost sigkills: %q -> %+v", p.String(), back.SigKills)
+	}
+}
+
+func TestParseSigKillErrors(t *testing.T) {
+	for _, spec := range []string{
+		"sigkill@rank=1",       // wrong opener key
+		"sigkill@proc=x",       // bad proc
+		"sigkill@proc=-1",      // negative proc
+		"iter=3",               // clause key at top level
+		"sigkill@proc=1,seq=2", // seq is kill-only
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestDropSigKillsRetiresConsumed(t *testing.T) {
+	p := MustParse("sigkill@proc=0,iter=2,sigkill@proc=0,iter=6,sigkill@proc=1,iter=4")
+	q := p.DropSigKills(map[int]int{0: 1})
+	if len(q.SigKills) != 2 || q.SigKills[0].Proc != 0 || q.SigKills[0].Iter != 6 || q.SigKills[1].Proc != 1 {
+		t.Fatalf("DropSigKills kept %+v", q.SigKills)
+	}
+	// The original plan is untouched.
+	if len(p.SigKills) != 3 {
+		t.Fatal("DropSigKills mutated the source plan")
+	}
+	// Retiring everything empties the list.
+	if q2 := p.DropSigKills(map[int]int{0: 2, 1: 1}); len(q2.SigKills) != 0 {
+		t.Fatalf("full retire kept %+v", q2.SigKills)
+	}
+}

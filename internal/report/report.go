@@ -215,6 +215,12 @@ type Resilience struct {
 	// counts they triggered. Absent for in-process runs, so v2 documents
 	// from either backend decode identically.
 	Wire *WireResilience `json:"wire,omitempty"`
+
+	// Supervisor (schema v2, additive) is the cluster supervisor's process
+	// babysitting record when the run was launched by cmd/bfsrun: spawns,
+	// restarts, crash-loop give-ups and drains across all world generations.
+	// Absent for unsupervised runs.
+	Supervisor *SupervisorResilience `json:"supervisor,omitempty"`
 }
 
 // WireResilience is the socket backend's transport accounting, reported by
@@ -230,6 +236,31 @@ type WireResilience struct {
 	FramesResent   uint64 `json:"frames_resent"`
 	BytesSent      uint64 `json:"bytes_sent"`
 	BytesRecv      uint64 `json:"bytes_recv"`
+	// AuthRejects and HandshakeTimeouts (additive) count peers turned away
+	// by the authenticated hello: failed or missing HMAC proofs, and
+	// connections dropped for handshake silence. Zero (omitted) on worlds
+	// without a shared secret.
+	AuthRejects       uint64 `json:"auth_rejects,omitempty"`
+	HandshakeTimeouts uint64 `json:"handshake_timeouts,omitempty"`
+}
+
+// SupervisorResilience is cmd/bfsrun's babysitting record: what the cluster
+// supervisor did to keep the worker fleet alive, aggregated across every
+// world generation it launched.
+type SupervisorResilience struct {
+	Workers     int   `json:"workers"`
+	Spares      int   `json:"spares,omitempty"`
+	Generations int   `json:"generations"`
+	Spawns      int64 `json:"spawns"`
+	Restarts    int64 `json:"restarts"`
+	Crashes     int64 `json:"crashes"`
+	Hangs       int64 `json:"hangs,omitempty"`
+	Parked      int64 `json:"parked,omitempty"`
+	Drained     int64 `json:"drained,omitempty"`
+	// CrashLoopGiveUps counts generations abandoned by the crash-loop
+	// circuit breaker. Nonzero means the run needed more than restart-level
+	// recovery; cmd/benchcmp fails a candidate that records one.
+	CrashLoopGiveUps int64 `json:"crash_loop_give_ups,omitempty"`
 }
 
 // Inputs is everything Build needs, decoupled from the root package so the
@@ -259,6 +290,10 @@ type Inputs struct {
 	// Wire carries the socket backend's transport counters; nil for
 	// in-process runs.
 	Wire *WireResilience
+
+	// Supervisor carries cmd/bfsrun's babysitting record; nil for
+	// unsupervised runs.
+	Supervisor *SupervisorResilience
 
 	// Workloads passes through the per-workload summary rows (schema v2).
 	Workloads []WorkloadEntry
@@ -341,6 +376,7 @@ func Build(in Inputs) *Report {
 		CheckpointDropped:  in.Recovery.CheckpointDropped,
 		CheckpointErrors:   in.Recovery.CheckpointErrors,
 		Wire:               in.Wire,
+		Supervisor:         in.Supervisor,
 	}
 	return r
 }

@@ -54,6 +54,16 @@ func syntheticInputs() Inputs {
 			AssembleSeconds: 0.25, SortSeconds: 0.2, EngineSeconds: 0.1,
 			FirstKernelGapSeconds: 0.6,
 		},
+		Wire: &WireResilience{
+			Procs: 2, RanksPerProc: 2,
+			HeartbeatsSent: 7, HeartbeatsRecv: 7, Reconnects: 1, PeersLost: 1,
+			FramesResent: 3, BytesSent: 65536, BytesRecv: 65024,
+			AuthRejects: 1, HandshakeTimeouts: 1,
+		},
+		Supervisor: &SupervisorResilience{
+			Workers: 3, Spares: 2, Generations: 1,
+			Spawns: 7, Restarts: 2, Crashes: 2, Parked: 2,
+		},
 		Workloads: []WorkloadEntry{
 			{Workload: "bfs", GTEPS: 0.25, Seconds: 0.0125, Iterations: 48, CommBytes: 8192},
 			{Workload: "wcc", GTEPS: 0.8, Seconds: 0.02, Iterations: 9, CommBytes: 4096, Components: 3},
@@ -118,6 +128,12 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if got.Setup == nil || *got.Setup != *r.Setup {
 		t.Fatalf("setup block lost in round trip: %+v vs %+v", got.Setup, r.Setup)
+	}
+	if got.Resilience.Wire == nil || *got.Resilience.Wire != *r.Resilience.Wire {
+		t.Fatalf("wire block lost in round trip: %+v vs %+v", got.Resilience.Wire, r.Resilience.Wire)
+	}
+	if got.Resilience.Supervisor == nil || *got.Resilience.Supervisor != *r.Resilience.Supervisor {
+		t.Fatalf("supervisor block lost in round trip: %+v vs %+v", got.Resilience.Supervisor, r.Resilience.Supervisor)
 	}
 }
 

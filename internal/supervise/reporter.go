@@ -1,0 +1,83 @@
+package supervise
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Reporter is the child half of the control pipe: a supervised worker sends
+// newline-delimited status lines the supervisor treats as liveness proof and
+// forwards as EventChild events. Lines are "kind detail" plain text — the
+// supervisor attaches no meaning beyond recording the last one for
+// post-mortems, so workers can put whatever a human debugging a crash wants
+// to see first.
+//
+// A process that was not launched by a Supervisor (SUPERVISE_FD unset) gets
+// a no-op reporter, so worker code calls it unconditionally.
+type Reporter struct {
+	mu sync.Mutex
+	f  *os.File // nil: not supervised
+}
+
+// NewReporter opens the control pipe announced by the supervisor via
+// SUPERVISE_FD, or a no-op reporter when the variable is unset or bogus.
+func NewReporter() *Reporter {
+	fds := os.Getenv(FDEnv)
+	if fds == "" {
+		return &Reporter{}
+	}
+	fd, err := strconv.Atoi(fds)
+	if err != nil || fd < 3 {
+		return &Reporter{}
+	}
+	return &Reporter{f: os.NewFile(uintptr(fd), "supervise-control")}
+}
+
+// Supervised reports whether a supervisor is listening.
+func (r *Reporter) Supervised() bool { return r != nil && r.f != nil }
+
+// Send writes one "kind detail" line; empty detail sends the bare kind.
+// Errors are swallowed: a worker must not die because its supervisor did.
+func (r *Reporter) Send(kind, detail string) {
+	if !r.Supervised() {
+		return
+	}
+	line := kind
+	if detail != "" {
+		line += " " + detail
+	}
+	r.mu.Lock()
+	fmt.Fprintln(r.f, line)
+	r.mu.Unlock()
+}
+
+// Sendf is Send with a formatted detail.
+func (r *Reporter) Sendf(kind, format string, args ...any) {
+	r.Send(kind, fmt.Sprintf(format, args...))
+}
+
+// StartHeartbeat sends "heartbeat" every interval until the returned stop
+// function is called. No-op (returning a no-op stop) when unsupervised.
+func (r *Reporter) StartHeartbeat(interval time.Duration) (stop func()) {
+	if !r.Supervised() || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Send("heartbeat", "")
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rejectLog collects OnReject callbacks.
+type rejectLog struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (r *rejectLog) on(peer int, err error) {
+	r.mu.Lock()
+	r.errs = append(r.errs, fmt.Errorf("peer %d: %w", peer, err))
+	r.mu.Unlock()
+}
+
+func (r *rejectLog) snapshot() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.errs...)
+}
+
+func (r *rejectLog) waitFor(t *testing.T, sentinel error, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, err := range r.snapshot() {
+			if errors.Is(err, sentinel) {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no %v rejection reported within %v; got %v", sentinel, timeout, r.snapshot())
+}
+
+func TestEndpointAuthenticatedHandshakeDelivers(t *testing.T) {
+	rejects := &rejectLog{}
+	eps, sinks := startGroup(t, 2, func(proc int, cfg *Config) {
+		cfg.Secret = "s3cret"
+		cfg.OnReject = rejects.on
+	})
+	Must0(eps[0].Send(1, &Frame{Type: TypeData, Seq: 1, Payload: []byte("a")}))
+	Must0(eps[1].Send(0, &Frame{Type: TypeData, Seq: 1, Payload: []byte("b")}))
+	sinks[1].waitFrames(t, 0, 1, 5*time.Second)
+	sinks[0].waitFrames(t, 1, 1, 5*time.Second)
+	if got := rejects.snapshot(); len(got) != 0 {
+		t.Fatalf("matching secrets produced rejections: %v", got)
+	}
+	if s := eps[0].Stats(); s.AuthRejects != 0 {
+		t.Fatalf("AuthRejects = %d on a healthy authenticated world", s.AuthRejects)
+	}
+}
+
+func TestEndpointWrongSecretRejectedNotRetried(t *testing.T) {
+	rejects := &rejectLog{}
+	eps, sinks := startGroup(t, 2, func(proc int, cfg *Config) {
+		if proc == 0 {
+			cfg.Secret = "alpha"
+		} else {
+			cfg.Secret = "beta"
+			cfg.OnReject = rejects.on
+		}
+	})
+	// Proc 1 dials proc 0; the acceptor's proof is keyed by the wrong secret,
+	// so the dialer must reject with ErrAuth, latch the peer dead, and stop.
+	rejects.waitFor(t, ErrAuth, 5*time.Second)
+	sinks[1].waitDead(t, 0, 5*time.Second)
+	if s := eps[1].Stats(); s.AuthRejects != 1 {
+		t.Fatalf("dialer AuthRejects = %d, want exactly 1 (reported, not retried)", s.AuthRejects)
+	}
+	// No redial storm: the dial loop exited for good.
+	before := eps[1].Stats().Reconnects
+	time.Sleep(150 * time.Millisecond) // many backoff periods
+	if after := eps[1].Stats().Reconnects; after != before {
+		t.Fatalf("dialer kept reconnecting after ErrAuth: %d -> %d", before, after)
+	}
+}
+
+func TestEndpointMissingSecretRejectedByAcceptor(t *testing.T) {
+	accRejects := &rejectLog{}
+	dialRejects := &rejectLog{}
+	eps, sinks := startGroup(t, 2, func(proc int, cfg *Config) {
+		if proc == 0 {
+			cfg.Secret = "alpha"
+			cfg.OnReject = accRejects.on
+		} else {
+			cfg.OnReject = dialRejects.on // no secret at all
+		}
+	})
+	// The acceptor sees a hello without a challenge nonce and refuses it;
+	// the dialer receives the typed rejection and gives up.
+	accRejects.waitFor(t, ErrAuth, 5*time.Second)
+	dialRejects.waitFor(t, ErrAuth, 5*time.Second)
+	sinks[1].waitDead(t, 0, 5*time.Second)
+	time.Sleep(150 * time.Millisecond)
+	if s := eps[0].Stats(); s.AuthRejects != 1 {
+		t.Fatalf("acceptor AuthRejects = %d, want exactly 1 (the dialer must not retry)", s.AuthRejects)
+	}
+}
+
+func TestEndpointSilentDialerDroppedAtHandshakeDeadline(t *testing.T) {
+	addrs := unixAddrs(t, 2)
+	rejects := &rejectLog{}
+	cfg := testConfig(0, addrs)
+	cfg.HandshakeTimeout = 60 * time.Millisecond
+	cfg.OnReject = rejects.on
+	ep, err := Listen(cfg)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ep.Close()
+
+	// A dialer that connects and then says nothing must not pin the accept
+	// path: the endpoint drops it at the handshake deadline.
+	c, err := net.Dial("unix", strings.TrimPrefix(addrs[0], "unix:"))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	start := time.Now()
+	buf := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("silent connection received data instead of being dropped")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("silent connection held for %v, want a drop near the %v deadline", waited, cfg.HandshakeTimeout)
+	}
+	rejects.waitFor(t, ErrHandshake, 5*time.Second)
+	if s := ep.Stats(); s.HandshakeTimeouts == 0 {
+		t.Fatalf("HandshakeTimeouts = 0 after a silent dialer, stats=%+v", s)
+	}
+}
+
+func TestEndpointSealedSessionRefusesRejoin(t *testing.T) {
+	addrs := unixAddrs(t, 2)
+	sink0, sink1 := newSink(), newSink()
+	cfg0 := testConfig(0, addrs)
+	cfg0.OnFrame, cfg0.OnPeerDead = sink0.onFrame, sink0.onDead
+	ep0, err := Listen(cfg0)
+	if err != nil {
+		t.Fatalf("listen 0: %v", err)
+	}
+	defer ep0.Close()
+	cfg1 := testConfig(1, addrs)
+	cfg1.OnFrame, cfg1.OnPeerDead = sink1.onFrame, sink1.onDead
+	ep1, err := Listen(cfg1)
+	if err != nil {
+		t.Fatalf("listen 1: %v", err)
+	}
+	Must0(ep1.Send(0, &Frame{Type: TypeData, Seq: 1}))
+	sink0.waitFrames(t, 1, 1, 5*time.Second)
+
+	ep1.Abort() // SIGKILL analog
+	sink0.waitDead(t, 1, 5*time.Second)
+
+	// A restarted process reusing proc 1's identity must learn the verdict
+	// was final: the acceptor seals the session instead of resuming it.
+	rejects := &rejectLog{}
+	sink1b := newSink()
+	cfg1b := testConfig(1, addrs)
+	cfg1b.OnFrame, cfg1b.OnPeerDead = sink1b.onFrame, sink1b.onDead
+	cfg1b.OnReject = rejects.on
+	ep1b, err := Listen(cfg1b)
+	if err != nil {
+		t.Fatalf("relisten 1: %v", err)
+	}
+	defer ep1b.Close()
+	rejects.waitFor(t, ErrSealed, 5*time.Second)
+	sink1b.waitDead(t, 0, 5*time.Second)
+}
+
+// dropAt closes the connection right before each listed data-frame index is
+// written, once per index.
+type dropAt struct {
+	mu   sync.Mutex
+	at   map[uint64]bool
+	hits atomic.Uint64
+}
+
+func (d *dropAt) OnConnSend(local, peer int, idx uint64) ConnFault {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.at[idx] {
+		delete(d.at, idx)
+		d.hits.Add(1)
+		return ConnFault{Drop: true}
+	}
+	return ConnFault{}
+}
+
+// TestEndpointTripleReconnectNoDupNoReorder kills the connection three times
+// mid-stream and asserts NetSeq replay/dedup still delivers every frame
+// exactly once, in order, across the repeated session resumptions.
+func TestEndpointTripleReconnectNoDupNoReorder(t *testing.T) {
+	const msgs = 80
+	drops := &dropAt{at: map[uint64]bool{7: true, 23: true, 51: true}}
+	eps, sinks := startGroup(t, 2, func(proc int, cfg *Config) {
+		if proc == 1 {
+			cfg.Fault = drops
+		}
+	})
+	for k := 0; k < msgs; k++ {
+		if err := eps[1].Send(0, &Frame{Type: TypeData, Seq: uint64(k)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	got := sinks[0].waitFrames(t, 1, msgs, 10*time.Second)
+	// Exactly msgs frames: any duplicate surviving dedup would overshoot.
+	time.Sleep(100 * time.Millisecond) // let stragglers (if any) arrive
+	sinks[0].mu.Lock()
+	total := len(sinks[0].frames[1])
+	sinks[0].mu.Unlock()
+	if total != msgs {
+		t.Fatalf("delivered %d frames, want exactly %d (duplicate past dedup?)", total, msgs)
+	}
+	for k, f := range got[:msgs] {
+		if f.Seq != uint64(k) {
+			t.Fatalf("frame %d: got seq %d (dup or reorder across resumptions)", k, f.Seq)
+		}
+	}
+	if h := drops.hits.Load(); h != 3 {
+		t.Fatalf("only %d of 3 drops fired", h)
+	}
+	if eps[0].PeerDead(1) || eps[1].PeerDead(0) {
+		t.Fatal("transient triple drop escalated to a dead verdict")
+	}
+	if s := eps[1].Stats(); s.Reconnects < 3 {
+		t.Fatalf("Reconnects = %d, want >= 3", s.Reconnects)
+	}
+}

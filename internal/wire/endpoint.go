@@ -1,9 +1,13 @@
 package wire
 
 import (
+	"crypto/hmac"
+	crand "crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"strings"
 	"sync"
@@ -15,6 +19,24 @@ import (
 // peer process dead. The verdict is final for the endpoint's lifetime: a dead
 // peer's ranks are re-homed by a world epoch rebuild, never resumed.
 var ErrPeerDead = errors.New("wire: peer process dead")
+
+// ErrAuth marks a failed handshake authentication: the peer presented a
+// wrong or missing proof for the world's shared secret, or rejected ours.
+// The verdict is permanent for the session — an auth failure is a
+// configuration or security problem, so it is reported (OnReject, Stats)
+// and the dialer stops redialing instead of retrying into the same wall.
+var ErrAuth = errors.New("wire: authentication rejected")
+
+// ErrHandshake marks a handshake that went silent: an accepted connection
+// that never produced a hello (or auth proof) within HandshakeTimeout. The
+// connection is dropped so a stalled or hostile dialer cannot pin the
+// accept path.
+var ErrHandshake = errors.New("wire: handshake deadline exceeded")
+
+// ErrSealed marks a handshake refused because the peer has already declared
+// this process dead. Dead verdicts are final, so a process restarted under a
+// reused proc id cannot rejoin a live world — it must wait for the next one.
+var ErrSealed = errors.New("wire: session sealed by peer dead verdict")
 
 // FaultHook lets the fault-injection layer perturb the socket transport.
 // OnConnSend is consulted before each outbound data-plane frame on a peer
@@ -36,13 +58,15 @@ type ConnFault struct {
 // Stats is a snapshot of the endpoint's transport counters, surfaced into
 // the report's resilience section.
 type Stats struct {
-	HeartbeatsSent uint64
-	HeartbeatsRecv uint64
-	Reconnects     uint64
-	PeersLost      uint64
-	FramesResent   uint64
-	BytesSent      uint64
-	BytesRecv      uint64
+	HeartbeatsSent    uint64
+	HeartbeatsRecv    uint64
+	Reconnects        uint64
+	PeersLost         uint64
+	FramesResent      uint64
+	BytesSent         uint64
+	BytesRecv         uint64
+	AuthRejects       uint64 // handshakes refused (or refused to us) over the shared secret
+	HandshakeTimeouts uint64 // accepted conns dropped for handshake silence
 }
 
 // Config wires up an Endpoint. Proc indexes Addrs; Addrs holds every
@@ -60,14 +84,27 @@ type Config struct {
 	// OnPeerDead fires exactly once per peer when the failure detector
 	// declares it dead (no contact for PeerDeadAfter despite reconnects).
 	OnPeerDead func(peer int)
-	Fault      FaultHook
+	// OnReject reports a refused handshake: err is ErrAuth (wrong/missing
+	// secret), ErrSealed (peer holds a dead verdict for us), or ErrHandshake
+	// (accepted conn went silent before authenticating). peer is -1 when the
+	// dialer never identified itself. Called from session goroutines.
+	OnReject func(peer int, err error)
+	Fault    FaultHook
 
-	HeartbeatEvery time.Duration // ping cadence; default 250ms
-	PeerDeadAfter  time.Duration // silence budget before a dead verdict; default 3s
-	DialTimeout    time.Duration // per dial attempt; default 1s
-	WriteTimeout   time.Duration // per frame write; default 2s
-	BackoffBase    time.Duration // first redial delay; default 25ms
-	BackoffCap     time.Duration // redial delay ceiling; default 500ms
+	// Secret, when non-empty, turns the hello exchange into a mutual
+	// HMAC-SHA256 challenge–response: both sides send a nonce in their hello
+	// and must present a proof keyed by the per-world secret before any
+	// frame is delivered. A peer with a missing or different secret is
+	// rejected with ErrAuth — reported, never retried.
+	Secret string
+
+	HeartbeatEvery   time.Duration // ping cadence; default 250ms
+	PeerDeadAfter    time.Duration // silence budget before a dead verdict; default 3s
+	DialTimeout      time.Duration // per dial attempt; default 1s
+	WriteTimeout     time.Duration // per frame write; default 2s
+	BackoffBase      time.Duration // first redial delay; default 25ms
+	BackoffCap       time.Duration // redial delay ceiling; default 500ms
+	HandshakeTimeout time.Duration // hello+auth must complete within this; default DialTimeout
 }
 
 func (c *Config) fillDefaults() {
@@ -88,6 +125,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BackoffCap <= 0 {
 		c.BackoffCap = 500 * time.Millisecond
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = c.DialTimeout
 	}
 }
 
@@ -118,13 +158,15 @@ type Endpoint struct {
 	closed   atomic.Bool // teardown begun: pumps and monitors stop
 	wg       sync.WaitGroup
 
-	heartbeatsSent atomic.Uint64
-	heartbeatsRecv atomic.Uint64
-	reconnects     atomic.Uint64
-	peersLost      atomic.Uint64
-	framesResent   atomic.Uint64
-	bytesSent      atomic.Uint64
-	bytesRecv      atomic.Uint64
+	heartbeatsSent    atomic.Uint64
+	heartbeatsRecv    atomic.Uint64
+	reconnects        atomic.Uint64
+	peersLost         atomic.Uint64
+	framesResent      atomic.Uint64
+	bytesSent         atomic.Uint64
+	bytesRecv         atomic.Uint64
+	authRejects       atomic.Uint64
+	handshakeTimeouts atomic.Uint64
 }
 
 // outFrame is a numbered frame parked in the replay buffer until acked.
@@ -152,6 +194,7 @@ type session struct {
 	lastContact time.Time
 	dead        bool
 	peerClosed  bool // received Bye: graceful exit, not a failure
+	authFailed  bool // handshake auth rejected: permanent, stops the dial loop
 	dataSent    uint64
 
 	writeMu sync.Mutex // serializes writes to conn (pump vs heartbeats)
@@ -242,9 +285,11 @@ func (ep *Endpoint) Stats() Stats {
 		HeartbeatsRecv: ep.heartbeatsRecv.Load(),
 		Reconnects:     ep.reconnects.Load(),
 		PeersLost:      ep.peersLost.Load(),
-		FramesResent:   ep.framesResent.Load(),
-		BytesSent:      ep.bytesSent.Load(),
-		BytesRecv:      ep.bytesRecv.Load(),
+		FramesResent:      ep.framesResent.Load(),
+		BytesSent:         ep.bytesSent.Load(),
+		BytesRecv:         ep.bytesRecv.Load(),
+		AuthRejects:       ep.authRejects.Load(),
+		HandshakeTimeouts: ep.handshakeTimeouts.Load(),
 	}
 }
 
@@ -379,21 +424,113 @@ func (ep *Endpoint) drain(deadline time.Time) {
 	}
 }
 
-// helloPayload encodes proc id + cluster id for the handshake frame.
-func helloPayload(proc int, cluster string) []byte {
+// nonceLen is the challenge size each side contributes to the authenticated
+// handshake.
+const nonceLen = 16
+
+// Reject reasons (first payload byte of a TypeReject frame).
+const (
+	rejectAuth   uint8 = 1 // wrong or missing shared-secret proof
+	rejectSealed uint8 = 2 // acceptor holds a final dead verdict for the dialer
+)
+
+// helloPayload encodes proc id, challenge nonce (empty without a secret) and
+// cluster id for the handshake frame.
+func helloPayload(proc int, nonce []byte, cluster string) []byte {
 	b := binary.LittleEndian.AppendUint32(nil, uint32(proc))
+	b = append(b, uint8(len(nonce)))
+	b = append(b, nonce...)
 	return append(b, cluster...)
 }
 
-func parseHello(f *Frame) (proc int, cluster string, err error) {
-	if f.Type != TypeHello || len(f.Payload) < 4 {
-		return 0, "", fmt.Errorf("%w: malformed hello", ErrFrame)
+func parseHello(f *Frame) (proc int, nonce []byte, cluster string, err error) {
+	if f.Type != TypeHello || len(f.Payload) < 5 {
+		return 0, nil, "", fmt.Errorf("%w: malformed hello", ErrFrame)
 	}
-	return int(binary.LittleEndian.Uint32(f.Payload[:4])), string(f.Payload[4:]), nil
+	n := int(f.Payload[4])
+	if len(f.Payload) < 5+n {
+		return 0, nil, "", fmt.Errorf("%w: malformed hello", ErrFrame)
+	}
+	return int(binary.LittleEndian.Uint32(f.Payload[:4])),
+		f.Payload[5 : 5+n], string(f.Payload[5+n:]), nil
+}
+
+// newNonce draws a fresh random handshake challenge.
+func newNonce() []byte {
+	b := make([]byte, nonceLen)
+	if _, err := crand.Read(b); err != nil {
+		panic("wire: no entropy for handshake nonce: " + err.Error())
+	}
+	return b
+}
+
+// Handshake proof roles: each side's MAC covers a distinct role byte so an
+// attacker cannot reflect one proof back as the other.
+const (
+	roleDialer   byte = 'D'
+	roleAcceptor byte = 'A'
+)
+
+// authProof computes the handshake MAC: HMAC-SHA256 over the role, the
+// cluster id, both proc ids and both nonces, keyed by the shared secret.
+// Every variable-length field is length-prefixed so no two transcripts
+// collide.
+func authProof(secret, cluster string, dialer, acceptor int, dialerNonce, acceptorNonce []byte, role byte) []byte {
+	mac := hmac.New(sha256.New, []byte(secret))
+	mac.Write([]byte{'G', 'W', 'F', '1', role})
+	var lenb [4]byte
+	writeField := func(b []byte) {
+		binary.LittleEndian.PutUint32(lenb[:], uint32(len(b)))
+		mac.Write(lenb[:])
+		mac.Write(b)
+	}
+	writeField([]byte(cluster))
+	binary.LittleEndian.PutUint32(lenb[:], uint32(dialer))
+	mac.Write(lenb[:])
+	binary.LittleEndian.PutUint32(lenb[:], uint32(acceptor))
+	mac.Write(lenb[:])
+	writeField(dialerNonce)
+	writeField(acceptorNonce)
+	return mac.Sum(nil)
+}
+
+// writeReject refuses a handshake with a typed reason; best-effort.
+func (ep *Endpoint) writeReject(c net.Conn, reason uint8) {
+	c.SetWriteDeadline(time.Now().Add(ep.cfg.WriteTimeout))
+	c.Write(AppendFrame(nil, &Frame{Type: TypeReject, Payload: []byte{reason}}))
+}
+
+func (ep *Endpoint) reject(peer int, err error) {
+	if ep.cfg.OnReject != nil {
+		ep.cfg.OnReject(peer, err)
+	}
+}
+
+// declareDead latches the final dead verdict for the peer (idempotent) and
+// fires OnPeerDead exactly once.
+func (s *session) declareDead() {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	c := s.conn
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	s.ep.peersLost.Add(1)
+	if s.ep.cfg.OnPeerDead != nil {
+		s.ep.cfg.OnPeerDead(s.peer)
+	}
 }
 
 // acceptLoop adopts incoming connections: the first frame must be a Hello
-// naming the peer proc; the conn is then installed into that session.
+// naming the peer proc within the handshake deadline; with a shared secret
+// the hello must then survive the challenge–response before the conn is
+// installed into the session.
 func (ep *Endpoint) acceptLoop() {
 	defer ep.wg.Done()
 	for {
@@ -404,25 +541,63 @@ func (ep *Endpoint) acceptLoop() {
 		ep.wg.Add(1)
 		go func(c net.Conn) {
 			defer ep.wg.Done()
-			c.SetReadDeadline(time.Now().Add(ep.cfg.DialTimeout))
+			start := time.Now()
+			c.SetReadDeadline(start.Add(ep.cfg.HandshakeTimeout))
 			hello, err := ReadFrame(c)
 			if err != nil {
+				// A connected-but-silent dialer must not pin the accept
+				// path: the deadline converts it into a typed, counted
+				// rejection. (ReadFrame flattens the timeout, so the
+				// elapsed clock tells silence apart from a torn frame.)
+				if time.Since(start) >= ep.cfg.HandshakeTimeout {
+					ep.handshakeTimeouts.Add(1)
+					ep.reject(-1, ErrHandshake)
+				}
 				c.Close()
 				return
 			}
-			peer, cluster, err := parseHello(hello)
+			peer, nonce, cluster, err := parseHello(hello)
 			if err != nil || cluster != ep.cfg.Cluster ||
 				peer < 0 || peer >= len(ep.sessions) || ep.sessions[peer] == nil {
 				c.Close()
 				return
 			}
-			ep.sessions[peer].adopt(c, hello)
+			ep.sessions[peer].adopt(c, hello, nonce)
 		}(c)
 	}
 }
 
+// jittered draws a uniform sleep from [d/2, d]: survivors of a dead
+// supernode all redial the same listener, and a shared deterministic ladder
+// would make them thunder-herd it on the same schedule.
+func jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int64N(half+1))
+}
+
+// authFail latches the permanent auth verdict (reported, not retried): the
+// dial loop stops and the failure detector's dead verdict fires so the comm
+// layer re-homes the peer's ranks instead of waiting forever.
+func (s *session) authFail(err error) {
+	s.mu.Lock()
+	already := s.authFailed
+	s.authFailed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.ep.authRejects.Add(1)
+	s.ep.reject(s.peer, err)
+	s.declareDead()
+}
+
 // dialLoop (dialer side only) keeps the session connected: dial with capped
-// exponential backoff whenever the conn is down, exchange hellos, adopt.
+// exponential backoff plus jitter whenever the conn is down, exchange hellos
+// (and auth proofs when the world has a secret), adopt. An auth rejection is
+// permanent and exits the loop.
 func (s *session) dialLoop() {
 	defer s.ep.wg.Done()
 	network, address, err := SplitAddr(s.ep.cfg.Addrs[s.peer])
@@ -436,63 +611,179 @@ func (s *session) dialLoop() {
 			backoff = s.ep.cfg.BackoffBase // healthy conn resets the ladder
 			s.cond.Wait()
 		}
-		stop := s.dead || s.peerClosed || s.ep.closed.Load()
+		stop := s.dead || s.peerClosed || s.authFailed || s.ep.closed.Load()
 		s.mu.Unlock()
 		if stop {
 			return
 		}
 		c, err := net.DialTimeout(network, address, s.ep.cfg.DialTimeout)
 		if err != nil {
-			time.Sleep(backoff)
+			time.Sleep(jittered(backoff))
 			backoff *= 2
 			if backoff > s.ep.cfg.BackoffCap {
 				backoff = s.ep.cfg.BackoffCap
 			}
 			continue
 		}
-		// Handshake: our hello first (it identifies us to the acceptor),
-		// then wait for the peer's hello naming its resume point.
+		// Handshake: our hello first (it identifies us to the acceptor and
+		// carries our challenge nonce), then wait for the peer's hello
+		// naming its resume point and its own nonce.
 		s.mu.Lock()
 		acked := s.lastDeliv
 		s.mu.Unlock()
+		var myNonce []byte
+		if s.ep.cfg.Secret != "" {
+			myNonce = newNonce()
+		}
 		my := &Frame{Type: TypeHello, Epoch: s.ep.epoch.Load(), Seq: acked,
-			Payload: helloPayload(s.ep.cfg.Proc, s.ep.cfg.Cluster)}
+			Payload: helloPayload(s.ep.cfg.Proc, myNonce, s.ep.cfg.Cluster)}
 		c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
 		if _, err := c.Write(AppendFrame(nil, my)); err != nil {
 			c.Close()
 			continue
 		}
-		c.SetReadDeadline(time.Now().Add(s.ep.cfg.DialTimeout))
+		c.SetReadDeadline(time.Now().Add(s.ep.cfg.HandshakeTimeout))
 		theirs, err := ReadFrame(c)
 		if err != nil {
 			c.Close()
 			continue
 		}
-		if _, cluster, err := parseHello(theirs); err != nil || cluster != s.ep.cfg.Cluster {
+		if theirs.Type == TypeReject {
+			c.Close()
+			if s.handleReject(theirs) {
+				return
+			}
+			continue
+		}
+		_, theirNonce, cluster, err := parseHello(theirs)
+		if err != nil || cluster != s.ep.cfg.Cluster {
 			c.Close()
 			continue
+		}
+		if s.ep.cfg.Secret != "" {
+			// Challenge–response: the acceptor proves knowledge of the
+			// secret first (it answered our nonce), then we answer its.
+			proof, err := ReadFrame(c)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			if proof.Type == TypeReject {
+				c.Close()
+				if s.handleReject(proof) {
+					return
+				}
+				continue
+			}
+			want := authProof(s.ep.cfg.Secret, s.ep.cfg.Cluster,
+				s.ep.cfg.Proc, s.peer, myNonce, theirNonce, roleAcceptor)
+			if proof.Type != TypeAuth || !hmac.Equal(proof.Payload, want) {
+				// A peer that skips or flubs the proof runs a different
+				// secret (or none): a config split, not a transient.
+				c.Close()
+				s.authFail(fmt.Errorf("%w: peer %d presented no valid proof", ErrAuth, s.peer))
+				return
+			}
+			mine := authProof(s.ep.cfg.Secret, s.ep.cfg.Cluster,
+				s.ep.cfg.Proc, s.peer, myNonce, theirNonce, roleDialer)
+			c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
+			if _, err := c.Write(AppendFrame(nil, &Frame{Type: TypeAuth, Payload: mine})); err != nil {
+				c.Close()
+				continue
+			}
 		}
 		s.install(c, theirs, false)
 	}
 }
 
-// adopt installs an accepted connection (acceptor side): reply with our own
-// hello, then hand off to install.
-func (s *session) adopt(c net.Conn, theirHello *Frame) {
+// handleReject reacts to a TypeReject during the dial handshake; reports
+// whether the dial loop must stop for good.
+func (s *session) handleReject(f *Frame) bool {
+	reason := uint8(0)
+	if len(f.Payload) > 0 {
+		reason = f.Payload[0]
+	}
+	switch reason {
+	case rejectSealed:
+		// The peer has latched a dead verdict for our proc id: the world
+		// has moved on without us and the verdict is final. Mirror it.
+		s.ep.reject(s.peer, fmt.Errorf("%w (proc %d)", ErrSealed, s.peer))
+		s.declareDead()
+		return true
+	default: // rejectAuth and anything unrecognized: do not retry
+		s.authFail(fmt.Errorf("%w: rejected by peer %d", ErrAuth, s.peer))
+		return true
+	}
+}
+
+// adopt installs an accepted connection (acceptor side): refuse sealed
+// sessions, reply with our own hello, run the challenge–response when the
+// world has a secret, then hand off to install.
+func (s *session) adopt(c net.Conn, theirHello *Frame, theirNonce []byte) {
 	s.mu.Lock()
 	acked := s.lastDeliv
 	dead := s.dead
 	s.mu.Unlock()
-	if dead || s.ep.closed.Load() {
+	if s.ep.closed.Load() {
 		c.Close()
 		return
 	}
+	if dead {
+		// A restarted process reusing the proc id must learn quickly that
+		// the verdict was final instead of redialing into silence.
+		s.ep.writeReject(c, rejectSealed)
+		c.Close()
+		return
+	}
+	secret := s.ep.cfg.Secret
+	if secret != "" && len(theirNonce) == 0 {
+		s.ep.authRejects.Add(1)
+		s.ep.reject(s.peer, fmt.Errorf("%w: peer %d sent no challenge", ErrAuth, s.peer))
+		s.ep.writeReject(c, rejectAuth)
+		c.Close()
+		return
+	}
+	var myNonce []byte
+	if secret != "" {
+		myNonce = newNonce()
+	}
 	my := &Frame{Type: TypeHello, Epoch: s.ep.epoch.Load(), Seq: acked,
-		Payload: helloPayload(s.ep.cfg.Proc, s.ep.cfg.Cluster)}
+		Payload: helloPayload(s.ep.cfg.Proc, myNonce, s.ep.cfg.Cluster)}
 	c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
 	if _, err := c.Write(AppendFrame(nil, my)); err != nil {
 		c.Close()
 		return
+	}
+	if secret != "" {
+		// Prove ourselves first (answering the dialer's nonce), then hold
+		// the dialer to its own proof under the handshake deadline.
+		mine := authProof(secret, s.ep.cfg.Cluster, s.peer, s.ep.cfg.Proc,
+			theirNonce, myNonce, roleAcceptor)
+		c.SetWriteDeadline(time.Now().Add(s.ep.cfg.WriteTimeout))
+		if _, err := c.Write(AppendFrame(nil, &Frame{Type: TypeAuth, Payload: mine})); err != nil {
+			c.Close()
+			return
+		}
+		start := time.Now()
+		c.SetReadDeadline(start.Add(s.ep.cfg.HandshakeTimeout))
+		proof, err := ReadFrame(c)
+		if err != nil {
+			if time.Since(start) >= s.ep.cfg.HandshakeTimeout {
+				s.ep.handshakeTimeouts.Add(1)
+				s.ep.reject(s.peer, fmt.Errorf("%w: peer %d went silent before proving", ErrHandshake, s.peer))
+			}
+			c.Close()
+			return
+		}
+		want := authProof(secret, s.ep.cfg.Cluster, s.peer, s.ep.cfg.Proc,
+			theirNonce, myNonce, roleDialer)
+		if proof.Type != TypeAuth || !hmac.Equal(proof.Payload, want) {
+			s.ep.authRejects.Add(1)
+			s.ep.reject(s.peer, fmt.Errorf("%w: peer %d failed challenge", ErrAuth, s.peer))
+			s.ep.writeReject(c, rejectAuth)
+			c.Close()
+			return
+		}
 	}
 	s.install(c, theirHello, true)
 }
@@ -688,6 +979,12 @@ func (s *session) readLoop(c net.Conn) {
 			s.mu.Lock()
 			s.lastContact = time.Now()
 			s.ackTo(f.Seq)
+			s.mu.Unlock()
+		case TypeAuth, TypeReject:
+			// Handshake frames have no meaning once the session is
+			// installed; refresh liveness and move on.
+			s.mu.Lock()
+			s.lastContact = time.Now()
 			s.mu.Unlock()
 		}
 	}

@@ -40,6 +40,14 @@ const (
 	// TypeBye announces a graceful close; the peer must not treat the
 	// connection loss as a failure.
 	TypeBye
+	// TypeAuth carries an HMAC-SHA256 handshake proof (see Endpoint: the
+	// hello exchange becomes a mutual challenge–response when the world has
+	// a shared secret). Payload is the raw MAC.
+	TypeAuth
+	// TypeReject refuses a handshake before the session is installed. The
+	// payload's first byte is the reason (rejectAuth, rejectSealed); the
+	// receiver must not retry the handshake for rejectAuth.
+	TypeReject
 	numFrameTypes
 )
 
