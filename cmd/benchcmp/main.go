@@ -20,6 +20,12 @@
 // A baseline without a setup block skips the gate with a note; a candidate
 // without one while the baseline has it is a usage error.
 //
+// A fourth gate watches batched-BFS throughput: when the baseline carries a
+// batch block (schema v3, bfsbench -batch-roots) with a positive
+// batch_gteps, the median candidate batch_gteps must hold the same
+// -max-drop budget. A baseline without the block skips the gate with a
+// note; a candidate missing it while the baseline has one is a usage error.
+//
 // A candidate whose resilience block records a supervisor crash-loop
 // give-up is rejected as a usage error: its numbers come from a world that
 // was abandoned and relaunched mid-benchmark, so they are not comparable.
@@ -97,6 +103,7 @@ func run(baseline string, candidates []string, maxDrop, setupGrow float64, skipC
 
 	headline := make([]float64, 0, len(candidates))
 	setup := make([]float64, 0, len(candidates))
+	batched := make([]float64, 0, len(candidates))
 	perWL := make(map[string][]float64, len(base.Workloads))
 	for _, path := range candidates {
 		cand, err := report.ReadFile(path)
@@ -136,12 +143,19 @@ func run(baseline string, candidates []string, maxDrop, setupGrow float64, skipC
 			}
 			setup = append(setup, cand.Setup.Seconds)
 		}
+		if base.Batch != nil && base.Batch.BatchGTEPS > 0 {
+			if cand.Batch == nil {
+				fmt.Fprintf(stderr, "benchcmp: baseline carries a batch block but candidate %s has none — regenerate the candidate with bfsbench -batch-roots\n", path)
+				return 2
+			}
+			batched = append(batched, cand.Batch.BatchGTEPS)
+		}
 		headline = append(headline, cand.Summary.HarmonicMeanGTEPS)
 	}
 
 	b := base.Summary.HarmonicMeanGTEPS
-	if b <= 0 && len(base.Workloads) == 0 {
-		fmt.Fprintf(stderr, "benchcmp: baseline has neither a positive harmonic-mean GTEPS nor workload entries; nothing to gate\n")
+	if b <= 0 && len(base.Workloads) == 0 && (base.Batch == nil || base.Batch.BatchGTEPS <= 0) {
+		fmt.Fprintf(stderr, "benchcmp: baseline has neither a positive harmonic-mean GTEPS, workload entries, nor a batch block; nothing to gate\n")
 		return 2
 	}
 	failed := false
@@ -180,6 +194,19 @@ func run(baseline string, candidates []string, maxDrop, setupGrow float64, skipC
 			bs, c, formatTEPS(setup), 100*change, 100*setupGrow)
 		if ceiling := bs * (1 + setupGrow); c > ceiling {
 			fmt.Fprintf(stdout, "FAIL: setup_seconds median %.4f above allowed ceiling %.4f\n", c, ceiling)
+			failed = true
+		}
+	}
+	if base.Batch == nil || base.Batch.BatchGTEPS <= 0 {
+		fmt.Fprintln(stdout, "batch GTEPS: baseline has no batch block; gate skipped (regenerate the baseline with bfsbench -batch-roots to enable it)")
+	} else {
+		bb := base.Batch.BatchGTEPS
+		c := median(batched)
+		change := (c - bb) / bb
+		fmt.Fprintf(stdout, "batch  GTEPS: baseline %.4f, candidate median %.4f of %v (%+.1f%%), gate -%.0f%%\n",
+			bb, c, formatTEPS(batched), 100*change, 100*maxDrop)
+		if floor := bb * (1 - maxDrop); c < floor {
+			fmt.Fprintf(stdout, "FAIL: batch median %.4f below allowed floor %.4f\n", c, floor)
 			failed = true
 		}
 	}

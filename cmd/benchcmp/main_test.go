@@ -244,3 +244,92 @@ func TestConfigMismatchRejected(t *testing.T) {
 		t.Fatalf("exit %d, want 2\n%s", code, errOut)
 	}
 }
+
+// writeBatchDoc is writeDoc plus a schema v3 batch block with the given
+// batched-sweep GTEPS.
+func writeBatchDoc(t *testing.T, dir, name string, headline, batchGTEPS float64, wl map[string]float64) string {
+	t.Helper()
+	path := writeDoc(t, dir, name, headline, wl)
+	doc, err := report.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Batch = &report.BatchReport{
+		Batches: 1, Queries: 8, MaxBatch: 8,
+		MeanOccupancy: 6.5, MaxOccupancy: 8, BatchGTEPS: batchGTEPS,
+		BatchCollectiveCalls: 180, SoloCollectiveCalls: 1080,
+	}
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBatchGateSkippedWithoutBaselineBlock(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 0.20, map[string]float64{"bfs": 0.20})
+	cand := writeBatchDoc(t, dir, "c1.json", 0.20, 0.25, map[string]float64{"bfs": 0.20})
+	code, out, errOut := runGate(t, base, []string{cand})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "batch GTEPS: baseline has no batch block; gate skipped") {
+		t.Fatalf("missing skip note:\n%s", out)
+	}
+}
+
+func TestBatchGateRequiresCandidateBlock(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBatchDoc(t, dir, "base.json", 0.20, 0.25, map[string]float64{"bfs": 0.20})
+	cand := writeDoc(t, dir, "c1.json", 0.20, map[string]float64{"bfs": 0.20})
+	code, out, errOut := runGate(t, base, []string{cand})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (usage error)\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "batch block") || !strings.Contains(errOut, "-batch-roots") {
+		t.Fatalf("stderr does not explain the missing batch block:\n%s", errOut)
+	}
+}
+
+func TestBatchGateUsesMedianAndFailsOnDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBatchDoc(t, dir, "base.json", 0.20, 0.25, map[string]float64{"bfs": 0.20})
+	// Median of {0.24, 0.23, 0.26} = 0.24 holds the 15% budget even though
+	// one run alone would not tank it; then a real regression trips it.
+	pass := []string{
+		writeBatchDoc(t, dir, "p1.json", 0.20, 0.24, map[string]float64{"bfs": 0.20}),
+		writeBatchDoc(t, dir, "p2.json", 0.20, 0.23, map[string]float64{"bfs": 0.20}),
+		writeBatchDoc(t, dir, "p3.json", 0.20, 0.26, map[string]float64{"bfs": 0.20}),
+	}
+	code, out, errOut := runGate(t, base, pass)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	fail := []string{
+		writeBatchDoc(t, dir, "f1.json", 0.20, 0.10, map[string]float64{"bfs": 0.20}),
+		writeBatchDoc(t, dir, "f2.json", 0.20, 0.11, map[string]float64{"bfs": 0.20}),
+		writeBatchDoc(t, dir, "f3.json", 0.20, 0.12, map[string]float64{"bfs": 0.20}),
+	}
+	code, out, _ = runGate(t, base, fail)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL: batch median") {
+		t.Fatalf("failure not attributed to the batch gate:\n%s", out)
+	}
+}
+
+func TestBatchOnlyBaselineStillGates(t *testing.T) {
+	dir := t.TempDir()
+	// A bfsbench -batch-roots report has no headline and no workload entries;
+	// the batch block alone must be enough to gate on.
+	base := writeBatchDoc(t, dir, "base.json", 0, 0.25, nil)
+	cand := writeBatchDoc(t, dir, "c1.json", 0, 0.24, nil)
+	code, out, errOut := runGate(t, base, []string{cand})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "batch  GTEPS: baseline 0.2500") {
+		t.Fatalf("missing batch gate line:\n%s", out)
+	}
+}

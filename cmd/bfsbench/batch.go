@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	graph500 "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/validate"
+)
+
+// runBatchBench is the -batch-roots mode: an offline A/B of K solo BFS runs
+// against ONE batched multi-source sweep over the same K roots, on the same
+// resident partition. Each arm runs on its own engine with its own tracer so
+// the collective-call counts are clean; the report's batch block carries the
+// amortization evidence (trace-span counted collective calls per arm),
+// per-query latencies and the sweep's occupancy.
+func runBatchBench(r *graph500.Runner, k int, seed uint64, out outputs) {
+	roots, err := r.SampleRoots(k, seed+1)
+	if err != nil {
+		fatal(err)
+	}
+
+	arm := func() (*core.Engine, *trace.Tracer) {
+		opt := r.Engine.Opt
+		opt.Trace = trace.New()
+		eng, err := core.NewEngineFromPartition(r.Engine.Part, opt)
+		if err != nil {
+			fatal(err)
+		}
+		return eng, opt.Trace
+	}
+	countCollectives := func(tr *trace.Tracer) int64 {
+		var n int64
+		for _, sp := range tr.Spans() {
+			if sp.Kind == trace.KindCollective {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Solo arm: K independent sweeps.
+	soloEng, soloTr := arm()
+	soloParents := make([][]int64, k)
+	var soloWall time.Duration
+	var soloTraversed int64
+	for i, root := range roots {
+		res, err := soloEng.Run(root)
+		if err != nil {
+			fatal(fmt.Errorf("solo root %d: %w", root, err))
+		}
+		soloParents[i] = res.Parent
+		soloWall += res.Time
+		soloTraversed += res.TraversedEdges
+	}
+	soloCalls := countCollectives(soloTr)
+
+	// Batch arm: ONE multi-source sweep over all K roots.
+	batchEng, batchTr := arm()
+	batch, err := batchEng.RunBatch(roots)
+	if err != nil {
+		fatal(fmt.Errorf("batch: %w", err))
+	}
+	batchCalls := countCollectives(batchTr)
+
+	// The differential oracle, inline: the batch must be bit-identical to
+	// the solo runs and pass spec validation.
+	g := r.Graph()
+	for i, q := range batch.Queries {
+		for v := range q.Parent {
+			if q.Parent[v] != soloParents[i][v] {
+				fatal(fmt.Errorf("root %d: batched parent[%d] = %d, solo %d",
+					roots[i], v, q.Parent[v], soloParents[i][v]))
+			}
+		}
+		if _, err := validate.BFS(g.NumVertices, g.Edges, roots[i], q.Parent); err != nil {
+			fatal(fmt.Errorf("root %d: %w", roots[i], err))
+		}
+	}
+
+	fmt.Printf("\nbatched multi-source BFS (%d roots, one sweep):\n", k)
+	fmt.Printf("  batch:  %d collective calls, %d iterations, %v wall, %.4f GTEPS\n",
+		batchCalls, batch.Iterations, batch.Time.Round(time.Microsecond), batch.GTEPS())
+	fmt.Printf("  solo:   %d collective calls, %v wall total (%d runs)\n",
+		soloCalls, soloWall.Round(time.Microsecond), k)
+	fmt.Printf("  amortization: %.1f%% of solo collective calls, occupancy %.2f mean\n",
+		100*float64(batchCalls)/float64(soloCalls), batch.AvgOccupancy)
+	if batchCalls >= soloCalls {
+		fatal(fmt.Errorf("batch issued %d collective calls, solo %d: no amortization", batchCalls, soloCalls))
+	}
+
+	if out.json != "" {
+		// Every query in the one-sweep arm has the sweep's wall time as its
+		// answer latency (they all ride the same sweep).
+		lat := make([]float64, k)
+		for i := range lat {
+			lat[i] = batch.Time.Seconds()
+		}
+		br := &report.BatchReport{
+			Batches:              1,
+			Queries:              int64(k),
+			MaxBatch:             k,
+			MeanOccupancy:        batch.AvgOccupancy,
+			MaxOccupancy:         batch.AvgOccupancy,
+			BatchGTEPS:           batch.GTEPS(),
+			BatchCollectiveCalls: batchCalls,
+			SoloCollectiveCalls:  soloCalls,
+		}
+		br.SetLatencies(lat)
+		cfgReport := out.cfgReport
+		cfgReport.BatchRoots = k
+		in := report.Inputs{
+			Config:     cfgReport,
+			Batch:      br,
+			Traversed:  batch.TraversedEdges(),
+			Iterations: int64(batch.Iterations),
+			Recorder:   batch.Recorder,
+		}
+		if err := report.Build(in).WriteFile(out.json); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote batch benchmark report to %s\n", out.json)
+	}
+}

@@ -43,39 +43,40 @@ import (
 
 func main() {
 	var (
-		scale     = flag.Int("scale", 16, "graph SCALE: 2^scale vertices, 16*2^scale edges")
-		input     = flag.String("input", "", "load edge list from file instead of generating")
-		informat  = flag.String("informat", "bin", "input format: text or bin")
-		ranks     = flag.Int("ranks", 16, "simulated node count (R x C mesh derived)")
-		rows      = flag.Int("rows", 0, "mesh rows (0 = squarest)")
-		cols      = flag.Int("cols", 0, "mesh cols (0 = squarest)")
-		roots     = flag.Int("roots", 16, "number of sampled roots (Graph 500 uses 64)")
-		seed      = flag.Uint64("seed", 42, "generator seed")
-		kernel    = flag.String("kernel", "bfs", "kernel: bfs or sssp (legacy alias of -workload)")
-		workload  = flag.String("workload", "", "comma-separated workloads to run: bfs, wcc, kcore, sssp (default: the -kernel value)")
-		kcoreK    = flag.Int64("kcore-k", 2, "peeling threshold for the kcore workload")
-		eThresh   = flag.Int64("ethreshold", 0, "E degree threshold (0 = scale default)")
-		hThresh   = flag.Int64("hthreshold", 0, "H degree threshold (0 = scale default)")
-		segmented = flag.Bool("segmented", false, "enable CG-aware core subgraph segmenting")
-		segAdapt  = flag.Bool("seg-adaptive", false, "pick flat vs segmented core-subgraph pull per iteration from measured kernel durations (overrides -segmented)")
-		hier      = flag.Bool("hierarchical", false, "forward L2L messages via mesh intersections")
-		sparse    = flag.String("sparse", "auto", "sparse tail collective policy: auto, off or always")
-		workers   = flag.Int("rankworkers", 1, "intra-rank kernel workers (edge-aware vertex cut)")
-		breakdown = flag.Bool("breakdown", true, "print per-subgraph time breakdown (bfs only)")
-		official  = flag.Bool("official", false, "print the Graph 500 official statistics block (bfs only)")
-		faults    = flag.String("faults", "", "fault-injection plan, e.g. \"seed=42,delay=0.01,fail=0.001\" or \"kill@rank=3,iter=2\" (bfs only)")
-		deadline  = flag.Duration("deadline", 0, "per-collective deadline under fault injection (0 = off)")
-		retries   = flag.Int("maxretries", 0, "max consecutive retries of a failed iteration (0 = default 4)")
-		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint store directory (empty = checkpointing off)")
-		ckptEvery = flag.Int("checkpoint-every", 1, "iterations between traversal checkpoints")
-		recovery  = flag.String("recovery", "shrink", "world rebuild after a fail-stop: shrink or restore")
-		rpp       = flag.Int("ranks-per-proc", 0, "hybrid mode: ranks this process hosts in a -join world (0 = ranks/processes)")
-		listen    = flag.String("listen", "", "this process's socket address, unix:PATH or tcp:HOST:PORT (requires -join)")
-		join      = flag.String("join", "", "comma-separated addresses of every process in the world, in process order (must contain -listen)")
-		secret    = flag.String("secret", "", "shared world secret authenticating the socket handshake (or BFS_WORLD_SECRET; empty = unauthenticated)")
-		jsonOut   = flag.String("json", "", "write the machine-readable benchmark report (JSON) to this file (bfs only)")
-		traceOut  = flag.String("trace", "", "record per-iteration spans and write the merged timeline (JSONL) to this file (bfs only)")
-		chromeOut = flag.String("trace-chrome", "", "record spans and write a Chrome trace_event file for chrome://tracing (bfs only)")
+		scale      = flag.Int("scale", 16, "graph SCALE: 2^scale vertices, 16*2^scale edges")
+		input      = flag.String("input", "", "load edge list from file instead of generating")
+		informat   = flag.String("informat", "bin", "input format: text or bin")
+		ranks      = flag.Int("ranks", 16, "simulated node count (R x C mesh derived)")
+		rows       = flag.Int("rows", 0, "mesh rows (0 = squarest)")
+		cols       = flag.Int("cols", 0, "mesh cols (0 = squarest)")
+		roots      = flag.Int("roots", 16, "number of sampled roots (Graph 500 uses 64)")
+		batchRoots = flag.Int("batch-roots", 0, "offline batched-BFS mode: run ONE multi-source sweep over this many roots and A/B its collective calls against solo runs (bfs only)")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		kernel     = flag.String("kernel", "bfs", "kernel: bfs or sssp (legacy alias of -workload)")
+		workload   = flag.String("workload", "", "comma-separated workloads to run: bfs, wcc, kcore, sssp (default: the -kernel value)")
+		kcoreK     = flag.Int64("kcore-k", 2, "peeling threshold for the kcore workload")
+		eThresh    = flag.Int64("ethreshold", 0, "E degree threshold (0 = scale default)")
+		hThresh    = flag.Int64("hthreshold", 0, "H degree threshold (0 = scale default)")
+		segmented  = flag.Bool("segmented", false, "enable CG-aware core subgraph segmenting")
+		segAdapt   = flag.Bool("seg-adaptive", false, "pick flat vs segmented core-subgraph pull per iteration from measured kernel durations (overrides -segmented)")
+		hier       = flag.Bool("hierarchical", false, "forward L2L messages via mesh intersections")
+		sparse     = flag.String("sparse", "auto", "sparse tail collective policy: auto, off or always")
+		workers    = flag.Int("rankworkers", 1, "intra-rank kernel workers (edge-aware vertex cut)")
+		breakdown  = flag.Bool("breakdown", true, "print per-subgraph time breakdown (bfs only)")
+		official   = flag.Bool("official", false, "print the Graph 500 official statistics block (bfs only)")
+		faults     = flag.String("faults", "", "fault-injection plan, e.g. \"seed=42,delay=0.01,fail=0.001\" or \"kill@rank=3,iter=2\" (bfs only)")
+		deadline   = flag.Duration("deadline", 0, "per-collective deadline under fault injection (0 = off)")
+		retries    = flag.Int("maxretries", 0, "max consecutive retries of a failed iteration (0 = default 4)")
+		ckptDir    = flag.String("checkpoint-dir", "", "durable checkpoint store directory (empty = checkpointing off)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "iterations between traversal checkpoints")
+		recovery   = flag.String("recovery", "shrink", "world rebuild after a fail-stop: shrink or restore")
+		rpp        = flag.Int("ranks-per-proc", 0, "hybrid mode: ranks this process hosts in a -join world (0 = ranks/processes)")
+		listen     = flag.String("listen", "", "this process's socket address, unix:PATH or tcp:HOST:PORT (requires -join)")
+		join       = flag.String("join", "", "comma-separated addresses of every process in the world, in process order (must contain -listen)")
+		secret     = flag.String("secret", "", "shared world secret authenticating the socket handshake (or BFS_WORLD_SECRET; empty = unauthenticated)")
+		jsonOut    = flag.String("json", "", "write the machine-readable benchmark report (JSON) to this file (bfs only)")
+		traceOut   = flag.String("trace", "", "record per-iteration spans and write the merged timeline (JSONL) to this file (bfs only)")
+		chromeOut  = flag.String("trace-chrome", "", "record spans and write a Chrome trace_event file for chrome://tracing (bfs only)")
 	)
 	flag.Parse()
 
@@ -238,6 +239,15 @@ func main() {
 	out.cfgReport.Ranks = r.Engine.Opt.Ranks
 	out.cfgReport.MeshRows = r.Engine.Opt.Mesh.Rows
 	out.cfgReport.MeshCols = r.Engine.Opt.Mesh.Cols
+
+	if *batchRoots > 0 {
+		if dist != nil {
+			fatal(fmt.Errorf("-batch-roots runs the in-process backend only"))
+		}
+		runBatchBench(r, *batchRoots, *seed, out)
+		writeTraces(cfg.Trace, out)
+		return
+	}
 
 	var entries []report.WorkloadEntry
 	var sum *graph500.BenchmarkSummary

@@ -1,0 +1,200 @@
+// Command bfsd is the long-lived traversal daemon: it loads (or generates)
+// a graph once, partitions it with the 1.5D degree-aware partitioner, keeps
+// the partitioned graph resident, and serves BFS queries over HTTP to many
+// concurrent clients. Concurrent queries arriving inside a batching window
+// are folded into ONE batched multi-source sweep (one bit-plane per query),
+// amortizing every collective, hub sync and kernel launch across the batch.
+//
+// Usage:
+//
+//	bfsd -scale 16 -ranks 16 -addr :8080
+//	bfsd -input edges.bin -informat bin -ranks 16 -window 5ms -max-batch 16
+//	bfsd -scale 18 -ranks 64 -mem-budget 256MiB     # admission from perfmodel
+//
+// Query it:
+//
+//	curl -s -X POST localhost:8080/query -d '{"root":42,"op":"distance","target":7}'
+//	curl -s localhost:8080/stats      # batch occupancy + latency percentiles
+//	curl -s localhost:8080/healthz    # 503 once draining
+//
+// SIGTERM/SIGINT drains: health flips to 503, queued queries are answered,
+// then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	graph500 "repro"
+	"repro/internal/bfsd"
+	"repro/internal/edgeio"
+	"repro/internal/faultinject"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	var (
+		scale     = flag.Int("scale", 14, "graph SCALE: 2^scale vertices, 16*2^scale edges")
+		input     = flag.String("input", "", "load edge list from file instead of generating")
+		informat  = flag.String("informat", "bin", "input format: text or bin")
+		ranks     = flag.Int("ranks", 4, "simulated node count (R x C mesh derived)")
+		rows      = flag.Int("rows", 0, "mesh rows (0 = squarest)")
+		cols      = flag.Int("cols", 0, "mesh cols (0 = squarest)")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		eThresh   = flag.Int64("ethreshold", 0, "E degree threshold (0 = scale default)")
+		hThresh   = flag.Int64("hthreshold", 0, "H degree threshold (0 = scale default)")
+		segmented = flag.Bool("segmented", false, "enable CG-aware core subgraph segmenting")
+		hier      = flag.Bool("hierarchical", false, "forward L2L messages via mesh intersections")
+		workers   = flag.Int("rankworkers", 1, "intra-rank kernel workers")
+		faults    = flag.String("faults", "", "fault-injection plan (chaos soak), e.g. \"seed=42,delay=0.01\"")
+		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint store directory")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		window    = flag.Duration("window", 2*time.Millisecond, "batching window: max wait for the first query of a batch")
+		maxBatch  = flag.Int("max-batch", 8, "max queries per batched sweep (clamped by -mem-budget)")
+		maxQueued = flag.Int("max-queued", 0, "admission bound: queued queries beyond this get 429 (0 = 4*max-batch)")
+		memBudget = flag.String("mem-budget", "", "per-rank memory budget for batch state, e.g. 64MiB (empty = no clamp)")
+	)
+	flag.Parse()
+
+	var g graph500.Graph
+	t0 := time.Now()
+	if *input != "" {
+		format, err := edgeio.ParseFormat(*informat)
+		if err != nil {
+			fatal(err)
+		}
+		n, edges, err := edgeio.ReadFile(*input, format)
+		if err != nil {
+			fatal(err)
+		}
+		g = graph500.FromEdges(n, edges)
+		fmt.Printf("loaded %s: %d vertices, %d edges in %v\n",
+			*input, g.NumVertices, len(g.Edges), time.Since(t0).Round(time.Millisecond))
+	} else {
+		fmt.Printf("generating SCALE %d graph (%d vertices, %d edges)...\n",
+			*scale, int64(1)<<uint(*scale), int64(16)<<uint(*scale))
+		g = graph500.Generate(graph500.GenConfig{Scale: *scale, Seed: *seed})
+		fmt.Printf("  generated in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	cfg := graph500.Config{
+		Ranks:        *ranks,
+		Segmented:    *segmented,
+		Hierarchical: *hier,
+		RankWorkers:  *workers,
+	}
+	if *rows > 0 && *cols > 0 {
+		cfg.Mesh = graph500.Mesh{Rows: *rows, Cols: *cols}
+	}
+	if *eThresh > 0 && *hThresh > 0 {
+		cfg.Thresholds = graph500.Thresholds{E: *eThresh, H: *hThresh}
+	}
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = plan
+		fmt.Printf("fault injection active: %s\n", plan)
+	}
+	if *ckptDir != "" {
+		cfg.CheckpointDir = *ckptDir
+	}
+
+	r, err := graph500.New(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("partitioned in %v: %d E hubs, %d H hubs over %d ranks — graph resident\n",
+		time.Duration(r.Engine.PartitionSeconds*float64(time.Second)).Round(time.Millisecond),
+		r.Engine.Part.Hubs.NumE, r.Engine.Part.Hubs.NumH, r.Engine.Opt.Ranks)
+
+	// Admission sizing: clamp the batch width so every in-flight query's
+	// bit-plane state fits the per-rank budget, faulty snapshots included.
+	if *memBudget != "" {
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			fatal(err)
+		}
+		k := int64(r.Engine.Part.Hubs.K())
+		per := r.Engine.Part.Layout.PerRank
+		fit := perfmodel.MaxBatchQueries(budget, k, per, cfg.Faults != nil)
+		if fit == 0 {
+			fatal(fmt.Errorf("budget %s cannot fit even one batched query (%d bytes/query per rank)",
+				*memBudget, perfmodel.BatchQueryBytes(k, per, cfg.Faults != nil)))
+		}
+		if fit < *maxBatch {
+			fmt.Printf("admission: -mem-budget %s clamps max batch %d -> %d (%d bytes/query per rank)\n",
+				*memBudget, *maxBatch, fit, perfmodel.BatchQueryBytes(k, per, cfg.Faults != nil))
+			*maxBatch = fit
+		}
+	}
+
+	b := bfsd.NewBatcher(r, bfsd.Config{
+		Window:    *window,
+		MaxBatch:  *maxBatch,
+		MaxQueued: *maxQueued,
+	})
+	srv := bfsd.NewServer(b, g.NumVertices)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGTERM/SIGINT drain: stop admitting, answer the queue, close the
+	// listener. Load balancers see /healthz flip to 503 first.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-stop
+		fmt.Printf("\n%v: draining (queued queries will be answered)...\n", sig)
+		srv.SetDraining()
+		b.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("serving on %s (window %v, max batch %d)\n", *addr, *window, *maxBatch)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	st := b.Snapshot()
+	fmt.Printf("drained: %d queries over %d batched sweeps (max width %d, max occupancy %.2f)\n",
+		st.Queries, st.Batches, st.MaxBatch, st.MaxOccupancy)
+}
+
+// parseBytes reads sizes like "64MiB", "256kb", "1g" or raw byte counts.
+func parseBytes(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t, mult = strings.TrimSuffix(t, u.suffix), u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsd:", err)
+	os.Exit(1)
+}

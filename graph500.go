@@ -206,6 +206,10 @@ type Runner struct {
 // Result re-exports the engine's run result.
 type Result = core.Result
 
+// BatchResult is one batched multi-source sweep's output (see
+// core.BatchResult).
+type BatchResult = core.BatchResult
+
 // New partitions the graph and prepares the rank world.
 func New(g Graph, cfg Config) (*Runner, error) {
 	opt := core.Options{
@@ -243,6 +247,11 @@ func (r *Runner) Graph() Graph { return r.graph }
 
 // Run executes one BFS from root.
 func (r *Runner) Run(root int64) (*Result, error) { return r.Engine.Run(root) }
+
+// RunBatch executes one batched multi-source sweep over all roots: every
+// collective is amortized across the batch, and each query's result is
+// bit-identical to a solo Run from the same root.
+func (r *Runner) RunBatch(roots []int64) (*BatchResult, error) { return r.Engine.RunBatch(roots) }
 
 // RunValidated executes one BFS and validates the result against the
 // Graph 500 specification checks, failing loudly on any violation.

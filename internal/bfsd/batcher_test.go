@@ -1,0 +1,245 @@
+package bfsd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/rmat"
+	"repro/internal/topology"
+)
+
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	cfg := rmat.Config{Scale: 9, Seed: 31}
+	eng, err := core.NewEngine(cfg.NumVertices(), rmat.Generate(cfg), core.Options{
+		Mesh:       topology.Mesh{Rows: 2, Cols: 2},
+		Thresholds: partition.Thresholds{E: 256, H: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func connectedRoots(eng *core.Engine, k int) []int64 {
+	var roots []int64
+	for v, d := range eng.Part.Degrees {
+		if d > 0 {
+			roots = append(roots, int64(v))
+			if len(roots) == k {
+				break
+			}
+		}
+	}
+	return roots
+}
+
+// countingEngine wraps the real engine and records every sweep width.
+type countingEngine struct {
+	eng    *core.Engine
+	mu     sync.Mutex
+	widths []int
+}
+
+func (c *countingEngine) RunBatch(roots []int64) (*core.BatchResult, error) {
+	c.mu.Lock()
+	c.widths = append(c.widths, len(roots))
+	c.mu.Unlock()
+	return c.eng.RunBatch(roots)
+}
+
+// TestBatcherConcurrentClients is the race-enabled service test: many
+// goroutine clients firing overlapping queries across window boundaries,
+// some cancelling mid-window, then a drain — every answered query must
+// carry the right parent array, and the drain must answer everything it
+// admitted.
+func TestBatcherConcurrentClients(t *testing.T) {
+	eng := testEngine(t)
+	roots := connectedRoots(eng, 8)
+	solo := make(map[int64][]int64, len(roots))
+	for _, root := range roots {
+		res, err := eng.Run(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[root] = res.Parent
+	}
+
+	ce := &countingEngine{eng: eng}
+	b := NewBatcher(ce, Config{Window: 2 * time.Millisecond, MaxBatch: 4, MaxQueued: 1024})
+
+	const clients = 32
+	const perClient = 6
+	var answered, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				root := roots[(c+i)%len(roots)]
+				ctx := context.Background()
+				if (c+i)%5 == 0 {
+					// Cancel some queries mid-window.
+					cctx, cancel := context.WithCancel(ctx)
+					go func() {
+						time.Sleep(time.Duration(c%3) * 500 * time.Microsecond)
+						cancel()
+					}()
+					ctx = cctx
+					defer cancel()
+				}
+				out, err := b.Submit(ctx, root)
+				if err != nil {
+					if err == context.Canceled {
+						cancelled.Add(1)
+						continue
+					}
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				answered.Add(1)
+				if out.BatchSize < 1 || out.BatchSize > 4 {
+					t.Errorf("batch size %d out of [1,4]", out.BatchSize)
+					return
+				}
+				want := solo[root]
+				for v := range want {
+					if out.Query.Parent[v] != want[v] {
+						t.Errorf("root %d parent[%d] = %d, solo %d", root, v, out.Query.Parent[v], want[v])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.Close()
+
+	if answered.Load() == 0 {
+		t.Fatal("no queries answered")
+	}
+	st := b.Snapshot()
+	// A query cancelled mid-sweep is still served by the batch (the sweep
+	// cannot retract a rider), so the batcher may count a few more answers
+	// than clients that stayed around to read them.
+	if st.Queries < answered.Load() || st.Queries > answered.Load()+cancelled.Load() {
+		t.Fatalf("stats counted %d queries; clients saw %d answered + %d cancelled",
+			st.Queries, answered.Load(), cancelled.Load())
+	}
+	if st.Batches == 0 || st.MaxBatch < 2 {
+		t.Fatalf("no batching happened: %d batches, max width %d", st.Batches, st.MaxBatch)
+	}
+	ce.mu.Lock()
+	var multi int
+	for _, w := range ce.widths {
+		if w > 1 {
+			multi++
+		}
+	}
+	ce.mu.Unlock()
+	if multi == 0 {
+		t.Fatal("every sweep ran a single query — the window never batched")
+	}
+	t.Logf("answered=%d cancelled=%d batches=%d multi-query=%d maxOcc=%.2f",
+		answered.Load(), cancelled.Load(), st.Batches, multi, st.MaxOccupancy)
+
+	// After Close, submits are refused.
+	if _, err := b.Submit(context.Background(), roots[0]); err != ErrDraining {
+		t.Fatalf("post-drain submit: %v, want ErrDraining", err)
+	}
+}
+
+// TestBatcherDrainAnswersQueued locks the SIGTERM semantics: queries queued
+// when the drain starts are still answered.
+func TestBatcherDrainAnswersQueued(t *testing.T) {
+	eng := testEngine(t)
+	roots := connectedRoots(eng, 4)
+	// A long window that would never flush on its own before the drain.
+	b := NewBatcher(eng, Config{Window: time.Hour, MaxBatch: 64, MaxQueued: 64})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(roots))
+	for _, root := range roots {
+		root := root
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := b.Submit(context.Background(), root)
+			if err != nil {
+				errs <- fmt.Errorf("root %d: %w", root, err)
+				return
+			}
+			if out.Query.Root != root {
+				errs <- fmt.Errorf("root %d answered as %d", root, out.Query.Root)
+			}
+		}()
+	}
+	// Wait until all four are queued, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		queued := len(b.queue)
+		b.mu.Unlock()
+		if queued == len(roots) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queries never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := b.Snapshot()
+	if st.Queries != int64(len(roots)) {
+		t.Fatalf("drain answered %d of %d", st.Queries, len(roots))
+	}
+	if st.MaxBatch != len(roots) {
+		t.Fatalf("drain flush width %d, want %d (one batch)", st.MaxBatch, len(roots))
+	}
+}
+
+// TestBatcherAdmissionControl: a full queue refuses with ErrBusy.
+func TestBatcherAdmissionControl(t *testing.T) {
+	eng := testEngine(t)
+	roots := connectedRoots(eng, 2)
+	b := NewBatcher(eng, Config{Window: time.Hour, MaxBatch: 64, MaxQueued: 2})
+	defer b.Close()
+
+	// Fill the queue without letting it flush (huge window, wide batch).
+	for i := 0; i < 2; i++ {
+		root := roots[i%len(roots)]
+		go b.Submit(context.Background(), root) //nolint:errcheck // answered by Close's drain
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		queued := len(b.queue)
+		b.mu.Unlock()
+		if queued == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := b.Submit(context.Background(), roots[0]); err != ErrBusy {
+		t.Fatalf("overfull submit: %v, want ErrBusy", err)
+	}
+	if b.Snapshot().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", b.Snapshot().Rejected)
+	}
+}

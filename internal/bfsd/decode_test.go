@@ -1,0 +1,100 @@
+package bfsd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeQueryRequest(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want QueryRequest
+		bad  bool
+	}{
+		{name: "parent", in: `{"root":5,"op":"parent","target":9}`,
+			want: QueryRequest{Root: 5, Op: OpParent, Target: 9}},
+		{name: "default_op_is_parent", in: `{"root":5,"target":9}`,
+			want: QueryRequest{Root: 5, Op: OpParent, Target: 9}},
+		{name: "parents_needs_no_target", in: `{"root":0,"op":"parents"}`,
+			want: QueryRequest{Root: 0, Op: OpParents}},
+		{name: "reach", in: `{"root":1,"op":"reach","target":2}`,
+			want: QueryRequest{Root: 1, Op: OpReach, Target: 2}},
+		{name: "distance", in: `{"root":1,"op":"distance","target":0}`,
+			want: QueryRequest{Root: 1, Op: OpDistance, Target: 0}},
+		{name: "op_case_insensitive", in: `{"root":1,"op":" Reach ","target":2}`,
+			want: QueryRequest{Root: 1, Op: OpReach, Target: 2}},
+		{name: "missing_root", in: `{"op":"parents"}`, bad: true},
+		{name: "negative_root", in: `{"root":-1,"op":"parents"}`, bad: true},
+		{name: "negative_target", in: `{"root":1,"op":"reach","target":-2}`, bad: true},
+		{name: "unknown_op", in: `{"root":1,"op":"frobnicate"}`, bad: true},
+		{name: "parent_without_target", in: `{"root":1,"op":"parent"}`, bad: true},
+		{name: "distance_without_target", in: `{"root":1,"op":"distance"}`, bad: true},
+		{name: "unknown_field", in: `{"root":1,"op":"parents","depth":3}`, bad: true},
+		{name: "trailing_garbage", in: `{"root":1,"op":"parents"}{"root":2}`, bad: true},
+		{name: "wrong_type", in: `{"root":"five","op":"parents"}`, bad: true},
+		{name: "float_root", in: `{"root":1.5,"op":"parents"}`, bad: true},
+		{name: "not_json", in: `root=1`, bad: true},
+		{name: "empty", in: ``, bad: true},
+		{name: "oversized", in: `{"root":1,"op":"parents","x` + strings.Repeat("a", maxRequestBytes) + `":0}`, bad: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeQueryRequest(strings.NewReader(tc.in))
+			if tc.bad {
+				if err == nil {
+					t.Fatalf("accepted %q as %+v", tc.in, got)
+				}
+				if !errors.Is(err, ErrBadRequest) {
+					t.Fatalf("rejection not wrapped in ErrBadRequest: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("rejected %q: %v", tc.in, err)
+			}
+			if got.Root != tc.want.Root || got.Op != tc.want.Op || got.Target != tc.want.Target {
+				t.Fatalf("decoded %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzDecodeQueryRequest drives the strict decoder with arbitrary bodies:
+// it must never panic, and anything it accepts must satisfy the request
+// invariants (non-negative ids, known op, target present when required).
+func FuzzDecodeQueryRequest(f *testing.F) {
+	f.Add(`{"root":5,"op":"parent","target":9}`)
+	f.Add(`{"root":0,"op":"parents"}`)
+	f.Add(`{"root":1,"op":"reach","target":2}`)
+	f.Add(`{"root":1,"op":"distance","target":0}`)
+	f.Add(`{"root":-1}`)
+	f.Add(`{"op":"frobnicate"}`)
+	f.Add(`{"root":9007199254740993,"op":"parents"}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(`{"root":1,"op":"parents"}{"root":2}`)
+	f.Add(strings.Repeat(`{"root":1,`, 500))
+	f.Fuzz(func(t *testing.T, body string) {
+		q, err := DecodeQueryRequest(strings.NewReader(body))
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("rejection not wrapped in ErrBadRequest: %v", err)
+			}
+			return
+		}
+		if q.Root < 0 || q.Target < 0 {
+			t.Fatalf("accepted negative ids: %+v", q)
+		}
+		switch q.Op {
+		case OpParent, OpParents, OpReach, OpDistance:
+		default:
+			t.Fatalf("accepted unknown op: %+v", q)
+		}
+		if q.Op != OpParents && !q.hasTarget {
+			t.Fatalf("accepted %q without target", q.Op)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package bfsd
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/report"
+)
+
+// Server is the HTTP front end: POST /query against the batcher, GET
+// /healthz for liveness, GET /stats for the service-level batch block.
+type Server struct {
+	b *Batcher
+	// n is the vertex-id bound for request validation.
+	n int64
+	// draining flips when the daemon starts its SIGTERM drain: /healthz goes
+	// 503 so load balancers stop routing, while in-flight queries finish.
+	draining atomic.Bool
+}
+
+// NewServer wires the batcher behind the HTTP API. n is the graph's vertex
+// count (root/target bound).
+func NewServer(b *Batcher, n int64) *Server {
+	return &Server{b: b, n: n}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// SetDraining marks the server as draining (health goes 503; queries still
+// drain through the batcher until it closes).
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// QueryResponse is the answer document for POST /query. Fields irrelevant
+// to the op are omitted.
+type QueryResponse struct {
+	Root int64  `json:"root"`
+	Op   string `json:"op"`
+
+	Parent    *int64  `json:"parent,omitempty"`    // op=parent
+	Parents   []int64 `json:"parents,omitempty"`   // op=parents
+	Reachable *bool   `json:"reachable,omitempty"` // op=reach
+	Distance  *int64  `json:"distance,omitempty"`  // op=distance
+
+	Iterations int64 `json:"iterations"`
+
+	// Batch context: how the query was served.
+	BatchSize      int     `json:"batch_size"`
+	Occupancy      float64 `json:"occupancy"`
+	LatencySeconds float64 `json:"latency_seconds"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := DecodeQueryRequest(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if q.Root >= s.n {
+		http.Error(w, "root out of range", http.StatusBadRequest)
+		return
+	}
+	if q.hasTarget && q.Target >= s.n {
+		http.Error(w, "target out of range", http.StatusBadRequest)
+		return
+	}
+	out, err := s.b.Submit(r.Context(), q.Root)
+	switch {
+	case errors.Is(err, ErrBusy):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	parent := out.Query.Parent
+	resp := QueryResponse{
+		Root: q.Root, Op: q.Op,
+		Iterations:     int64(out.Query.Iterations),
+		BatchSize:      out.BatchSize,
+		Occupancy:      out.Occupancy,
+		LatencySeconds: out.Latency.Seconds(),
+	}
+	switch q.Op {
+	case OpParent:
+		p := parent[q.Target]
+		resp.Parent = &p
+	case OpParents:
+		resp.Parents = parent
+	case OpReach:
+		reach := parent[q.Target] >= 0
+		resp.Reachable = &reach
+	case OpDistance:
+		d := distanceOf(parent, q.Root, q.Target)
+		resp.Distance = &d
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.BatchReport())
+}
+
+// BatchReport renders the service-level stats as the report schema v3 batch
+// block, so the daemon's /stats and the offline bench artifact share one
+// shape.
+func (s *Server) BatchReport() *report.BatchReport {
+	st := s.b.Snapshot()
+	br := &report.BatchReport{
+		Batches:      st.Batches,
+		Queries:      st.Queries,
+		MaxBatch:     st.MaxBatch,
+		MaxOccupancy: st.MaxOccupancy,
+	}
+	if st.Batches > 0 {
+		br.MeanOccupancy = st.OccupancySum / float64(st.Batches)
+	}
+	br.SetLatencies(st.Latencies)
+	return br
+}
+
+// distanceOf climbs the parent chain from target to root: in a valid BFS
+// tree the climb length IS the BFS level. Returns -1 for unreachable
+// targets (and, defensively, if the walk fails to terminate).
+func distanceOf(parent []int64, root, target int64) int64 {
+	if target == root {
+		return 0
+	}
+	if parent[target] < 0 {
+		return -1
+	}
+	var d int64
+	for v := target; v != root; v = parent[v] {
+		d++
+		if d > int64(len(parent)) || parent[v] < 0 {
+			return -1
+		}
+	}
+	return d
+}

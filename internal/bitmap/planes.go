@@ -1,0 +1,54 @@
+package bitmap
+
+import "fmt"
+
+// Planes is a stack of q equal-length bit planes over one contiguous word
+// backing. The batched multi-source engine keeps one plane per in-flight
+// query: collectives (hub syncs, frontier gathers) operate on the whole
+// backing in a single call, while per-query kernels work through Plane
+// views that alias it. Plane i occupies words [i*Stride, (i+1)*Stride); a
+// plane's spare tail bits stay zero as long as callers go through the
+// Bitmap API, so whole-backing ORs cannot leak bits between queries.
+type Planes struct {
+	words  []uint64
+	q      int // plane count
+	n      int // bits per plane
+	stride int // words per plane
+}
+
+// NewPlanes allocates a cleared stack of q planes of n bits each.
+func NewPlanes(q, n int) *Planes {
+	if q < 0 || n < 0 {
+		panic(fmt.Sprintf("bitmap: invalid plane stack %dx%d", q, n))
+	}
+	stride := (n + wordMask) >> wordShift
+	return &Planes{words: make([]uint64, q*stride), q: q, n: n, stride: stride}
+}
+
+// Plane returns a bitmap view of plane i. The view aliases the backing: bits
+// set through it are visible to Words() immediately.
+func (p *Planes) Plane(i int) *Bitmap {
+	if i < 0 || i >= p.q {
+		panic(fmt.Sprintf("bitmap: plane %d out of [0,%d)", i, p.q))
+	}
+	return FromWords(p.words[i*p.stride:(i+1)*p.stride], p.n)
+}
+
+// Words exposes the whole contiguous backing (q*Stride words, plane-major).
+func (p *Planes) Words() []uint64 { return p.words }
+
+// Stride returns the per-plane word count.
+func (p *Planes) Stride() int { return p.stride }
+
+// Count returns the number of planes.
+func (p *Planes) Count() int { return p.q }
+
+// BitsPerPlane returns each plane's bit length.
+func (p *Planes) BitsPerPlane() int { return p.n }
+
+// Reset clears every plane.
+func (p *Planes) Reset() {
+	for i := range p.words {
+		p.words[i] = 0
+	}
+}

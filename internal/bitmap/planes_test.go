@@ -1,0 +1,56 @@
+package bitmap
+
+import "testing"
+
+func TestPlanesViewsAliasBacking(t *testing.T) {
+	p := NewPlanes(3, 70) // stride 2 words
+	if p.Stride() != 2 || p.Count() != 3 || p.BitsPerPlane() != 70 {
+		t.Fatalf("geometry: stride %d count %d bits %d", p.Stride(), p.Count(), p.BitsPerPlane())
+	}
+	if len(p.Words()) != 6 {
+		t.Fatalf("backing has %d words, want 6", len(p.Words()))
+	}
+	p.Plane(1).Set(69)
+	if p.Words()[3] != 1<<5 {
+		t.Fatalf("plane 1 bit 69 landed at %v", p.Words())
+	}
+	// Neighbour planes see nothing.
+	if p.Plane(0).Any() || p.Plane(2).Any() {
+		t.Fatal("bit leaked across planes")
+	}
+	// And the view reads back through the backing.
+	p.Words()[4] = 1
+	if !p.Plane(2).Test(0) {
+		t.Fatal("backing write not visible through plane view")
+	}
+}
+
+func TestPlanesWholeBackingOrKeepsPlanesSeparate(t *testing.T) {
+	a := NewPlanes(2, 100)
+	b := NewPlanes(2, 100)
+	a.Plane(0).Set(7)
+	b.Plane(1).Set(99)
+	aw, bw := a.Words(), b.Words()
+	for i := range aw {
+		aw[i] |= bw[i] // one whole-backing OR stands in for 2 per-plane ORs
+	}
+	if !a.Plane(0).Test(7) || !a.Plane(1).Test(99) {
+		t.Fatal("whole-backing OR lost a bit")
+	}
+	if a.Plane(0).Count() != 1 || a.Plane(1).Count() != 1 {
+		t.Fatal("whole-backing OR leaked bits between planes")
+	}
+	a.Reset()
+	if a.Plane(0).Any() || a.Plane(1).Any() {
+		t.Fatal("Reset left bits behind")
+	}
+}
+
+func TestPlanesOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlanes(2, 8).Plane(2)
+}

@@ -279,6 +279,49 @@ func Allgatherv[T any](c *Comm, send []T) ([][]T, error) {
 	return out, err
 }
 
+// AllgathervUniform gathers equal-length contributions into a preallocated
+// member-major destination: member j's buffer lands in
+// dst[j*len(send) : (j+1)*len(send)]. All members must pass buffers of one
+// agreed length; a contribution of a different length (a protocol bug, not a
+// transport fault — corruption is caught by the envelope checksum first)
+// panics. The batched multi-source engine uses this for its stacked
+// bit-plane frontier gathers: the destination is the contiguous backing of Q
+// per-query window views, so the gather lands each member's planes in place
+// with no per-call allocation and one collective regardless of batch width.
+// On a typed fault error dst is left untouched, so a step-granular retry
+// resends against clean state.
+func AllgathervUniform[T any](c *Comm, send []T, dst []T) error {
+	k := c.Size()
+	n := len(send)
+	if len(dst) != k*n {
+		panic("comm: AllgathervUniform dst length must be Size()*len(send)")
+	}
+	seq := c.nextSeq()
+	tok := c.traceEnter()
+	es := elemSize[T]()
+	c.rank.Stats.Calls[KindAllgather]++
+	for j := 0; j < k; j++ {
+		if j != c.me {
+			c.account(KindAllgather, j, int64(n)*es)
+		}
+	}
+	contribute1(c, KindAllgather, seq, send)
+	c.rendezvous(seq, nil)
+	err := c.verify(KindAllgather, nil)
+	if err == nil {
+		for j := 0; j < k; j++ {
+			posted := slotSlice[T](c, j)
+			if len(posted) != n {
+				panic("comm: AllgathervUniform contribution length mismatch")
+			}
+			copy(dst[j*n:(j+1)*n], posted)
+		}
+	}
+	c.complete(seq)
+	c.traceExit("allgatherv_uniform", tok, err)
+	return err
+}
+
 // ReduceScatterOr ORs all members' full-length word vectors and returns the
 // caller's segment of the result. Segments are the standard block
 // decomposition: member i owns words [i*len/k, (i+1)*len/k). All members must

@@ -113,6 +113,36 @@ func TestAllgatherv(t *testing.T) {
 	})
 }
 
+func TestAllgathervUniform(t *testing.T) {
+	const n = 5
+	w := testWorld(t, n, topology.Mesh{Rows: 1, Cols: 5})
+	w.Run(func(r *Rank) {
+		mine := []uint64{uint64(r.ID), uint64(r.ID * 10)}
+		dst := make([]uint64, n*len(mine))
+		for i := range dst {
+			dst[i] = ^uint64(0) // must be fully overwritten
+		}
+		Must0(AllgathervUniform(r.World, mine, dst))
+		for j := 0; j < n; j++ {
+			if dst[2*j] != uint64(j) || dst[2*j+1] != uint64(j*10) {
+				panic(fmt.Sprintf("rank %d: bad member-major slot %d: %v", r.ID, j, dst[2*j:2*j+2]))
+			}
+		}
+	})
+}
+
+func TestAllgathervUniformBadDstPanics(t *testing.T) {
+	w := testWorld(t, 2, topology.Mesh{Rows: 1, Cols: 2})
+	w.Run(func(r *Rank) {
+		defer func() {
+			if recover() == nil {
+				panic("expected panic on short dst")
+			}
+		}()
+		_ = AllgathervUniform(r.World, []uint64{1, 2}, make([]uint64, 3))
+	})
+}
+
 func TestReduceScatterAndAllgatherSegments(t *testing.T) {
 	const n = 4
 	w := testWorld(t, n, topology.Mesh{Rows: 2, Cols: 2})

@@ -263,17 +263,14 @@ func (st *rankState) e2lPull() (int64, error) {
 	return edges, nil
 }
 
-// h2lPush: active H hubs in this rank's column block message their L
-// neighbors' owners along the row (the H2L component is stored at the
-// intersection of H's column and the owner's row).
-func (st *rankState) h2lPush() (int64, error) {
-	if st.sparse[partition.CompH2L] {
-		return st.h2lPushSparse()
-	}
+// h2lGen walks the H2L component once, calling emit for every (destination
+// column, L-index, parent) activation the push ships. The dense and sparse
+// solo kernels and the batched multi-source path all generate through this
+// one loop body, which is what keeps their receiver-side apply streams
+// identical message for message.
+func (st *rankState) h2lGen(emit func(col, li int32, parent int64)) int64 {
 	csr := &st.rg.HToL
 	orig := st.e.Part.Hubs.Orig
-	cols := st.e.Opt.Mesh.Cols
-	send := make([][]lMsg, cols)
 	var edges int64
 	for i, hub := range csr.IDs {
 		if !st.hubFrontier.Test(int(hub)) {
@@ -282,9 +279,23 @@ func (st *rankState) h2lPush() (int64, error) {
 		parent := orig[hub]
 		for _, rem := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
 			edges++
-			send[rem.Col] = append(send[rem.Col], lMsg{LIdx: rem.LIdx, Parent: parent})
+			emit(rem.Col, rem.LIdx, parent)
 		}
 	}
+	return edges
+}
+
+// h2lPush: active H hubs in this rank's column block message their L
+// neighbors' owners along the row (the H2L component is stored at the
+// intersection of H's column and the owner's row).
+func (st *rankState) h2lPush() (int64, error) {
+	if st.sparse[partition.CompH2L] {
+		return st.h2lPushSparse()
+	}
+	send := make([][]lMsg, st.e.Opt.Mesh.Cols)
+	edges := st.h2lGen(func(col, li int32, parent int64) {
+		send[col] = append(send[col], lMsg{LIdx: li, Parent: parent})
+	})
 	recv, err := comm.Alltoallv(st.r.RowC, send)
 	if err != nil {
 		return edges, err
@@ -302,21 +313,11 @@ func (st *rankState) h2lPush() (int64, error) {
 // receiver's filtered stream is the same sequence the dense exchange
 // delivers.
 func (st *rankState) h2lPushSparse() (int64, error) {
-	csr := &st.rg.HToL
-	orig := st.e.Part.Hubs.Orig
 	var ups []comm.SparseUpdate
-	var edges int64
-	for i, hub := range csr.IDs {
-		if !st.hubFrontier.Test(int(hub)) {
-			continue
-		}
-		parent := orig[hub]
-		for _, rem := range csr.Adj[csr.Ptr[i]:csr.Ptr[i+1]] {
-			edges++
-			ups = append(ups, comm.SparseUpdate{Dst: int32(rem.Col),
-				Tag: int32(partition.CompH2L), Off: int64(rem.LIdx), Val: parent})
-		}
-	}
+	edges := st.h2lGen(func(col, li int32, parent int64) {
+		ups = append(ups, comm.SparseUpdate{Dst: col,
+			Tag: int32(partition.CompH2L), Off: int64(li), Val: parent})
+	})
 	if st.batchRow {
 		st.pendRow = append(st.pendRow, ups...)
 		return edges, nil
@@ -478,18 +479,16 @@ func (st *rankState) l2ePull() (int64, error) {
 	return edges, nil
 }
 
-// l2hPush: active owned L vertices message the row delegate of each
-// unvisited H neighbor (the rank in this row holding H's column), which
-// records the delegate activation; the next hub sync propagates it.
-func (st *rankState) l2hPush() (int64, error) {
-	if st.sparse[partition.CompL2H] {
-		return st.l2hPushSparse()
-	}
+// l2hGen walks active owned L vertices once, calling emit for every
+// (destination column, hub, parent) delegate activation the push ships —
+// the shared loop body of the dense/sparse solo kernels and the batched
+// multi-source path. Delegation knowledge (hubVisited) prunes the message
+// before emit, exactly as the original kernels did.
+func (st *rankState) l2hGen(emit func(col, hub int32, parent int64)) int64 {
 	csr := &st.rg.LToH
 	layout := st.e.Part.Layout
 	hubs := st.e.Part.Hubs
 	mesh := st.e.Opt.Mesh
-	send := make([][]hubMsg, mesh.Cols)
 	var edges int64
 	st.lFrontier.ForEach(func(li int) {
 		parent := layout.GlobalOf(st.r.ID, int32(li))
@@ -498,9 +497,22 @@ func (st *rankState) l2hPush() (int64, error) {
 			if st.hubVisited.Test(int(hub)) {
 				continue // delegation knowledge saves the message
 			}
-			col := hubs.ColBlockOf(hub, mesh)
-			send[col] = append(send[col], hubMsg{Hub: hub, Parent: parent})
+			emit(int32(hubs.ColBlockOf(hub, mesh)), hub, parent)
 		}
+	})
+	return edges
+}
+
+// l2hPush: active owned L vertices message the row delegate of each
+// unvisited H neighbor (the rank in this row holding H's column), which
+// records the delegate activation; the next hub sync propagates it.
+func (st *rankState) l2hPush() (int64, error) {
+	if st.sparse[partition.CompL2H] {
+		return st.l2hPushSparse()
+	}
+	send := make([][]hubMsg, st.e.Opt.Mesh.Cols)
+	edges := st.l2hGen(func(col, hub int32, parent int64) {
+		send[col] = append(send[col], hubMsg{Hub: hub, Parent: parent})
 	})
 	recv, err := comm.Alltoallv(st.r.RowC, send)
 	if err != nil {
@@ -515,23 +527,10 @@ func (st *rankState) l2hPush() (int64, error) {
 // pendRow and flushes the combined frame as the iteration's single row
 // exchange; otherwise it exchanges inline.
 func (st *rankState) l2hPushSparse() (int64, error) {
-	csr := &st.rg.LToH
-	layout := st.e.Part.Layout
-	hubs := st.e.Part.Hubs
-	mesh := st.e.Opt.Mesh
 	var ups []comm.SparseUpdate
-	var edges int64
-	st.lFrontier.ForEach(func(li int) {
-		parent := layout.GlobalOf(st.r.ID, int32(li))
-		for _, hub := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
-			edges++
-			if st.hubVisited.Test(int(hub)) {
-				continue // delegation knowledge saves the message
-			}
-			col := hubs.ColBlockOf(hub, mesh)
-			ups = append(ups, comm.SparseUpdate{Dst: int32(col),
-				Tag: int32(partition.CompL2H), Off: int64(hub), Val: parent})
-		}
+	edges := st.l2hGen(func(col, hub int32, parent int64) {
+		ups = append(ups, comm.SparseUpdate{Dst: col,
+			Tag: int32(partition.CompL2H), Off: int64(hub), Val: parent})
 	})
 	if st.batchRow {
 		st.pendRow = append(st.pendRow, ups...)
@@ -613,6 +612,15 @@ func (st *rankState) l2hPull() (int64, error) {
 	if err := gatherFrontier(st.r.RowC, st.lFrontier, st.rowFrontier); err != nil {
 		return 0, err
 	}
+	return st.l2hPullScan(), nil
+}
+
+// l2hPullScan is the local probe half of l2hPull, run after rowFrontier is
+// populated. The batched path fills every plane's rowFrontier with one
+// gather and then scans each plane through this method.
+func (st *rankState) l2hPullScan() int64 {
+	per := int(st.e.Part.Layout.PerRank)
+	mesh := st.e.Opt.Mesh
 	csr := &st.rg.HToL
 	layout := st.e.Part.Layout
 	var edges int64
@@ -630,7 +638,7 @@ func (st *rankState) l2hPull() (int64, error) {
 			}
 		}
 	}
-	return edges, nil
+	return edges
 }
 
 // gatherFrontier allgathers each member's local frontier words into the
@@ -655,22 +663,51 @@ func gatherFrontier(c *comm.Comm, local *bitmap.Bitmap, dst *bitmap.Bitmap) erro
 // column and destination row (column alltoallv then row alltoallv), the
 // paper's forwarding scheme for fewer live global connections; otherwise one
 // world alltoallv.
-func (st *rankState) l2lPush() (int64, error) {
+// l2lGenFlat walks active owned L vertices once, calling emit with every
+// (owner rank, destination vertex, parent) message of the flat L2L push —
+// the shared loop body of the dense and sparse solo kernels and the batched
+// multi-source path.
+func (st *rankState) l2lGenFlat(emit func(owner int, dst, parent int64)) int64 {
+	csr := &st.rg.L2L
+	layout := st.e.Part.Layout
+	var edges int64
+	st.lFrontier.ForEach(func(li int) {
+		parent := layout.GlobalOf(st.r.ID, int32(li))
+		for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			emit(layout.Owner(dst), dst, parent)
+		}
+	})
+	return edges
+}
+
+// l2lGenRows is l2lGenFlat keyed by the owner's mesh row — stage 1 of the
+// hierarchical forwarding scheme.
+func (st *rankState) l2lGenRows(emit func(row int, dst, parent int64)) int64 {
 	csr := &st.rg.L2L
 	layout := st.e.Part.Layout
 	mesh := st.e.Opt.Mesh
 	var edges int64
+	st.lFrontier.ForEach(func(li int) {
+		parent := layout.GlobalOf(st.r.ID, int32(li))
+		for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
+			edges++
+			emit(mesh.RowOf(layout.Owner(dst)), dst, parent)
+		}
+	})
+	return edges
+}
+
+func (st *rankState) l2lPush() (int64, error) {
+	layout := st.e.Part.Layout
+	mesh := st.e.Opt.Mesh
 	if !st.e.Opt.Hierarchical {
 		if st.sparse[partition.CompL2L] {
 			return st.l2lPushSparse()
 		}
 		send := make([][]l2lMsg, layout.P)
-		st.lFrontier.ForEach(func(li int) {
-			parent := layout.GlobalOf(st.r.ID, int32(li))
-			for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
-				edges++
-				send[layout.Owner(dst)] = append(send[layout.Owner(dst)], l2lMsg{Dst: dst, Parent: parent})
-			}
+		edges := st.l2lGenFlat(func(owner int, dst, parent int64) {
+			send[owner] = append(send[owner], l2lMsg{Dst: dst, Parent: parent})
 		})
 		recv, err := comm.Alltoallv(st.r.World, send)
 		if err != nil {
@@ -681,13 +718,8 @@ func (st *rankState) l2lPush() (int64, error) {
 	}
 	// Stage 1: sort by destination row, send down my column.
 	sendRow := make([][]l2lMsg, mesh.Rows)
-	st.lFrontier.ForEach(func(li int) {
-		parent := layout.GlobalOf(st.r.ID, int32(li))
-		for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
-			edges++
-			row := mesh.RowOf(layout.Owner(dst))
-			sendRow[row] = append(sendRow[row], l2lMsg{Dst: dst, Parent: parent})
-		}
+	edges := st.l2lGenRows(func(row int, dst, parent int64) {
+		sendRow[row] = append(sendRow[row], l2lMsg{Dst: dst, Parent: parent})
 	})
 	viaCol, colErr := comm.Alltoallv(st.r.ColC, sendRow)
 	// Stage 2: forward within the destination row by owner column. This runs
@@ -716,17 +748,10 @@ func (st *rankState) l2lPush() (int64, error) {
 // world alltoallv of dense buffers. Off carries the original vertex id;
 // hierarchical mode never reaches here (pickSparse keeps it dense).
 func (st *rankState) l2lPushSparse() (int64, error) {
-	csr := &st.rg.L2L
-	layout := st.e.Part.Layout
 	var ups []comm.SparseUpdate
-	var edges int64
-	st.lFrontier.ForEach(func(li int) {
-		parent := layout.GlobalOf(st.r.ID, int32(li))
-		for _, dst := range csr.Adj[csr.Ptr[li]:csr.Ptr[li+1]] {
-			edges++
-			ups = append(ups, comm.SparseUpdate{Dst: int32(layout.Owner(dst)),
-				Tag: int32(partition.CompL2L), Off: dst, Val: parent})
-		}
+	edges := st.l2lGenFlat(func(owner int, dst, parent int64) {
+		ups = append(ups, comm.SparseUpdate{Dst: int32(owner),
+			Tag: int32(partition.CompL2L), Off: dst, Val: parent})
 	})
 	out, err := comm.AllgatherSparse(st.r.World, ups)
 	if err != nil {
@@ -766,6 +791,13 @@ func (st *rankState) l2lPull() (int64, error) {
 	if err := gatherFrontier(st.r.World, st.lFrontier, st.worldFrontier); err != nil {
 		return 0, err
 	}
+	return st.l2lPullScan(), nil
+}
+
+// l2lPullScan is the local probe half of l2lPull, run after worldFrontier is
+// populated (by gatherFrontier solo, or by one batched gather for every
+// plane in the multi-source path).
+func (st *rankState) l2lPullScan() int64 {
 	csr := &st.rg.L2L
 	var edges int64
 	for li := 0; li < st.rg.LocalN; li++ {
@@ -781,5 +813,5 @@ func (st *rankState) l2lPull() (int64, error) {
 			}
 		}
 	}
-	return edges, nil
+	return edges
 }

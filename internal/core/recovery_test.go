@@ -188,9 +188,10 @@ func TestKillChaosMatrix(t *testing.T) {
 		{Rows: 1, Cols: 4}, {Rows: 4, Cols: 1}, {Rows: 2, Cols: 2}, {Rows: 2, Cols: 3},
 	}
 	type scenario struct {
-		name  string
-		kills func(ranks int) []*killCall
-		lost  int64
+		name    string
+		kills   func(ranks int) []*killCall
+		lost    int64
+		batched bool // run a 4-root RunBatch instead of a solo Run
 	}
 	var scenarios []scenario
 	for c := partition.Component(0); c < partition.NumComponents; c++ {
@@ -213,6 +214,12 @@ func TestKillChaosMatrix(t *testing.T) {
 				return []*killCall{{rank: 1, iter: 1, tag: 0}, {rank: 2, iter: 1, tag: 0}}
 			},
 			lost: 2,
+		},
+		scenario{
+			name:    "kill-during-batched-sweep",
+			kills:   func(ranks int) []*killCall { return []*killCall{{rank: ranks - 1, iter: 1, tag: 0}} },
+			lost:    1,
+			batched: true,
 		},
 	)
 	for _, mesh := range meshes {
@@ -244,6 +251,24 @@ func TestKillChaosMatrix(t *testing.T) {
 					if !m.SameSupernode(eng.World.NodeOf(1), eng.World.NodeOf(2)) {
 						t.Fatal("test premise broken: ranks 1 and 2 not in one supernode")
 					}
+				}
+				if sc.batched {
+					roots := distinctConnectedRoots(eng, 4)
+					batch, err := eng.RunBatch(roots)
+					if err != nil {
+						t.Fatalf("recovered batch failed: %v", err)
+					}
+					for qi, broot := range roots {
+						checkRecovered(t, n, edges, broot, batch.Queries[qi].Parent,
+							referenceLevels(t, n, edges, broot), name)
+					}
+					if batch.Recovery.Epochs != 1 {
+						t.Fatalf("epochs = %d, want 1", batch.Recovery.Epochs)
+					}
+					if batch.Recovery.RanksLost != sc.lost || batch.Faults.Kills != sc.lost {
+						t.Fatalf("ranks lost = %d kills = %d, want %d", batch.Recovery.RanksLost, batch.Faults.Kills, sc.lost)
+					}
+					return
 				}
 				res, err := eng.Run(root)
 				if err != nil {

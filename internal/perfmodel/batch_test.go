@@ -1,0 +1,38 @@
+package perfmodel
+
+import "testing"
+
+func TestBatchQueryBytes(t *testing.T) {
+	// 64 hubs, 128 owned: hub planes 4*8B, L planes 3*16B, parents 8*(64+128).
+	got := BatchQueryBytes(64, 128, false)
+	want := int64(4*8 + 3*16 + 8*(64+128))
+	if got != want {
+		t.Fatalf("BatchQueryBytes = %d, want %d", got, want)
+	}
+	// Fault tolerance charges 4 snapshot copies of the bitmaps only.
+	faulty := BatchQueryBytes(64, 128, true)
+	if faulty != want+4*(4*8+3*16) {
+		t.Fatalf("faulty BatchQueryBytes = %d", faulty)
+	}
+	// Word rounding: 65 bits costs two words.
+	if BatchQueryBytes(65, 0, false) != 4*16+8*65 {
+		t.Fatalf("rounding: %d", BatchQueryBytes(65, 0, false))
+	}
+}
+
+func TestMaxBatchQueries(t *testing.T) {
+	per := BatchQueryBytes(1024, 4096, false)
+	if got := MaxBatchQueries(10*per, 1024, 4096, false); got != 10 {
+		t.Fatalf("budget for 10 admitted %d", got)
+	}
+	if got := MaxBatchQueries(per-1, 1024, 4096, false); got != 0 {
+		t.Fatalf("sub-query budget admitted %d", got)
+	}
+	if got := MaxBatchQueries(per, 1024, 4096, false); got != 1 {
+		t.Fatalf("exact budget admitted %d", got)
+	}
+	// Fault-tolerant state is bigger, so the same budget admits fewer.
+	if MaxBatchQueries(10*per, 1024, 4096, true) >= 10 {
+		t.Fatal("snapshot overhead not charged")
+	}
+}

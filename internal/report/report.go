@@ -17,7 +17,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/comm"
@@ -39,9 +41,13 @@ import (
 //	    for in-process runs; the Setup block (run_start→first-kernel gap
 //	    plus the partitioning sort breakdown) and Config.SegAdaptive,
 //	    absent in older documents.
+//	v3: adds the Batch block (batched multi-source sweeps: occupancy,
+//	    per-query latency percentiles, batched throughput, and the
+//	    batch-vs-solo collective-call amortization) and Config.BatchRoots.
+//	    Additive — v2 and v1 documents still decode.
 const (
 	Schema        = "graph500-bench"
-	SchemaVersion = 2
+	SchemaVersion = 3
 )
 
 // Report is the top-level document.
@@ -73,7 +79,62 @@ type Report struct {
 	// "no setup gate possible".
 	Setup *SetupReport `json:"setup,omitempty"`
 
+	// Batch (schema v3, additive) is the batched multi-source block: how
+	// well concurrent traversals amortized the machine. Absent for solo-only
+	// runs and in pre-v3 documents; benchcmp treats absence as "no batch
+	// gate possible".
+	Batch *BatchReport `json:"batch,omitempty"`
+
 	Resilience Resilience `json:"resilience"`
+}
+
+// BatchReport (schema v3) summarizes batched multi-source execution: sweep
+// occupancy (live queries per iteration — len(roots) at full amortization,
+// 1.0 when batching bought nothing), per-query latency percentiles as the
+// service sees them, the batch's aggregate throughput, and the headline
+// amortization evidence — data-plane collective calls for one batch of
+// Queries roots next to the calls the same roots cost run solo.
+type BatchReport struct {
+	Batches       int64   `json:"batches"`
+	Queries       int64   `json:"queries"`
+	MaxBatch      int     `json:"max_batch"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+	MaxOccupancy  float64 `json:"max_occupancy"`
+	// BatchGTEPS is total traversed edges across all batched queries over
+	// total sweep wall time.
+	BatchGTEPS float64 `json:"batch_gteps"`
+
+	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
+	LatencyP90Seconds float64 `json:"latency_p90_seconds"`
+	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+	LatencyMaxSeconds float64 `json:"latency_max_seconds"`
+
+	// Collective-call amortization, trace-span counted when available:
+	// omitted (zero) when the run had no solo arm to compare against.
+	BatchCollectiveCalls int64 `json:"batch_collective_calls,omitempty"`
+	SoloCollectiveCalls  int64 `json:"solo_collective_calls,omitempty"`
+}
+
+// SetLatencies fills the latency percentile fields from per-query latencies
+// in seconds (order irrelevant; the slice is not modified). Percentiles use
+// the nearest-rank method on the sorted samples.
+func (b *BatchReport) SetLatencies(seconds []float64) {
+	if len(seconds) == 0 {
+		return
+	}
+	s := append([]float64(nil), seconds...)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	b.LatencyP50Seconds = rank(0.50)
+	b.LatencyP90Seconds = rank(0.90)
+	b.LatencyP99Seconds = rank(0.99)
+	b.LatencyMaxSeconds = s[len(s)-1]
 }
 
 // SetupReport breaks down the time between process start and the first
@@ -124,6 +185,9 @@ type RunConfig struct {
 	// SegAdaptive (schema v2, additive) marks runs with the measured
 	// flat-vs-segmented EH2EH pull switch enabled.
 	SegAdaptive bool `json:"seg_adaptive,omitempty"`
+	// BatchRoots (schema v3, additive) is the batch width of a batched
+	// multi-source run; 0 means solo-only.
+	BatchRoots int `json:"batch_roots,omitempty"`
 }
 
 // Summary is the Graph 500 headline block.
@@ -300,6 +364,10 @@ type Inputs struct {
 
 	// Setup passes through the setup-time block; nil omits it.
 	Setup *SetupReport
+
+	// Batch passes through the batched multi-source block (schema v3); nil
+	// omits it.
+	Batch *BatchReport
 }
 
 // Build assembles the versioned document from the benchmark's measurements.
@@ -360,6 +428,7 @@ func Build(in Inputs) *Report {
 
 	r.Workloads = append(r.Workloads, in.Workloads...)
 	r.Setup = in.Setup
+	r.Batch = in.Batch
 
 	r.Resilience = Resilience{
 		FaultsInjected:     in.Faults.Injected(),

@@ -56,6 +56,9 @@ const (
 	KindRecovery
 	// KindEvent is an engine lifecycle marker (run start/end).
 	KindEvent
+	// KindBatch is one batched multi-source iteration record: how many
+	// queries rode the sweep (live vs already-converged planes).
+	KindBatch
 	numKinds
 )
 
@@ -78,6 +81,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case KindEvent:
 		return "event"
+	case KindBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
